@@ -1,0 +1,214 @@
+//! Structural fault-equivalence collapsing.
+//!
+//! Two faults are equivalent when every test for one detects the other;
+//! the classic gate-local rules are:
+//!
+//! * AND: any input sa0 ≡ output sa0;   NAND: any input sa0 ≡ output sa1;
+//! * OR:  any input sa1 ≡ output sa1;   NOR:  any input sa1 ≡ output sa0;
+//! * BUF: input sa(v) ≡ output sa(v);   NOT:  input sa(v) ≡ output sa(¬v).
+//!
+//! Collapsing keeps one representative per equivalence class, shrinking
+//! the universe by roughly 40–60 % on datapath logic and speeding up both
+//! fault simulation and deterministic generation.
+
+use std::collections::HashMap;
+
+use tta_netlist::netlist::Fanout;
+use tta_netlist::{GateKind, Netlist};
+
+use crate::fault::{Fault, FaultSite, FaultUniverse};
+
+/// Union-find over fault indices.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Result of collapsing: the representative universe plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CollapsedFaults {
+    /// One representative fault per equivalence class.
+    pub representatives: FaultUniverse,
+    /// Size of the original (uncollapsed) universe.
+    pub original_count: usize,
+}
+
+impl CollapsedFaults {
+    /// Collapse ratio `collapsed / original` (≤ 1).
+    pub fn ratio(&self) -> f64 {
+        self.representatives.len() as f64 / self.original_count.max(1) as f64
+    }
+}
+
+/// Collapses `universe` over `nl` using gate-local equivalence rules.
+pub fn collapse(nl: &Netlist, universe: &FaultUniverse) -> CollapsedFaults {
+    let faults = universe.faults();
+    let index: HashMap<Fault, u32> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (*f, i as u32))
+        .collect();
+    let mut dsu = Dsu::new(faults.len());
+    let fanout: Fanout = nl.fanout_table();
+
+    // The "line fault" on a gate input pin: the branch fault if the net
+    // fans out, else the stem fault on the driving net.
+    let line_fault = |gi: usize, pin: usize, stuck: bool| -> Fault {
+        let gate = nl.gate(tta_netlist::GateId::from_index(gi));
+        let net = gate.inputs()[pin];
+        if fanout.reader_count(net) > 1 {
+            Fault {
+                site: FaultSite::GatePin(tta_netlist::GateId::from_index(gi), pin as u8),
+                stuck,
+            }
+        } else {
+            Fault {
+                site: FaultSite::Net(net),
+                stuck,
+            }
+        }
+    };
+
+    for (gi, gate) in nl.gates().iter().enumerate() {
+        let out_sa = |stuck: bool| Fault {
+            site: FaultSite::Net(gate.output()),
+            stuck,
+        };
+        let rule: Option<(bool, bool)> = match gate.kind() {
+            // (input stuck value, equivalent output stuck value)
+            GateKind::And => Some((false, false)),
+            GateKind::Nand => Some((false, true)),
+            GateKind::Or => Some((true, true)),
+            GateKind::Nor => Some((true, false)),
+            GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor | GateKind::Mux2 => {
+                None
+            }
+        };
+        match gate.kind() {
+            GateKind::Buf => {
+                for stuck in [false, true] {
+                    let a = line_fault(gi, 0, stuck);
+                    let b = out_sa(stuck);
+                    dsu.union(index[&a], index[&b]);
+                }
+            }
+            GateKind::Not => {
+                for stuck in [false, true] {
+                    let a = line_fault(gi, 0, stuck);
+                    let b = out_sa(!stuck);
+                    dsu.union(index[&a], index[&b]);
+                }
+            }
+            _ => {
+                if let Some((in_stuck, out_stuck)) = rule {
+                    let out = out_sa(out_stuck);
+                    for pin in 0..gate.inputs().len() {
+                        let f = line_fault(gi, pin, in_stuck);
+                        dsu.union(index[&out], index[&f]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Keep the first fault of each class as representative.
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    let mut reps = Vec::new();
+    for (i, f) in faults.iter().enumerate() {
+        let root = dsu.find(i as u32);
+        if seen.insert(root, ()).is_none() {
+            reps.push(*f);
+        }
+    }
+    CollapsedFaults {
+        representatives: FaultUniverse::from_faults(reps),
+        original_count: faults.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::NetlistBuilder;
+
+    #[test]
+    fn and_gate_collapses_sa0_class() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish();
+        let u = FaultUniverse::enumerate(&nl);
+        // Nets a, b, y -> 6 stem faults, no branches.
+        assert_eq!(u.len(), 6);
+        let collapsed = collapse(&nl, &u);
+        // {a0, b0, y0} merge -> classes: [a0 b0 y0], a1, b1, y1 = 4.
+        assert_eq!(collapsed.representatives.len(), 4);
+        assert!(collapsed.ratio() < 1.0);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", y);
+        let nl = b.finish();
+        let u = FaultUniverse::enumerate(&nl);
+        let collapsed = collapse(&nl, &u);
+        // 3 nets * 2 = 6 faults collapse into 2 classes (sa0/sa1 chains).
+        assert_eq!(collapsed.representatives.len(), 2);
+    }
+
+    #[test]
+    fn branch_faults_stay_distinct_from_stem() {
+        // a fans out: branch faults must not merge with each other via the
+        // stem.
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let g1 = b.and2(a, c);
+        let g2 = b.or2(a, d);
+        let y = b.xor2(g1, g2);
+        b.output("y", y);
+        let nl = b.finish();
+        let u = FaultUniverse::enumerate(&nl);
+        let collapsed = collapse(&nl, &u);
+        // The two branches of `a` feed different gate types; their faults
+        // merge into those gates' output classes, never with each other
+        // through the stem.
+        assert!(collapsed.representatives.len() < u.len());
+        assert!(collapsed.representatives.len() >= u.len() / 2);
+    }
+}

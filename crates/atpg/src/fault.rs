@@ -1,0 +1,142 @@
+//! Single stuck-at fault model.
+
+use std::fmt;
+
+use tta_netlist::netlist::Fanout;
+use tta_netlist::{GateId, NetId, Netlist};
+
+/// Where a stuck-at fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// On a net (the *stem*): affects every reader.
+    Net(NetId),
+    /// On one input pin of one gate (a fanout *branch*): affects only that
+    /// reader. Only generated where the driving net has fanout > 1.
+    GatePin(GateId, u8),
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Fault location.
+    pub site: FaultSite,
+    /// Stuck value: `false` = stuck-at-0, `true` = stuck-at-1.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 on a net.
+    pub fn sa0(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck: false,
+        }
+    }
+
+    /// Stuck-at-1 on a net.
+    pub fn sa1(net: NetId) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck: true,
+        }
+    }
+
+    /// The net whose value the fault corrupts (for a pin fault, the net
+    /// feeding that pin).
+    pub fn net(&self, nl: &Netlist) -> NetId {
+        match self.site {
+            FaultSite::Net(n) => n,
+            FaultSite::GatePin(g, p) => nl.gate(g).inputs()[p as usize],
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = u8::from(self.stuck);
+        match self.site {
+            FaultSite::Net(n) => write!(f, "{n}/sa{v}"),
+            FaultSite::GatePin(g, p) => write!(f, "{g}.in{p}/sa{v}"),
+        }
+    }
+}
+
+/// The complete (uncollapsed) fault universe of a netlist.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+}
+
+impl FaultUniverse {
+    /// Enumerates stem faults on every net and branch faults on every gate
+    /// input pin whose driving net fans out to more than one reader —
+    /// the classic stem/branch universe for single stuck-at testing.
+    pub fn enumerate(nl: &Netlist) -> Self {
+        let fanout: Fanout = nl.fanout_table();
+        let mut faults = Vec::new();
+        for i in 0..nl.net_count() {
+            let net = NetId::from_index(i);
+            faults.push(Fault::sa0(net));
+            faults.push(Fault::sa1(net));
+        }
+        for (gi, gate) in nl.gates().iter().enumerate() {
+            for (pin, inp) in gate.inputs().iter().enumerate() {
+                if fanout.reader_count(*inp) > 1 {
+                    let site = FaultSite::GatePin(GateId::from_index(gi), pin as u8);
+                    faults.push(Fault { site, stuck: false });
+                    faults.push(Fault { site, stuck: true });
+                }
+            }
+        }
+        FaultUniverse { faults }
+    }
+
+    /// All faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the universe is empty (never, for a non-trivial netlist).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub(crate) fn from_faults(faults: Vec<Fault>) -> Self {
+        FaultUniverse { faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::NetlistBuilder;
+
+    #[test]
+    fn universe_counts_stems_and_branches() {
+        // y = (a & b) | (a & c): `a` fans out to two gates -> branch faults.
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a");
+        let x = b.input("x");
+        let c = b.input("c");
+        let g1 = b.and2(a, x);
+        let g2 = b.and2(a, c);
+        let y = b.or2(g1, g2);
+        b.output("y", y);
+        let nl = b.finish();
+        let u = FaultUniverse::enumerate(&nl);
+        // Nets: a, x, c, g1, g2, y = 6 -> 12 stem faults.
+        // Branches: a feeds 2 gate pins (fanout 2) -> 2 pins * 2 = 4.
+        assert_eq!(u.len(), 12 + 4);
+    }
+
+    #[test]
+    fn fault_display_is_stable() {
+        let f = Fault::sa0(NetId::from_index(3));
+        assert_eq!(f.to_string(), "n3/sa0");
+    }
+}

@@ -1,0 +1,383 @@
+//! Parallel-pattern single-fault-propagation fault simulation.
+//!
+//! For every fault, the simulator re-evaluates only the cone of logic the
+//! fault effect actually reaches (event-driven, in topological order),
+//! comparing 64 patterns at once against the fault-free reference.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tta_netlist::netlist::Fanout;
+use tta_netlist::{GateId, Netlist, Simulator};
+
+use crate::fault::{Fault, FaultSite};
+use crate::pattern::{Pattern, PatternBatch};
+use crate::view::CombView;
+
+/// Fault simulator bound to one netlist + test-access view.
+#[derive(Debug)]
+pub struct FaultSimulator {
+    nl: Netlist,
+    view: CombView,
+    fanout: Fanout,
+    /// Topological position of every gate (for ordered event processing).
+    topo_pos: Vec<u32>,
+    sim: Simulator,
+    /// Per-net flag: is this net a view observe point?
+    observed: Vec<bool>,
+    // --- scratch (reused across faults) ---
+    faulty: Vec<u64>,
+    touched: Vec<u32>,
+    touched_flag: Vec<bool>,
+    queued: Vec<bool>,
+}
+
+impl FaultSimulator {
+    /// Builds a simulator for `nl` under the full-scan view.
+    pub fn new(nl: Netlist) -> Self {
+        let view = CombView::full_scan(&nl);
+        Self::with_view(nl, view)
+    }
+
+    /// Builds a simulator with an explicit view.
+    pub fn with_view(nl: Netlist, view: CombView) -> Self {
+        let mut topo_pos = vec![0u32; nl.gate_count()];
+        for (pos, gid) in nl.topo_order().iter().enumerate() {
+            topo_pos[gid.index()] = pos as u32;
+        }
+        let fanout = nl.fanout_table();
+        let sim = Simulator::new(&nl);
+        let nets = nl.net_count();
+        let gates = nl.gate_count();
+        let mut observed = vec![false; nets];
+        for net in view.observes() {
+            observed[net.index()] = true;
+        }
+        FaultSimulator {
+            nl,
+            view,
+            fanout,
+            topo_pos,
+            sim,
+            observed,
+            faulty: vec![0; nets],
+            touched: Vec::with_capacity(64),
+            touched_flag: vec![false; nets],
+            queued: vec![false; gates],
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// The test-access view.
+    pub fn view(&self) -> &CombView {
+        &self.view
+    }
+
+    /// Simulates the fault-free circuit for a packed batch, returning the
+    /// value word of every net.
+    pub fn good_values(&self, batch: &PatternBatch) -> Vec<u64> {
+        let (pi, state) = self.view.split_assignment(&batch.words);
+        self.sim.eval(&self.nl, pi, state)
+    }
+
+    /// Returns the mask of batch patterns that detect `fault`, given the
+    /// fault-free `good` net values of the same batch.
+    pub fn detect_mask(&mut self, good: &[u64], batch: &PatternBatch, fault: Fault) -> u64 {
+        // Seed the event queue with the fault injection site.
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        debug_assert!(self.touched.is_empty());
+        let mut detected = 0u64;
+
+        let schedule_readers = |net: tta_netlist::NetId,
+                                heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                                queued: &mut [bool],
+                                topo_pos: &[u32],
+                                fanout: &Fanout| {
+            for (gid, _pin) in &fanout.gate_pins[net.index()] {
+                if !queued[gid.index()] {
+                    queued[gid.index()] = true;
+                    heap.push(Reverse((topo_pos[gid.index()], gid.index() as u32)));
+                }
+            }
+        };
+
+        match fault.site {
+            FaultSite::Net(net) => {
+                let forced = if fault.stuck { u64::MAX } else { 0 };
+                let diff = good[net.index()] ^ forced;
+                if diff & batch.active_mask == 0 {
+                    return 0;
+                }
+                self.faulty[net.index()] = forced;
+                self.touched.push(net.index() as u32);
+                self.touched_flag[net.index()] = true;
+                detected |= self.observe_diff(good, net);
+                schedule_readers(net, &mut heap, &mut self.queued, &self.topo_pos, &self.fanout);
+            }
+            FaultSite::GatePin(gid, pin) => {
+                // Only the faulted gate sees the stuck pin.
+                let out = self.eval_gate_faulty(good, gid, Some((pin, fault.stuck)));
+                let onet = self.nl.gate(gid).output();
+                if (out ^ good[onet.index()]) & batch.active_mask == 0 {
+                    return 0;
+                }
+                self.faulty[onet.index()] = out;
+                self.touched.push(onet.index() as u32);
+                self.touched_flag[onet.index()] = true;
+                detected |= self.observe_diff(good, onet);
+                schedule_readers(
+                    onet,
+                    &mut heap,
+                    &mut self.queued,
+                    &self.topo_pos,
+                    &self.fanout,
+                );
+            }
+        }
+
+        // Event-driven propagation in topological order.
+        while let Some(Reverse((_pos, gidx))) = heap.pop() {
+            self.queued[gidx as usize] = false;
+            let gid = GateId::from_index(gidx as usize);
+            let out = self.eval_gate_faulty(good, gid, None);
+            let onet = self.nl.gate(gid).output();
+            let prev = self.current_value(good, onet);
+            if out == prev {
+                continue;
+            }
+            if !self.touched_flag[onet.index()] {
+                self.touched.push(onet.index() as u32);
+                self.touched_flag[onet.index()] = true;
+            }
+            self.faulty[onet.index()] = out;
+            detected |= self.observe_diff(good, onet);
+            schedule_readers(
+                onet,
+                &mut heap,
+                &mut self.queued,
+                &self.topo_pos,
+                &self.fanout,
+            );
+        }
+
+        // Restore scratch for the next fault.
+        for &t in &self.touched {
+            self.touched_flag[t as usize] = false;
+        }
+        self.touched.clear();
+
+        detected & batch.active_mask
+    }
+
+    /// Value of `net` in the faulty circuit: the touched override if any,
+    /// otherwise the good value.
+    #[inline]
+    fn current_value(&self, good: &[u64], net: tta_netlist::NetId) -> u64 {
+        if self.touched_flag[net.index()] {
+            self.faulty[net.index()]
+        } else {
+            good[net.index()]
+        }
+    }
+
+    /// Evaluates one gate against the faulty circuit, with an optional
+    /// stuck pin override.
+    fn eval_gate_faulty(&self, good: &[u64], gid: GateId, pin_override: Option<(u8, bool)>) -> u64 {
+        let gate = self.nl.gate(gid);
+        let mut ins = [0u64; 3];
+        for (k, net) in gate.inputs().iter().enumerate() {
+            ins[k] = self.current_value(good, *net);
+        }
+        if let Some((pin, stuck)) = pin_override {
+            ins[pin as usize] = if stuck { u64::MAX } else { 0 };
+        }
+        gate.kind().eval(&ins[..gate.inputs().len()])
+    }
+
+    /// Detection contribution of a changed net: differs at an observe
+    /// point.
+    fn observe_diff(&self, good: &[u64], net: tta_netlist::NetId) -> u64 {
+        if self.is_observed(net) {
+            good[net.index()] ^ self.faulty[net.index()]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn is_observed(&self, net: tta_netlist::NetId) -> bool {
+        self.observed[net.index()]
+    }
+
+    /// Runs the batch against `faults`, returning a detection mask per
+    /// fault (bit `k` ⇔ pattern `k` detects it).
+    pub fn run_batch(&mut self, batch: &PatternBatch, faults: &[Fault]) -> Vec<u64> {
+        let good = self.good_values(batch);
+        faults
+            .iter()
+            .map(|f| self.detect_mask(&good, batch, *f))
+            .collect()
+    }
+
+    /// Simulates `patterns` against `faults` with fault dropping.
+    ///
+    /// Returns `(detected_flags, useful_pattern_indices)`:
+    /// `detected_flags[i]` tells whether fault `i` was detected, and the
+    /// index list names every pattern that was the *first* to detect some
+    /// fault (the natural compaction seed).
+    pub fn run_with_dropping(
+        &mut self,
+        patterns: &[Pattern],
+        faults: &[Fault],
+    ) -> (Vec<bool>, Vec<usize>) {
+        let mut detected = vec![false; faults.len()];
+        let mut useful = Vec::new();
+        let mut remaining: Vec<usize> = (0..faults.len()).collect();
+        for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
+            if remaining.is_empty() {
+                break;
+            }
+            let refs: Vec<&Pattern> = chunk.iter().collect();
+            let batch = PatternBatch::pack(&self.view, &refs);
+            let good = self.good_values(&batch);
+            let mut first_detector_hit = vec![false; chunk.len()];
+            remaining.retain(|&fi| {
+                let mask = self.detect_mask(&good, &batch, faults[fi]);
+                if mask != 0 {
+                    detected[fi] = true;
+                    first_detector_hit[mask.trailing_zeros() as usize] = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            for (k, hit) in first_detector_hit.iter().enumerate() {
+                if *hit {
+                    useful.push(chunk_idx * 64 + k);
+                }
+            }
+        }
+        (detected, useful)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::{NetId, NetlistBuilder};
+
+    fn and_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        b.finish()
+    }
+
+    #[test]
+    fn sa0_on_and_output_detected_by_11() {
+        let nl = and_circuit();
+        let ynet = nl.primary_outputs()[0].1;
+        let mut fs = FaultSimulator::new(nl);
+        let p11 = Pattern::new(vec![true, true]);
+        let p10 = Pattern::new(vec![true, false]);
+        let batch = PatternBatch::pack(fs.view(), &[&p11, &p10]);
+        let good = fs.good_values(&batch);
+        let mask = fs.detect_mask(&good, &batch, Fault::sa0(ynet));
+        assert_eq!(mask, 0b01, "only pattern 11 detects y/sa0");
+    }
+
+    #[test]
+    fn sa1_on_input_detected_by_01() {
+        let nl = and_circuit();
+        let a = nl.find_net("a").unwrap();
+        let mut fs = FaultSimulator::new(nl);
+        // a=0, b=1: good y=0, faulty (a stuck 1) y=1.
+        let p = Pattern::new(vec![false, true]);
+        let batch = PatternBatch::pack(fs.view(), &[&p]);
+        let good = fs.good_values(&batch);
+        assert_eq!(fs.detect_mask(&good, &batch, Fault::sa1(a)), 1);
+        // a=0, b=0 does not detect.
+        let p0 = Pattern::new(vec![false, false]);
+        let batch0 = PatternBatch::pack(fs.view(), &[&p0]);
+        let good0 = fs.good_values(&batch0);
+        assert_eq!(fs.detect_mask(&good0, &batch0, Fault::sa1(a)), 0);
+    }
+
+    #[test]
+    fn pin_fault_affects_only_one_branch() {
+        // y0 = a & b ; y1 = a | c. Branch fault on the OR's `a` pin must
+        // leave y0 clean.
+        let mut b = NetlistBuilder::new("branch");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let y0 = b.and2(a, x);
+        let y1 = b.or2(a, c);
+        b.output("y0", y0);
+        b.output("y1", y1);
+        let nl = b.finish();
+        let or_gate = nl
+            .gates()
+            .iter()
+            .position(|g| g.kind() == tta_netlist::GateKind::Or)
+            .unwrap();
+        let mut fs = FaultSimulator::new(nl);
+        let fault = Fault {
+            site: FaultSite::GatePin(GateId::from_index(or_gate), 0),
+            stuck: true,
+        };
+        // a=0,b=1,c=0: good y0=0,y1=0; faulty y1=1 (pin stuck 1), y0
+        // unchanged.
+        let p = Pattern::new(vec![false, true, false]);
+        let batch = PatternBatch::pack(fs.view(), &[&p]);
+        let good = fs.good_values(&batch);
+        assert_eq!(fs.detect_mask(&good, &batch, fault), 1);
+        // Stem fault on `a` sa1 flips y0 too — also detected, but through
+        // a different cone; just confirm it is detected.
+        let astem = fs.netlist().find_net("a").unwrap();
+        let good = fs.good_values(&batch);
+        assert_eq!(fs.detect_mask(&good, &batch, Fault::sa1(astem)), 1);
+    }
+
+    #[test]
+    fn dropping_reports_useful_patterns() {
+        let nl = and_circuit();
+        let faults = vec![
+            Fault::sa0(NetId::from_index(0)),
+            Fault::sa1(NetId::from_index(0)),
+        ];
+        let mut fs = FaultSimulator::new(nl);
+        let patterns = vec![
+            Pattern::new(vec![false, false]), // detects nothing new
+            Pattern::new(vec![true, true]),   // detects a/sa0
+            Pattern::new(vec![false, true]),  // detects a/sa1
+        ];
+        let (det, useful) = fs.run_with_dropping(&patterns, &faults);
+        assert_eq!(det, vec![true, true]);
+        assert_eq!(useful, vec![1, 2]);
+    }
+
+    #[test]
+    fn fault_behind_register_detected_via_pseudo_po() {
+        // a -> AND(a,b) -> dff -> y. Full-scan view observes the D pin.
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let q = b.dff("r", x);
+        b.output("y", q);
+        let nl = b.finish();
+        let xnet = nl.gates()[0].output();
+        let mut fs = FaultSimulator::new(nl);
+        let p = Pattern::new(vec![true, true, false]); // a, b, r.q
+        let batch = PatternBatch::pack(fs.view(), &[&p]);
+        let good = fs.good_values(&batch);
+        assert_eq!(fs.detect_mask(&good, &batch, Fault::sa0(xnet)), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Concrete test patterns and test sets.
+
+use std::fmt;
+
+use crate::view::CombView;
+
+/// One fully-specified test pattern over the inputs of a [`CombView`]
+/// (real primary inputs first, then pseudo inputs / flip-flop loads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    bits: Vec<bool>,
+}
+
+impl Pattern {
+    /// Creates a pattern from explicit bits.
+    pub fn new(bits: Vec<bool>) -> Self {
+        Pattern { bits }
+    }
+
+    /// The input bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of inputs covered.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the pattern is empty (zero-input view).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            write!(f, "{}", u8::from(*b))?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered set of test patterns for one component.
+#[derive(Debug, Clone, Default)]
+pub struct TestSet {
+    patterns: Vec<Pattern>,
+}
+
+impl TestSet {
+    /// Empty test set.
+    pub fn new() -> Self {
+        TestSet::default()
+    }
+
+    /// Appends a pattern.
+    pub fn push(&mut self, p: Pattern) {
+        self.patterns.push(p);
+    }
+
+    /// The patterns, in application order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// `np` — the pattern count the paper's cost functions consume.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Keeps only the patterns whose indices are in `keep` (sorted).
+    pub fn retain_indices(&mut self, keep: &[usize]) {
+        let mut keep_iter = keep.iter().peekable();
+        let mut idx = 0usize;
+        self.patterns.retain(|_| {
+            let keep_this = keep_iter.peek() == Some(&&idx);
+            if keep_this {
+                keep_iter.next();
+            }
+            idx += 1;
+            keep_this
+        });
+    }
+}
+
+impl FromIterator<Pattern> for TestSet {
+    fn from_iter<T: IntoIterator<Item = Pattern>>(iter: T) -> Self {
+        TestSet {
+            patterns: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Pattern> for TestSet {
+    fn extend<T: IntoIterator<Item = Pattern>>(&mut self, iter: T) {
+        self.patterns.extend(iter);
+    }
+}
+
+/// Packs up to 64 patterns into one bit-parallel word per view input.
+///
+/// Pattern `k` of the batch occupies bit `k` of every word; unused slots
+/// replicate pattern 0 (harmless for detection masks, which are ANDed with
+/// [`PatternBatch::active_mask`]).
+#[derive(Debug, Clone)]
+pub struct PatternBatch {
+    /// One word per view input.
+    pub words: Vec<u64>,
+    /// Bit `k` set ⇔ slot `k` holds a real pattern.
+    pub active_mask: u64,
+    /// Number of real patterns in the batch.
+    pub count: usize,
+}
+
+impl PatternBatch {
+    /// Packs `patterns` (≤ 64) over `view`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are given or widths mismatch.
+    pub fn pack(view: &CombView, patterns: &[&Pattern]) -> Self {
+        assert!(patterns.len() <= 64, "a batch holds at most 64 patterns");
+        let n_inputs = view.inputs().len();
+        let mut words = vec![0u64; n_inputs];
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), n_inputs, "pattern width mismatch");
+            for (i, bit) in p.bits().iter().enumerate() {
+                if *bit {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        let active_mask = if patterns.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << patterns.len()) - 1
+        };
+        PatternBatch {
+            words,
+            active_mask,
+            count: patterns.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retain_indices_keeps_selected() {
+        let mut ts: TestSet = (0..5)
+            .map(|i| Pattern::new(vec![i % 2 == 0]))
+            .collect();
+        ts.retain_indices(&[0, 3]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.patterns()[0].bits(), &[true]);
+        assert_eq!(ts.patterns()[1].bits(), &[false]);
+    }
+
+    #[test]
+    fn display_pattern() {
+        let p = Pattern::new(vec![true, false, true]);
+        assert_eq!(p.to_string(), "101");
+    }
+}

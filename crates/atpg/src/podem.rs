@@ -1,0 +1,532 @@
+//! PODEM (Path-Oriented DEcision Making) deterministic test generation.
+//!
+//! Classic implementation over the 5-valued D-calculus: implication by
+//! forward simulation, objective selection (activate, then propagate via
+//! the D-frontier), backtrace to an unassigned input, and chronological
+//! backtracking with a configurable limit.
+
+use tta_netlist::netlist::NetDriver;
+use tta_netlist::{GateId, GateKind, NetId, Netlist};
+
+use crate::fault::{Fault, FaultSite};
+use crate::v5::{V3, V5};
+use crate::view::CombView;
+
+/// Outcome of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test cube over the view inputs (may contain X positions).
+    Test(Vec<V3>),
+    /// The search space was exhausted: the fault is untestable
+    /// (combinationally redundant).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// PODEM engine bound to one netlist/view.
+#[derive(Debug)]
+pub struct Podem<'a> {
+    nl: &'a Netlist,
+    view: &'a CombView,
+    /// Map net -> view input index (usize::MAX when not an input).
+    input_of_net: Vec<usize>,
+    /// Per-net logic depth, the controllability proxy for backtrace.
+    depth: Vec<u32>,
+    /// Per-net minimum distance to an observe point (usize::MAX if none).
+    obs_dist: Vec<u32>,
+    backtrack_limit: u32,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates an engine; `backtrack_limit` bounds the search per fault.
+    pub fn new(nl: &'a Netlist, view: &'a CombView, backtrack_limit: u32) -> Self {
+        let mut input_of_net = vec![usize::MAX; nl.net_count()];
+        for (i, net) in view.inputs().iter().enumerate() {
+            input_of_net[net.index()] = i;
+        }
+        let depth = tta_netlist::timing::logic_depth(nl);
+        // Reverse BFS from observe points through gate edges.
+        let mut obs_dist = vec![u32::MAX; nl.net_count()];
+        let mut queue: Vec<NetId> = Vec::new();
+        for net in view.observes() {
+            obs_dist[net.index()] = 0;
+            queue.push(*net);
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let net = queue[head];
+            head += 1;
+            let d = obs_dist[net.index()];
+            if let NetDriver::Gate(gid) = nl.net(net).driver() {
+                for inp in nl.gate(gid).inputs() {
+                    if obs_dist[inp.index()] == u32::MAX {
+                        obs_dist[inp.index()] = d + 1;
+                        queue.push(*inp);
+                    }
+                }
+            }
+        }
+        Podem {
+            nl,
+            view,
+            input_of_net,
+            depth,
+            obs_dist,
+            backtrack_limit,
+        }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&self, fault: Fault) -> PodemOutcome {
+        let mut assignment: Vec<V3> = vec![V3::X; self.view.inputs().len()];
+        // Decision stack: (input index, second value tried?).
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        let mut backtracks = 0u32;
+
+        loop {
+            let values = self.imply(&assignment, fault);
+            if self.detected(&values) {
+                return PodemOutcome::Test(assignment);
+            }
+            let objective = self.objective(&values, fault);
+            let decision = objective.and_then(|(net, val)| self.backtrace(net, val, &values));
+            match decision {
+                Some((input, val)) => {
+                    assignment[input] = V3::from_bool(val);
+                    stack.push((input, false));
+                }
+                None => {
+                    // Conflict: chronological backtrack.
+                    loop {
+                        match stack.pop() {
+                            Some((input, tried_both)) => {
+                                if tried_both {
+                                    assignment[input] = V3::X;
+                                    continue;
+                                }
+                                backtracks += 1;
+                                if backtracks > self.backtrack_limit {
+                                    return PodemOutcome::Aborted;
+                                }
+                                assignment[input] = assignment[input].not();
+                                stack.push((input, true));
+                                break;
+                            }
+                            None => return PodemOutcome::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward 5-valued implication of the current assignment with the
+    /// fault injected. Returns a value per net.
+    ///
+    /// Values are kept in the *classic* five-valued domain
+    /// {0, 1, X, D, D̄}: a line whose good or faulty half is unknown is
+    /// collapsed to X. The coarser algebra is monotone in the partial PI
+    /// assignment, which is exactly what makes PODEM's conflict pruning
+    /// (activation impossible / D-frontier empty) safe and the search
+    /// complete.
+    pub fn imply(&self, assignment: &[V3], fault: Fault) -> Vec<V5> {
+        let mut values = vec![V5::X; self.nl.net_count()];
+        // Sources.
+        for (i, net) in self.nl.nets().iter().enumerate() {
+            let v = match net.driver() {
+                NetDriver::PrimaryInput(_) | NetDriver::DffQ(_) => {
+                    let idx = self.input_of_net[i];
+                    if idx == usize::MAX {
+                        // Register output not exposed by this view: unknown.
+                        V5::X
+                    } else {
+                        let g = assignment[idx];
+                        V5 { good: g, faulty: g }
+                    }
+                }
+                NetDriver::Const0 => V5::ZERO,
+                NetDriver::Const1 => V5::ONE,
+                NetDriver::Gate(_) | NetDriver::Floating => continue,
+            };
+            values[i] = self.inject(NetId::from_index(i), v, fault);
+        }
+        // Gates in topological order.
+        let mut ins = [V5::X; 3];
+        for &gid in self.nl.topo_order() {
+            let gate = self.nl.gate(gid);
+            for (k, inp) in gate.inputs().iter().enumerate() {
+                ins[k] = values[inp.index()];
+            }
+            // A stuck pin corrupts only this gate's view of the input.
+            if let FaultSite::GatePin(fg, pin) = fault.site {
+                if fg == gid {
+                    let orig = ins[pin as usize];
+                    ins[pin as usize] = canon(V5 {
+                        good: orig.good,
+                        faulty: V3::from_bool(fault.stuck),
+                    });
+                }
+            }
+            let out = V5::eval_gate(gate.kind(), &ins[..gate.inputs().len()]);
+            values[gate.output().index()] = self.inject(gate.output(), out, fault);
+        }
+        values
+    }
+
+    /// Applies a stem fault to a freshly computed net value, collapsing
+    /// half-known values to X (classic 5-valued domain).
+    fn inject(&self, net: NetId, v: V5, fault: Fault) -> V5 {
+        let v = match fault.site {
+            FaultSite::Net(fnet) if fnet == net => V5 {
+                good: v.good,
+                faulty: V3::from_bool(fault.stuck),
+            },
+            _ => v,
+        };
+        canon(v)
+    }
+
+    /// Has the fault effect reached an observe point?
+    fn detected(&self, values: &[V5]) -> bool {
+        self.view
+            .observes()
+            .iter()
+            .any(|net| values[net.index()].is_fault_effect())
+    }
+
+    /// Picks the next objective `(net, value)`, or `None` on a conflict.
+    fn objective(&self, values: &[V5], fault: Fault) -> Option<(NetId, V3)> {
+        let fnet = fault.net(self.nl);
+        let line = values[fnet.index()].good;
+        // 1. Activation.
+        if line == V3::X {
+            return Some((fnet, V3::from_bool(!fault.stuck)));
+        }
+        if line == V3::from_bool(fault.stuck) {
+            return None; // activation impossible under current assignment
+        }
+        // 2. Propagation: try D-frontier gates nearest-to-observe first;
+        // a single blocked gate is not a conflict — only an exhausted
+        // frontier is (the monotone-safe PODEM prune).
+        let mut frontier = self.d_frontier(values, fault);
+        frontier.sort_by_key(|&gid| self.obs_dist[self.nl.gate(gid).output().index()]);
+        frontier
+            .into_iter()
+            .find_map(|gid| self.propagation_objective(gid, values))
+    }
+
+    /// All gates with a fault effect on an input and X on the output.
+    fn d_frontier(&self, values: &[V5], fault: Fault) -> Vec<GateId> {
+        let mut frontier = Vec::new();
+        for &gid in self.nl.topo_order() {
+            let gate = self.nl.gate(gid);
+            let out = values[gate.output().index()];
+            if out.good.is_binary() && out.faulty.is_binary() {
+                continue; // fully determined; effect either passed or died
+            }
+            let mut has_effect = false;
+            for (pin, inp) in gate.inputs().iter().enumerate() {
+                let mut v = values[inp.index()];
+                if let FaultSite::GatePin(fg, fpin) = fault.site {
+                    if fg == gid && fpin as usize == pin {
+                        v = V5 {
+                            good: v.good,
+                            faulty: V3::from_bool(fault.stuck),
+                        };
+                    }
+                }
+                if v.is_fault_effect() {
+                    has_effect = true;
+                    break;
+                }
+            }
+            if has_effect {
+                frontier.push(gid);
+            }
+        }
+        frontier
+    }
+
+    /// Objective that pushes the fault effect through `gid`: set an
+    /// X-valued side input to the gate's non-controlling value.
+    fn propagation_objective(&self, gid: GateId, values: &[V5]) -> Option<(NetId, V3)> {
+        let gate = self.nl.gate(gid);
+        let kind = gate.kind();
+        let side_x = |skip_effect: bool| -> Option<NetId> {
+            gate.inputs()
+                .iter()
+                .find(|inp| {
+                    let v = values[inp.index()];
+                    let is_x = v.good == V3::X && v.faulty == V3::X;
+                    is_x && (!skip_effect || !v.is_fault_effect())
+                })
+                .copied()
+        };
+        match kind {
+            GateKind::And | GateKind::Nand => side_x(true).map(|n| (n, V3::One)),
+            GateKind::Or | GateKind::Nor => side_x(true).map(|n| (n, V3::Zero)),
+            GateKind::Xor | GateKind::Xnor => side_x(true).map(|n| (n, V3::Zero)),
+            GateKind::Buf | GateKind::Not => None, // output follows input; no side objective
+            GateKind::Mux2 => {
+                let sel = values[gate.inputs()[0].index()];
+                let a = gate.inputs()[1];
+                let b = gate.inputs()[2];
+                let sel_net = gate.inputs()[0];
+                if sel.is_fault_effect() {
+                    // Effect on select: data inputs must differ.
+                    let va = values[a.index()];
+                    let vb = values[b.index()];
+                    if va.good == V3::X {
+                        let target = if vb.good.is_binary() { vb.good.not() } else { V3::One };
+                        return Some((a, target));
+                    }
+                    if vb.good == V3::X {
+                        let target = if va.good.is_binary() { va.good.not() } else { V3::One };
+                        return Some((b, target));
+                    }
+                    None
+                } else if sel.good == V3::X {
+                    // Select the input carrying the effect.
+                    let va = values[a.index()];
+                    Some((sel_net, if va.is_fault_effect() { V3::Zero } else { V3::One }))
+                } else {
+                    // Select known; effect must be on the selected leg
+                    // already — nothing more to set here.
+                    None
+                }
+            }
+        }
+    }
+
+    /// Walks an objective back to an unassigned view input.
+    fn backtrace(&self, mut net: NetId, mut val: V3, values: &[V5]) -> Option<(usize, bool)> {
+        loop {
+            debug_assert!(val.is_binary());
+            let idx = self.input_of_net[net.index()];
+            if idx != usize::MAX {
+                if values[net.index()].good != V3::X {
+                    return None; // already assigned: conflict in objective
+                }
+                return Some((idx, val == V3::One));
+            }
+            let gid = match self.nl.net(net).driver() {
+                NetDriver::Gate(g) => g,
+                // Constants or unexposed registers cannot be set.
+                _ => return None,
+            };
+            let gate = self.nl.gate(gid);
+            let kind = gate.kind();
+            let x_inputs: Vec<NetId> = gate
+                .inputs()
+                .iter()
+                .filter(|n| values[n.index()].good == V3::X)
+                .copied()
+                .collect();
+            if x_inputs.is_empty() {
+                return None;
+            }
+            // Choose the easiest (And=all-1 → hardest; any-0 → easiest):
+            // depth is the controllability proxy.
+            let easiest = *x_inputs
+                .iter()
+                .min_by_key(|n| self.depth[n.index()])
+                .expect("non-empty");
+            let hardest = *x_inputs
+                .iter()
+                .max_by_key(|n| self.depth[n.index()])
+                .expect("non-empty");
+            let (next, next_val) = match kind {
+                GateKind::Buf => (x_inputs[0], val),
+                GateKind::Not => (x_inputs[0], val.not()),
+                GateKind::And => match val {
+                    V3::One => (hardest, V3::One),
+                    _ => (easiest, V3::Zero),
+                },
+                GateKind::Nand => match val {
+                    V3::Zero => (hardest, V3::One),
+                    _ => (easiest, V3::Zero),
+                },
+                GateKind::Or => match val {
+                    V3::Zero => (hardest, V3::Zero),
+                    _ => (easiest, V3::One),
+                },
+                GateKind::Nor => match val {
+                    V3::One => (hardest, V3::Zero),
+                    _ => (easiest, V3::One),
+                },
+                GateKind::Xor | GateKind::Xnor => {
+                    let a = gate.inputs()[0];
+                    let b = gate.inputs()[1];
+                    let (known, unknown) = if values[a.index()].good == V3::X {
+                        (values[b.index()].good, a)
+                    } else {
+                        (values[a.index()].good, b)
+                    };
+                    let target = if kind == GateKind::Xor { val } else { val.not() };
+                    let v = if known.is_binary() {
+                        target.xor(known)
+                    } else {
+                        target // both X: pick one side arbitrarily
+                    };
+                    (unknown, if v.is_binary() { v } else { V3::Zero })
+                }
+                GateKind::Mux2 => {
+                    // Descend only through X lines: the select may carry a
+                    // fault effect (D/D̄ — binary in the good half, but
+                    // not a settable line), in which case any X data leg
+                    // is still a valid decision point.
+                    let sel_net = gate.inputs()[0];
+                    if values[sel_net.index()].good == V3::X {
+                        (sel_net, V3::Zero)
+                    } else {
+                        let leg = match values[sel_net.index()].good {
+                            V3::Zero => gate.inputs()[1],
+                            _ => gate.inputs()[2],
+                        };
+                        if values[leg.index()].good == V3::X {
+                            (leg, val)
+                        } else {
+                            (x_inputs[0], val)
+                        }
+                    }
+                }
+            };
+            if values[next.index()].good != V3::X {
+                return None;
+            }
+            net = next;
+            val = next_val;
+        }
+    }
+}
+
+/// Collapses a value with any unknown half to full X, staying in the
+/// classic {0, 1, X, D, D̄} domain.
+fn canon(v: V5) -> V5 {
+    if v.good.is_binary() && v.faulty.is_binary() {
+        v
+    } else {
+        V5::X
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use crate::faultsim::FaultSimulator;
+    use crate::pattern::{Pattern, PatternBatch};
+    use tta_netlist::NetlistBuilder;
+
+    fn check_podem_pattern(nl: Netlist, fault: Fault) {
+        let view = CombView::full_scan(&nl);
+        let podem = Podem::new(&nl, &view, 10_000);
+        let outcome = podem.generate(fault);
+        let PodemOutcome::Test(cube) = outcome else {
+            panic!("expected a test for {fault}, got {outcome:?}");
+        };
+        // X-fill with zeros and confirm via fault simulation.
+        let bits: Vec<bool> = cube.iter().map(|v| *v == V3::One).collect();
+        drop(podem);
+        let mut fs = FaultSimulator::new(nl);
+        let p = Pattern::new(bits);
+        let batch = PatternBatch::pack(fs.view(), &[&p]);
+        let good = fs.good_values(&batch);
+        assert_eq!(fs.detect_mask(&good, &batch, fault), 1, "{fault}");
+    }
+
+    #[test]
+    fn finds_test_for_and_output_sa0() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish();
+        let ynet = nl.primary_outputs()[0].1;
+        check_podem_pattern(nl, Fault::sa0(ynet));
+    }
+
+    #[test]
+    fn finds_test_through_reconvergence() {
+        // y = (a&b) ^ (a|c): reconvergent fanout on a.
+        let mut b = NetlistBuilder::new("reconv");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let g1 = b.and2(a, x);
+        let g2 = b.or2(a, c);
+        let y = b.xor2(g1, g2);
+        b.output("y", y);
+        let nl = b.finish();
+        let g1out = nl.gates()[0].output();
+        check_podem_pattern(nl, Fault::sa1(g1out));
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        // y = a | (a & b): the AND output sa0 is undetectable (absorption).
+        let mut b = NetlistBuilder::new("redundant");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.and2(a, c);
+        let y = b.or2(a, g1);
+        b.output("y", y);
+        let nl = b.finish();
+        let g1out = nl.gates()[0].output();
+        let view = CombView::full_scan(&nl);
+        let podem = Podem::new(&nl, &view, 10_000);
+        assert_eq!(podem.generate(Fault::sa0(g1out)), PodemOutcome::Untestable);
+    }
+
+    #[test]
+    fn finds_test_behind_register() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let q = b.dff("r", x);
+        let y = b.not(q);
+        b.output("y", y);
+        let nl = b.finish();
+        let xnet = nl.gates()[0].output();
+        check_podem_pattern(nl, Fault::sa1(xnet));
+    }
+
+    #[test]
+    fn finds_test_through_mux() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.input("s");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.mux2(s, a, c);
+        b.output("y", y);
+        let nl = b.finish();
+        let anet = nl.find_net("a").unwrap();
+        check_podem_pattern(nl, Fault::sa0(anet));
+    }
+
+    #[test]
+    fn pin_fault_on_branch_gets_test() {
+        let mut b = NetlistBuilder::new("branch");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let g1 = b.and2(a, x);
+        let g2 = b.or2(a, c);
+        b.output("y0", g1);
+        b.output("y1", g2);
+        let nl = b.finish();
+        let or_gate = nl
+            .gates()
+            .iter()
+            .position(|g| g.kind() == GateKind::Or)
+            .unwrap();
+        let fault = Fault {
+            site: FaultSite::GatePin(GateId::from_index(or_gate), 0),
+            stuck: true,
+        };
+        check_podem_pattern(nl, fault);
+    }
+}

@@ -1,0 +1,259 @@
+//! SCOAP testability measures (Goldstein's controllability/observability
+//! analysis — the classical "testability measure" family the paper cites
+//! as refs \[8\]\[9\], here in its structural gate-level form).
+//!
+//! * `CC0(n)` / `CC1(n)` — the minimum number of line assignments needed
+//!   to set net `n` to 0 / 1 (≥ 1; inputs cost 1);
+//! * `CO(n)` — assignments needed to propagate `n`'s value to an observe
+//!   point (0 at observe points).
+//!
+//! The measures guide PODEM's backtrace (choose the cheapest input to
+//! satisfy, the hardest to violate) and give the exploration a
+//! per-component testability indicator that needs no ATPG run.
+
+use tta_netlist::netlist::NetDriver;
+use tta_netlist::{GateKind, Netlist};
+
+use crate::view::CombView;
+
+/// SCOAP numbers for one netlist under one test-access view.
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    /// 0-controllability per net.
+    pub cc0: Vec<u32>,
+    /// 1-controllability per net.
+    pub cc1: Vec<u32>,
+    /// Observability per net.
+    pub co: Vec<u32>,
+}
+
+/// Cost cap used for unreachable/uncontrollable nets.
+pub const UNREACHABLE: u32 = u32::MAX / 4;
+
+impl Scoap {
+    /// Computes SCOAP measures for `nl` as seen through `view`.
+    pub fn analyze(nl: &Netlist, view: &CombView) -> Self {
+        let n = nl.net_count();
+        let mut cc0 = vec![UNREACHABLE; n];
+        let mut cc1 = vec![UNREACHABLE; n];
+        // Controllable sources cost 1.
+        for net in view.inputs() {
+            cc0[net.index()] = 1;
+            cc1[net.index()] = 1;
+        }
+        for (i, net) in nl.nets().iter().enumerate() {
+            match net.driver() {
+                NetDriver::Const0 => cc0[i] = 0,
+                NetDriver::Const1 => cc1[i] = 0,
+                _ => {}
+            }
+        }
+        // Forward pass in topological order.
+        for &gid in nl.topo_order() {
+            let g = nl.gate(gid);
+            let ins = g.inputs();
+            let o = g.output().index();
+            let c0 = |k: usize| cc0[ins[k].index()];
+            let c1 = |k: usize| cc1[ins[k].index()];
+            let (v0, v1) = match g.kind() {
+                GateKind::Buf => (c0(0), c1(0)),
+                GateKind::Not => (c1(0), c0(0)),
+                GateKind::And => (c0(0).min(c0(1)), c1(0).saturating_add(c1(1))),
+                GateKind::Nand => (c1(0).saturating_add(c1(1)), c0(0).min(c0(1))),
+                GateKind::Or => (c0(0).saturating_add(c0(1)), c1(0).min(c1(1))),
+                GateKind::Nor => (c1(0).min(c1(1)), c0(0).saturating_add(c0(1))),
+                GateKind::Xor => (
+                    (c0(0).saturating_add(c0(1))).min(c1(0).saturating_add(c1(1))),
+                    (c0(0).saturating_add(c1(1))).min(c1(0).saturating_add(c0(1))),
+                ),
+                GateKind::Xnor => (
+                    (c0(0).saturating_add(c1(1))).min(c1(0).saturating_add(c0(1))),
+                    (c0(0).saturating_add(c0(1))).min(c1(0).saturating_add(c1(1))),
+                ),
+                GateKind::Mux2 => {
+                    // out=0: (sel=0, a=0) or (sel=1, b=0); symmetric for 1.
+                    let s0 = cc0[ins[0].index()];
+                    let s1 = cc1[ins[0].index()];
+                    let a0 = cc0[ins[1].index()];
+                    let a1 = cc1[ins[1].index()];
+                    let b0 = cc0[ins[2].index()];
+                    let b1 = cc1[ins[2].index()];
+                    (
+                        (s0.saturating_add(a0)).min(s1.saturating_add(b0)),
+                        (s0.saturating_add(a1)).min(s1.saturating_add(b1)),
+                    )
+                }
+            };
+            cc0[o] = v0.saturating_add(1).min(UNREACHABLE);
+            cc1[o] = v1.saturating_add(1).min(UNREACHABLE);
+        }
+        // Backward pass for observability.
+        let mut co = vec![UNREACHABLE; n];
+        for net in view.observes() {
+            co[net.index()] = 0;
+        }
+        for &gid in nl.topo_order().iter().rev() {
+            let g = nl.gate(gid);
+            let ins = g.inputs();
+            let out_co = co[g.output().index()];
+            if out_co >= UNREACHABLE {
+                continue;
+            }
+            for (pin, inp) in ins.iter().enumerate() {
+                // Cost to sensitise this pin through the gate: set the
+                // side inputs to non-controlling values.
+                let side_cost: u32 = match g.kind() {
+                    GateKind::Buf | GateKind::Not => 0,
+                    GateKind::And | GateKind::Nand => {
+                        ins.iter()
+                            .enumerate()
+                            .filter(|(k, _)| *k != pin)
+                            .map(|(_, s)| cc1[s.index()])
+                            .fold(0u32, |a, v| a.saturating_add(v))
+                    }
+                    GateKind::Or | GateKind::Nor => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != pin)
+                        .map(|(_, s)| cc0[s.index()])
+                        .fold(0u32, |a, v| a.saturating_add(v)),
+                    GateKind::Xor | GateKind::Xnor => {
+                        let other = ins[1 - pin];
+                        cc0[other.index()].min(cc1[other.index()])
+                    }
+                    GateKind::Mux2 => {
+                        if pin == 0 {
+                            // Observe the select: data legs must differ.
+                            let a = ins[1];
+                            let b = ins[2];
+                            (cc0[a.index()].saturating_add(cc1[b.index()]))
+                                .min(cc1[a.index()].saturating_add(cc0[b.index()]))
+                        } else {
+                            // Observe a data leg: steer the select to it.
+                            let sel = ins[0];
+                            if pin == 1 {
+                                cc0[sel.index()]
+                            } else {
+                                cc1[sel.index()]
+                            }
+                        }
+                    }
+                };
+                let cost = out_co.saturating_add(side_cost).saturating_add(1);
+                if cost < co[inp.index()] {
+                    co[inp.index()] = cost;
+                }
+            }
+        }
+        Scoap { cc0, cc1, co }
+    }
+
+    /// A single testability figure for the whole design: the mean
+    /// detect-difficulty `min(cc0, cc1) + co` over the *testable* nets
+    /// (lower = easier to test). Structurally unobservable or
+    /// uncontrollable nets are excluded — count them separately with
+    /// [`Self::untestable_net_count`].
+    pub fn mean_difficulty(&self) -> f64 {
+        let mut n = 0u64;
+        let mut total = 0u64;
+        for i in 0..self.cc0.len() {
+            let c = self.cc0[i].min(self.cc1[i]);
+            let o = self.co[i];
+            if c >= UNREACHABLE || o >= UNREACHABLE {
+                continue;
+            }
+            total += u64::from(c) + u64::from(o);
+            n += 1;
+        }
+        total as f64 / n.max(1) as f64
+    }
+
+    /// Nets that no assignment can control-and-observe (structural
+    /// untestability — e.g. a dangling carry-out cone).
+    pub fn untestable_net_count(&self) -> usize {
+        (0..self.cc0.len())
+            .filter(|&i| {
+                self.cc0[i].min(self.cc1[i]) >= UNREACHABLE || self.co[i] >= UNREACHABLE
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::{components, NetlistBuilder};
+
+    #[test]
+    fn inputs_cost_one_outputs_observe_free() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let nl = b.finish();
+        let view = CombView::full_scan(&nl);
+        let s = Scoap::analyze(&nl, &view);
+        let an = nl.find_net("a").unwrap();
+        let yn = nl.primary_outputs()[0].1;
+        assert_eq!(s.cc0[an.index()], 1);
+        assert_eq!(s.cc1[an.index()], 1);
+        assert_eq!(s.co[yn.index()], 0);
+        // AND output: 1 needs both inputs 1 (+1); 0 needs one input (+1).
+        assert_eq!(s.cc1[yn.index()], 3);
+        assert_eq!(s.cc0[yn.index()], 2);
+        // Observing `a` needs b=1 (+1 level).
+        assert_eq!(s.co[an.index()], 2);
+    }
+
+    #[test]
+    fn deep_logic_is_harder() {
+        let mut b = NetlistBuilder::new("deep");
+        let a = b.input("a");
+        let c = b.input("b");
+        let mut x = b.and2(a, c);
+        for _ in 0..6 {
+            x = b.and2(x, c);
+        }
+        b.output("y", x);
+        let nl = b.finish();
+        let view = CombView::full_scan(&nl);
+        let s = Scoap::analyze(&nl, &view);
+        let first = nl.gates()[0].output();
+        let last = nl.gates()[6].output();
+        assert!(s.cc1[last.index()] > s.cc1[first.index()]);
+        assert!(s.co[first.index()] > s.co[last.index()]);
+    }
+
+    #[test]
+    fn registers_make_components_controllable() {
+        // Full-scan view: the ALU's deep core stays cheap because the
+        // pipeline registers are direct inputs.
+        let alu = components::alu(8);
+        let view = CombView::full_scan(&alu.netlist);
+        let s = Scoap::analyze(&alu.netlist, &view);
+        assert!(s.mean_difficulty() < 64.0, "{}", s.mean_difficulty());
+        // Only the dangling carry-out cone is structurally untestable.
+        assert!(s.untestable_net_count() < 8, "{}", s.untestable_net_count());
+        // The combinational-only view (no register access) leaves nearly
+        // everything unobservable: the registers cut all paths.
+        let blind = CombView::combinational(&alu.netlist);
+        let s2 = Scoap::analyze(&alu.netlist, &blind);
+        assert!(s2.untestable_net_count() > s.untestable_net_count());
+    }
+
+    #[test]
+    fn constants_are_free_one_way_only() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let zero = b.const0();
+        let y = b.or2(a, zero);
+        b.output("y", y);
+        let nl = b.finish();
+        let view = CombView::full_scan(&nl);
+        let s = Scoap::analyze(&nl, &view);
+        let zn = nl.find_net("const0").unwrap();
+        assert_eq!(s.cc0[zn.index()], 0);
+        assert_eq!(s.cc1[zn.index()], UNREACHABLE, "const0 can never be 1");
+    }
+}

@@ -1,0 +1,234 @@
+//! Transition (gross-delay) fault grading of a test sequence.
+//!
+//! The paper argues that the functional application of structural
+//! patterns "may also be used for delay fault tests, since it basically
+//! checks not only the structure of the components but also their timing
+//! relations (2–8)". This module makes the claim measurable: it grades an
+//! *ordered* pattern sequence against the transition fault model —
+//! slow-to-rise / slow-to-fall on every net — using the standard
+//! launch-on-capture interpretation:
+//!
+//! * pattern `i` must set the fault net to the initial value (1 for
+//!   slow-to-fall, 0 for slow-to-rise);
+//! * pattern `i+1` must be a *stuck-at* test for the corresponding
+//!   stuck value (a slow-to-rise net behaves like stuck-at-0 on the
+//!   launch edge).
+//!
+//! Because scan shifting destroys pattern-to-pattern ordering, classical
+//! full scan cannot apply such pairs without enhanced (launch-off-shift)
+//! hardware — the functional bus approach gets them for free, which is
+//! exactly the paper's point.
+
+use tta_netlist::{NetId, Netlist};
+
+use crate::fault::{Fault, FaultSite};
+use crate::faultsim::FaultSimulator;
+use crate::pattern::{Pattern, PatternBatch, TestSet};
+
+/// Direction of a transition fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// Slow to rise: the 0→1 edge does not arrive in time.
+    SlowToRise,
+    /// Slow to fall: the 1→0 edge does not arrive in time.
+    SlowToFall,
+}
+
+/// A transition fault on one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransitionFault {
+    /// The affected net.
+    pub net: NetId,
+    /// The slow edge.
+    pub transition: Transition,
+}
+
+impl TransitionFault {
+    /// The stuck-at fault this transition behaves as on the launch cycle.
+    pub fn as_stuck_at(self) -> Fault {
+        Fault {
+            site: FaultSite::Net(self.net),
+            // Slow-to-rise: the net is still 0 when captured.
+            stuck: self.transition == Transition::SlowToFall,
+        }
+    }
+
+    /// Initial value the preceding pattern must establish.
+    pub fn initial_value(self) -> bool {
+        self.transition == Transition::SlowToFall
+    }
+}
+
+/// Result of grading a sequence against the transition fault universe.
+#[derive(Debug, Clone)]
+pub struct TransitionCoverage {
+    /// Every graded fault.
+    pub faults: Vec<TransitionFault>,
+    /// Detection flag per fault.
+    pub detected: Vec<bool>,
+}
+
+impl TransitionCoverage {
+    /// Fraction of transition faults detected by the sequence.
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 0.0;
+        }
+        self.detected.iter().filter(|d| **d).count() as f64 / self.faults.len() as f64
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detected.iter().filter(|d| **d).count()
+    }
+}
+
+/// Enumerates transition faults on every net of `nl`.
+pub fn transition_universe(nl: &Netlist) -> Vec<TransitionFault> {
+    (0..nl.net_count())
+        .flat_map(|i| {
+            let net = NetId::from_index(i);
+            [
+                TransitionFault {
+                    net,
+                    transition: Transition::SlowToRise,
+                },
+                TransitionFault {
+                    net,
+                    transition: Transition::SlowToFall,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Grades the ordered `test_set` against the transition universe of the
+/// simulator's netlist.
+///
+/// A fault counts as detected when some *consecutive* pair `(i, i+1)`
+/// initialises the net (pattern `i`) and detects the equivalent stuck-at
+/// fault (pattern `i+1`).
+pub fn grade_sequence(fs: &mut FaultSimulator, test_set: &TestSet) -> TransitionCoverage {
+    let faults = transition_universe(fs.netlist());
+    let patterns = test_set.patterns();
+    let mut detected = vec![false; faults.len()];
+    if patterns.len() < 2 {
+        return TransitionCoverage { faults, detected };
+    }
+
+    // Net values for every pattern (packed in batches of 64).
+    let n_nets = fs.netlist().net_count();
+    let mut values: Vec<Vec<u64>> = Vec::with_capacity(patterns.len().div_ceil(64));
+    for chunk in patterns.chunks(64) {
+        let refs: Vec<&Pattern> = chunk.iter().collect();
+        let batch = PatternBatch::pack(fs.view(), &refs);
+        values.push(fs.good_values(&batch));
+    }
+    let value_of = |pattern: usize, net: usize| -> bool {
+        values[pattern / 64][net] >> (pattern % 64) & 1 == 1
+    };
+    let _ = n_nets;
+
+    // Stuck-at detection masks per pattern, batched.
+    for (fi, fault) in faults.iter().enumerate() {
+        let sa = fault.as_stuck_at();
+        'pairs: for (chunk_idx, chunk) in patterns.chunks(64).enumerate() {
+            let refs: Vec<&Pattern> = chunk.iter().collect();
+            let batch = PatternBatch::pack(fs.view(), &refs);
+            let good = &values[chunk_idx];
+            let mask = fs.detect_mask(good, &batch, sa);
+            if mask == 0 {
+                continue;
+            }
+            for k in 0..chunk.len() {
+                if mask >> k & 1 == 0 {
+                    continue;
+                }
+                let global = chunk_idx * 64 + k;
+                if global == 0 {
+                    continue; // no predecessor to launch from
+                }
+                let init = value_of(global - 1, fault.net.index());
+                if init == fault.initial_value() {
+                    detected[fi] = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    TransitionCoverage { faults, detected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpg::{Atpg, AtpgConfig};
+    use tta_netlist::components;
+    use tta_netlist::NetlistBuilder;
+
+    #[test]
+    fn universe_is_two_per_net() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish();
+        assert_eq!(transition_universe(&nl).len(), 2 * nl.net_count());
+    }
+
+    #[test]
+    fn handcrafted_pair_detects_transition() {
+        // Buffer circuit: a -> y. Slow-to-rise on `a` needs (0, then 1).
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let y = b.buf(a);
+        b.output("y", y);
+        let nl = b.finish();
+        let anet = nl.find_net("a").unwrap();
+        let mut fs = FaultSimulator::new(nl);
+        let mut ts = TestSet::new();
+        ts.push(Pattern::new(vec![false]));
+        ts.push(Pattern::new(vec![true]));
+        let cov = grade_sequence(&mut fs, &ts);
+        let idx = cov
+            .faults
+            .iter()
+            .position(|f| f.net == anet && f.transition == Transition::SlowToRise)
+            .unwrap();
+        assert!(cov.detected[idx], "0->1 pair must catch slow-to-rise");
+        // Slow-to-fall needs the opposite order, which this set lacks.
+        let idx_f = cov
+            .faults
+            .iter()
+            .position(|f| f.net == anet && f.transition == Transition::SlowToFall)
+            .unwrap();
+        assert!(!cov.detected[idx_f]);
+    }
+
+    #[test]
+    fn stuck_at_sets_give_substantial_transition_coverage() {
+        // The paper's claim: the functional stuck-at sequence doubles as
+        // a useful delay test. Grade the compacted ALU set.
+        let alu = components::alu(4);
+        let result = Atpg::new(AtpgConfig::default()).run(&alu.netlist);
+        let mut fs = FaultSimulator::new(alu.netlist.clone());
+        let cov = grade_sequence(&mut fs, &result.test_set);
+        assert!(
+            cov.coverage() > 0.35,
+            "transition coverage {:.2} unexpectedly low",
+            cov.coverage()
+        );
+        // And strictly less than stuck-at coverage: pairs are harder.
+        assert!(cov.coverage() < result.fault_coverage());
+    }
+
+    #[test]
+    fn single_pattern_detects_nothing() {
+        let alu = components::alu(4);
+        let mut fs = FaultSimulator::new(alu.netlist.clone());
+        let mut ts = TestSet::new();
+        ts.push(Pattern::new(vec![false; fs.view().inputs().len()]));
+        let cov = grade_sequence(&mut fs, &ts);
+        assert_eq!(cov.detected_count(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Three- and five-valued logic for deterministic test generation.
+//!
+//! PODEM reasons in the classic D-calculus: each line carries a pair of
+//! three-valued (0/1/X) values — one for the good circuit, one for the
+//! faulty circuit. `D` is good-1/faulty-0, `D̄` is good-0/faulty-1.
+
+use tta_netlist::GateKind;
+
+/// Three-valued logic: 0, 1, unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unassigned.
+    X,
+}
+
+impl V3 {
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// Is this a binary (non-X) value?
+    pub fn is_binary(self) -> bool {
+        self != V3::X
+    }
+
+    /// Logical complement (X stays X).
+    pub fn not(self) -> Self {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: Self) -> Self {
+        match (self, other) {
+            (V3::X, _) | (_, V3::X) => V3::X,
+            (a, b) if a == b => V3::Zero,
+            _ => V3::One,
+        }
+    }
+
+    /// Evaluates a gate in three-valued logic.
+    pub fn eval_gate(kind: GateKind, ins: &[V3]) -> V3 {
+        match kind {
+            GateKind::Buf => ins[0],
+            GateKind::Not => ins[0].not(),
+            GateKind::And => ins[0].and(ins[1]),
+            GateKind::Or => ins[0].or(ins[1]),
+            GateKind::Nand => ins[0].and(ins[1]).not(),
+            GateKind::Nor => ins[0].or(ins[1]).not(),
+            GateKind::Xor => ins[0].xor(ins[1]),
+            GateKind::Xnor => ins[0].xor(ins[1]).not(),
+            GateKind::Mux2 => match ins[0] {
+                V3::Zero => ins[1],
+                V3::One => ins[2],
+                // sel unknown: output known only if both data agree.
+                V3::X => {
+                    if ins[1] == ins[2] && ins[1].is_binary() {
+                        ins[1]
+                    } else {
+                        V3::X
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Five-valued D-calculus value: a (good, faulty) pair of [`V3`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct V5 {
+    /// Good-circuit value.
+    pub good: V3,
+    /// Faulty-circuit value.
+    pub faulty: V3,
+}
+
+impl V5 {
+    /// Constant 0 in both circuits.
+    pub const ZERO: V5 = V5 {
+        good: V3::Zero,
+        faulty: V3::Zero,
+    };
+    /// Constant 1 in both circuits.
+    pub const ONE: V5 = V5 {
+        good: V3::One,
+        faulty: V3::One,
+    };
+    /// Unknown in both circuits.
+    pub const X: V5 = V5 {
+        good: V3::X,
+        faulty: V3::X,
+    };
+    /// `D`: good 1, faulty 0.
+    pub const D: V5 = V5 {
+        good: V3::One,
+        faulty: V3::Zero,
+    };
+    /// `D̄`: good 0, faulty 1.
+    pub const DBAR: V5 = V5 {
+        good: V3::Zero,
+        faulty: V3::One,
+    };
+
+    /// Builds from a binary good=faulty value.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V5::ONE
+        } else {
+            V5::ZERO
+        }
+    }
+
+    /// Is this line carrying a fault effect (`D` or `D̄`)?
+    pub fn is_fault_effect(self) -> bool {
+        self == V5::D || self == V5::DBAR
+    }
+
+    /// Is the good value binary and equal in both circuits?
+    pub fn is_binary(self) -> bool {
+        self.good.is_binary() && self.good == self.faulty
+    }
+
+    /// Evaluates a gate in the D-calculus (componentwise on the pair).
+    pub fn eval_gate(kind: GateKind, ins: &[V5]) -> V5 {
+        let goods: Vec<V3> = ins.iter().map(|v| v.good).collect();
+        let faults: Vec<V3> = ins.iter().map(|v| v.faulty).collect();
+        V5 {
+            good: V3::eval_gate(kind, &goods),
+            faulty: V3::eval_gate(kind, &faults),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_through_and_with_one() {
+        let out = V5::eval_gate(GateKind::And, &[V5::D, V5::ONE]);
+        assert_eq!(out, V5::D);
+    }
+
+    #[test]
+    fn d_blocked_by_zero() {
+        let out = V5::eval_gate(GateKind::And, &[V5::D, V5::ZERO]);
+        assert_eq!(out, V5::ZERO);
+    }
+
+    #[test]
+    fn d_inverts_through_nand() {
+        let out = V5::eval_gate(GateKind::Nand, &[V5::D, V5::ONE]);
+        assert_eq!(out, V5::DBAR);
+    }
+
+    #[test]
+    fn xor_of_d_and_d_cancels() {
+        let out = V5::eval_gate(GateKind::Xor, &[V5::D, V5::D]);
+        assert_eq!(out, V5::ZERO);
+    }
+
+    #[test]
+    fn mux_with_unknown_select_but_agreeing_data() {
+        let out = V3::eval_gate(GateKind::Mux2, &[V3::X, V3::One, V3::One]);
+        assert_eq!(out, V3::One);
+        let out = V3::eval_gate(GateKind::Mux2, &[V3::X, V3::One, V3::Zero]);
+        assert_eq!(out, V3::X);
+    }
+
+    #[test]
+    fn three_valued_tables() {
+        assert_eq!(V3::X.and(V3::Zero), V3::Zero);
+        assert_eq!(V3::X.and(V3::One), V3::X);
+        assert_eq!(V3::X.or(V3::One), V3::One);
+        assert_eq!(V3::X.or(V3::Zero), V3::X);
+        assert_eq!(V3::X.xor(V3::One), V3::X);
+    }
+}

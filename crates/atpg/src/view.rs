@@ -1,0 +1,98 @@
+//! The combinational (full-scan / functional-access) view of a component.
+//!
+//! In the paper's methodology every pipeline register of a component is
+//! directly loadable from a move bus and the result register directly
+//! observable on one, so the ATPG problem is purely combinational:
+//! flip-flop Q outputs become pseudo primary inputs, flip-flop D nets
+//! pseudo primary outputs.
+
+use tta_netlist::{NetId, Netlist};
+
+/// Maps a sequential netlist onto the combinational test view.
+#[derive(Debug, Clone)]
+pub struct CombView {
+    inputs: Vec<NetId>,
+    observes: Vec<NetId>,
+    n_real_pis: usize,
+}
+
+impl CombView {
+    /// Full-scan view: PIs + flip-flop Qs controllable; POs + flip-flop Ds
+    /// observable. This is the view used for component back-annotation.
+    pub fn full_scan(nl: &Netlist) -> Self {
+        let mut inputs: Vec<NetId> = nl.primary_inputs().to_vec();
+        let n_real_pis = inputs.len();
+        inputs.extend(nl.dffs().iter().map(|ff| ff.q()));
+        let mut observes: Vec<NetId> = nl.primary_outputs().iter().map(|(_, n)| *n).collect();
+        observes.extend(nl.dffs().iter().map(|ff| ff.d()));
+        CombView {
+            inputs,
+            observes,
+            n_real_pis,
+        }
+    }
+
+    /// Combinational-only view: just the real PIs and POs (used for pure
+    /// combinational blocks such as a socket's decode logic).
+    pub fn combinational(nl: &Netlist) -> Self {
+        CombView {
+            inputs: nl.primary_inputs().to_vec(),
+            observes: nl.primary_outputs().iter().map(|(_, n)| *n).collect(),
+            n_real_pis: nl.primary_inputs().len(),
+        }
+    }
+
+    /// Controllable nets: real PIs first, then pseudo (flip-flop Q) inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Observable nets: real POs first, then pseudo (flip-flop D) outputs.
+    pub fn observes(&self) -> &[NetId] {
+        &self.observes
+    }
+
+    /// How many of [`Self::inputs`] are real primary inputs.
+    pub fn real_pi_count(&self) -> usize {
+        self.n_real_pis
+    }
+
+    /// Splits an assignment over [`Self::inputs`] into the `(pi, state)`
+    /// vectors expected by the logic simulator.
+    pub fn split_assignment<'a, T: Copy>(&self, values: &'a [T]) -> (&'a [T], &'a [T]) {
+        values.split_at(self.n_real_pis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::NetlistBuilder;
+
+    #[test]
+    fn full_scan_exposes_registers() {
+        let mut b = NetlistBuilder::new("pipe");
+        let a = b.input("a");
+        let q = b.dff("r", a);
+        let y = b.not(q);
+        b.output("y", y);
+        let nl = b.finish();
+        let v = CombView::full_scan(&nl);
+        assert_eq!(v.inputs().len(), 2); // a + r.q
+        assert_eq!(v.observes().len(), 2); // y + r.d
+        assert_eq!(v.real_pi_count(), 1);
+    }
+
+    #[test]
+    fn combinational_view_hides_registers() {
+        let mut b = NetlistBuilder::new("pipe");
+        let a = b.input("a");
+        let q = b.dff("r", a);
+        let y = b.not(q);
+        b.output("y", y);
+        let nl = b.finish();
+        let v = CombView::combinational(&nl);
+        assert_eq!(v.inputs().len(), 1);
+        assert_eq!(v.observes().len(), 1);
+    }
+}

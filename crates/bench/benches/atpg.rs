@@ -1,0 +1,48 @@
+//! ATPG engine benchmarks + the random-phase / compaction ablations
+//! (design choices called out in DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tta_atpg::{Atpg, AtpgConfig};
+use tta_netlist::components;
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(10);
+    for (name, nl) in [
+        ("alu8", components::alu(8).netlist),
+        ("cmp8", components::cmp(8).netlist),
+        ("alu16", components::alu(16).netlist),
+    ] {
+        group.bench_function(name, |b| {
+            let engine = Atpg::new(AtpgConfig::default());
+            b.iter(|| black_box(engine.run(&nl).pattern_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg_ablation");
+    group.sample_size(10);
+    let nl = components::alu(8).netlist;
+    group.bench_function("default", |b| {
+        let engine = Atpg::new(AtpgConfig::default());
+        b.iter(|| black_box(engine.run(&nl).pattern_count()));
+    });
+    group.bench_function("no_random_phase", |b| {
+        let engine = Atpg::new(AtpgConfig::deterministic_only());
+        b.iter(|| black_box(engine.run(&nl).pattern_count()));
+    });
+    group.bench_function("no_compaction", |b| {
+        let engine = Atpg::new(AtpgConfig {
+            compaction: false,
+            ..AtpgConfig::default()
+        });
+        b.iter(|| black_box(engine.run(&nl).pattern_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg, bench_ablations);
+criterion_main!(benches);

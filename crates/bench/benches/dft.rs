@@ -1,0 +1,45 @@
+//! DfT benchmarks: scan insertion cost and the single- vs multi-chain
+//! full-scan ablation the paper mentions ("in the case of multiple scan
+//! chains, the total test cost will change").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tta_dft::scan::insert_scan;
+use tta_dft::testtime::multi_chain_scan_cycles;
+use tta_netlist::components;
+
+fn bench_scan_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_insertion");
+    for (name, nl) in [
+        ("alu16", components::alu(16).netlist),
+        ("rf8x16", components::register_file(16, 8, 1, 2).netlist),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(insert_scan(&nl).chain_length()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_chain_ablation(c: &mut Criterion) {
+    // Not a speed benchmark of our code but of the *modelled* test time:
+    // report the cycle counts as throughput so the ablation shows up in
+    // the bench report.
+    let mut group = c.benchmark_group("full_scan_chains");
+    let alu = components::alu(16);
+    let np = 88usize;
+    let ffs = alu.netlist.dff_count();
+    for chains in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chains),
+            &chains,
+            |b, &chains| {
+                b.iter(|| black_box(multi_chain_scan_cycles(np, ffs, chains)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_insertion, bench_multi_chain_ablation);
+criterion_main!(benches);

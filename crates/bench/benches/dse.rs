@@ -1,0 +1,24 @@
+//! End-to-end design-space exploration benchmark (fast scale): sweep,
+//! Pareto reduction and test-cost lifting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tta_core::explore::{ExploreConfig, Explorer};
+use tta_workloads::suite;
+
+fn bench_dse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    let workload = suite::crypt(1);
+    group.bench_function("fast_space_crypt1", |b| {
+        // Reuse one explorer so the component database amortises, as a
+        // real sweep would.
+        let mut explorer = Explorer::new(ExploreConfig::fast());
+        explorer.run(&workload);
+        b.iter(|| black_box(explorer.run(&workload).pareto2d.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

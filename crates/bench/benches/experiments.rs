@@ -1,0 +1,43 @@
+//! Regenerates every table and figure of the paper (fast scale) under
+//! Criterion timing — one bench per artefact, so `cargo bench` exercises
+//! the complete evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tta_bench::{fig2, fig6, fig7, fig8, fig9, table1, Experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig2", |b| {
+        let mut exp = Experiments::new(Scale::Fast);
+        exp.exploration();
+        b.iter(|| black_box(fig2(&mut exp).front.len()));
+    });
+    group.bench_function("fig6", |b| {
+        let mut exp = Experiments::new(Scale::Fast);
+        b.iter(|| black_box(fig6(&mut exp).shared.1));
+    });
+    group.bench_function("fig7", |b| {
+        b.iter(|| black_box(fig7().order.len()));
+    });
+    group.bench_function("fig8", |b| {
+        let mut exp = Experiments::new(Scale::Fast);
+        exp.exploration();
+        b.iter(|| black_box(fig8(&mut exp).points.len()));
+    });
+    group.bench_function("fig9", |b| {
+        let mut exp = Experiments::new(Scale::Fast);
+        exp.exploration();
+        b.iter(|| black_box(fig9(&mut exp).selected.area));
+    });
+    group.bench_function("table1", |b| {
+        let mut exp = Experiments::new(Scale::Fast);
+        exp.exploration();
+        b.iter(|| black_box(table1(&mut exp).totals()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

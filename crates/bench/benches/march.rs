@@ -1,0 +1,33 @@
+//! March-test benchmarks: algorithm cost scaling over register count
+//! (the np input of eq. 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tta_dft::march::MarchAlgorithm;
+use tta_dft::memory::MultiPortMemory;
+
+fn bench_march(c: &mut Criterion) {
+    let mut group = c.benchmark_group("march");
+    for words in [8usize, 12, 32, 128] {
+        for alg in [
+            MarchAlgorithm::mats_plus(),
+            MarchAlgorithm::march_cminus(),
+            MarchAlgorithm::march_b(),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name().replace(' ', "_"), words),
+                &words,
+                |b, &words| {
+                    b.iter(|| {
+                        let mut mem = MultiPortMemory::new(words, 16, 1, 2);
+                        black_box(alg.run(&mut mem).is_ok())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_march);
+criterion_main!(benches);

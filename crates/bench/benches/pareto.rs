@@ -1,0 +1,30 @@
+//! Pareto filtering benchmarks on synthetic point clouds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tta_core::pareto::pareto_front;
+
+fn clouds(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| (0..dims).map(|_| rng.random::<f64>()).collect())
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    for (n, dims) in [(100usize, 2usize), (100, 3), (1000, 2), (1000, 3)] {
+        let pts = clouds(n, dims);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{dims}d"), n),
+            &pts,
+            |b, pts| b.iter(|| black_box(pareto_front(pts).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Transport scheduler benchmarks: the crypt kernel on the Figure 9
+//! machine, plus the operand/trigger bus-sharing ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tta_arch::template::TemplateBuilder;
+use tta_arch::{Architecture, FuKind};
+use tta_movec::schedule::Scheduler;
+use tta_workloads::suite;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let arch = Architecture::figure9();
+    for rounds in [1usize, 4, 16] {
+        let w = suite::crypt(rounds);
+        group.bench_with_input(BenchmarkId::new("crypt", rounds), &w, |b, w| {
+            b.iter(|| black_box(Scheduler::new(&arch).run(&w.dfg).unwrap().cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bus_sharing_ablation(c: &mut Criterion) {
+    // Eq. (10) in the throughput dimension: fewer buses serialise moves.
+    let mut group = c.benchmark_group("scheduler_buses");
+    let w = suite::crypt(2);
+    for buses in [1usize, 2, 4] {
+        let arch = TemplateBuilder::new(format!("b{buses}"), 16, buses)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Cmp)
+            .fu(FuKind::Immediate)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .rf(12, 1, 2)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(buses), &arch, |b, arch| {
+            b.iter(|| black_box(Scheduler::new(arch).run(&w.dfg).unwrap().cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_bus_sharing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Workload sweep on the Figure 9 machine: scheduled trace cycles per
+//! kernel — the per-workload view behind the exploration's throughput
+//! axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tta_arch::template::TemplateBuilder;
+use tta_arch::{Architecture, FuKind};
+use tta_movec::schedule::Scheduler;
+use tta_workloads::suite;
+
+fn figure9_with_mul() -> Architecture {
+    // Figure 9 plus a multiplier so MUL workloads schedule too.
+    TemplateBuilder::new("figure9+mul", 16, 2)
+        .fu(FuKind::Alu)
+        .fu(FuKind::Cmp)
+        .fu(FuKind::Mul)
+        .fu(FuKind::LdSt)
+        .fu(FuKind::Pc)
+        .fu(FuKind::Immediate)
+        .rf(8, 1, 2)
+        .rf(12, 1, 2)
+        .build()
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    let arch = figure9_with_mul();
+    for w in suite::all_standard() {
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
+            b.iter(|| black_box(Scheduler::new(&arch).run(&w.dfg).unwrap().cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 2: the (area, execution time) Pareto front of the
+//! Crypt application. Pass `--fast` for the reduced 8-bit space and
+//! `--csv` for machine-readable output (the role of the paper's gawk
+//! post-processing scripts).
+
+use tta_bench::{fig2, Experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    eprintln!("running Figure 2 at {scale:?} scale…");
+    let mut exp = Experiments::new(scale);
+    let fig = fig2(&mut exp);
+    if csv {
+        println!("area,exec_time,on_front");
+        for (a, t, on) in &fig.points {
+            println!("{a:.1},{t:.1},{}", u8::from(*on));
+        }
+    } else {
+        println!("{fig}");
+    }
+}

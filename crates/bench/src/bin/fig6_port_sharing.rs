@@ -1,0 +1,10 @@
+//! Regenerates Figure 6: two identical FUs whose test cost differs only
+//! through their port-to-bus connections. Pass `--fast` for 8-bit.
+
+use tta_bench::{fig6, Experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut exp = Experiments::new(scale);
+    println!("{}", fig6(&mut exp));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7's analysis: test access and test order for the
+//! bus-oriented VLIW ASIP template.
+
+use tta_bench::fig7;
+
+fn main() {
+    println!("{}", fig7());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 8: the Pareto set in (area, execution time, test
+//! cost) space, with the Figure 2 projection check. Pass `--fast` for
+//! the reduced space and `--csv` for machine-readable output.
+
+use tta_bench::{fig8, Experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    eprintln!("running Figure 8 at {scale:?} scale…");
+    let mut exp = Experiments::new(scale);
+    let fig = fig8(&mut exp);
+    if csv {
+        println!("area,exec_time,test_cost,architecture");
+        for (a, t, tc, name) in &fig.points {
+            println!("{a:.1},{t:.1},{tc:.1},{name}");
+        }
+    } else {
+        println!("{fig}");
+    }
+}

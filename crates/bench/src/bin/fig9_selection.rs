@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: the architecture picked by the equal-weight
+//! Euclidean norm, plus a norm/weight sensitivity appendix. Pass
+//! `--fast` for the reduced space.
+
+use tta_bench::{fig9, Experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 9 at {scale:?} scale…");
+    let mut exp = Experiments::new(scale);
+    println!("{}", fig9(&mut exp));
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: full scan vs the proposed functional methodology
+//! for every component of the selected architecture. Pass `--fast` for
+//! the reduced space, or `--figure9` to cost the paper's published
+//! architecture directly (skipping the exploration).
+
+use tta_arch::Architecture;
+use tta_bench::{table1, table1_for, Experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut exp = Experiments::new(scale);
+    let table = if std::env::args().any(|a| a == "--figure9") {
+        table1_for(&mut exp, Architecture::figure9())
+    } else {
+        eprintln!("selecting the architecture at {scale:?} scale…");
+        table1(&mut exp)
+    };
+    println!("{table}");
+}

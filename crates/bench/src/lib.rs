@@ -1,0 +1,587 @@
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! | Artefact | Function | CLI |
+//! |---|---|---|
+//! | Figure 2 (2-D Pareto, Crypt) | [`fig2`] | `cargo run -p tta-bench --bin fig2_pareto` |
+//! | Figure 6 (port sharing cost) | [`fig6`] | `--bin fig6_port_sharing` |
+//! | Figure 7 (VLIW extension) | [`fig7`] | `--bin fig7_vliw` |
+//! | Figure 8 (3-D Pareto) | [`fig8`] | `--bin fig8_pareto3d` |
+//! | Figure 9 (norm selection) | [`fig9`] | `--bin fig9_selection` |
+//! | Table 1 (full scan vs ours) | [`table1`] | `--bin table1_comparison` |
+//!
+//! Each harness has two sizes: `Scale::Paper` (16-bit datapath, the full
+//! 144-point space, 16 crypt rounds) and `Scale::Fast` (8-bit reduced
+//! space for tests and CI smoke runs). Absolute numbers differ from the
+//! paper (different cell library, netlists and ATPG); EXPERIMENTS.md
+//! records the paper-vs-measured comparison and the preserved shape.
+
+use std::fmt;
+
+use tta_arch::vliw::VliwTemplate;
+use tta_arch::{Architecture, BusId, FuInstance, FuKind};
+use tta_core::backannotate::ComponentKey;
+use tta_core::explore::{EvaluatedArch, ExploreConfig, ExploreResult, Explorer};
+use tta_core::fullscan::FullScanDb;
+use tta_core::report::TextTable;
+use tta_core::testcost::{architecture_test_cost, ftfu_ratio};
+use tta_core::{Norm, Weights};
+use tta_workloads::suite;
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration: 16-bit, full space, 16 crypt rounds.
+    Paper,
+    /// Reduced 8-bit configuration for tests / smoke benches.
+    Fast,
+}
+
+impl Scale {
+    /// Exploration config for this scale.
+    pub fn explore_config(self) -> ExploreConfig {
+        match self {
+            Scale::Paper => ExploreConfig::paper(),
+            Scale::Fast => ExploreConfig::fast(),
+        }
+    }
+
+    /// Crypt trace length (Feistel rounds per scheduled trace).
+    pub fn crypt_rounds(self) -> usize {
+        match self {
+            Scale::Paper => 16,
+            Scale::Fast => 1,
+        }
+    }
+
+    /// Datapath width.
+    pub fn width(self) -> u16 {
+        match self {
+            Scale::Paper => 16,
+            Scale::Fast => 8,
+        }
+    }
+
+    /// Parses `--fast` from CLI arguments (default: paper scale).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--fast") {
+            Scale::Fast
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+/// Shared experiment context (explorer + crypt workload + result cache).
+pub struct Experiments {
+    /// The scale everything runs at.
+    pub scale: Scale,
+    explorer: Explorer,
+    result: Option<ExploreResult>,
+}
+
+impl Experiments {
+    /// Creates a context at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        Experiments {
+            scale,
+            explorer: Explorer::new(scale.explore_config()),
+            result: None,
+        }
+    }
+
+    /// Runs (or returns the cached) crypt exploration.
+    pub fn exploration(&mut self) -> &ExploreResult {
+        if self.result.is_none() {
+            let workload = suite::crypt(self.scale.crypt_rounds());
+            self.result = Some(self.explorer.run(&workload));
+        }
+        self.result.as_ref().expect("just populated")
+    }
+
+    /// The underlying explorer (component database access).
+    pub fn explorer_mut(&mut self) -> &mut Explorer {
+        &mut self.explorer
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------
+
+/// Figure 2: the (area, execution-time) solution space of the Crypt
+/// application, bounded by Pareto points.
+pub struct Fig2 {
+    /// Every feasible point `(area GE, exec time, on-front?)`.
+    pub points: Vec<(f64, f64, bool)>,
+    /// The Pareto front sorted by area.
+    pub front: Vec<(f64, f64, String)>,
+    /// Infeasible architectures skipped.
+    pub infeasible: usize,
+}
+
+/// Regenerates Figure 2.
+pub fn fig2(exp: &mut Experiments) -> Fig2 {
+    let result = exp.exploration();
+    let mut points = Vec::new();
+    for (i, e) in result.evaluated.iter().enumerate() {
+        points.push((e.area, e.exec_time, result.pareto2d.contains(&i)));
+    }
+    let mut front: Vec<(f64, f64, String)> = result
+        .pareto2d_points()
+        .iter()
+        .map(|e| (e.area, e.exec_time, e.architecture.name.clone()))
+        .collect();
+    front.sort_by(|a, b| a.0.total_cmp(&b.0));
+    Fig2 {
+        points,
+        front,
+        infeasible: result.infeasible,
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 — Crypt solution space: {} points ({} infeasible), {} Pareto",
+            self.points.len(),
+            self.infeasible,
+            self.front.len()
+        )?;
+        let mut t = TextTable::new(["area [GE]", "exec time [norm]", "architecture"]);
+        for (a, time, name) in &self.front {
+            t.row([format!("{a:.0}"), format!("{time:.0}"), name.clone()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------
+
+/// Figure 6: two *identical* FUs whose test costs differ because of their
+/// port/bus connections.
+pub struct Fig6 {
+    /// np of the unit (same for both).
+    pub np: usize,
+    /// `CD` and `ftfu` with dedicated buses (FU1).
+    pub dedicated: (u32, f64),
+    /// `CD` and `ftfu` with operand+trigger on one bus (FU2).
+    pub shared: (u32, f64),
+    /// The explicit eq.-(11) ratio form for both.
+    pub ratio_form: (f64, f64),
+}
+
+/// Regenerates Figure 6.
+pub fn fig6(exp: &mut Experiments) -> Fig6 {
+    let w = exp.scale.width();
+    let np = exp
+        .explorer_mut()
+        .db_mut()
+        .get(ComponentKey::Alu(w))
+        .np;
+    let fu1 = FuInstance {
+        kind: FuKind::Alu,
+        name: "fu1".into(),
+        operand_bus: BusId(0),
+        trigger_bus: BusId(1),
+        result_bus: BusId(2),
+    };
+    let fu2 = FuInstance {
+        kind: FuKind::Alu,
+        name: "fu2".into(),
+        operand_bus: BusId(0),
+        trigger_bus: BusId(0), // the two ports connected to the same bus
+        result_bus: BusId(1),
+    };
+    let cd1 = tta_arch::transport_cycles(&fu1);
+    let cd2 = tta_arch::transport_cycles(&fu2);
+    Fig6 {
+        np,
+        dedicated: (cd1, np as f64 * f64::from(cd1)),
+        shared: (cd2, np as f64 * f64::from(cd2)),
+        ratio_form: (ftfu_ratio(np, 3, 3, 3), ftfu_ratio(np, 3, 3, 2)),
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6 — identical FUs, different test cost (np = {})", self.np)?;
+        let mut t = TextTable::new(["unit", "ports", "CD", "ftfu"]);
+        t.row([
+            "FU1".into(),
+            "dedicated buses".to_string(),
+            self.dedicated.0.to_string(),
+            format!("{:.0}", self.dedicated.1),
+        ]);
+        t.row([
+            "FU2".into(),
+            "O,T share one bus".to_string(),
+            self.shared.0.to_string(),
+            format!("{:.0}", self.shared.1),
+        ]);
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "eq. (11) ratio form: dedicated {:.0}, shared {:.0}  (ftf1 < ftf2: {})",
+            self.ratio_form.0,
+            self.ratio_form.1,
+            self.shared.1 > self.dedicated.1
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------
+
+/// Figure 7: the bus-oriented VLIW ASIP extension — which components are
+/// directly testable and the required test order.
+pub struct Fig7 {
+    /// Components directly on the bus.
+    pub direct: Vec<String>,
+    /// Valid test order (dependencies first).
+    pub order: Vec<String>,
+}
+
+/// Regenerates Figure 7's analysis for a 3-execution-unit VLIW.
+pub fn fig7() -> Fig7 {
+    let template = VliwTemplate::figure7(3);
+    let direct = template
+        .directly_testable()
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let order = template.test_order().expect("figure 7 template is acyclic");
+    Fig7 { direct, order }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7 — bus-oriented VLIW ASIP test access")?;
+        writeln!(f, "directly testable: {}", self.direct.join(", "))?;
+        writeln!(f, "required test order: {}", self.order.join(" -> "))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------
+
+/// Figure 8: the Pareto set lifted to (area, exec time, test cost).
+pub struct Fig8 {
+    /// The 3-D points with architecture names, sorted by area.
+    pub points: Vec<(f64, f64, f64, String)>,
+    /// Does the (area, time) projection reproduce Figure 2?
+    pub projection_holds: bool,
+    /// Spread of the test axis across the front (max/min).
+    pub test_spread: f64,
+}
+
+/// Regenerates Figure 8.
+pub fn fig8(exp: &mut Experiments) -> Fig8 {
+    let result = exp.exploration();
+    let mut points: Vec<(f64, f64, f64, String)> = result
+        .pareto3d_points()
+        .iter()
+        .map(|e| {
+            (
+                e.area,
+                e.exec_time,
+                e.test_cost.expect("front points carry test cost"),
+                e.architecture.name.clone(),
+            )
+        })
+        .collect();
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let projection_holds = result.projection_holds();
+    let (lo, hi) = points.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.2), hi.max(p.2))
+    });
+    Fig8 {
+        points,
+        projection_holds,
+        test_spread: if lo > 0.0 { hi / lo } else { 1.0 },
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8 — 3-D Pareto points (projection holds: {}, test spread {:.2}x)",
+            self.projection_holds, self.test_spread
+        )?;
+        let mut t = TextTable::new(["area [GE]", "exec time", "test cost [cycles]", "architecture"]);
+        for (a, time, tc, name) in &self.points {
+            t.row([
+                format!("{a:.0}"),
+                format!("{time:.0}"),
+                format!("{tc:.0}"),
+                name.clone(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------
+
+/// Figure 9: the architecture selected by the equal-weight Euclidean
+/// norm.
+pub struct Fig9 {
+    /// The selected point.
+    pub selected: EvaluatedArch,
+    /// Sensitivity: selections under other norms/weights.
+    pub alternatives: Vec<(String, String)>,
+}
+
+/// Regenerates Figure 9 (plus a selection-sensitivity appendix).
+pub fn fig9(exp: &mut Experiments) -> Fig9 {
+    let result = exp.exploration();
+    let selected = result.select_equal_weights().clone();
+    let mut alternatives = Vec::new();
+    for (label, weights, norm) in [
+        ("Manhattan, equal", Weights::equal(3), Norm::Manhattan),
+        ("Chebyshev, equal", Weights::equal(3), Norm::Chebyshev),
+        (
+            "Euclid, test-heavy (w=1,1,4)",
+            Weights(vec![1.0, 1.0, 4.0]),
+            Norm::Euclidean,
+        ),
+        (
+            "Euclid, area-heavy (w=4,1,1)",
+            Weights(vec![4.0, 1.0, 1.0]),
+            Norm::Euclidean,
+        ),
+    ] {
+        let pick = result.select(&weights, norm);
+        alternatives.push((label.to_string(), pick.architecture.name.clone()));
+    }
+    Fig9 {
+        selected,
+        alternatives,
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 9 — selected architecture (equal-weight Euclid norm)"
+        )?;
+        writeln!(f, "{}", self.selected.architecture)?;
+        writeln!(
+            f,
+            "area {:.0} GE, exec time {:.0}, test cost {:.0} cycles",
+            self.selected.area,
+            self.selected.exec_time,
+            self.selected.test_cost.unwrap_or(f64::NAN)
+        )?;
+        writeln!(f, "selection sensitivity:")?;
+        for (label, name) in &self.alternatives {
+            writeln!(f, "  {label:<30} -> {name}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// One Table 1 row.
+pub struct Table1Row {
+    /// Component name.
+    pub component: String,
+    /// Full-scan cycles (parenthesised in the paper for excluded units).
+    pub full_scan: usize,
+    /// Our approach cycles (`ftfu/ftrf + fts`).
+    pub ours: f64,
+    /// Socket scan-chain length.
+    pub nl: usize,
+    /// `ftfu` (functional units only).
+    pub ftfu: Option<f64>,
+    /// `ftrf` (register files only).
+    pub ftrf: Option<f64>,
+    /// `fts`.
+    pub fts: f64,
+    /// Fault coverage (%).
+    pub coverage: f64,
+    /// Excluded from the comparison (LD/ST, PC, IMM)?
+    pub excluded: bool,
+}
+
+/// Table 1: full scan vs the proposed methodology, per component of the
+/// selected architecture.
+pub struct Table1 {
+    /// The architecture the rows describe.
+    pub architecture: Architecture,
+    /// Per-component rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Σ full-scan vs Σ ours over the non-excluded rows.
+    pub fn totals(&self) -> (f64, f64) {
+        let fs: usize = self
+            .rows
+            .iter()
+            .filter(|r| !r.excluded)
+            .map(|r| r.full_scan)
+            .sum();
+        let ours: f64 = self
+            .rows
+            .iter()
+            .filter(|r| !r.excluded)
+            .map(|r| r.ours)
+            .sum();
+        (fs as f64, ours)
+    }
+}
+
+/// Regenerates Table 1 for the Figure 9 selection (or, at fast scale, the
+/// fast-space selection).
+pub fn table1(exp: &mut Experiments) -> Table1 {
+    let arch = {
+        let result = exp.exploration();
+        result.select_equal_weights().architecture.clone()
+    };
+    table1_for(exp, arch)
+}
+
+/// Table 1 for an explicit architecture.
+pub fn table1_for(exp: &mut Experiments, arch: Architecture) -> Table1 {
+    let w = arch.width as u16;
+    let mut fullscan = FullScanDb::new();
+    let cost = architecture_test_cost(&arch, exp.explorer_mut().db_mut());
+    let mut rows = Vec::new();
+    for (c, fu_or_rf) in cost.components.iter().zip(
+        arch.fus()
+            .iter()
+            .map(|f| (Some(f.kind), None))
+            .chain(arch.rfs().iter().map(|r| (None, Some(r)))),
+    ) {
+        let (key, n_inputs, is_rf) = match fu_or_rf {
+            (Some(kind), None) => {
+                let key = match kind {
+                    FuKind::Alu => ComponentKey::Alu(w),
+                    FuKind::Cmp => ComponentKey::Cmp(w),
+                    FuKind::Mul => ComponentKey::Mul(w),
+                    FuKind::LdSt => ComponentKey::LdSt(w),
+                    FuKind::Pc => ComponentKey::Pc(w),
+                    FuKind::Immediate => ComponentKey::Imm(w),
+                };
+                (key, kind.input_ports(), false)
+            }
+            (None, Some(rf)) => (
+                ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8),
+                rf.nin(),
+                true,
+            ),
+            _ => unreachable!("zip pairs components with their source"),
+        };
+        let fs = fullscan.get(key, n_inputs).clone();
+        rows.push(Table1Row {
+            component: c.name.clone(),
+            full_scan: fs.cycles,
+            ours: c.our_approach_cycles(),
+            nl: c.nl,
+            ftfu: (!is_rf).then_some(c.functional_cost),
+            ftrf: is_rf.then_some(c.functional_cost),
+            fts: c.fts,
+            coverage: c.fault_coverage * 100.0,
+            excluded: c.excluded,
+        });
+    }
+    Table1 {
+        architecture: arch,
+        rows,
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1 — full scan vs our methodology ({})",
+            self.architecture.name
+        )?;
+        let mut t = TextTable::new([
+            "Component", "full scan", "our approach", "nl", "ftfu", "ftrf", "fts", "FC (%)",
+        ]);
+        for r in &self.rows {
+            let ours = if r.excluded {
+                format!("({:.0})", r.ours)
+            } else {
+                format!("{:.0}", r.ours)
+            };
+            t.row([
+                r.component.clone(),
+                r.full_scan.to_string(),
+                ours,
+                r.nl.to_string(),
+                r.ftfu.map_or("-".into(), |v| format!("{v:.0}")),
+                r.ftrf.map_or("-".into(), |v| format!("{v:.0}")),
+                format!("{:.0}", r.fts),
+                format!("{:.2}", r.coverage),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        let (fs, ours) = self.totals();
+        writeln!(
+            f,
+            "totals (compared components): full scan {fs:.0} cycles, ours {ours:.0} cycles ({:.1}x fewer)",
+            fs / ours
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fig2_has_front() {
+        let mut exp = Experiments::new(Scale::Fast);
+        let fig = fig2(&mut exp);
+        assert!(!fig.front.is_empty());
+        assert!(fig.to_string().contains("Pareto"));
+    }
+
+    #[test]
+    fn fast_fig6_shows_inequality() {
+        let mut exp = Experiments::new(Scale::Fast);
+        let fig = fig6(&mut exp);
+        assert!(fig.shared.1 > fig.dedicated.1, "ftf1 < ftf2 required");
+        assert!(fig.ratio_form.1 > fig.ratio_form.0);
+    }
+
+    #[test]
+    fn fig7_order_valid() {
+        let fig = fig7();
+        assert!(fig.order.len() >= 4);
+        assert!(fig.to_string().contains("rf"));
+    }
+
+    #[test]
+    fn fast_fig8_projection() {
+        let mut exp = Experiments::new(Scale::Fast);
+        let fig = fig8(&mut exp);
+        assert!(fig.projection_holds);
+        assert!(!fig.points.is_empty());
+    }
+
+    #[test]
+    fn fast_table1_favours_our_approach() {
+        let mut exp = Experiments::new(Scale::Fast);
+        let table = table1(&mut exp);
+        let (fs, ours) = table.totals();
+        assert!(fs > ours, "full scan {fs} must exceed ours {ours}");
+        assert!(table.to_string().contains("fewer"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The design-space exploration driver: MOVE-style area/time sweep,
+//! Pareto reduction, test-cost lifting and weighted-norm selection —
+//! Sections 2–4 of the paper end to end.
+
+use tta_arch::template::TemplateSpace;
+use tta_arch::{Architecture, FuKind, InstructionFormat};
+use tta_movec::schedule::Scheduler;
+use tta_workloads::Workload;
+
+use crate::backannotate::{ComponentDb, ComponentKey};
+use crate::norm::{select, Norm, Weights};
+use crate::pareto::pareto_front;
+use crate::testcost::{architecture_test_cost, ArchTestCost};
+
+/// Wiring/driver area charged per move bus, in NAND2 equivalents per
+/// data-path bit (buses are long wires with repeaters and per-socket
+/// drivers; a coarse but monotone model).
+const BUS_AREA_PER_BIT: f64 = 4.0;
+
+/// Clock-period penalty per additional bus (longer wires), in normalised
+/// gate delays.
+const BUS_DELAY_PENALTY: f64 = 0.2;
+
+/// Control-path area charged per instruction bit (instruction register +
+/// decode drivers), NAND2 equivalents. The paper's "control signals and
+/// bits … adjoined to the data-bus" made explicit.
+const CONTROL_AREA_PER_INSTR_BIT: f64 = 6.0;
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// The template space to enumerate.
+    pub space: TemplateSpace,
+}
+
+impl ExploreConfig {
+    /// The paper's space: 16-bit machines, 1–4 buses, varying FU/RF mixes
+    /// (144 points). Used by the figure/table benches.
+    pub fn paper() -> Self {
+        ExploreConfig {
+            space: TemplateSpace::paper_default(),
+        }
+    }
+
+    /// A reduced 8-bit space that keeps every effect visible but
+    /// back-annotates in seconds — used by tests and examples.
+    pub fn fast() -> Self {
+        ExploreConfig {
+            space: TemplateSpace {
+                width: 8,
+                buses: vec![1, 2, 3],
+                alus: vec![1, 2],
+                cmps: vec![1],
+                muls: vec![0],
+                imms: vec![1],
+                rf_sets: vec![vec![(8, 1, 2)], vec![(4, 1, 1)]],
+            },
+        }
+    }
+}
+
+/// One fully evaluated architecture (a point of Figures 2 and 8).
+#[derive(Debug, Clone)]
+pub struct EvaluatedArch {
+    /// The architecture itself.
+    pub architecture: Architecture,
+    /// Cell + interconnect area, NAND2 gate equivalents.
+    pub area: f64,
+    /// Full-application cycle count.
+    pub cycles: u64,
+    /// Execution time = cycles × clock period (normalised gate delays).
+    pub exec_time: f64,
+    /// eq. (14) test cost (populated for 2-D Pareto points only; `None`
+    /// elsewhere — the paper evaluates test cost on the Pareto set).
+    pub test_cost: Option<f64>,
+    /// Register-pressure overflow events in the schedule.
+    pub spills: u32,
+}
+
+impl EvaluatedArch {
+    /// The 3-D coordinate (area, exec time, test cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test cost was not evaluated for this point.
+    pub fn point3d(&self) -> Vec<f64> {
+        vec![
+            self.area,
+            self.exec_time,
+            self.test_cost.expect("test cost evaluated on Pareto points"),
+        ]
+    }
+}
+
+/// Result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Every feasible evaluated point.
+    pub evaluated: Vec<EvaluatedArch>,
+    /// Indices (into `evaluated`) of the 2-D (area, time) Pareto front —
+    /// Figure 2.
+    pub pareto2d: Vec<usize>,
+    /// Architectures enumerated but infeasible for the workload.
+    pub infeasible: usize,
+}
+
+impl ExploreResult {
+    /// The 2-D Pareto points in (area, exec-time) order.
+    pub fn pareto2d_points(&self) -> Vec<&EvaluatedArch> {
+        self.pareto2d.iter().map(|&i| &self.evaluated[i]).collect()
+    }
+
+    /// The 3-D points of Figure 8 (test axis on the 2-D front).
+    pub fn pareto3d_points(&self) -> Vec<&EvaluatedArch> {
+        self.pareto2d_points()
+    }
+
+    /// Selects the Figure 9 architecture: minimal weighted norm over the
+    /// 3-D points.
+    pub fn select(&self, weights: &Weights, norm: Norm) -> &EvaluatedArch {
+        let pts: Vec<Vec<f64>> = self.pareto2d_points().iter().map(|e| e.point3d()).collect();
+        let local = select(&pts, weights, norm);
+        self.pareto2d_points()[local]
+    }
+
+    /// The paper's setting: equal weights, Euclidean norm.
+    pub fn select_equal_weights(&self) -> &EvaluatedArch {
+        self.select(&Weights::equal(3), Norm::Euclidean)
+    }
+
+    /// Projection property (Figure 8 caption): the 3-D points projected
+    /// onto (area, time) are exactly the Figure 2 front.
+    pub fn projection_holds(&self) -> bool {
+        let pts2d: Vec<Vec<f64>> = self
+            .pareto2d_points()
+            .iter()
+            .map(|e| vec![e.area, e.exec_time])
+            .collect();
+        pareto_front(&pts2d).len() == pts2d.len()
+    }
+}
+
+/// The exploration engine; owns the back-annotation database so repeated
+/// runs (different workloads, different weights) share component records.
+#[derive(Debug)]
+pub struct Explorer {
+    config: ExploreConfig,
+    db: ComponentDb,
+}
+
+impl Explorer {
+    /// Creates an explorer.
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer {
+            config,
+            db: ComponentDb::new(),
+        }
+    }
+
+    /// Creates an explorer around an existing database.
+    pub fn with_db(config: ExploreConfig, db: ComponentDb) -> Self {
+        Explorer { config, db }
+    }
+
+    /// Access to the back-annotation database.
+    pub fn db_mut(&mut self) -> &mut ComponentDb {
+        &mut self.db
+    }
+
+    /// Area of one architecture: back-annotated component areas + socket
+    /// groups + bus wiring.
+    pub fn architecture_area(&mut self, arch: &Architecture) -> f64 {
+        let w = arch.width as u16;
+        let mut area = 0.0;
+        for fu in arch.fus() {
+            let key = match fu.kind {
+                FuKind::Alu => ComponentKey::Alu(w),
+                FuKind::Cmp => ComponentKey::Cmp(w),
+                FuKind::Mul => ComponentKey::Mul(w),
+                FuKind::LdSt => ComponentKey::LdSt(w),
+                FuKind::Pc => ComponentKey::Pc(w),
+                FuKind::Immediate => ComponentKey::Imm(w),
+            };
+            area += self.db.get(key).area;
+            area += self
+                .db
+                .get(ComponentKey::SocketGroup(w, fu.kind.input_ports() as u8))
+                .area;
+        }
+        for rf in arch.rfs() {
+            area += self
+                .db
+                .get(ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8))
+                .area;
+            area += self
+                .db
+                .get(ComponentKey::SocketGroup(w, rf.nin() as u8))
+                .area;
+        }
+        let control = f64::from(InstructionFormat::of(arch).width()) * CONTROL_AREA_PER_INSTR_BIT;
+        area + control + arch.bus_count() as f64 * arch.width as f64 * BUS_AREA_PER_BIT
+    }
+
+    /// Clock period of one architecture: slowest component plus a wiring
+    /// penalty per bus.
+    pub fn clock_period(&mut self, arch: &Architecture) -> f64 {
+        let w = arch.width as u16;
+        let mut worst: f64 = 0.0;
+        for fu in arch.fus() {
+            let key = match fu.kind {
+                FuKind::Alu => ComponentKey::Alu(w),
+                FuKind::Cmp => ComponentKey::Cmp(w),
+                FuKind::Mul => ComponentKey::Mul(w),
+                FuKind::LdSt => ComponentKey::LdSt(w),
+                FuKind::Pc => ComponentKey::Pc(w),
+                FuKind::Immediate => ComponentKey::Imm(w),
+            };
+            worst = worst.max(self.db.get(key).critical_path);
+        }
+        for rf in arch.rfs() {
+            let key = ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8);
+            worst = worst.max(self.db.get(key).critical_path);
+        }
+        worst + arch.bus_count() as f64 * BUS_DELAY_PENALTY
+    }
+
+    /// Evaluates one architecture on `workload` (area + throughput only).
+    pub fn evaluate(&mut self, arch: &Architecture, workload: &Workload) -> Option<EvaluatedArch> {
+        let schedule = Scheduler::new(arch).run(&workload.dfg).ok()?;
+        let cycles = workload.application_cycles(schedule.cycles);
+        let clock = self.clock_period(arch);
+        Some(EvaluatedArch {
+            area: self.architecture_area(arch),
+            exec_time: cycles as f64 * clock,
+            cycles,
+            test_cost: None,
+            spills: schedule.spills,
+            architecture: arch.clone(),
+        })
+    }
+
+    /// Full test cost of one architecture (eq. 14).
+    pub fn test_cost(&mut self, arch: &Architecture) -> ArchTestCost {
+        architecture_test_cost(arch, &mut self.db)
+    }
+
+    /// Runs the complete flow on one workload: sweep → 2-D Pareto →
+    /// test-cost lifting of the Pareto points.
+    pub fn run(&mut self, workload: &Workload) -> ExploreResult {
+        let archs = self.config.space.enumerate();
+        let mut evaluated = Vec::new();
+        let mut infeasible = 0;
+        for arch in &archs {
+            match self.evaluate(arch, workload) {
+                Some(e) => evaluated.push(e),
+                None => infeasible += 1,
+            }
+        }
+        let pts2d: Vec<Vec<f64>> = evaluated
+            .iter()
+            .map(|e| vec![e.area, e.exec_time])
+            .collect();
+        let pareto2d = pareto_front(&pts2d);
+        // "only the architectures that correspond to the Pareto points in
+        // the design space are evaluated in terms of testing".
+        for &i in &pareto2d {
+            let cost = architecture_test_cost(&evaluated[i].architecture, &mut self.db);
+            evaluated[i].test_cost = Some(cost.total);
+        }
+        ExploreResult {
+            evaluated,
+            pareto2d,
+            infeasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_workloads::suite;
+
+    #[test]
+    fn fast_exploration_produces_a_front() {
+        let mut explorer = Explorer::new(ExploreConfig::fast());
+        let result = explorer.run(&suite::crypt(1));
+        assert!(result.evaluated.len() >= 6, "{}", result.evaluated.len());
+        assert!(!result.pareto2d.is_empty());
+        assert!(result.projection_holds());
+        // Test cost present exactly on the front.
+        for (i, e) in result.evaluated.iter().enumerate() {
+            assert_eq!(e.test_cost.is_some(), result.pareto2d.contains(&i));
+        }
+        let best = result.select_equal_weights();
+        assert!(best.test_cost.is_some());
+    }
+
+    #[test]
+    fn area_grows_with_units() {
+        let mut explorer = Explorer::new(ExploreConfig::fast());
+        use tta_arch::template::TemplateBuilder;
+        let small = TemplateBuilder::new("s", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .build();
+        let big = TemplateBuilder::new("b", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Cmp)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .rf(8, 1, 2)
+            .build();
+        assert!(explorer.architecture_area(&big) > explorer.architecture_area(&small));
+    }
+}

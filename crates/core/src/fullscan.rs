@@ -1,0 +1,133 @@
+//! The classical full-scan baseline of Table 1.
+//!
+//! Full scan replaces *every* flip-flop — pipeline registers, socket
+//! state and (for the flip-flop implementation) register-file storage —
+//! by scan flip-flops on one chain, and shifts every pattern through it:
+//! `cycles = np·(nl+1) + nl`. The paper's point is that this costs an
+//! order of magnitude more cycles than applying the same structural
+//! patterns functionally over the move buses.
+
+use std::collections::HashMap;
+
+use tta_atpg::{Atpg, AtpgConfig};
+use tta_dft::scan::insert_scan;
+use tta_dft::testtime::full_scan_cycles;
+
+use crate::backannotate::ComponentKey;
+use crate::testcost::socket_state_bits;
+
+/// Full-scan figures for one component.
+#[derive(Debug, Clone)]
+pub struct FullScanRecord {
+    /// Scan pattern count (component logic + socket logic).
+    pub np: usize,
+    /// Total chain length: every flip-flop of component + sockets.
+    pub nl: usize,
+    /// Test application cycles `np·(nl+1) + nl`.
+    pub cycles: usize,
+    /// Area overhead of scan insertion, NAND2 equivalents.
+    pub area_overhead: f64,
+    /// Fault coverage of the scan pattern set (testable faults).
+    pub fault_coverage: f64,
+}
+
+/// Lazy cache of full-scan baselines.
+#[derive(Debug)]
+pub struct FullScanDb {
+    atpg: Atpg,
+    cache: HashMap<ComponentKey, FullScanRecord>,
+}
+
+impl Default for FullScanDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FullScanDb {
+    /// Database with default ATPG settings.
+    pub fn new() -> Self {
+        FullScanDb {
+            atpg: Atpg::new(AtpgConfig::default()),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Fetches (computing on first use) the full-scan record for `key`.
+    ///
+    /// The component is scan-inserted structurally; ATPG then runs on the
+    /// scanned netlist's full-scan view. Socket logic patterns and state
+    /// bits are added on top (one chain, as the paper assumes).
+    pub fn get(&mut self, key: ComponentKey, n_input_ports: usize) -> &FullScanRecord {
+        if !self.cache.contains_key(&key) {
+            let record = self.compute(key, n_input_ports);
+            self.cache.insert(key, record);
+        }
+        &self.cache[&key]
+    }
+
+    fn compute(&self, key: ComponentKey, n_input_ports: usize) -> FullScanRecord {
+        let component = key.generate();
+        let scanned = insert_scan(&component.netlist);
+        let comp_result = self.atpg.run(&component.netlist);
+        // Socket logic joins the same chain.
+        let width = component.width as u16;
+        let sock = ComponentKey::SocketGroup(width, n_input_ports as u8).generate();
+        let sock_result = self.atpg.run(&sock.netlist);
+        let np = comp_result.pattern_count() + sock_result.pattern_count();
+        let nl = component.netlist.dff_count() + socket_state_bits(n_input_ports);
+        FullScanRecord {
+            np,
+            nl,
+            cycles: full_scan_cycles(np, nl),
+            area_overhead: scanned.area_overhead(),
+            fault_coverage: comp_result.adjusted_coverage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backannotate::ComponentDb;
+    use crate::testcost::architecture_test_cost;
+    use tta_arch::template::TemplateBuilder;
+    use tta_arch::FuKind;
+
+    #[test]
+    fn full_scan_costs_an_order_of_magnitude_more() {
+        // The paper's headline comparison, at 8 bits: the functional
+        // approach needs far fewer cycles than full scan.
+        let mut fsdb = FullScanDb::new();
+        let mut db = ComponentDb::new();
+        let arch = TemplateBuilder::new("t", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Cmp)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .build();
+        let ours = architecture_test_cost(&arch, &mut db);
+        let alu_ours = ours
+            .components
+            .iter()
+            .find(|c| c.name.starts_with("alu"))
+            .unwrap()
+            .our_approach_cycles();
+        let alu_scan = fsdb.get(ComponentKey::Alu(8), 2).cycles as f64;
+        assert!(
+            alu_scan > 3.0 * alu_ours,
+            "full scan {alu_scan} vs ours {alu_ours}"
+        );
+    }
+
+    #[test]
+    fn scan_adds_area() {
+        let mut fsdb = FullScanDb::new();
+        let rec = fsdb.get(ComponentKey::Cmp(8), 2).clone();
+        assert!(rec.area_overhead > 0.0);
+        assert!(rec.fault_coverage > 0.98);
+        assert_eq!(rec.cycles, full_scan_cycles(rec.np, rec.nl));
+    }
+}

@@ -1,0 +1,46 @@
+//! **The paper's contribution**: test-cost-aware design-space exploration
+//! of transport-triggered architectures.
+//!
+//! The flow mirrors Sections 3–4 of the paper:
+//!
+//! 1. every datapath component is *back-annotated* by running real ATPG
+//!    (and march tests for register files) on its generated gate-level
+//!    netlist — [`backannotate`];
+//! 2. the analytical test-cost functions of eqs. (11)–(14) turn those
+//!    numbers plus the architectural parameters (ports, buses, sockets)
+//!    into a per-architecture test cost — [`testcost`];
+//! 3. classical full scan is costed as the baseline — [`fullscan`];
+//! 4. the design space is swept (area from the netlists, execution time
+//!    from the MOVE scheduler), reduced to Pareto points, lifted to 3-D
+//!    with the test axis, and the final architecture is selected with a
+//!    weighted norm — [`pareto`], [`norm`], [`explore`].
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tta_core::explore::{ExploreConfig, Explorer};
+//! use tta_workloads::suite;
+//!
+//! let mut explorer = Explorer::new(ExploreConfig::fast());
+//! let result = explorer.run(&suite::crypt(2));
+//! let best = result.select_equal_weights();
+//! println!("selected: {}", best.architecture);
+//! ```
+
+pub mod backannotate;
+pub mod explore;
+pub mod fullscan;
+pub mod norm;
+pub mod pareto;
+pub mod report;
+pub mod rfmem;
+pub mod testcost;
+pub mod testplan;
+
+pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
+pub use explore::{EvaluatedArch, ExploreConfig, ExploreResult, Explorer};
+pub use norm::{Norm, Weights};
+pub use pareto::pareto_front;
+pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
+pub use rfmem::{RfImplementationComparison, RfMemSpec};
+pub use testplan::{TestPhase, TestPlan};

@@ -1,0 +1,138 @@
+//! Weighted-norm architecture selection (Section 4).
+//!
+//! "The selection of the most appropriate architecture can be done using
+//! any of the standard weighted norm techniques within the vector space
+//! ℝ³. … The standard Euclid norm with equal constraint weights has been
+//! used." Axes are normalised to [0, 1] over the candidate set first, so
+//! cycles, gate-equivalents and test cycles are commensurable.
+
+/// Norm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Norm {
+    /// √Σ(wᵢ·xᵢ)² — the paper's choice.
+    Euclidean,
+    /// Σ|wᵢ·xᵢ|.
+    Manhattan,
+    /// max |wᵢ·xᵢ|.
+    Chebyshev,
+}
+
+impl Norm {
+    /// Evaluates the norm of a weighted vector.
+    pub fn eval(self, weighted: &[f64]) -> f64 {
+        match self {
+            Norm::Euclidean => weighted.iter().map(|x| x * x).sum::<f64>().sqrt(),
+            Norm::Manhattan => weighted.iter().map(|x| x.abs()).sum(),
+            Norm::Chebyshev => weighted.iter().fold(0.0, |m, x| m.max(x.abs())),
+        }
+    }
+}
+
+/// Per-axis weights ("expressing the significance of a constraint over
+/// other constraint").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights(pub Vec<f64>);
+
+impl Weights {
+    /// Equal weights over `n` axes — the paper's setting ("no preferences
+    /// have been given neither to the minimum test, nor area, nor
+    /// throughput").
+    pub fn equal(n: usize) -> Self {
+        Weights(vec![1.0; n])
+    }
+}
+
+/// Normalises each axis of `points` to [0, 1] (min→0, max→1; a constant
+/// axis maps to 0).
+pub fn normalize(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for d in 0..dims {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    points
+        .iter()
+        .map(|p| {
+            (0..dims)
+                .map(|d| {
+                    let span = hi[d] - lo[d];
+                    if span > 0.0 {
+                        (p[d] - lo[d]) / span
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Index of the point with minimal weighted norm after normalisation —
+/// the paper's selection rule.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or weight dimensionality mismatches.
+pub fn select(points: &[Vec<f64>], weights: &Weights, norm: Norm) -> usize {
+    assert!(!points.is_empty(), "cannot select from an empty set");
+    let normed = normalize(points);
+    let mut best = 0;
+    let mut best_v = f64::INFINITY;
+    for (i, p) in normed.iter().enumerate() {
+        assert_eq!(p.len(), weights.0.len(), "weight dimensionality");
+        let weighted: Vec<f64> = p.iter().zip(&weights.0).map(|(x, w)| x * w).collect();
+        let v = norm.eval(&weighted);
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weight_euclid_picks_balanced_point() {
+        let pts = vec![
+            vec![0.0, 100.0, 100.0],
+            vec![100.0, 0.0, 100.0],
+            vec![40.0, 40.0, 40.0],
+        ];
+        let i = select(&pts, &Weights::equal(3), Norm::Euclidean);
+        assert_eq!(i, 2, "the balanced point has the least norm");
+    }
+
+    #[test]
+    fn weights_shift_the_choice() {
+        let pts = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        // Heavily weight axis 0: pick the point with axis0 = 0.
+        let i = select(&pts, &Weights(vec![10.0, 1.0]), Norm::Euclidean);
+        assert_eq!(i, 0);
+        let i = select(&pts, &Weights(vec![1.0, 10.0]), Norm::Euclidean);
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn normalisation_bounds() {
+        let n = normalize(&[vec![10.0, 5.0], vec![20.0, 5.0]]);
+        assert_eq!(n[0], vec![0.0, 0.0]);
+        assert_eq!(n[1], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_values() {
+        assert!((Norm::Euclidean.eval(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(Norm::Manhattan.eval(&[3.0, 4.0]), 7.0);
+        assert_eq!(Norm::Chebyshev.eval(&[3.0, 4.0]), 4.0);
+    }
+}

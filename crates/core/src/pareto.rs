@@ -1,0 +1,96 @@
+//! Pareto filtering in N dimensions (minimisation).
+//!
+//! "Pareto points limit the design space such that ∀ (a, t) ∈ ϑ²(a, t),
+//! (a ≥ ap ∨ t ≥ tp)" — generalised here to any dimensionality so the
+//! same code produces the 2-D front of Figure 2 and the 3-D front of
+//! Figure 8.
+
+/// Does `a` dominate `b` (all coordinates ≤, at least one <)?
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal points of `points` (minimisation in
+/// every coordinate). Duplicate coordinate vectors all survive.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// Checks the paper's boundary property: no kept point is dominated.
+pub fn is_pareto_set(points: &[Vec<f64>], kept: &[usize]) -> bool {
+    kept.iter().all(|&i| {
+        points
+            .iter()
+            .enumerate()
+            .all(|(j, q)| i == j || !dominates(q, &points[i]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_2d_front() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0], // dominated by (2,3)
+            vec![4.0, 1.0],
+            vec![4.0, 4.0], // dominated
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 3]);
+        assert!(is_pareto_set(&pts, &front));
+    }
+
+    #[test]
+    fn three_d_front_keeps_tradeoffs() {
+        let pts = vec![
+            vec![1.0, 9.0, 9.0],
+            vec![9.0, 1.0, 9.0],
+            vec![9.0, 9.0, 1.0],
+            vec![8.0, 8.0, 8.0], // not dominated by any single point
+            vec![9.5, 9.5, 9.5], // dominated by (8,8,8)
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_points_both_survive() {
+        let pts = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn domination_requires_strictness() {
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 3.0]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Analytical model of the register file as a **multi-port memory** —
+//! the implementation the paper's eq. (12) is actually derived for: "The
+//! cost for the register files is derived for the case of their
+//! implementation using a multi-ported memory, not a set of flip-flops.
+//! For the latter case, the test cost (as well as performance and area)
+//! will be different."
+//!
+//! The flip-flop implementation is generated structurally in
+//! `tta-netlist`; this module gives the memory-macro alternative so the
+//! two can be compared (area, delay, test) along the paper's RF sizes.
+
+use tta_dft::march::MarchAlgorithm;
+
+/// Geometry of a multi-port register-file macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RfMemSpec {
+    /// Word count.
+    pub regs: usize,
+    /// Word width in bits.
+    pub width: usize,
+    /// Write ports.
+    pub nin: usize,
+    /// Read ports.
+    pub nout: usize,
+}
+
+/// Base area of a single-port storage cell, NAND2 equivalents (a 6T SRAM
+/// cell is roughly half a NAND2).
+const CELL_BASE_AREA: f64 = 0.55;
+
+/// Area growth per additional port: each port adds an access transistor
+/// pair and a word/bit-line, ≈ 35 % of the base cell.
+const CELL_PORT_FACTOR: f64 = 0.35;
+
+/// Peripheral overhead per port: decoder, word-line driver, sense
+/// amp/write driver per bit-slice, NAND2 equivalents.
+const PERIPHERY_PER_PORT_BIT: f64 = 0.8;
+
+impl RfMemSpec {
+    /// Macro area in NAND2 equivalents.
+    pub fn area(&self) -> f64 {
+        let ports = (self.nin + self.nout) as f64;
+        let cell = CELL_BASE_AREA * (1.0 + CELL_PORT_FACTOR * (ports - 1.0));
+        let core = cell * self.regs as f64 * self.width as f64;
+        let periphery = PERIPHERY_PER_PORT_BIT * ports * self.width as f64
+            + 2.0 * ports * (self.regs as f64).log2().max(1.0);
+        core + periphery
+    }
+
+    /// Access delay in normalised gate delays (decoder depth + bit-line
+    /// settle, growing with both word count and port loading).
+    pub fn access_delay(&self) -> f64 {
+        let decode = (self.regs as f64).log2().max(1.0) * 1.1;
+        let bitline = 2.0 + 0.05 * self.regs as f64;
+        let port_load = 0.2 * (self.nin + self.nout) as f64;
+        decode + bitline + port_load
+    }
+
+    /// March pattern count `np` for eq. (12) — identical to the flip-flop
+    /// implementation's march (the algorithm sees words, not cells).
+    pub fn march_patterns(&self, algorithm: &MarchAlgorithm) -> usize {
+        algorithm.pattern_count(self.regs)
+    }
+
+    /// The memory macro cannot be full-scanned — the paper's reason the
+    /// functional march approach is mandatory here.
+    pub fn full_scannable(&self) -> bool {
+        false
+    }
+}
+
+/// Comparison of the two RF implementations at one geometry.
+#[derive(Debug, Clone)]
+pub struct RfImplementationComparison {
+    /// The geometry compared.
+    pub spec: RfMemSpec,
+    /// Memory-macro area (this module's model).
+    pub memory_area: f64,
+    /// Flip-flop implementation area (generated netlist).
+    pub flipflop_area: f64,
+    /// Flip-flop implementation area after scan insertion.
+    pub flipflop_scan_area: f64,
+}
+
+impl RfImplementationComparison {
+    /// Builds the comparison by generating the structural netlist.
+    pub fn new(spec: RfMemSpec) -> Self {
+        let comp = tta_netlist::components::register_file(
+            spec.width, spec.regs, spec.nin, spec.nout,
+        );
+        let scanned = tta_dft::scan::insert_scan(&comp.netlist);
+        RfImplementationComparison {
+            spec,
+            memory_area: spec.area(),
+            flipflop_area: comp.area(),
+            flipflop_scan_area: comp.area() + scanned.area_overhead(),
+        }
+    }
+
+    /// The paper's claim: the flip-flop implementation with DfT scan
+    /// costs considerably more area than the memory macro.
+    pub fn memory_wins(&self) -> bool {
+        self.memory_area < self.flipflop_scan_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_with_every_dimension() {
+        let base = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
+        let more_regs = RfMemSpec { regs: 12, ..base };
+        let wider = RfMemSpec { width: 32, ..base };
+        let more_ports = RfMemSpec { nin: 2, nout: 3, ..base };
+        assert!(more_regs.area() > base.area());
+        assert!(wider.area() > base.area());
+        assert!(more_ports.area() > base.area());
+    }
+
+    #[test]
+    fn memory_beats_scanned_flipflops_at_paper_sizes() {
+        // RF1 (8x16) and RF2 (12x16) of Figure 9.
+        for (regs, nin, nout) in [(8usize, 1usize, 2usize), (12, 1, 2)] {
+            let cmp = RfImplementationComparison::new(RfMemSpec {
+                regs,
+                width: 16,
+                nin,
+                nout,
+            });
+            assert!(
+                cmp.memory_wins(),
+                "{regs} regs: macro {:.0} vs scanned FF {:.0}",
+                cmp.memory_area,
+                cmp.flipflop_scan_area
+            );
+        }
+    }
+
+    #[test]
+    fn march_np_matches_flipflop_model() {
+        let spec = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
+        let alg = MarchAlgorithm::march_cminus();
+        assert_eq!(spec.march_patterns(&alg), 80);
+        assert!(!spec.full_scannable());
+    }
+
+    #[test]
+    fn access_delay_grows_with_size() {
+        let small = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
+        let big = RfMemSpec { regs: 64, width: 16, nin: 1, nout: 2 };
+        assert!(big.access_delay() > small.access_delay());
+    }
+}

@@ -1,0 +1,159 @@
+//! The ordered test programme of Section 3.2: "the order of test is
+//! important for these architectures, i.e. it is necessary to perform the
+//! interconnect test of the sockets and busses before carrying out the
+//! functional test of the components" — the Core-Based-Test analogy
+//! (interconnect test ≙ TAM test, functional component test ≙ IP test).
+
+use std::fmt;
+
+use tta_arch::Architecture;
+
+use crate::backannotate::ComponentDb;
+use crate::testcost::{architecture_test_cost, ComponentTestCost};
+
+/// One phase of the test programme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestPhase {
+    /// Scan test of one component's socket group (also covers the bus
+    /// interconnect reaching it). Carries `(component, cycles)`.
+    SocketScan(String, f64),
+    /// Functional application of one component's structural patterns over
+    /// the (already verified) buses. Carries `(component, cycles)`.
+    Functional(String, f64),
+}
+
+impl TestPhase {
+    /// The phase's cycle cost.
+    pub fn cycles(&self) -> f64 {
+        match self {
+            TestPhase::SocketScan(_, c) | TestPhase::Functional(_, c) => *c,
+        }
+    }
+
+    /// The component under test.
+    pub fn component(&self) -> &str {
+        match self {
+            TestPhase::SocketScan(n, _) | TestPhase::Functional(n, _) => n,
+        }
+    }
+}
+
+impl fmt::Display for TestPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestPhase::SocketScan(n, c) => write!(f, "scan   {n:<8} {c:>8.0} cycles"),
+            TestPhase::Functional(n, c) => write!(f, "func   {n:<8} {c:>8.0} cycles"),
+        }
+    }
+}
+
+/// The complete ordered programme for one architecture.
+#[derive(Debug, Clone)]
+pub struct TestPlan {
+    /// Phases in application order.
+    pub phases: Vec<TestPhase>,
+}
+
+impl TestPlan {
+    /// Builds the plan: all socket-scan phases first (interconnect), then
+    /// every component's functional phase.
+    pub fn for_architecture(arch: &Architecture, db: &mut ComponentDb) -> Self {
+        let cost = architecture_test_cost(arch, db);
+        Self::from_costs(&cost.components)
+    }
+
+    /// Builds a plan from precomputed per-component costs.
+    pub fn from_costs(components: &[ComponentTestCost]) -> Self {
+        let mut phases = Vec::with_capacity(components.len() * 2);
+        for c in components {
+            phases.push(TestPhase::SocketScan(c.name.clone(), c.fts));
+        }
+        for c in components {
+            phases.push(TestPhase::Functional(c.name.clone(), c.functional_cost));
+        }
+        TestPlan { phases }
+    }
+
+    /// Total programme length in cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.phases.iter().map(TestPhase::cycles).sum()
+    }
+
+    /// Invariant: every functional phase runs after *all* scan phases
+    /// (the interconnect must be known-good before patterns ride it).
+    pub fn interconnect_first(&self) -> bool {
+        let first_func = self
+            .phases
+            .iter()
+            .position(|p| matches!(p, TestPhase::Functional(..)));
+        let last_scan = self
+            .phases
+            .iter()
+            .rposition(|p| matches!(p, TestPhase::SocketScan(..)));
+        match (first_func, last_scan) {
+            (Some(f), Some(s)) => s < f,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for TestPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test programme ({:.0} cycles):", self.total_cycles())?;
+        for (i, p) in self.phases.iter().enumerate() {
+            writeln!(f, "  {:>2}. {p}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_arch::template::TemplateBuilder;
+    use tta_arch::FuKind;
+
+    fn arch() -> Architecture {
+        TemplateBuilder::new("plan", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Cmp)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .build()
+    }
+
+    #[test]
+    fn interconnect_precedes_functional() {
+        let mut db = ComponentDb::new();
+        let plan = TestPlan::for_architecture(&arch(), &mut db);
+        assert!(plan.interconnect_first());
+        // Two phases per component (FUs + RFs).
+        assert_eq!(plan.phases.len(), 2 * (5 + 1));
+    }
+
+    #[test]
+    fn totals_are_consistent_with_cost_model() {
+        let mut db = ComponentDb::new();
+        let a = arch();
+        let cost = architecture_test_cost(&a, &mut db);
+        let plan = TestPlan::for_architecture(&a, &mut db);
+        let expect: f64 = cost
+            .components
+            .iter()
+            .map(|c| c.functional_cost + c.fts)
+            .sum();
+        assert!((plan.total_cycles() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_orders_phases() {
+        let mut db = ComponentDb::new();
+        let plan = TestPlan::for_architecture(&arch(), &mut db);
+        let text = plan.to_string();
+        let scan_pos = text.find("scan").unwrap();
+        let func_pos = text.find("func").unwrap();
+        assert!(scan_pos < func_pos, "{text}");
+    }
+}

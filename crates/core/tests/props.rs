@@ -1,0 +1,107 @@
+//! Property-based tests of the exploration mathematics: Pareto
+//! invariants, normalisation bounds, norm behaviour and test-cost
+//! monotonicity.
+
+use proptest::prelude::*;
+use tta_core::norm::{normalize, select, Norm, Weights};
+use tta_core::pareto::{dominates, is_pareto_set, pareto_front};
+use tta_core::testcost::{ftfu_ratio, ftrf};
+
+fn cloud(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f64..1000.0, dims..=dims),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn front_is_mutually_nondominating(pts in cloud(2)) {
+        let front = pareto_front(&pts);
+        prop_assert!(is_pareto_set(&pts, &front));
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(i == j || !dominates(&pts[i], &pts[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated(pts in cloud(3)) {
+        let front = pareto_front(&pts);
+        for (i, p) in pts.iter().enumerate() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    pts.iter().any(|q| dominates(q, p)),
+                    "point {} dropped but undominated", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_of_front_is_identity(pts in cloud(3)) {
+        let front = pareto_front(&pts);
+        let front_pts: Vec<Vec<f64>> = front.iter().map(|&i| pts[i].clone()).collect();
+        let again = pareto_front(&front_pts);
+        prop_assert_eq!(again.len(), front_pts.len());
+    }
+
+    #[test]
+    fn normalisation_stays_in_unit_box(pts in cloud(3)) {
+        for p in normalize(&pts) {
+            for x in p {
+                prop_assert!((0.0..=1.0).contains(&x), "{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_on_the_input_set(pts in cloud(3)) {
+        let i = select(&pts, &Weights::equal(3), Norm::Euclidean);
+        prop_assert!(i < pts.len());
+    }
+
+    #[test]
+    fn selection_has_minimal_norm(pts in cloud(2)) {
+        // Nothing — dominated or not — may beat the selected point's
+        // weighted norm; in particular any dominator ties at best.
+        let i = select(&pts, &Weights::equal(2), Norm::Euclidean);
+        let normed = normalize(&pts);
+        let ni = Norm::Euclidean.eval(&normed[i]);
+        for (j, q) in normed.iter().enumerate() {
+            let nq = Norm::Euclidean.eval(q);
+            let ok = ni <= nq + 1e-12;
+            prop_assert!(ok, "point {} has smaller norm than the selection", j);
+            if dominates(&pts[j], &pts[i]) {
+                // Dominators never have a *larger* norm after
+                // normalisation, so equality must hold.
+                let tied = (ni - nq).abs() < 1e-9;
+                prop_assert!(tied, "dominator {} should tie in norm", j);
+            }
+        }
+    }
+
+    #[test]
+    fn ftfu_ratio_monotone_in_scarcity(np in 1usize..500, cd in 3u32..6, nconn in 1usize..8) {
+        let mut last = f64::INFINITY;
+        for nb in 1..=8usize {
+            let v = ftfu_ratio(np, cd, nconn, nb);
+            prop_assert!(v <= last, "cost must fall as buses grow");
+            last = v;
+        }
+        // Floor: with plenty of buses the ratio term vanishes.
+        prop_assert_eq!(ftfu_ratio(np, cd, nconn, nconn), np as f64 * f64::from(cd));
+    }
+
+    #[test]
+    fn ftrf_port_parallelism_never_hurts(np in 1usize..500, cd in 3u32..5, nb in 1usize..5) {
+        // Adding a second read port (within bus capacity) never raises
+        // the cost.
+        let one = ftrf(np, cd, 1, 1, nb);
+        let two = ftrf(np, cd, 1, 2, nb);
+        prop_assert!(two <= one, "{two} > {one}");
+    }
+}

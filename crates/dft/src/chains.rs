@@ -1,0 +1,111 @@
+//! Multi-chain scan partitioning.
+//!
+//! The paper assumes "all scan chains are connected to one single scan
+//! chain" and notes that with multiple chains "the total test cost will
+//! change due to the scheduling of test patterns" — equally for full scan
+//! and for the socket-scan part of the proposed approach. This module
+//! performs the partitioning: balanced assignment of flip-flops to `k`
+//! chains and the resulting per-chain lengths and test time.
+
+use tta_netlist::Netlist;
+
+use crate::testtime::full_scan_cycles;
+
+/// A partition of a design's flip-flops into scan chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPlan {
+    /// Flip-flop instance names per chain, in shift order.
+    pub chains: Vec<Vec<String>>,
+}
+
+impl ChainPlan {
+    /// Balanced partition of `nl`'s flip-flops into `k` chains
+    /// (declaration order, round-off spread across the first chains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn balanced(nl: &Netlist, k: usize) -> Self {
+        assert!(k >= 1, "at least one chain");
+        let names: Vec<String> = nl.dffs().iter().map(|ff| ff.name().to_string()).collect();
+        let n = names.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut chains = Vec::with_capacity(k);
+        let mut it = names.into_iter();
+        for c in 0..k {
+            let len = base + usize::from(c < extra);
+            chains.push(it.by_ref().take(len).collect());
+        }
+        ChainPlan { chains }
+    }
+
+    /// Number of chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Length of the longest chain — the shift-time bottleneck.
+    pub fn max_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Imbalance: longest − shortest chain.
+    pub fn imbalance(&self) -> usize {
+        let max = self.max_length();
+        let min = self.chains.iter().map(Vec::len).min().unwrap_or(0);
+        max - min
+    }
+
+    /// Test time for `np` patterns shifted through this plan (all chains
+    /// shift in parallel; the longest dominates).
+    pub fn test_cycles(&self, np: usize) -> usize {
+        full_scan_cycles(np, self.max_length())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::components;
+
+    #[test]
+    fn balanced_partition_covers_all_ffs() {
+        let alu = components::alu(8);
+        let total = alu.netlist.dff_count();
+        for k in [1usize, 2, 3, 4, 7] {
+            let plan = ChainPlan::balanced(&alu.netlist, k);
+            assert_eq!(plan.chain_count(), k);
+            let sum: usize = plan.chains.iter().map(Vec::len).sum();
+            assert_eq!(sum, total, "k={k}");
+            assert!(plan.imbalance() <= 1, "k={k}: {}", plan.imbalance());
+        }
+    }
+
+    #[test]
+    fn more_chains_less_time() {
+        let alu = components::alu(8);
+        let one = ChainPlan::balanced(&alu.netlist, 1).test_cycles(50);
+        let four = ChainPlan::balanced(&alu.netlist, 4).test_cycles(50);
+        assert!(four < one);
+    }
+
+    #[test]
+    fn single_chain_matches_flat_model() {
+        let cmp = components::cmp(8);
+        let plan = ChainPlan::balanced(&cmp.netlist, 1);
+        assert_eq!(
+            plan.test_cycles(20),
+            full_scan_cycles(20, cmp.netlist.dff_count())
+        );
+    }
+
+    #[test]
+    fn more_chains_than_ffs_degenerates_gracefully() {
+        let imm = components::immediate(4);
+        let n = imm.netlist.dff_count();
+        let plan = ChainPlan::balanced(&imm.netlist, n + 3);
+        assert_eq!(plan.chain_count(), n + 3);
+        assert_eq!(plan.max_length(), 1);
+    }
+}

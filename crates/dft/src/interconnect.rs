@@ -1,0 +1,138 @@
+//! Bus interconnect fault model.
+//!
+//! "The test of the sockets also tests all interconnections inside the
+//! datapath" — this module backs that claim with the classical wire fault
+//! models for a move bus: stuck lines, bridges between adjacent lines
+//! (wired-AND / wired-OR) and opens, plus a walking-pattern generator and
+//! checker proving the socket-scan phase's bus patterns detect them all.
+
+/// Fault on a `width`-bit bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusFault {
+    /// Line stuck at 0.
+    StuckAt0(usize),
+    /// Line stuck at 1.
+    StuckAt1(usize),
+    /// Adjacent lines `i` and `i+1` shorted, resolving as wired-AND.
+    BridgeAnd(usize),
+    /// Adjacent lines `i` and `i+1` shorted, resolving as wired-OR.
+    BridgeOr(usize),
+    /// Line broken: the receiver sees a constant (modelled as 0).
+    Open(usize),
+}
+
+impl BusFault {
+    /// Applies the fault to a transmitted word, returning what the
+    /// receiving socket sees.
+    pub fn corrupt(self, word: u64) -> u64 {
+        match self {
+            BusFault::StuckAt0(i) | BusFault::Open(i) => word & !(1 << i),
+            BusFault::StuckAt1(i) => word | 1 << i,
+            BusFault::BridgeAnd(i) => {
+                let a = word >> i & 1;
+                let b = word >> (i + 1) & 1;
+                let v = a & b;
+                word & !(0b11 << i) | (v << i) | (v << (i + 1))
+            }
+            BusFault::BridgeOr(i) => {
+                let a = word >> i & 1;
+                let b = word >> (i + 1) & 1;
+                let v = a | b;
+                word & !(0b11 << i) | (v << i) | (v << (i + 1))
+            }
+        }
+    }
+
+    /// The full interconnect fault universe of a `width`-bit bus.
+    pub fn universe(width: usize) -> Vec<BusFault> {
+        let mut v = Vec::new();
+        for i in 0..width {
+            v.push(BusFault::StuckAt0(i));
+            v.push(BusFault::StuckAt1(i));
+            v.push(BusFault::Open(i));
+            if i + 1 < width {
+                v.push(BusFault::BridgeAnd(i));
+                v.push(BusFault::BridgeOr(i));
+            }
+        }
+        v
+    }
+}
+
+/// The classic interconnect test set: walking-1, walking-0, plus the two
+/// solid backgrounds — `2·width + 2` words.
+pub fn walking_patterns(width: usize) -> Vec<u64> {
+    let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let mut v = Vec::with_capacity(2 * width + 2);
+    v.push(0);
+    v.push(mask);
+    for i in 0..width {
+        v.push(1 << i);
+        v.push(mask & !(1 << i));
+    }
+    v
+}
+
+/// Checks whether `patterns` detect `fault` on a `width`-bit bus (some
+/// transmitted word arrives corrupted).
+pub fn detects(patterns: &[u64], fault: BusFault) -> bool {
+    patterns.iter().any(|&p| fault.corrupt(p) != p)
+}
+
+/// Verifies a pattern set against the whole universe; returns the escaped
+/// faults (empty = complete interconnect coverage).
+pub fn escapes(patterns: &[u64], width: usize) -> Vec<BusFault> {
+    BusFault::universe(width)
+        .into_iter()
+        .filter(|f| !detects(patterns, *f))
+        .collect()
+}
+
+/// Cycles the interconnect phase adds per bus: one transport per walking
+/// pattern.
+pub fn interconnect_test_cycles(width: usize, buses: usize) -> usize {
+    walking_patterns(width).len() * buses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walking_patterns_cover_the_universe() {
+        for width in [4usize, 8, 16, 32] {
+            let patterns = walking_patterns(width);
+            assert_eq!(patterns.len(), 2 * width + 2);
+            assert!(
+                escapes(&patterns, width).is_empty(),
+                "escapes at width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn solid_backgrounds_alone_miss_bridges() {
+        // 0000 and 1111 never put different values on adjacent lines.
+        let solid = [0u64, 0xF];
+        let escaped = escapes(&solid, 4);
+        assert!(escaped
+            .iter()
+            .any(|f| matches!(f, BusFault::BridgeAnd(_) | BusFault::BridgeOr(_))));
+    }
+
+    #[test]
+    fn bridge_semantics() {
+        // Lines 0,1 shorted, word = 0b01.
+        assert_eq!(BusFault::BridgeAnd(0).corrupt(0b01), 0b00);
+        assert_eq!(BusFault::BridgeOr(0).corrupt(0b01), 0b11);
+        // Agreeing lines are unaffected.
+        assert_eq!(BusFault::BridgeAnd(0).corrupt(0b11), 0b11);
+        assert_eq!(BusFault::BridgeOr(0).corrupt(0b00), 0b00);
+    }
+
+    #[test]
+    fn cycle_accounting_scales_with_buses() {
+        assert_eq!(interconnect_test_cycles(16, 1), 34);
+        assert_eq!(interconnect_test_cycles(16, 2), 68);
+    }
+}

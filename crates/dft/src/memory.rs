@@ -1,0 +1,302 @@
+//! Behavioural multi-port memory with injectable faults — the model under
+//! which the march algorithms of [`crate::march`] are validated.
+//!
+//! The paper's register files are implemented as multi-port memories
+//! (ref. \[15\], Hamdioui & van de Goor) and tested with marching patterns
+//! (ref. \[14\]); this module provides the classical memory fault models:
+//! stuck-at cells, transition faults, and inversion/idempotent coupling
+//! faults, plus port-interference restrictions for simultaneous accesses.
+
+use std::collections::HashSet;
+
+/// Kinds of memory cell faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemFaultKind {
+    /// Cell stuck at 0.
+    StuckAt0,
+    /// Cell stuck at 1.
+    StuckAt1,
+    /// Up-transition fault: cell cannot go 0 → 1.
+    TransitionUp,
+    /// Down-transition fault: cell cannot go 1 → 0.
+    TransitionDown,
+    /// Inversion coupling: a transition in the aggressor inverts the
+    /// victim.
+    CouplingInversion {
+        /// The coupled (aggressor) cell index.
+        aggressor: usize,
+    },
+    /// Idempotent coupling: an up-transition of the aggressor forces the
+    /// victim to `forced_value`.
+    CouplingIdempotent {
+        /// The coupled (aggressor) cell index.
+        aggressor: usize,
+        /// Value forced onto the victim.
+        forced_value: bool,
+    },
+}
+
+/// A fault on one cell (word, bit) of the memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemFault {
+    /// Victim word address.
+    pub word: usize,
+    /// Victim bit position.
+    pub bit: usize,
+    /// Fault kind.
+    pub kind: MemFaultKind,
+}
+
+/// A behavioural `words × width` memory with `nin` write and `nout` read
+/// ports and an optional injected fault.
+#[derive(Debug, Clone)]
+pub struct MultiPortMemory {
+    words: usize,
+    width: usize,
+    nin: usize,
+    nout: usize,
+    cells: Vec<u64>,
+    fault: Option<MemFault>,
+}
+
+impl MultiPortMemory {
+    /// Creates a fault-free memory initialised to zero.
+    pub fn new(words: usize, width: usize, nin: usize, nout: usize) -> Self {
+        assert!(width <= 64, "behavioural model is word-at-a-time u64");
+        MultiPortMemory {
+            words,
+            width,
+            nin,
+            nout,
+            cells: vec![0; words],
+            fault: None,
+        }
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Write-port count.
+    pub fn write_ports(&self) -> usize {
+        self.nin
+    }
+
+    /// Read-port count.
+    pub fn read_ports(&self) -> usize {
+        self.nout
+    }
+
+    /// Injects `fault` (replacing any previous one) and re-applies cell
+    /// forcing for stuck-at faults.
+    pub fn inject(&mut self, fault: MemFault) {
+        assert!(fault.word < self.words && fault.bit < self.width);
+        self.fault = Some(fault);
+        self.apply_static_fault(fault.word);
+    }
+
+    /// Removes the injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    fn apply_static_fault(&mut self, word: usize) {
+        if let Some(f) = self.fault {
+            if f.word == word {
+                match f.kind {
+                    MemFaultKind::StuckAt0 => self.cells[word] &= !(1 << f.bit),
+                    MemFaultKind::StuckAt1 => self.cells[word] |= 1 << f.bit,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Writes `value` to `addr` through one write port.
+    pub fn write(&mut self, addr: usize, value: u64) {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        let value = value & mask;
+        let old = self.cells[addr];
+        let mut newv = value;
+        if let Some(f) = self.fault {
+            if f.word == addr {
+                let bit = 1u64 << f.bit;
+                match f.kind {
+                    MemFaultKind::StuckAt0 => newv &= !bit,
+                    MemFaultKind::StuckAt1 => newv |= bit,
+                    MemFaultKind::TransitionUp => {
+                        // Cannot raise the bit if it was 0.
+                        if old & bit == 0 {
+                            newv &= !bit | (old & bit);
+                        }
+                    }
+                    MemFaultKind::TransitionDown => {
+                        if old & bit != 0 {
+                            newv |= bit;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Coupling: writing the aggressor word can corrupt the victim.
+            match f.kind {
+                MemFaultKind::CouplingInversion { aggressor } if aggressor == addr => {
+                    let abit = 1u64 << f.bit;
+                    let rose = old & abit == 0 && value & abit != 0;
+                    let fell = old & abit != 0 && value & abit == 0;
+                    if (rose || fell) && f.word != addr {
+                        self.cells[f.word] ^= 1 << f.bit;
+                    }
+                }
+                MemFaultKind::CouplingIdempotent {
+                    aggressor,
+                    forced_value,
+                } if aggressor == addr => {
+                    let abit = 1u64 << f.bit;
+                    let rose = old & abit == 0 && value & abit != 0;
+                    if rose && f.word != addr {
+                        if forced_value {
+                            self.cells[f.word] |= 1 << f.bit;
+                        } else {
+                            self.cells[f.word] &= !(1 << f.bit);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.cells[addr] = newv;
+    }
+
+    /// Reads `addr` through one read port.
+    pub fn read(&self, addr: usize) -> u64 {
+        let mut v = self.cells[addr];
+        if let Some(f) = self.fault {
+            if f.word == addr {
+                match f.kind {
+                    MemFaultKind::StuckAt0 => v &= !(1 << f.bit),
+                    MemFaultKind::StuckAt1 => v |= 1 << f.bit,
+                    _ => {}
+                }
+            }
+        }
+        v
+    }
+
+    /// Checks a simultaneous multi-port access plan for port conflicts
+    /// (ref. \[15\]): two writes to the same word, or a read and a write of
+    /// the same word in the same cycle, are forbidden.
+    pub fn check_port_plan(writes: &[(usize, u64)], reads: &[usize]) -> Result<(), PortConflict> {
+        let mut written = HashSet::new();
+        for (addr, _) in writes {
+            if !written.insert(*addr) {
+                return Err(PortConflict::WriteWrite(*addr));
+            }
+        }
+        for addr in reads {
+            if written.contains(addr) {
+                return Err(PortConflict::ReadWrite(*addr));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Same-cycle port conflict on a multi-port memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortConflict {
+    /// Two writes targeted the same word.
+    WriteWrite(usize),
+    /// A read and a write targeted the same word.
+    ReadWrite(usize),
+}
+
+impl std::fmt::Display for PortConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortConflict::WriteWrite(a) => write!(f, "two writes to word {a} in one cycle"),
+            PortConflict::ReadWrite(a) => write!(f, "read and write of word {a} in one cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PortConflict {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_roundtrip() {
+        let mut m = MultiPortMemory::new(8, 16, 1, 2);
+        m.write(3, 0xABCD);
+        assert_eq!(m.read(3), 0xABCD);
+        assert_eq!(m.read(0), 0);
+    }
+
+    #[test]
+    fn stuck_at_zero_masks_bit() {
+        let mut m = MultiPortMemory::new(4, 8, 1, 1);
+        m.inject(MemFault {
+            word: 1,
+            bit: 3,
+            kind: MemFaultKind::StuckAt0,
+        });
+        m.write(1, 0xFF);
+        assert_eq!(m.read(1), 0xF7);
+    }
+
+    #[test]
+    fn transition_up_fault_blocks_rise() {
+        let mut m = MultiPortMemory::new(4, 8, 1, 1);
+        m.inject(MemFault {
+            word: 2,
+            bit: 0,
+            kind: MemFaultKind::TransitionUp,
+        });
+        m.write(2, 0x00);
+        m.write(2, 0x01); // rise blocked
+        assert_eq!(m.read(2) & 1, 0);
+        // But a cell already at 1 stays 1 (write 1 over 1 fine).
+        m.clear_fault();
+        m.write(2, 0x01);
+        m.inject(MemFault {
+            word: 2,
+            bit: 0,
+            kind: MemFaultKind::TransitionUp,
+        });
+        m.write(2, 0x01);
+        assert_eq!(m.read(2) & 1, 1);
+    }
+
+    #[test]
+    fn coupling_inversion_flips_victim() {
+        let mut m = MultiPortMemory::new(4, 8, 1, 1);
+        // Victim word 0 bit 2, aggressor word 3.
+        m.inject(MemFault {
+            word: 0,
+            bit: 2,
+            kind: MemFaultKind::CouplingInversion { aggressor: 3 },
+        });
+        m.write(0, 0x00);
+        m.write(3, 0x04); // aggressor bit 2 rises -> victim flips
+        assert_eq!(m.read(0) & 0x04, 0x04);
+    }
+
+    #[test]
+    fn port_plan_conflicts_detected() {
+        assert!(MultiPortMemory::check_port_plan(&[(1, 0), (1, 9)], &[]).is_err());
+        assert!(MultiPortMemory::check_port_plan(&[(1, 0)], &[1]).is_err());
+        assert!(MultiPortMemory::check_port_plan(&[(1, 0)], &[2]).is_ok());
+    }
+}

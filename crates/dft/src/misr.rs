@@ -1,0 +1,176 @@
+//! LFSR / MISR response compaction.
+//!
+//! The paper deliberately avoids BIST hardware ("the idea behind our
+//! approach is not to use any additional circuitry for the test, except
+//! flip-flops (functional) with scan"), but its reference \[13\] costs a
+//! datapath BIST scheme. This module provides the signature-analysis
+//! machinery needed to *evaluate* that alternative: a Galois LFSR pattern
+//! source and a multiple-input signature register (MISR) with the usual
+//! aliasing-probability estimate, so the repository can compare
+//! deterministic-pattern testing against a BIST-style option.
+
+/// A Galois-configuration linear feedback shift register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u64,
+    taps: u64,
+    width: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given feedback `taps` (bit `i` set ⇒ tap
+    /// on stage `i`) and nonzero `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0/>64 or the seed is zero (an all-zero LFSR
+    /// never leaves the zero state).
+    pub fn new(width: u32, taps: u64, seed: u64) -> Self {
+        assert!((1..=64).contains(&width), "LFSR width out of range");
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let seed = seed & mask;
+        assert_ne!(seed, 0, "LFSR seed must be nonzero");
+        Lfsr {
+            state: seed,
+            taps: taps & mask,
+            width,
+        }
+    }
+
+    /// A maximal-length 16-bit LFSR (x¹⁶+x¹⁴+x¹³+x¹¹+1, the classic
+    /// Galois right-shift tap mask `0xB400`).
+    pub fn standard16(seed: u64) -> Self {
+        Lfsr::new(16, 0xB400, seed)
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= self.taps;
+        }
+        self.state &= mask;
+        self.state
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Iterator for Lfsr {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.step())
+    }
+}
+
+/// A multiple-input signature register compacting word-wide responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    lfsr: Lfsr,
+}
+
+impl Misr {
+    /// Creates a MISR of the given geometry (see [`Lfsr::new`]).
+    pub fn new(width: u32, taps: u64, seed: u64) -> Self {
+        Misr {
+            lfsr: Lfsr::new(width, taps, seed),
+        }
+    }
+
+    /// Absorbs one response word.
+    pub fn absorb(&mut self, response: u64) {
+        self.lfsr.step();
+        let mask = if self.lfsr.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.lfsr.width) - 1
+        };
+        self.lfsr.state = (self.lfsr.state ^ response) & mask;
+        if self.lfsr.state == 0 {
+            // Keep the register live: the all-zero state is absorbing for
+            // the step function; real MISRs avoid it with an extra gate.
+            self.lfsr.state = 1;
+        }
+    }
+
+    /// The compacted signature.
+    pub fn signature(&self) -> u64 {
+        self.lfsr.state()
+    }
+
+    /// Classic aliasing-probability estimate `2^-width` for long response
+    /// streams.
+    pub fn aliasing_probability(&self) -> f64 {
+        2f64.powi(-(self.lfsr.width as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_lfsr_has_full_period() {
+        let mut lfsr = Lfsr::standard16(1);
+        let mut count = 0u64;
+        loop {
+            lfsr.step();
+            count += 1;
+            if lfsr.state() == 1 {
+                break;
+            }
+            assert!(count <= 1 << 16, "period overrun");
+        }
+        assert_eq!(count, (1 << 16) - 1, "maximal length = 2^16 - 1");
+    }
+
+    #[test]
+    fn signatures_distinguish_single_bit_errors() {
+        let responses: Vec<u64> = (0..200u64).map(|i| (i * 37) & 0xFFFF).collect();
+        let mut clean = Misr::new(16, 0xB400, 0xACE1);
+        for r in &responses {
+            clean.absorb(*r);
+        }
+        // Flip one response bit anywhere: the signature must change.
+        for k in [0usize, 17, 99, 199] {
+            let mut bad = Misr::new(16, 0xB400, 0xACE1);
+            for (i, r) in responses.iter().enumerate() {
+                bad.absorb(if i == k { r ^ 0x0010 } else { *r });
+            }
+            assert_ne!(bad.signature(), clean.signature(), "error at {k} aliased");
+        }
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let mut a = Misr::new(16, 0xB400, 1);
+        let mut b = Misr::new(16, 0xB400, 1);
+        for r in [1u64, 2, 3, 0xFFFF] {
+            a.absorb(r);
+            b.absorb(r);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn aliasing_estimate() {
+        let m = Misr::new(16, 0xB400, 1);
+        assert!((m.aliasing_probability() - 1.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be nonzero")]
+    fn zero_seed_rejected() {
+        let _ = Lfsr::new(8, 0x8E, 0);
+    }
+}

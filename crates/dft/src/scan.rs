@@ -1,0 +1,202 @@
+//! Structural scan insertion (mux-scan style).
+//!
+//! Every D flip-flop `ff` is given a scan multiplexer
+//! `d' = scan_en ? scan_prev : d`, and all flip-flops are stitched into a
+//! single chain `scan_in → ff0 → ff1 → … → scan_out` in declaration order
+//! (the paper likewise assumes "all scan chains are connected to one
+//! single scan chain").
+
+use tta_netlist::{NetId, Netlist, NetlistBuilder};
+
+/// A netlist after scan insertion, plus chain bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ScanDesign {
+    netlist: Netlist,
+    chain: Vec<String>,
+    extra_area: f64,
+}
+
+impl ScanDesign {
+    /// The scanned netlist (original PIs/POs plus `scan_in`, `scan_en`
+    /// inputs and a `scan_out` output).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Flip-flop instance names in chain order (`scan_in` side first).
+    pub fn chain(&self) -> &[String] {
+        &self.chain
+    }
+
+    /// Chain length `nl` — the number the paper's eq. (13) consumes.
+    pub fn chain_length(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Area added by the scan muxes, in NAND2 gate equivalents.
+    pub fn area_overhead(&self) -> f64 {
+        self.extra_area
+    }
+}
+
+/// Inserts a single scan chain into `nl`.
+///
+/// The transformation rebuilds the netlist gate-for-gate, appending one
+/// mux per flip-flop; combinational logic, port order and names are
+/// preserved.
+pub fn insert_scan(nl: &Netlist) -> ScanDesign {
+    use tta_netlist::netlist::NetDriver;
+
+    let mut b = NetlistBuilder::new(format!("{}_scan", nl.name()));
+    let mut map: Vec<Option<NetId>> = vec![None; nl.net_count()];
+
+    // Ports first (same order), then the scan controls.
+    for &pi in nl.primary_inputs() {
+        let name = nl.net(pi).name().unwrap_or("pi").to_string();
+        map[pi.index()] = Some(b.input(name));
+    }
+    let scan_in = b.input("scan_in");
+    let scan_en = b.input("scan_en");
+
+    // Pre-create every flip-flop as a feedback register so Q nets exist
+    // before the combinational cones are rebuilt.
+    let mut ff_handles = Vec::with_capacity(nl.dff_count());
+    for ff in nl.dffs() {
+        let (q, id) = b.dff_feedback(ff.name());
+        map[ff.q().index()] = Some(q);
+        ff_handles.push(id);
+    }
+
+    // Constants.
+    for (i, net) in nl.nets().iter().enumerate() {
+        match net.driver() {
+            NetDriver::Const0 => map[i] = Some(b.const0()),
+            NetDriver::Const1 => map[i] = Some(b.const1()),
+            _ => {}
+        }
+    }
+
+    // Combinational gates in topological order.
+    for &gid in nl.topo_order() {
+        let gate = nl.gate(gid);
+        let ins: Vec<NetId> = gate
+            .inputs()
+            .iter()
+            .map(|n| map[n.index()].expect("topological order guarantees inputs exist"))
+            .collect();
+        map[gate.output().index()] = Some(b.gate(gate.kind(), &ins));
+    }
+
+    // Stitch the chain: d' = mux(scan_en, d, prev).
+    let mut prev = scan_in;
+    let mut chain = Vec::with_capacity(nl.dff_count());
+    for (ff, handle) in nl.dffs().iter().zip(ff_handles) {
+        let d = map[ff.d().index()].expect("D cone rebuilt");
+        let d_scan = b.mux2(scan_en, d, prev);
+        b.set_dff_d(handle, d_scan);
+        prev = map[ff.q().index()].expect("Q exists");
+        chain.push(ff.name().to_string());
+    }
+
+    // Original primary outputs, then scan_out.
+    for (name, net) in nl.primary_outputs() {
+        b.output(name.clone(), map[net.index()].expect("PO cone rebuilt"));
+    }
+    b.output("scan_out", prev);
+
+    let scanned = b.finish();
+    let extra_area = scanned.area() - nl.area();
+    ScanDesign {
+        netlist: scanned,
+        chain,
+        extra_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_netlist::sim::OwnedSeqSim;
+    use tta_netlist::{components, NetlistBuilder};
+
+    /// Shifts `bits` into the chain (LSB-first) with scan_en=1.
+    fn scan_load(sim: &mut OwnedSeqSim, bits: &[bool]) {
+        for &bit in bits {
+            sim.step_words(&[("scan_en", 1), ("scan_in", u64::from(bit))]);
+        }
+    }
+
+    /// Unloads `n` bits from scan_out (first bit observed immediately).
+    fn scan_unload(sim: &mut OwnedSeqSim, n: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            sim.step_words(&[("scan_en", 1)]);
+            out.push(sim.output_words()["scan_out"] == 1);
+        }
+        out
+    }
+
+    #[test]
+    fn chain_shifts_data_through() {
+        let mut b = NetlistBuilder::new("regs");
+        let d = b.input("d");
+        let q0 = b.dff("r0", d);
+        let q1 = b.dff("r1", q0);
+        let q2 = b.dff("r2", q1);
+        b.output("q", q2);
+        let nl = b.finish();
+        let scanned = insert_scan(&nl);
+        assert_eq!(scanned.chain_length(), 3);
+
+        let mut sim = OwnedSeqSim::new(scanned.netlist().clone());
+        scan_load(&mut sim, &[true, false, true]);
+        // Chain order r0,r1,r2; after 3 shifts, first bit sits in r2.
+        let state: Vec<bool> = sim.state().iter().map(|w| w & 1 == 1).collect();
+        assert_eq!(state, vec![true, false, true]);
+    }
+
+    #[test]
+    fn load_then_unload_roundtrips() {
+        let alu = components::alu(4);
+        let scanned = insert_scan(&alu.netlist);
+        let n = scanned.chain_length();
+        let mut sim = OwnedSeqSim::new(scanned.netlist().clone());
+        let pattern: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        scan_load(&mut sim, &pattern);
+        let got = scan_unload(&mut sim, n);
+        // Unloading reverses the chain order relative to loading.
+        let expect: Vec<bool> = pattern.iter().rev().copied().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn functional_behaviour_preserved_when_scan_disabled() {
+        let alu = components::alu(4);
+        let scanned = insert_scan(&alu.netlist);
+        let mut plain = OwnedSeqSim::new(alu.netlist.clone());
+        let mut scan = OwnedSeqSim::new(scanned.netlist().clone());
+        let stim: &[&[(&str, u64)]] = &[
+            &[("o_in", 9), ("t_in", 3), ("en_o", 1), ("en_t", 1), ("op", 0)],
+            &[],
+            &[],
+        ];
+        for step in stim {
+            plain.step_words(step);
+            scan.step_words(step); // scan_en defaults to 0
+        }
+        assert_eq!(plain.output_words()["r"], scan.output_words()["r"]);
+        assert_eq!(plain.output_words()["r"], 12);
+    }
+
+    #[test]
+    fn scan_adds_area() {
+        let alu = components::alu(4);
+        let scanned = insert_scan(&alu.netlist);
+        assert!(scanned.area_overhead() > 0.0);
+        // One mux per flip-flop.
+        assert_eq!(
+            scanned.netlist().gate_count(),
+            alu.netlist.gate_count() + alu.netlist.dff_count()
+        );
+    }
+}

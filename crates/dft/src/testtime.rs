@@ -1,0 +1,62 @@
+//! Test application time models.
+//!
+//! Table 1 of the paper compares test *cycles*: for full scan the chain
+//! must be (un)loaded around every pattern; for the proposed functional
+//! approach the cycle count comes from the transport-timing relations
+//! (handled by the test-cost functions in `tta-core`).
+
+/// Cycles to apply `np` patterns through a single scan chain of length
+/// `nl`: each pattern costs `nl` shift-in cycles (overlapped with the
+/// previous pattern's shift-out) plus one capture cycle, plus a final
+/// `nl`-cycle unload.
+pub fn full_scan_cycles(np: usize, nl: usize) -> usize {
+    if np == 0 {
+        return 0;
+    }
+    np * (nl + 1) + nl
+}
+
+/// Cycles to apply `np` patterns over `chains` balanced scan chains
+/// covering `total_ffs` flip-flops (multi-chain generalisation; the paper
+/// uses `chains = 1`).
+pub fn multi_chain_scan_cycles(np: usize, total_ffs: usize, chains: usize) -> usize {
+    assert!(chains >= 1, "at least one chain");
+    let nl = total_ffs.div_ceil(chains);
+    full_scan_cycles(np, nl)
+}
+
+/// Scan shift cycles only (`np` loads of an `nl` chain) — eq. (13) of the
+/// paper costs the socket test as `fts = np · nl`.
+pub fn socket_scan_cost(np: usize, nl: usize) -> usize {
+    np * nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_patterns_cost_nothing() {
+        assert_eq!(full_scan_cycles(0, 100), 0);
+    }
+
+    #[test]
+    fn single_chain_formula() {
+        assert_eq!(full_scan_cycles(10, 58), 10 * 59 + 58);
+    }
+
+    #[test]
+    fn more_chains_fewer_cycles() {
+        let one = multi_chain_scan_cycles(20, 100, 1);
+        let four = multi_chain_scan_cycles(20, 100, 4);
+        assert!(four < one);
+        assert_eq!(four, full_scan_cycles(20, 25));
+    }
+
+    #[test]
+    fn socket_cost_is_linear() {
+        // Paper: fts = 14 patterns * 58 FFs = 812 for the ALU sockets.
+        assert_eq!(socket_scan_cost(14, 58), 812);
+        assert_eq!(socket_scan_cost(14, 75), 1050);
+    }
+}

@@ -1,0 +1,105 @@
+//! Rendering of schedules as MOVE parallel code.
+//!
+//! The MOVE framework "produces parallel code that is supported by an
+//! instruction level parallel-type TTA": one instruction per cycle, one
+//! move slot per bus. This module renders a [`Schedule`] in that form —
+//! useful for inspecting what the scheduler actually emitted, and the
+//! basis of the instruction-width accounting of the architecture model.
+
+use std::fmt::Write as _;
+
+use tta_arch::Architecture;
+
+use crate::schedule::{Endpoint, Schedule};
+
+/// Renders one endpoint in MOVE-assembly style.
+fn endpoint(arch: &Architecture, e: Endpoint) -> String {
+    match e {
+        Endpoint::FuResult(i) => format!("{}.r", arch.fus()[i].name),
+        Endpoint::FuOperand(i) => format!("{}.o", arch.fus()[i].name),
+        Endpoint::FuTrigger(i) => format!("{}.t", arch.fus()[i].name),
+        Endpoint::RfWrite(i) => format!("{}.w", arch.rfs()[i].name),
+        Endpoint::RfRead(i) => format!("{}.r", arch.rfs()[i].name),
+        Endpoint::Imm(i) => format!("#{}", arch.fus()[i].name),
+    }
+}
+
+/// Renders the whole schedule as one instruction (line) per cycle, with
+/// `…` marking idle move slots.
+pub fn render_move_code(arch: &Architecture, schedule: &Schedule) -> String {
+    let nb = arch.bus_count();
+    let mut by_cycle: Vec<Vec<String>> = vec![Vec::new(); schedule.makespan as usize + 1];
+    for mv in &schedule.moves {
+        let text = format!(
+            "{} -> {}",
+            endpoint(arch, mv.src),
+            endpoint(arch, mv.dst)
+        );
+        by_cycle[mv.cycle as usize].push(text);
+    }
+    let mut out = String::new();
+    for (cycle, moves) in by_cycle.iter().enumerate() {
+        if cycle == 0 && moves.is_empty() {
+            continue; // cycle 0 carries no moves by construction
+        }
+        let _ = write!(out, "{cycle:>4}: ");
+        for slot in 0..nb {
+            if slot > 0 {
+                out.push_str(" ; ");
+            }
+            match moves.get(slot) {
+                Some(m) => out.push_str(m),
+                None => out.push('…'),
+            }
+        }
+        debug_assert!(moves.len() <= nb, "more moves than buses in cycle {cycle}");
+        out.push('\n');
+    }
+    out
+}
+
+/// Move-slot occupancy statistics: `(used_slots, total_slots)` over the
+/// makespan — the NOP density of the emitted parallel code.
+pub fn slot_occupancy(arch: &Architecture, schedule: &Schedule) -> (usize, usize) {
+    let total = schedule.makespan as usize * arch.bus_count();
+    (schedule.moves.len(), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Dfg, Op};
+    use crate::schedule::Scheduler;
+    use tta_arch::Architecture;
+
+    fn example() -> (Architecture, Schedule) {
+        let arch = Architecture::figure9();
+        let mut dfg = Dfg::new(16);
+        let a = dfg.input();
+        let b = dfg.input();
+        let s = dfg.op(Op::Add, &[a, b]);
+        let t = dfg.op(Op::Xor, &[s, a]);
+        dfg.mark_output(t);
+        let schedule = Scheduler::new(&arch).run(&dfg).unwrap();
+        (arch, schedule)
+    }
+
+    #[test]
+    fn code_lists_every_move() {
+        let (arch, schedule) = example();
+        let code = render_move_code(&arch, &schedule);
+        // Every move appears exactly once.
+        let arrows = code.matches("->").count();
+        assert_eq!(arrows, schedule.moves.len());
+        assert!(code.contains("alu0.t"), "{code}");
+        assert!(code.contains("rf"), "{code}");
+    }
+
+    #[test]
+    fn occupancy_bounded_by_slots() {
+        let (arch, schedule) = example();
+        let (used, total) = slot_occupancy(&arch, &schedule);
+        assert!(used <= total);
+        assert!(used > 0);
+    }
+}

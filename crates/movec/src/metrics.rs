@@ -1,0 +1,93 @@
+//! Schedule quality metrics and reports.
+
+use std::collections::HashMap;
+
+use tta_arch::Architecture;
+
+use crate::schedule::{Endpoint, Move, Schedule};
+
+/// Utilisation summary of one schedule on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Total cycles (with spill penalty).
+    pub cycles: u32,
+    /// Total data transports.
+    pub moves: usize,
+    /// Average fraction of bus slots occupied.
+    pub bus_utilization: f64,
+    /// Transports per FU instance index (sources only).
+    pub fu_result_moves: HashMap<usize, usize>,
+    /// Transports per RF instance index (reads + writes).
+    pub rf_traffic: HashMap<usize, usize>,
+    /// Register-file overflow events.
+    pub spills: u32,
+}
+
+impl ScheduleReport {
+    /// Builds the report for `schedule` on `arch`.
+    pub fn new(arch: &Architecture, schedule: &Schedule) -> Self {
+        let mut fu_result_moves: HashMap<usize, usize> = HashMap::new();
+        let mut rf_traffic: HashMap<usize, usize> = HashMap::new();
+        for mv in &schedule.moves {
+            count_endpoint(&mut fu_result_moves, &mut rf_traffic, mv);
+        }
+        ScheduleReport {
+            cycles: schedule.cycles,
+            moves: schedule.moves.len(),
+            bus_utilization: schedule.transport_density(arch),
+            fu_result_moves,
+            rf_traffic,
+            spills: schedule.spills,
+        }
+    }
+}
+
+fn count_endpoint(
+    fu: &mut HashMap<usize, usize>,
+    rf: &mut HashMap<usize, usize>,
+    mv: &Move,
+) {
+    match mv.src {
+        Endpoint::FuResult(i) | Endpoint::Imm(i) => *fu.entry(i).or_default() += 1,
+        Endpoint::RfRead(i) => *rf.entry(i).or_default() += 1,
+        _ => {}
+    }
+    if let Endpoint::RfWrite(i) = mv.dst {
+        *rf.entry(i).or_default() += 1;
+    }
+}
+
+impl std::fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} moves, bus util {:.1}%, {} spills",
+            self.cycles,
+            self.moves,
+            self.bus_utilization * 100.0,
+            self.spills
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Dfg, Op};
+    use crate::schedule::Scheduler;
+
+    #[test]
+    fn report_counts_traffic() {
+        let mut dfg = Dfg::new(16);
+        let a = dfg.input();
+        let b = dfg.input();
+        let x = dfg.op(Op::Add, &[a, b]);
+        dfg.mark_output(x);
+        let arch = Architecture::figure9();
+        let s = Scheduler::new(&arch).run(&dfg).unwrap();
+        let report = ScheduleReport::new(&arch, &s);
+        assert_eq!(report.moves, 3);
+        assert!(report.bus_utilization > 0.0);
+        assert!(report.to_string().contains("moves"));
+    }
+}

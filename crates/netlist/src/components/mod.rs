@@ -1,0 +1,214 @@
+//! Structural generators for every datapath component of the paper's TTA
+//! template (Figure 9): ALU, comparator, multiplier, register files,
+//! load/store unit, program counter, immediate unit, and the socket /
+//! stage-control infrastructure of Figures 3–4.
+//!
+//! Each generator returns a [`Component`]: a gate-level [`Netlist`]
+//! following the hybrid-pipelining structure of Figure 3 — operand (O) and
+//! trigger (T) input registers, a combinational core, and a result (R)
+//! register — plus interface metadata the architecture model needs
+//! (connector counts, pipeline register split).
+//!
+//! Flip-flop naming convention: storage flip-flops of register files are
+//! named `store…`; all other flip-flops (O/T/R pipeline registers, socket
+//! `Fin`/`Fout`, stage-control state, opcode registers) count as *transport
+//! infrastructure* and form the socket scan chains of the paper's eq. (13).
+
+mod alu;
+mod cmp;
+mod immediate;
+mod ldst;
+mod mul;
+mod pc;
+mod regfile;
+mod socket;
+mod stage;
+
+pub use alu::{alu, AluOp};
+pub use cmp::{cmp, CmpOp};
+pub use immediate::immediate;
+pub use ldst::load_store;
+pub use mul::mul;
+pub use pc::pc;
+pub use regfile::register_file;
+pub use socket::{input_socket, output_socket, socket_group};
+pub use stage::stage_control;
+
+use std::fmt;
+
+use crate::netlist::Netlist;
+
+/// The kind of a generated datapath component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Arithmetic-logic unit: add, sub, shifts, and, or, xor, not.
+    Alu,
+    /// Magnitude/equality comparator.
+    Cmp,
+    /// Array multiplier (low half).
+    Mul,
+    /// Register file with `regs` registers, `nin` write and `nout` read
+    /// ports (flip-flop implementation).
+    RegisterFile {
+        /// Number of registers.
+        regs: u16,
+        /// Write (input) ports.
+        nin: u8,
+        /// Read (output) ports.
+        nout: u8,
+    },
+    /// Load/store unit towards data memory.
+    LoadStore,
+    /// Program counter / sequencer.
+    Pc,
+    /// Immediate operand unit.
+    Immediate,
+    /// Input socket (bus → component), Figure 4.
+    InputSocket,
+    /// Output socket (component → bus).
+    OutputSocket,
+    /// Stage-control FSM of the hybrid pipeline, Figure 3.
+    StageControl,
+}
+
+impl ComponentKind {
+    /// Short mnemonic as used in the paper's Table 1.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ComponentKind::Alu => "ALU",
+            ComponentKind::Cmp => "CMP",
+            ComponentKind::Mul => "MUL",
+            ComponentKind::RegisterFile { .. } => "RF",
+            ComponentKind::LoadStore => "LD/ST",
+            ComponentKind::Pc => "PC",
+            ComponentKind::Immediate => "IMM",
+            ComponentKind::InputSocket => "ISOCK",
+            ComponentKind::OutputSocket => "OSOCK",
+            ComponentKind::StageControl => "STAGE",
+        }
+    }
+
+    /// Whether this component is datapath (tested functionally through the
+    /// buses) rather than transport infrastructure (tested via scan).
+    pub fn is_datapath(&self) -> bool {
+        !matches!(
+            self,
+            ComponentKind::InputSocket
+                | ComponentKind::OutputSocket
+                | ComponentKind::StageControl
+        )
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A generated component: netlist plus the interface facts the
+/// architecture and test-cost models consume.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// What this component is.
+    pub kind: ComponentKind,
+    /// The gate-level implementation.
+    pub netlist: Netlist,
+    /// Data width in bits.
+    pub width: usize,
+    /// Number of input-side data connectors (operand/trigger/write ports).
+    pub data_in_ports: usize,
+    /// Number of output-side data connectors (result/read ports).
+    pub data_out_ports: usize,
+}
+
+impl Component {
+    /// Total connector count `nconn` of the paper's eq. (11).
+    pub fn nconn(&self) -> usize {
+        self.data_in_ports + self.data_out_ports
+    }
+
+    /// Number of *storage* flip-flops (register-file core).
+    pub fn storage_ff_count(&self) -> usize {
+        self.netlist
+            .dffs()
+            .iter()
+            .filter(|ff| ff.name().starts_with("store"))
+            .count()
+    }
+
+    /// Number of transport-infrastructure flip-flops: pipeline registers
+    /// (O/T/R), socket `Fin`/`Fout`, opcode and stage-control state.
+    ///
+    /// This is the socket scan-chain length `nl` of the paper's eq. (13).
+    pub fn infrastructure_ff_count(&self) -> usize {
+        self.netlist.dff_count() - self.storage_ff_count()
+    }
+
+    /// Cell area in NAND2 equivalents.
+    pub fn area(&self) -> f64 {
+        self.netlist.area()
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}-bit, {} in / {} out ports, {:.0} GE, {} FFs)",
+            self.kind,
+            self.width,
+            self.data_in_ports,
+            self.data_out_ports,
+            self.area(),
+            self.netlist.dff_count()
+        )
+    }
+}
+
+/// Number of address bits needed for `n` registers (at least 1).
+pub(crate) fn addr_bits(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    usize::BITS as usize - (n - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_bits_rounds_up() {
+        assert_eq!(addr_bits(2), 1);
+        assert_eq!(addr_bits(3), 2);
+        assert_eq!(addr_bits(8), 3);
+        assert_eq!(addr_bits(9), 4);
+        assert_eq!(addr_bits(12), 4);
+    }
+
+    #[test]
+    fn every_generator_produces_valid_netlists() {
+        let comps = [
+            alu(8),
+            cmp(8),
+            mul(8),
+            register_file(8, 8, 1, 2),
+            load_store(8),
+            pc(8),
+            immediate(8),
+            input_socket(8, 4, 5),
+            output_socket(8, 4, 6),
+            stage_control(),
+        ];
+        for c in &comps {
+            assert_eq!(c.netlist.validate(), Ok(()), "{}", c.kind);
+            assert!(c.area() > 0.0, "{}", c.kind);
+        }
+    }
+
+    #[test]
+    fn datapath_classification() {
+        assert!(ComponentKind::Alu.is_datapath());
+        assert!(!ComponentKind::InputSocket.is_datapath());
+        assert!(!ComponentKind::StageControl.is_datapath());
+    }
+}

@@ -1,0 +1,202 @@
+//! Primitive gate types of the structural netlist.
+
+use std::fmt;
+
+use crate::netlist::NetId;
+
+/// Identifier of a gate inside a [`crate::Netlist`].
+///
+/// Gate ids are dense indices assigned in creation order; they are stable
+/// for the lifetime of the netlist (gates are never removed, only added by
+/// transformations such as scan insertion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `GateId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The fixed-arity combinational primitives supported by the netlist.
+///
+/// Arities are deliberately fixed (two-input logic, three-input mux) so
+/// that fault enumeration, controllability analysis and PODEM backtrace
+/// stay simple and predictable; the [`crate::NetlistBuilder`] provides
+/// reduction trees for wider operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Single-input buffer.
+    Buf,
+    /// Single-input inverter.
+    Not,
+    /// Two-input AND.
+    And,
+    /// Two-input OR.
+    Or,
+    /// Two-input NAND.
+    Nand,
+    /// Two-input NOR.
+    Nor,
+    /// Two-input XOR.
+    Xor,
+    /// Two-input XNOR.
+    Xnor,
+    /// Two-to-one multiplexer; inputs are ordered `[sel, a, b]` and the
+    /// output is `a` when `sel == 0`, `b` when `sel == 1`.
+    Mux2,
+}
+
+impl GateKind {
+    /// Number of input pins of this gate kind.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the gate on bit-parallel 64-wide words.
+    #[inline]
+    pub fn eval(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs[0] & inputs[1],
+            GateKind::Or => inputs[0] | inputs[1],
+            GateKind::Nand => !(inputs[0] & inputs[1]),
+            GateKind::Nor => !(inputs[0] | inputs[1]),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => (!inputs[0] & inputs[1]) | (inputs[0] & inputs[2]),
+        }
+    }
+
+    /// Short lowercase mnemonic used in debug dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux2 => "mux2",
+        }
+    }
+
+    /// All gate kinds, handy for tests that sweep the library.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+    ];
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One gate instance: a primitive kind, its input nets and its output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    pub(crate) fn new(kind: GateKind, inputs: Vec<NetId>, output: NetId) -> Self {
+        debug_assert_eq!(kind.arity(), inputs.len(), "gate arity mismatch");
+        Gate {
+            kind,
+            inputs,
+            output,
+        }
+    }
+
+    /// The primitive implemented by this gate.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The single output net.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities_match_eval_expectations() {
+        for kind in GateKind::ALL {
+            let n = kind.arity();
+            assert!(n >= 1 && n <= 3, "{kind} arity {n} out of range");
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Nand.eval(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xor.eval(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Xnor.eval(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval(&[a]) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval(&[a]) & 0xF, 0b1100);
+    }
+
+    #[test]
+    fn mux_selects_b_when_sel_high() {
+        let sel = 0b10u64;
+        let a = 0b01u64;
+        let b = 0b10u64;
+        // Pattern 0: sel=0 -> a bit0 = 1. Pattern 1: sel=1 -> b bit1 = 1.
+        assert_eq!(GateKind::Mux2.eval(&[sel, a, b]) & 0b11, 0b11);
+    }
+
+    #[test]
+    fn display_is_mnemonic() {
+        assert_eq!(GateKind::Nand.to_string(), "nand");
+        assert_eq!(GateId(7).to_string(), "g7");
+    }
+}

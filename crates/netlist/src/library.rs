@@ -1,0 +1,78 @@
+//! A miniature standard-cell library: area in NAND2 gate equivalents and
+//! propagation delays in normalised gate delays.
+//!
+//! The absolute values are representative of a late-1990s standard-cell
+//! library (the paper's components were synthesised with Synopsys against
+//! such a library); only ratios matter for the exploration, since area and
+//! delay enter the cost model as relative axes.
+
+use crate::gate::GateKind;
+
+/// Area of one D flip-flop, in NAND2 equivalents.
+pub const DFF_AREA: f64 = 4.5;
+
+/// Area of one scan D flip-flop (mux-scan style), in NAND2 equivalents.
+pub const SCAN_DFF_AREA: f64 = 5.75;
+
+/// Clock-to-Q delay of a flip-flop, in normalised gate delays.
+pub const DFF_CLK_TO_Q: f64 = 1.5;
+
+/// Setup time of a flip-flop, in normalised gate delays.
+pub const DFF_SETUP: f64 = 0.5;
+
+/// Area of the given combinational gate, in NAND2 equivalents.
+pub fn gate_area(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Buf => 0.75,
+        GateKind::Not => 0.5,
+        GateKind::And => 1.25,
+        GateKind::Or => 1.25,
+        GateKind::Nand => 1.0,
+        GateKind::Nor => 1.0,
+        GateKind::Xor => 2.5,
+        GateKind::Xnor => 2.5,
+        GateKind::Mux2 => 2.25,
+    }
+}
+
+/// Propagation delay of the given gate, in normalised gate delays.
+pub fn gate_delay(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Buf => 0.6,
+        GateKind::Not => 0.4,
+        GateKind::And => 1.1,
+        GateKind::Or => 1.1,
+        GateKind::Nand => 1.0,
+        GateKind::Nor => 1.0,
+        GateKind::Xor => 1.8,
+        GateKind::Xnor => 1.8,
+        GateKind::Mux2 => 1.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_is_the_unit() {
+        assert_eq!(gate_area(GateKind::Nand), 1.0);
+        assert_eq!(gate_delay(GateKind::Nand), 1.0);
+    }
+
+    #[test]
+    fn all_cells_have_positive_cost() {
+        for kind in GateKind::ALL {
+            assert!(gate_area(kind) > 0.0, "{kind}");
+            assert!(gate_delay(kind) > 0.0, "{kind}");
+        }
+        assert!(DFF_AREA > 0.0);
+        assert!(SCAN_DFF_AREA > DFF_AREA, "scan FF must cost extra");
+    }
+
+    #[test]
+    fn xor_costs_more_than_nand() {
+        assert!(gate_area(GateKind::Xor) > gate_area(GateKind::Nand));
+        assert!(gate_delay(GateKind::Xor) > gate_delay(GateKind::Nand));
+    }
+}

@@ -1,0 +1,483 @@
+//! The structural netlist container: nets, gates, flip-flops, ports.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::{Gate, GateId};
+use crate::library;
+
+/// Identifier of a net (a single-bit signal) inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a D flip-flop inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DffId(pub(crate) u32);
+
+impl DffId {
+    /// Returns the dense index of this flip-flop.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `DffId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        DffId(index as u32)
+    }
+}
+
+impl fmt::Display for DffId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ff{}", self.0)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Primary input with its position in the PI list.
+    PrimaryInput(u32),
+    /// Output of a combinational gate.
+    Gate(GateId),
+    /// Q output of a flip-flop.
+    DffQ(DffId),
+    /// Constant zero.
+    Const0,
+    /// Constant one.
+    Const1,
+    /// Declared but not yet driven (only legal transiently inside the builder).
+    Floating,
+}
+
+/// Metadata of one net.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub(crate) driver: NetDriver,
+    pub(crate) name: Option<String>,
+}
+
+impl Net {
+    /// The driver of this net.
+    #[inline]
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+
+    /// Optional debug name (ports and registers are always named).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// A D flip-flop: `q` takes the value of `d` at every clock edge.
+///
+/// Clock and reset are implicit — the whole datapath is single-clock, as in
+/// the paper's hybrid-pipelined components.
+#[derive(Debug, Clone)]
+pub struct Dff {
+    pub(crate) d: NetId,
+    pub(crate) q: NetId,
+    pub(crate) name: String,
+}
+
+impl Dff {
+    /// Data input net.
+    #[inline]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// Q output net.
+    #[inline]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+
+    /// Instance name (used by scan stitching and fault reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Errors reported by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net has no driver.
+    FloatingNet(NetId),
+    /// The combinational part of the netlist contains a cycle through the
+    /// given net.
+    CombinationalLoop(NetId),
+    /// A primary output net does not exist.
+    DanglingOutput(NetId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::FloatingNet(n) => write!(f, "net {n} has no driver"),
+            NetlistError::CombinationalLoop(n) => {
+                write!(f, "combinational loop through net {n}")
+            }
+            NetlistError::DanglingOutput(n) => write!(f, "primary output {n} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat, single-clock, gate-level netlist.
+///
+/// Invariants (enforced by [`crate::NetlistBuilder`] and checked by
+/// [`Netlist::validate`]):
+///
+/// * every net has exactly one driver;
+/// * the gate graph restricted to combinational edges is acyclic;
+/// * gate arities match their [`crate::GateKind`].
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+    /// Gates in topological order (computed lazily by `validate`/builder).
+    pub(crate) topo: Vec<GateId>,
+}
+
+impl Netlist {
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primary input nets in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, net)` pairs in declaration order.
+    pub fn primary_outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Looks up one gate.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Looks up one net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up one flip-flop.
+    pub fn dff(&self, id: DffId) -> &Dff {
+        &self.dffs[id.index()]
+    }
+
+    /// Gates in a topological order of the combinational graph.
+    ///
+    /// Sources are primary inputs, constants and flip-flop Q outputs.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Finds a net by its debug name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name.as_deref() == Some(name))
+            .map(NetId::from_index)
+    }
+
+    /// Total cell area in NAND2 gate equivalents (gates + flip-flops).
+    pub fn area(&self) -> f64 {
+        let gate_area: f64 = self
+            .gates
+            .iter()
+            .map(|g| library::gate_area(g.kind()))
+            .sum();
+        gate_area + self.dffs.len() as f64 * library::DFF_AREA
+    }
+
+    /// Readers of every net: `(gate, pin)` pairs plus flip-flop D pins.
+    ///
+    /// This fanout table is used by fault enumeration (stem/branch split)
+    /// and by the event-driven part of fault simulation.
+    pub fn fanout_table(&self) -> Fanout {
+        let mut gate_pins: Vec<Vec<(GateId, u8)>> = vec![Vec::new(); self.nets.len()];
+        let mut dff_d: Vec<Vec<DffId>> = vec![Vec::new(); self.nets.len()];
+        let mut po: Vec<bool> = vec![false; self.nets.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for (pin, net) in g.inputs().iter().enumerate() {
+                gate_pins[net.index()].push((GateId(gi as u32), pin as u8));
+            }
+        }
+        for (fi, ff) in self.dffs.iter().enumerate() {
+            dff_d[ff.d.index()].push(DffId(fi as u32));
+        }
+        for (_, net) in &self.outputs {
+            po[net.index()] = true;
+        }
+        Fanout {
+            gate_pins,
+            dff_d,
+            po,
+        }
+    }
+
+    /// Checks all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found: floating nets, dangling
+    /// outputs or combinational loops.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (i, net) in self.nets.iter().enumerate() {
+            if matches!(net.driver, NetDriver::Floating) {
+                return Err(NetlistError::FloatingNet(NetId(i as u32)));
+            }
+        }
+        for (_, net) in &self.outputs {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::DanglingOutput(*net));
+            }
+        }
+        // Topological order must cover every gate; otherwise there is a loop.
+        if self.topo.len() != self.gates.len() {
+            let in_topo: Vec<bool> = {
+                let mut v = vec![false; self.gates.len()];
+                for g in &self.topo {
+                    v[g.index()] = true;
+                }
+                v
+            };
+            let offending = self
+                .gates
+                .iter()
+                .enumerate()
+                .find(|(i, _)| !in_topo[*i])
+                .map(|(_, g)| g.output())
+                .expect("topo shorter than gates implies a missing gate");
+            return Err(NetlistError::CombinationalLoop(offending));
+        }
+        Ok(())
+    }
+
+    /// Computes (and stores) a topological order of the combinational gates.
+    ///
+    /// Returns `false` if a combinational cycle prevents a complete order.
+    pub(crate) fn compute_topo(&mut self) -> bool {
+        let mut indegree: Vec<u32> = vec![0; self.gates.len()];
+        // net -> consuming gates
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); self.nets.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for inp in g.inputs() {
+                consumers[inp.index()].push(gi as u32);
+            }
+        }
+        // A gate's indegree counts inputs driven by other gates only;
+        // PI/DffQ/consts are sequential or external sources.
+        for (gi, g) in self.gates.iter().enumerate() {
+            for inp in g.inputs() {
+                if matches!(self.nets[inp.index()].driver, NetDriver::Gate(_)) {
+                    indegree[gi] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut topo = Vec::with_capacity(self.gates.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let gi = queue[head];
+            head += 1;
+            topo.push(GateId(gi));
+            let out = self.gates[gi as usize].output();
+            for &ci in &consumers[out.index()] {
+                indegree[ci as usize] -= 1;
+                if indegree[ci as usize] == 0 {
+                    queue.push(ci);
+                }
+            }
+        }
+        let complete = topo.len() == self.gates.len();
+        self.topo = topo;
+        complete
+    }
+
+    /// Renders a compact human-readable dump (for debugging and goldens).
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "design {} ({} nets, {} gates, {} ffs)\n",
+            self.name,
+            self.nets.len(),
+            self.gates.len(),
+            self.dffs.len()
+        ));
+        for (i, net) in self.inputs.iter().enumerate() {
+            s.push_str(&format!(
+                "  input  {} {}\n",
+                net,
+                self.nets[net.index()].name.as_deref().unwrap_or("?"),
+            ));
+            let _ = i;
+        }
+        for (name, net) in &self.outputs {
+            s.push_str(&format!("  output {net} {name}\n"));
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            s.push_str(&format!(
+                "  g{} {} {:?} -> {}\n",
+                i,
+                g.kind(),
+                g.inputs(),
+                g.output()
+            ));
+        }
+        for (i, ff) in self.dffs.iter().enumerate() {
+            s.push_str(&format!("  ff{} {} d={} q={}\n", i, ff.name, ff.d, ff.q));
+        }
+        s
+    }
+
+    /// Builds a name → net map for all named nets.
+    pub fn named_nets(&self) -> HashMap<String, NetId> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.name.clone().map(|s| (s, NetId(i as u32))))
+            .collect()
+    }
+}
+
+/// Fanout (reader) table of a netlist; see [`Netlist::fanout_table`].
+#[derive(Debug, Clone)]
+pub struct Fanout {
+    /// For each net: the `(gate, pin)` pairs reading it.
+    pub gate_pins: Vec<Vec<(GateId, u8)>>,
+    /// For each net: the flip-flops whose D input reads it.
+    pub dff_d: Vec<Vec<DffId>>,
+    /// For each net: whether it is a primary output.
+    pub po: Vec<bool>,
+}
+
+impl Fanout {
+    /// Total number of readers (gate pins + D pins + PO taps) of `net`.
+    pub fn reader_count(&self, net: NetId) -> usize {
+        self.gate_pins[net.index()].len()
+            + self.dff_d[net.index()].len()
+            + usize::from(self.po[net.index()])
+    }
+}
+
+pub use self::DffId as FlipFlopId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        b.finish()
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn find_net_by_name() {
+        let nl = tiny();
+        assert!(nl.find_net("a").is_some());
+        assert!(nl.find_net("zz").is_none());
+    }
+
+    #[test]
+    fn fanout_counts_readers() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and2(a, x);
+        b.output("y", y);
+        let nl = b.finish();
+        let f = nl.fanout_table();
+        // `a` feeds the NOT and pin 0 of the AND.
+        assert_eq!(f.reader_count(nl.find_net("a").unwrap()), 2);
+    }
+
+    #[test]
+    fn area_positive_and_additive() {
+        let nl = tiny();
+        assert!(nl.area() > 0.0);
+    }
+
+    #[test]
+    fn dump_mentions_design_name() {
+        assert!(tiny().dump().contains("design tiny"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregate statistics of a netlist: the numbers the exploration
+//! back-annotates for every predesigned component (area, delay, register
+//! count), mirroring the paper's Synopsys/ATPG flow.
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use crate::timing;
+
+/// Summary of one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// Flip-flop count (these become scannable state in the DfT flow).
+    pub dffs: usize,
+    /// Cell area in NAND2 gate equivalents.
+    pub area: f64,
+    /// Critical path in normalised gate delays.
+    pub critical_path: f64,
+    /// Deepest logic level.
+    pub depth: u32,
+    /// Gate histogram in [`GateKind::ALL`] order.
+    pub histogram: [usize; 9],
+}
+
+impl NetlistStats {
+    /// Computes statistics for `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut histogram = [0usize; 9];
+        for g in nl.gates() {
+            let idx = GateKind::ALL
+                .iter()
+                .position(|k| *k == g.kind())
+                .expect("all kinds enumerated");
+            histogram[idx] += 1;
+        }
+        let t = timing::analyze(nl);
+        NetlistStats {
+            name: nl.name().to_string(),
+            inputs: nl.primary_inputs().len(),
+            outputs: nl.primary_outputs().len(),
+            gates: nl.gate_count(),
+            dffs: nl.dff_count(),
+            area: nl.area(),
+            critical_path: t.critical_path,
+            depth: t.depth,
+            histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PI, {} PO, {} gates, {} FFs, area {:.1} GE, Tcrit {:.1}, depth {}",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.dffs,
+            self.area,
+            self.critical_path,
+            self.depth
+        )?;
+        for (kind, count) in GateKind::ALL.iter().zip(self.histogram) {
+            if count > 0 {
+                writeln!(f, "  {kind:>5}: {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn stats_count_gates_by_kind() {
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let y = b.xor2(a, x);
+        let z = b.not(y);
+        b.output("z", z);
+        let s = NetlistStats::of(&b.finish());
+        assert_eq!(s.gates, 3);
+        let and_idx = GateKind::ALL.iter().position(|k| *k == GateKind::And).unwrap();
+        let xor_idx = GateKind::ALL.iter().position(|k| *k == GateKind::Xor).unwrap();
+        assert_eq!(s.histogram[and_idx], 1);
+        assert_eq!(s.histogram[xor_idx], 1);
+        assert!(s.to_string().contains("mix"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Static timing: critical-path estimation over the combinational graph.
+//!
+//! The MOVE-style exploration needs a per-component delay figure so that a
+//! candidate architecture's cycle time can be bounded; this module provides
+//! a classic longest-path analysis using the unit delays of
+//! [`crate::library`].
+
+use crate::library;
+use crate::netlist::{NetDriver, Netlist};
+
+/// Result of a longest-path timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst arrival time at any primary output or flip-flop D pin,
+    /// including clock-to-Q at the launching register and setup at the
+    /// capturing one.
+    pub critical_path: f64,
+    /// Worst arrival considering only PO endpoints.
+    pub worst_po: f64,
+    /// Worst arrival considering only flip-flop D endpoints.
+    pub worst_reg: f64,
+    /// Logic depth (levels of gates) on the deepest path.
+    pub depth: u32,
+}
+
+/// Per-net arrival times (same indexing as the netlist's nets).
+pub fn arrival_times(nl: &Netlist) -> Vec<f64> {
+    let mut arrival = vec![0.0f64; nl.net_count()];
+    for (i, net) in nl.nets().iter().enumerate() {
+        arrival[i] = match net.driver() {
+            NetDriver::DffQ(_) => library::DFF_CLK_TO_Q,
+            _ => 0.0,
+        };
+    }
+    for &gid in nl.topo_order() {
+        let g = nl.gate(gid);
+        let worst_in = g
+            .inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0f64, f64::max);
+        arrival[g.output().index()] = worst_in + library::gate_delay(g.kind());
+    }
+    arrival
+}
+
+/// Per-net logic depth (levels of gates from any source).
+pub fn logic_depth(nl: &Netlist) -> Vec<u32> {
+    let mut depth = vec![0u32; nl.net_count()];
+    for &gid in nl.topo_order() {
+        let g = nl.gate(gid);
+        let worst_in = g.inputs().iter().map(|n| depth[n.index()]).max().unwrap_or(0);
+        depth[g.output().index()] = worst_in + 1;
+    }
+    depth
+}
+
+/// Runs longest-path analysis over the whole netlist.
+pub fn analyze(nl: &Netlist) -> TimingReport {
+    let arrival = arrival_times(nl);
+    let depth = logic_depth(nl);
+    let worst_po = nl
+        .primary_outputs()
+        .iter()
+        .map(|(_, n)| arrival[n.index()])
+        .fold(0.0f64, f64::max);
+    let worst_reg = nl
+        .dffs()
+        .iter()
+        .map(|ff| arrival[ff.d().index()] + library::DFF_SETUP)
+        .fold(0.0f64, f64::max);
+    let critical_path = worst_po.max(worst_reg);
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    TimingReport {
+        critical_path,
+        worst_po,
+        worst_reg,
+        depth: max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn deeper_logic_has_longer_path() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut x = a;
+        for _ in 0..10 {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        let shallow = {
+            let mut b2 = NetlistBuilder::new("single");
+            let a2 = b2.input("a");
+            let y2 = b2.not(a2);
+            b2.output("y", y2);
+            analyze(&b2.finish())
+        };
+        let deep = analyze(&b.finish());
+        assert!(deep.critical_path > shallow.critical_path);
+        assert_eq!(deep.depth, 10);
+        assert_eq!(shallow.depth, 1);
+    }
+
+    #[test]
+    fn registers_add_clk_to_q_and_setup() {
+        let mut b = NetlistBuilder::new("r2r");
+        let d = b.input("d");
+        let q = b.dff("a", d);
+        let n = b.not(q);
+        let _q2 = b.dff("b", n);
+        let nl = b.finish();
+        let report = analyze(&nl);
+        // clk->q + inverter + setup
+        let expect = crate::library::DFF_CLK_TO_Q
+            + crate::library::gate_delay(crate::GateKind::Not)
+            + crate::library::DFF_SETUP;
+        assert!((report.worst_reg - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_logic_has_zero_depth() {
+        let mut b = NetlistBuilder::new("wire");
+        let a = b.input("a");
+        b.output("y", a);
+        let report = analyze(&b.finish());
+        assert_eq!(report.depth, 0);
+        assert_eq!(report.critical_path, 0.0);
+    }
+}

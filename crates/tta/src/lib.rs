@@ -1,0 +1,40 @@
+//! The transport-triggered architecture (TTA) machine model.
+//!
+//! A TTA template (Figure 1 of the paper) is a set of functional units
+//! (FU) and register files (RF) whose ports attach through *sockets* to a
+//! small number of *move buses*; the only instruction is the data
+//! transport (move). This crate models:
+//!
+//! * the architecture description ([`Architecture`], [`FuInstance`],
+//!   [`RfInstance`]) with per-port bus assignment, validation and
+//!   socket/connector enumeration;
+//! * the hybrid-pipelining transport-timing relations (2)–(8) of the
+//!   paper as an executable checker ([`timing`]);
+//! * the per-operation cycle floors `CD ≥ 3` / `CD ≥ 4` of eqs. (9)–(10)
+//!   ([`timing::transport_cycles`]);
+//! * template generators for the design-space sweep ([`template`]);
+//! * the bus-oriented VLIW ASIP generalisation of Figure 7 ([`vliw`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tta_arch::{Architecture, FuKind};
+//!
+//! // The paper's Figure 9 machine: 2 buses, 16 bit.
+//! let arch = Architecture::figure9();
+//! assert_eq!(arch.bus_count(), 2);
+//! assert!(arch.validate().is_ok());
+//! assert!(arch.fus().iter().any(|f| f.kind == FuKind::Alu));
+//! ```
+
+pub mod arch;
+pub mod isa;
+pub mod template;
+pub mod timing;
+pub mod vliw;
+
+pub use arch::{
+    Architecture, ArchitectureError, BusId, FuInstance, FuKind, PortRole, RfInstance,
+};
+pub use isa::InstructionFormat;
+pub use timing::{transport_cycles, validate_relations, OpTransport, RelationViolation};

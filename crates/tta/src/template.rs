@@ -1,0 +1,260 @@
+//! Template construction and design-space enumeration.
+//!
+//! The MOVE framework explores architectures by varying "the exact match
+//! of the number and type of functional units, register files, sockets
+//! and busses". [`TemplateBuilder`] builds one concrete instance with
+//! round-robin socket→bus assignment; [`TemplateSpace`] enumerates a
+//! bounded space of them for the exploration driver.
+
+use crate::arch::{Architecture, BusId, FuInstance, FuKind, RfInstance};
+
+/// Builder for a single [`Architecture`].
+///
+/// Ports are attached to buses round-robin in declaration order, which is
+/// how port/bus sharing (and with it the eq. (10) penalty) arises
+/// naturally when a template has more connectors than buses — exactly the
+/// effect Figure 6 of the paper illustrates.
+#[derive(Debug)]
+pub struct TemplateBuilder {
+    name: String,
+    width: usize,
+    buses: usize,
+    next_bus: u8,
+    fus: Vec<FuInstance>,
+    rfs: Vec<RfInstance>,
+    counters: std::collections::HashMap<&'static str, usize>,
+}
+
+impl TemplateBuilder {
+    /// Starts a template called `name` with the given datapath width and
+    /// bus count.
+    pub fn new(name: impl Into<String>, width: usize, buses: usize) -> Self {
+        TemplateBuilder {
+            name: name.into(),
+            width,
+            buses,
+            next_bus: 0,
+            fus: Vec::new(),
+            rfs: Vec::new(),
+            counters: std::collections::HashMap::new(),
+        }
+    }
+
+    fn take_bus(&mut self) -> BusId {
+        let b = BusId(self.next_bus);
+        self.next_bus = (self.next_bus + 1) % self.buses.max(1) as u8;
+        b
+    }
+
+    /// Adds a functional unit of `kind`, assigning its sockets to buses
+    /// round-robin. Instance names are `alu0`, `alu1`, `cmp0`, ….
+    pub fn fu(mut self, kind: FuKind) -> Self {
+        let base = match kind {
+            FuKind::Alu => "alu",
+            FuKind::Cmp => "cmp",
+            FuKind::Mul => "mul",
+            FuKind::LdSt => "ldst",
+            FuKind::Pc => "pc",
+            FuKind::Immediate => "imm",
+        };
+        let n = self.counters.entry(base).or_insert(0);
+        let name = format!("{base}{n}");
+        *n += 1;
+        let operand_bus = self.take_bus();
+        let trigger_bus = if kind == FuKind::Immediate {
+            operand_bus
+        } else {
+            self.take_bus()
+        };
+        let result_bus = self.take_bus();
+        self.fus.push(FuInstance {
+            kind,
+            name,
+            operand_bus,
+            trigger_bus,
+            result_bus,
+        });
+        self
+    }
+
+    /// Adds a register file with `regs` registers, `nin` write and `nout`
+    /// read ports.
+    pub fn rf(mut self, regs: usize, nin: usize, nout: usize) -> Self {
+        let n = self.counters.entry("rf").or_insert(0);
+        let name = format!("rf{}", *n + 1); // RF1, RF2 naming like the paper
+        *n += 1;
+        let write_ports = (0..nin).map(|_| self.take_bus()).collect();
+        let read_ports = (0..nout).map(|_| self.take_bus()).collect();
+        self.rfs.push(RfInstance {
+            name,
+            regs,
+            write_ports,
+            read_ports,
+        });
+        self
+    }
+
+    /// Finalises the architecture (not yet validated — the exploration
+    /// filters invalid points).
+    pub fn build(self) -> Architecture {
+        Architecture {
+            name: self.name,
+            width: self.width,
+            buses: self.buses,
+            fus: self.fus,
+            rfs: self.rfs,
+        }
+    }
+}
+
+/// Bounds of the enumerated design space.
+#[derive(Debug, Clone)]
+pub struct TemplateSpace {
+    /// Datapath width (the paper uses 16).
+    pub width: usize,
+    /// Bus counts to try.
+    pub buses: Vec<usize>,
+    /// ALU counts to try (≥ 1).
+    pub alus: Vec<usize>,
+    /// CMP counts to try.
+    pub cmps: Vec<usize>,
+    /// MUL counts to try.
+    pub muls: Vec<usize>,
+    /// Immediate-unit counts to try (≥ 1).
+    pub imms: Vec<usize>,
+    /// Register-file geometries `(regs, nin, nout)` per RF; each entry is
+    /// a complete RF set for the machine.
+    pub rf_sets: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl TemplateSpace {
+    /// The space used to regenerate Figure 2/8: 16-bit machines with 1–4
+    /// buses, 1–3 ALUs, 0–1 extra CMP/MUL, and three RF configurations.
+    pub fn paper_default() -> Self {
+        TemplateSpace {
+            width: 16,
+            buses: vec![1, 2, 3, 4],
+            alus: vec![1, 2, 3],
+            cmps: vec![1, 2],
+            muls: vec![0, 1],
+            imms: vec![1],
+            rf_sets: vec![
+                vec![(8, 1, 2)],
+                vec![(8, 1, 2), (12, 1, 2)],
+                vec![(16, 2, 2)],
+            ],
+        }
+    }
+
+    /// A tiny space for unit tests (a handful of points).
+    pub fn tiny() -> Self {
+        TemplateSpace {
+            width: 8,
+            buses: vec![1, 2],
+            alus: vec![1],
+            cmps: vec![1],
+            muls: vec![0],
+            imms: vec![1],
+            rf_sets: vec![vec![(8, 1, 2)]],
+        }
+    }
+
+    /// Enumerates every architecture in the space (PC and LD/ST are always
+    /// included once, as the paper does).
+    pub fn enumerate(&self) -> Vec<Architecture> {
+        let mut out = Vec::new();
+        for &nb in &self.buses {
+            for &na in &self.alus {
+                for &nc in &self.cmps {
+                    for &nm in &self.muls {
+                        for &ni in &self.imms {
+                            for rfset in &self.rf_sets {
+                                let label = format!(
+                                    "b{nb}a{na}c{nc}m{nm}i{ni}r{}",
+                                    rfset
+                                        .iter()
+                                        .map(|(r, i, o)| format!("{r}.{i}.{o}"))
+                                        .collect::<Vec<_>>()
+                                        .join("_")
+                                );
+                                let mut b = TemplateBuilder::new(label, self.width, nb);
+                                for _ in 0..na {
+                                    b = b.fu(FuKind::Alu);
+                                }
+                                for _ in 0..nc {
+                                    b = b.fu(FuKind::Cmp);
+                                }
+                                for _ in 0..nm {
+                                    b = b.fu(FuKind::Mul);
+                                }
+                                for _ in 0..ni {
+                                    b = b.fu(FuKind::Immediate);
+                                }
+                                b = b.fu(FuKind::LdSt).fu(FuKind::Pc);
+                                for &(regs, nin, nout) in rfset {
+                                    b = b.rf(regs, nin, nout);
+                                }
+                                out.push(b.build());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the enumerated space.
+    pub fn len(&self) -> usize {
+        self.buses.len()
+            * self.alus.len()
+            * self.cmps.len()
+            * self.muls.len()
+            * self.imms.len()
+            * self.rf_sets.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_matches_len() {
+        let space = TemplateSpace::paper_default();
+        let archs = space.enumerate();
+        assert_eq!(archs.len(), space.len());
+        assert_eq!(archs.len(), 4 * 3 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn every_enumerated_architecture_validates() {
+        for arch in TemplateSpace::paper_default().enumerate() {
+            assert_eq!(arch.validate(), Ok(()), "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn round_robin_shares_buses_when_scarce() {
+        // 1-bus machine: every port lands on bus0 -> maximum sharing.
+        let a = TemplateBuilder::new("one", 8, 1).fu(FuKind::Alu).rf(4, 1, 1).build();
+        let alu = &a.fus[0];
+        assert_eq!(alu.operand_bus, alu.trigger_bus);
+        assert_eq!(crate::timing::transport_cycles(alu), 5);
+        // 3-bus machine: ALU ports spread out.
+        let b = TemplateBuilder::new("three", 8, 3).fu(FuKind::Alu).rf(4, 1, 1).build();
+        assert_eq!(crate::timing::transport_cycles(&b.fus[0]), 3);
+    }
+
+    #[test]
+    fn names_are_unique_and_paper_style() {
+        let a = Architecture::figure9();
+        assert!(a.rfs.iter().any(|r| r.name == "rf1"));
+        assert!(a.rfs.iter().any(|r| r.name == "rf2"));
+    }
+}

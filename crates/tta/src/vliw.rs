@@ -1,0 +1,217 @@
+//! The bus-oriented VLIW ASIP generalisation (Figure 7).
+//!
+//! The paper notes the functional-test methodology extends to "any type of
+//! regular bus-oriented VLIW ASIP architectures": components directly on
+//! the bus are tested by functional application of structural patterns,
+//! while components reachable only *through* other components need a test
+//! order and special control set-up. This module models such templates
+//! and derives the required test order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a component connects to the central bus of the VLIW template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VliwAccess {
+    /// Port directly on the bus (testable in any order).
+    Direct,
+    /// Reachable only through the listed components (they must be tested
+    /// — and configured transparent — first).
+    Through(Vec<String>),
+}
+
+/// One component of the VLIW template.
+#[derive(Debug, Clone)]
+pub struct VliwComponent {
+    /// Instance name.
+    pub name: String,
+    /// Input-side access.
+    pub input_access: VliwAccess,
+    /// Output-side access.
+    pub output_access: VliwAccess,
+}
+
+/// A bus-oriented VLIW ASIP template (Figure 7): register file, execution
+/// units, caches around one (or few) shared buses.
+#[derive(Debug, Clone, Default)]
+pub struct VliwTemplate {
+    components: Vec<VliwComponent>,
+}
+
+/// Error: the access graph has a dependency cycle, so no valid test order
+/// exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestOrderCycle(pub Vec<String>);
+
+impl fmt::Display for TestOrderCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test-access cycle through {:?}", self.0)
+    }
+}
+
+impl std::error::Error for TestOrderCycle {}
+
+impl VliwTemplate {
+    /// Empty template.
+    pub fn new() -> Self {
+        VliwTemplate::default()
+    }
+
+    /// Adds a component.
+    pub fn component(
+        mut self,
+        name: impl Into<String>,
+        input_access: VliwAccess,
+        output_access: VliwAccess,
+    ) -> Self {
+        self.components.push(VliwComponent {
+            name: name.into(),
+            input_access,
+            output_access,
+        });
+        self
+    }
+
+    /// The Figure 7 example: instruction cache/register feeding execution
+    /// units; the register file's output reaches the bus only through the
+    /// execution units.
+    pub fn figure7(n_exec_units: usize) -> Self {
+        let mut t = VliwTemplate::new()
+            .component("icache", VliwAccess::Direct, VliwAccess::Direct)
+            .component("iregister", VliwAccess::Direct, VliwAccess::Direct)
+            .component("dcache", VliwAccess::Direct, VliwAccess::Direct);
+        let eu_names: Vec<String> = (0..n_exec_units).map(|i| format!("eu{i}")).collect();
+        for name in &eu_names {
+            t = t.component(name.clone(), VliwAccess::Direct, VliwAccess::Direct);
+        }
+        // RF output is connected to the bus through the execution units.
+        t.component("rf", VliwAccess::Direct, VliwAccess::Through(eu_names))
+    }
+
+    /// Components in the template.
+    pub fn components(&self) -> &[VliwComponent] {
+        &self.components
+    }
+
+    /// Components testable without preconditions.
+    pub fn directly_testable(&self) -> Vec<&str> {
+        self.components
+            .iter()
+            .filter(|c| {
+                matches!(c.input_access, VliwAccess::Direct)
+                    && matches!(c.output_access, VliwAccess::Direct)
+            })
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Derives a valid test order: every component is tested after all
+    /// components it depends on for bus access (topological sort).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestOrderCycle`] when components mutually depend on each
+    /// other for access.
+    pub fn test_order(&self) -> Result<Vec<String>, TestOrderCycle> {
+        let index: HashMap<&str, usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        let n = self.components.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, c) in self.components.iter().enumerate() {
+            for access in [&c.input_access, &c.output_access] {
+                if let VliwAccess::Through(list) = access {
+                    for dep in list {
+                        let Some(&j) = index.get(dep.as_str()) else {
+                            continue;
+                        };
+                        deps[i].push(j);
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm over the access-dependency graph.
+        let mut indeg = vec![0usize; n];
+        let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ds) in deps.iter().enumerate() {
+            indeg[i] = ds.len();
+            for &j in ds {
+                rdeps[j].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            order.push(self.components[i].name.clone());
+            for &k in &rdeps[i] {
+                indeg[k] -= 1;
+                if indeg[k] == 0 {
+                    queue.push(k);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.components[i].name.clone())
+                .collect();
+            return Err(TestOrderCycle(stuck));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_rf_tested_after_execution_units() {
+        let t = VliwTemplate::figure7(3);
+        let order = t.test_order().expect("acyclic");
+        let pos = |name: &str| order.iter().position(|n| n == name).unwrap();
+        for eu in ["eu0", "eu1", "eu2"] {
+            assert!(pos(eu) < pos("rf"), "{eu} must precede rf");
+        }
+    }
+
+    #[test]
+    fn direct_components_listed() {
+        let t = VliwTemplate::figure7(2);
+        let direct = t.directly_testable();
+        assert!(direct.contains(&"icache"));
+        assert!(!direct.contains(&"rf"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let t = VliwTemplate::new()
+            .component(
+                "a",
+                VliwAccess::Direct,
+                VliwAccess::Through(vec!["b".into()]),
+            )
+            .component(
+                "b",
+                VliwAccess::Direct,
+                VliwAccess::Through(vec!["a".into()]),
+            );
+        assert!(t.test_order().is_err());
+    }
+
+    #[test]
+    fn unknown_dependency_ignored() {
+        let t = VliwTemplate::new().component(
+            "a",
+            VliwAccess::Through(vec!["ghost".into()]),
+            VliwAccess::Direct,
+        );
+        assert_eq!(t.test_order().unwrap(), vec!["a".to_string()]);
+    }
+}

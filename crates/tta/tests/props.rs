@@ -1,0 +1,91 @@
+//! Property-based tests of the architecture model: template generation
+//! always validates, CD floors hold for any port assignment, and the
+//! canonical transports satisfy relations (2)–(8).
+
+use proptest::prelude::*;
+use tta_arch::template::TemplateBuilder;
+use tta_arch::timing::{canonical_transport, rf_transport_cycles};
+use tta_arch::{transport_cycles, validate_relations, BusId, FuInstance, FuKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cd_in_paper_bounds_for_any_assignment(o in 0u8..4, t in 0u8..4, r in 0u8..4) {
+        let fu = FuInstance {
+            kind: FuKind::Alu,
+            name: "x".into(),
+            operand_bus: BusId(o),
+            trigger_bus: BusId(t),
+            result_bus: BusId(r),
+        };
+        let cd = transport_cycles(&fu);
+        // eq. (9): never below 3; full sharing adds at most 2.
+        prop_assert!((3..=5).contains(&cd), "cd = {cd}");
+        // eq. (10): sharing operand+trigger costs at least 4.
+        if o == t {
+            prop_assert!(cd >= 4);
+        }
+    }
+
+    #[test]
+    fn canonical_transports_always_validate(
+        o in 0u8..4, t in 0u8..4, r in 0u8..4, start in 0u32..100, gap in 5u32..20,
+    ) {
+        for kind in [FuKind::Alu, FuKind::Cmp, FuKind::Mul, FuKind::Immediate] {
+            let fu = FuInstance {
+                kind,
+                name: "x".into(),
+                operand_bus: BusId(o),
+                trigger_bus: if kind == FuKind::Immediate { BusId(o) } else { BusId(t) },
+                result_bus: BusId(r),
+            };
+            let a = canonical_transport(&fu, start);
+            let b = canonical_transport(&fu, start + gap);
+            prop_assert_eq!(validate_relations(&[a, b]), Ok(()), "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn templates_always_validate(
+        buses in 1usize..5,
+        alus in 1usize..4,
+        cmps in 0usize..3,
+        muls in 0usize..2,
+        regs in 1usize..33,
+        nin in 1usize..3,
+        nout in 1usize..4,
+    ) {
+        let mut b = TemplateBuilder::new("p", 16, buses);
+        for _ in 0..alus {
+            b = b.fu(FuKind::Alu);
+        }
+        for _ in 0..cmps {
+            b = b.fu(FuKind::Cmp);
+        }
+        for _ in 0..muls {
+            b = b.fu(FuKind::Mul);
+        }
+        let arch = b
+            .fu(FuKind::Immediate)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .rf(regs, nin, nout)
+            .build();
+        prop_assert_eq!(arch.validate(), Ok(()));
+        // Socket count is exactly the port sum.
+        let expect: usize = arch.fus().iter().map(|f| f.nconn()).sum::<usize>()
+            + arch.rfs().iter().map(|r| r.nconn()).sum::<usize>();
+        prop_assert_eq!(arch.socket_count(), expect);
+    }
+
+    #[test]
+    fn rf_cd_matches_sharing(wb in 0u8..4, rb in 0u8..4) {
+        let cd = rf_transport_cycles(BusId(wb), BusId(rb));
+        if wb == rb {
+            prop_assert_eq!(cd, 4);
+        } else {
+            prop_assert_eq!(cd, 3);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! UNIX `crypt(3)` — the password-hashing application the paper's whole
+//! exploration is validated on (ref. \[7\]).
+//!
+//! `crypt` builds a 56-bit DES key from the password (7 bits per
+//! character), perturbs the cipher's E-expansion with a 12-bit salt, and
+//! encrypts the zero block 25 times, feeding each output back as input.
+//! The result is encoded as 13 characters of the `./0-9A-Za-z` alphabet
+//! (salt first).
+
+use crate::des;
+
+/// The `crypt` output alphabet, in encoding order.
+const ALPHABET: &[u8; 64] = b"./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+/// Value of a salt character (its index in the alphabet; unknown
+/// characters fold like the historical implementation: by low bits).
+fn salt_value(c: u8) -> u32 {
+    match ALPHABET.iter().position(|&a| a == c) {
+        Some(i) => i as u32,
+        None => u32::from(c) & 0x3F,
+    }
+}
+
+/// Builds the 64-bit DES key from up to 8 password bytes: 7 data bits per
+/// character placed in the high bits of each key byte (parity ignored).
+pub fn password_key(password: &str) -> u64 {
+    let mut key = 0u64;
+    for (i, b) in password.bytes().take(8).enumerate() {
+        key |= u64::from(b & 0x7F) << 1 << (8 * (7 - i));
+    }
+    key
+}
+
+/// The 12-bit salt from two salt characters.
+pub fn salt_bits(salt: &str) -> u32 {
+    let bytes = salt.as_bytes();
+    let s0 = salt_value(*bytes.first().unwrap_or(&b'.'));
+    let s1 = salt_value(*bytes.get(1).unwrap_or(&b'.'));
+    s0 | (s1 << 6)
+}
+
+/// The 25-fold salted-DES core: encrypts the zero block 25 times.
+pub fn crypt_core(key: u64, salt: u32) -> u64 {
+    let mut block = 0u64;
+    for _ in 0..25 {
+        block = des::encrypt_block_salted(key, block, salt);
+    }
+    block
+}
+
+/// Encodes the 64-bit result as 11 output characters (6 bits each,
+/// MSB-first, two zero bits appended).
+fn encode(block: u64) -> String {
+    let mut out = String::with_capacity(11);
+    // 64 bits + 2 padding zero bits = 66 = 11 * 6.
+    let v = u128::from(block) << 2;
+    for i in (0..11).rev() {
+        let six = ((v >> (6 * i)) & 0x3F) as usize;
+        out.push(ALPHABET[six] as char);
+    }
+    out
+}
+
+/// `crypt(3)`: hashes `password` under the two-character `salt`,
+/// returning the classic 13-character string (salt + 11 hash chars).
+///
+/// # Examples
+///
+/// ```
+/// use tta_workloads::crypt::crypt;
+///
+/// let hash = crypt("correct horse", "ab");
+/// assert_eq!(hash.len(), 13);
+/// assert!(hash.starts_with("ab"));
+/// // Deterministic:
+/// assert_eq!(hash, crypt("correct horse", "ab"));
+/// ```
+pub fn crypt(password: &str, salt: &str) -> String {
+    let key = password_key(password);
+    let bits = salt_bits(salt);
+    let block = crypt_core(key, bits);
+    let bytes = salt.as_bytes();
+    let s0 = *bytes.first().unwrap_or(&b'.') as char;
+    let s1 = *bytes.get(1).unwrap_or(&b'.') as char;
+    format!("{s0}{s1}{}", encode(block))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape() {
+        let h = crypt("password", "ab");
+        assert_eq!(h.len(), 13);
+        assert!(h.starts_with("ab"));
+        assert!(h.bytes().all(|b| ALPHABET.contains(&b)));
+    }
+
+    #[test]
+    fn deterministic_and_salt_sensitive() {
+        assert_eq!(crypt("secret", "xy"), crypt("secret", "xy"));
+        assert_ne!(crypt("secret", "xy"), crypt("secret", "yx"));
+        assert_ne!(crypt("secret", "xy"), crypt("secrets", "xy"));
+    }
+
+    #[test]
+    fn only_first_eight_chars_matter() {
+        // Historical behaviour: the key uses at most 8 characters.
+        assert_eq!(crypt("12345678", "ab"), crypt("12345678ZZZ", "ab"));
+    }
+
+    #[test]
+    fn zero_salt_core_is_iterated_plain_des() {
+        // Salt ".." = 0: the core must equal 25 chained plain-DES calls.
+        let key = password_key("hunter2");
+        let mut block = 0u64;
+        for _ in 0..25 {
+            block = des::encrypt_block(key, block);
+        }
+        assert_eq!(crypt_core(key, 0), block);
+    }
+
+    #[test]
+    fn password_key_layout() {
+        // 'A' = 0x41: 7 bits 1000001, shifted into the top byte.
+        let k = password_key("A");
+        assert_eq!(k >> 56, 0x41 << 1);
+    }
+
+    #[test]
+    fn salt_bits_alphabet_order() {
+        assert_eq!(salt_bits(".."), 0);
+        assert_eq!(salt_bits("/."), 1);
+        assert_eq!(salt_bits("./"), 1 << 6);
+        assert_eq!(salt_bits("zz"), 63 | (63 << 6));
+    }
+}

@@ -1,0 +1,334 @@
+//! The Data Encryption Standard (FIPS 46), the computational core of the
+//! UNIX `crypt(3)` application the paper evaluates.
+//!
+//! Two functionally equivalent implementations coexist:
+//!
+//! * a readable permutation-table reference (`encrypt_block`), validated
+//!   against the classic published test vectors;
+//! * an SPE-table path (`rounds16_spe`, [`spe_tables`], [`e_groups`])
+//!   structured exactly like the 16-bit IR lowering in [`crate::lower`],
+//!   so the scheduled workload can be checked against it value-for-value.
+
+/// Initial permutation IP.
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation IP⁻¹.
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+/// Expansion E (32 → 48).
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// Permutation P (32 → 32).
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// Key permutation PC-1 (64 → 56).
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+/// Key permutation PC-2 (56 → 48).
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Per-round left-shift amounts of the key schedule.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// The eight S-boxes, row-major `[box][row * 16 + column]`.
+const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7, 4,
+        10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Generic MSB-first bit permutation: output bit `i` (MSB first) takes
+/// input bit `table[i]` (1-based, MSB first) of an `in_bits`-wide value.
+fn permute(v: u64, in_bits: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for (i, &src) in table.iter().enumerate() {
+        let bit = (v >> (in_bits - u32::from(src))) & 1;
+        out |= bit << (table.len() - 1 - i);
+    }
+    out
+}
+
+/// S-box lookup with the raw 6-bit input (row = b1b6, column = b2b3b4b5).
+fn sbox(i: usize, six: u64) -> u64 {
+    let row = ((six >> 4) & 2) | (six & 1);
+    let col = (six >> 1) & 0xF;
+    u64::from(SBOX[i][(row * 16 + col) as usize])
+}
+
+/// The 16 round subkeys (48 bits each) of `key`.
+pub fn key_schedule(key: u64) -> [u64; 16] {
+    let pc1 = permute(key, 64, &PC1);
+    let mut c = (pc1 >> 28) & 0x0FFF_FFFF;
+    let mut d = pc1 & 0x0FFF_FFFF;
+    let mut keys = [0u64; 16];
+    for (i, &s) in SHIFTS.iter().enumerate() {
+        let s = u32::from(s);
+        c = ((c << s) | (c >> (28 - s))) & 0x0FFF_FFFF;
+        d = ((d << s) | (d >> (28 - s))) & 0x0FFF_FFFF;
+        keys[i] = permute((c << 28) | d, 56, &PC2);
+    }
+    keys
+}
+
+/// The cipher function `f(R, K)` with an optional `crypt(3)` salt
+/// perturbation: salt bit `i` (0..12) swaps E-output bits `i` and `i+24`
+/// (counted LSB-first over the 48-bit expansion).
+pub fn f_function(r: u32, subkey: u64, salt: u32) -> u32 {
+    let mut e = permute(u64::from(r), 32, &E);
+    // Salt perturbation (Morris & Thompson): makes crypt ≠ plain DES so
+    // hardware DES chips cannot be used for password search.
+    for i in 0..12 {
+        if salt >> i & 1 == 1 {
+            let b1 = (e >> i) & 1;
+            let b2 = (e >> (i + 24)) & 1;
+            if b1 != b2 {
+                e ^= (1 << i) | (1 << (i + 24));
+            }
+        }
+    }
+    let x = e ^ subkey;
+    let mut sout = 0u64;
+    for i in 0..8 {
+        let six = (x >> (42 - 6 * i)) & 0x3F;
+        sout |= sbox(i, six) << (28 - 4 * i);
+    }
+    permute(sout, 32, &P) as u32
+}
+
+/// Encrypts one 64-bit block under `key` (single DES), with a `crypt(3)`
+/// salt (0 for plain DES).
+pub fn encrypt_block_salted(key: u64, block: u64, salt: u32) -> u64 {
+    let keys = key_schedule(key);
+    let ip = permute(block, 64, &IP);
+    let mut l = (ip >> 32) as u32;
+    let mut r = ip as u32;
+    for k in keys {
+        let next_r = l ^ f_function(r, k, salt);
+        l = r;
+        r = next_r;
+    }
+    let preoutput = (u64::from(r) << 32) | u64::from(l);
+    permute(preoutput, 64, &FP)
+}
+
+/// Plain single-DES block encryption.
+pub fn encrypt_block(key: u64, block: u64) -> u64 {
+    encrypt_block_salted(key, block, 0)
+}
+
+// ---------------------------------------------------------------------
+// SPE path: the structure the 16-bit IR lowering mirrors.
+// ---------------------------------------------------------------------
+
+/// The eight E-expansion 6-bit groups of `r` (group 0 first, each
+/// MSB-first) — E is eight overlapping windows of R, wrapping at both
+/// ends.
+pub fn e_groups(r: u32) -> [u8; 8] {
+    let mut g = [0u8; 8];
+    for (i, slot) in g.iter_mut().enumerate() {
+        let mut v = 0u8;
+        for k in 0..6usize {
+            // DES position, 1-based MSB-first, wrapping 0 -> 32, 33 -> 1.
+            let p = (4 * i + k + 31) % 32 + 1;
+            let bit = (r >> (32 - p)) & 1;
+            v |= (bit as u8) << (5 - k);
+        }
+        *slot = v;
+    }
+    g
+}
+
+/// The per-round 6-bit subkey chunks (chunk 0 = E group 0's key bits).
+pub fn subkey_chunks(subkey: u64) -> [u8; 8] {
+    let mut c = [0u8; 8];
+    for (i, slot) in c.iter_mut().enumerate() {
+        *slot = ((subkey >> (42 - 6 * i)) & 0x3F) as u8;
+    }
+    c
+}
+
+/// The SPE tables: `spe[i][idx]` is the P-permuted contribution of S-box
+/// `i` on raw input `idx` — S and P folded into one lookup, as real
+/// `crypt` implementations (and our IR lowering) do.
+pub fn spe_tables() -> [[u32; 64]; 8] {
+    let mut spe = [[0u32; 64]; 8];
+    for i in 0..8 {
+        for idx in 0..64u64 {
+            let placed = sbox(i, idx) << (28 - 4 * i);
+            spe[i][idx as usize] = permute(placed, 32, &P) as u32;
+        }
+    }
+    spe
+}
+
+/// One Feistel round via the SPE path (no salt).
+pub fn round_spe(l: u32, r: u32, chunks: [u8; 8], spe: &[[u32; 64]; 8]) -> (u32, u32) {
+    let groups = e_groups(r);
+    let mut f = 0u32;
+    for i in 0..8 {
+        f |= spe[i][usize::from(groups[i] ^ chunks[i])];
+    }
+    (r, l ^ f)
+}
+
+/// Sixteen SPE rounds plus the final swap: the exact computation the IR
+/// lowering of [`crate::lower`] performs (IP/FP excluded on both sides).
+pub fn rounds16_spe(mut l: u32, mut r: u32, subkeys: &[u64; 16]) -> (u32, u32) {
+    let spe = spe_tables();
+    for &k in subkeys {
+        let (nl, nr) = round_spe(l, r, subkey_chunks(k), &spe);
+        l = nl;
+        r = nr;
+    }
+    (r, l) // final swap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic worked example (widely reproduced from FIPS 46
+    /// teaching material).
+    #[test]
+    fn classic_textbook_vector() {
+        let ct = encrypt_block(0x1334_5779_9BBC_DFF1, 0x0123_4567_89AB_CDEF);
+        assert_eq!(ct, 0x85E8_1354_0F0A_B405);
+    }
+
+    #[test]
+    fn nbs_zero_vector() {
+        // All-zero key and block: a standard validation value.
+        assert_eq!(encrypt_block(0, 0), 0x8CA6_4DE9_C1B1_23A7);
+    }
+
+    #[test]
+    fn all_ones_vector() {
+        assert_eq!(
+            encrypt_block(u64::MAX, u64::MAX),
+            0x7359_B216_3E4E_DC58
+        );
+    }
+
+    #[test]
+    fn key_schedule_textbook_first_subkey() {
+        // K1 of key 133457799BBCDFF1 = 000110 110000 001011 101111
+        // 111111 000111 000001 110010 (another fixture from the same
+        // worked example).
+        let keys = key_schedule(0x1334_5779_9BBC_DFF1);
+        assert_eq!(keys[0], 0b000110_110000_001011_101111_111111_000111_000001_110010);
+    }
+
+    #[test]
+    fn e_groups_match_table_expansion() {
+        for r in [0u32, 1, 0x8000_0001, 0xDEAD_BEEF, 0xFFFF_FFFF, 0x0F0F_1234] {
+            let e = permute(u64::from(r), 32, &E);
+            let groups = e_groups(r);
+            for i in 0..8 {
+                let expect = ((e >> (42 - 6 * i)) & 0x3F) as u8;
+                assert_eq!(groups[i], expect, "r={r:08x} group {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spe_rounds_match_reference() {
+        let key = 0x1334_5779_9BBC_DFF1;
+        let keys = key_schedule(key);
+        // Reference: run the f-function rounds directly (no IP/FP).
+        let (mut l, mut r) = (0x0123_4567u32, 0x89AB_CDEFu32);
+        for k in keys {
+            let nr = l ^ f_function(r, k, 0);
+            l = r;
+            r = nr;
+        }
+        let reference = (r, l);
+        let spe = rounds16_spe(0x0123_4567, 0x89AB_CDEF, &keys);
+        assert_eq!(spe, reference);
+    }
+
+    #[test]
+    fn salt_changes_ciphertext() {
+        let key = 0x0011_2233_4455_6677;
+        let a = encrypt_block_salted(key, 0, 0);
+        let b = encrypt_block_salted(key, 0, 0x5A5);
+        assert_ne!(a, b, "salt perturbation must alter the cipher");
+    }
+
+    #[test]
+    fn decrypt_roundtrip_via_reverse_schedule() {
+        // DES decryption = same rounds with reversed subkeys; verify the
+        // Feistel structure by undoing an encryption manually.
+        let key = 0x0123_4567_89AB_CDEF;
+        let pt = 0x1122_3344_5566_7788;
+        let ct = encrypt_block(key, pt);
+        let keys = key_schedule(key);
+        let ip = permute(ct, 64, &IP);
+        let mut l = (ip >> 32) as u32;
+        let mut r = ip as u32;
+        for k in keys.iter().rev() {
+            let next_r = l ^ f_function(r, *k, 0);
+            l = r;
+            r = next_r;
+        }
+        let preoutput = (u64::from(r) << 32) | u64::from(l);
+        assert_eq!(permute(preoutput, 64, &FP), pt);
+    }
+}

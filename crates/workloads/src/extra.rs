@@ -1,0 +1,291 @@
+//! Additional workloads beyond the paper's Crypt application.
+//!
+//! These exercise different corners of the design space — a MUL-hungry
+//! FIR filter, a pure-ALU bit-count kernel and a load-heavy checksum —
+//! so examples and ablation benches can show how the selected
+//! architecture shifts with the workload.
+
+use tta_movec::ir::{Dfg, Op, ValueId};
+
+/// FIR filter: `y[n] = Σ c[k] · x[n−k]` over one output sample window.
+///
+/// Taps are constants; samples are loaded from memory starting at
+/// address 0. Multiplier-bound: architectures without a MUL unit cannot
+/// run it.
+pub fn fir_dfg(taps: &[u64]) -> Dfg {
+    let mut dfg = Dfg::new(16);
+    let mut acc: Option<ValueId> = None;
+    for (k, &c) in taps.iter().enumerate() {
+        let addr = dfg.constant(k as u64);
+        let x = dfg.op(Op::Load, &[addr]);
+        let coef = dfg.constant(c);
+        let prod = dfg.op(Op::Mul, &[x, coef]);
+        acc = Some(match acc {
+            None => prod,
+            Some(a) => dfg.op(Op::Add, &[a, prod]),
+        });
+    }
+    dfg.mark_output(acc.expect("at least one tap"));
+    dfg
+}
+
+/// Reference FIR for the golden check.
+pub fn fir_reference(taps: &[u64], samples: &[u64]) -> u64 {
+    taps.iter()
+        .enumerate()
+        .map(|(k, &c)| c.wrapping_mul(samples[k]))
+        .fold(0u64, |a, v| a.wrapping_add(v))
+        & 0xFFFF
+}
+
+/// Population count of one word via the shift-and-mask ladder
+/// (pure ALU work, long dependence chain).
+pub fn bitcount_dfg() -> Dfg {
+    let mut dfg = Dfg::new(16);
+    let x = dfg.input();
+    // v = v - ((v >> 1) & 0x5555)
+    let c1 = dfg.constant(1);
+    let m5 = dfg.constant(0x5555);
+    let t = dfg.op(Op::Shr, &[x, c1]);
+    let t = dfg.op(Op::And, &[t, m5]);
+    let v = dfg.op(Op::Sub, &[x, t]);
+    // v = (v & 0x3333) + ((v >> 2) & 0x3333)
+    let c2 = dfg.constant(2);
+    let m3 = dfg.constant(0x3333);
+    let a = dfg.op(Op::And, &[v, m3]);
+    let b = dfg.op(Op::Shr, &[v, c2]);
+    let b = dfg.op(Op::And, &[b, m3]);
+    let v = dfg.op(Op::Add, &[a, b]);
+    // v = (v + (v >> 4)) & 0x0F0F
+    let c4 = dfg.constant(4);
+    let mf = dfg.constant(0x0F0F);
+    let b = dfg.op(Op::Shr, &[v, c4]);
+    let v = dfg.op(Op::Add, &[v, b]);
+    let v = dfg.op(Op::And, &[v, mf]);
+    // count = (v + (v >> 8)) & 0x1F
+    let c8 = dfg.constant(8);
+    let m1f = dfg.constant(0x1F);
+    let b = dfg.op(Op::Shr, &[v, c8]);
+    let v = dfg.op(Op::Add, &[v, b]);
+    let v = dfg.op(Op::And, &[v, m1f]);
+    dfg.mark_output(v);
+    dfg
+}
+
+/// Fletcher-style checksum over `n` memory words (load + add heavy).
+pub fn checksum_dfg(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(16);
+    let mut s1: Option<ValueId> = None;
+    let mut s2: Option<ValueId> = None;
+    for k in 0..n {
+        let addr = dfg.constant(k as u64);
+        let x = dfg.op(Op::Load, &[addr]);
+        s1 = Some(match s1 {
+            None => x,
+            Some(a) => dfg.op(Op::Add, &[a, x]),
+        });
+        s2 = Some(match (s2, s1) {
+            (None, Some(cur)) => cur,
+            (Some(b), Some(cur)) => dfg.op(Op::Add, &[b, cur]),
+            _ => unreachable!(),
+        });
+    }
+    let s1 = s1.expect("n >= 1");
+    let s2 = s2.expect("n >= 1");
+    let c8 = dfg.constant(8);
+    let hi = dfg.op(Op::Shl, &[s2, c8]);
+    let out = dfg.op(Op::Or, &[hi, s1]);
+    dfg.mark_output(out);
+    dfg
+}
+
+/// Reference checksum for the golden check.
+pub fn checksum_reference(data: &[u64]) -> u64 {
+    let mut s1 = 0u64;
+    let mut s2 = 0u64;
+    for &x in data {
+        s1 = (s1 + (x & 0xFFFF)) & 0xFFFF;
+        s2 = (s2 + s1) & 0xFFFF;
+    }
+    ((s2 << 8) | s1) & 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_matches_reference() {
+        let taps = [3u64, 1, 4, 1, 5];
+        let samples = vec![10u64, 20, 30, 40, 50, 0, 0, 0];
+        let dfg = fir_dfg(&taps);
+        let mut mem = samples.clone();
+        let out = dfg.eval(&[], &mut mem);
+        assert_eq!(out[0], fir_reference(&taps, &samples));
+    }
+
+    #[test]
+    fn bitcount_matches_popcount() {
+        let dfg = bitcount_dfg();
+        for x in [0u64, 1, 0xFFFF, 0xA5A5, 0x1234, 0x8000] {
+            let out = dfg.eval(&[x], &mut vec![0]);
+            assert_eq!(out[0], u64::from((x as u16).count_ones() as u16), "x={x:04x}");
+        }
+    }
+
+    #[test]
+    fn checksum_matches_reference() {
+        let data = vec![0x1111u64, 0x2222, 0x0042, 0x9999];
+        let dfg = checksum_dfg(data.len());
+        let mut mem = data.clone();
+        let out = dfg.eval(&[], &mut mem);
+        assert_eq!(out[0], checksum_reference(&data));
+    }
+}
+
+/// 8-point 1-D integer DCT as a coefficient matrix–vector product:
+/// `y[k] = Σ x[n] · c[k][n]` with Q7 fixed-point coefficients — the
+/// multiplier-dominated kernel of image/video workloads MOVE targets.
+pub fn dct8_dfg() -> Dfg {
+    let coeffs = dct8_coefficients();
+    let mut dfg = Dfg::new(16);
+    let xs: Vec<ValueId> = (0..8)
+        .map(|n| {
+            let addr = dfg.constant(n as u64);
+            dfg.op(Op::Load, &[addr])
+        })
+        .collect();
+    for row in &coeffs {
+        let mut acc: Option<ValueId> = None;
+        for (n, &c) in row.iter().enumerate() {
+            let cc = dfg.constant(u64::from(c));
+            let p = dfg.op(Op::Mul, &[xs[n], cc]);
+            acc = Some(match acc {
+                None => p,
+                Some(a) => dfg.op(Op::Add, &[a, p]),
+            });
+        }
+        dfg.mark_output(acc.expect("8 taps"));
+    }
+    dfg
+}
+
+/// Q7 cosine coefficients of the 8-point DCT-II, wrapped to 16 bits
+/// (negative values two's-complement encoded, as a fixed-point compiler
+/// would emit them).
+pub fn dct8_coefficients() -> [[u16; 8]; 8] {
+    let mut c = [[0u16; 8]; 8];
+    for (k, row) in c.iter_mut().enumerate() {
+        for (n, cell) in row.iter_mut().enumerate() {
+            let angle = std::f64::consts::PI / 8.0 * (n as f64 + 0.5) * k as f64;
+            let q7 = (angle.cos() * 128.0).round() as i32;
+            *cell = (q7 as i16) as u16;
+        }
+    }
+    c
+}
+
+/// Reference DCT for the golden check (same wrapping arithmetic).
+pub fn dct8_reference(x: &[u64; 8]) -> [u64; 8] {
+    let coeffs = dct8_coefficients();
+    let mut y = [0u64; 8];
+    for (k, row) in coeffs.iter().enumerate() {
+        let mut acc = 0u64;
+        for (n, &c) in row.iter().enumerate() {
+            acc = acc.wrapping_add(x[n].wrapping_mul(u64::from(c)));
+        }
+        y[k] = acc & 0xFFFF;
+    }
+    y
+}
+
+/// `iterations` unrolled steps of a branch-free Euclid GCD: the larger
+/// value is replaced by the difference each step, expressed with
+/// comparator + mask arithmetic (the trace a predicated compiler emits).
+pub fn gcd_dfg(iterations: usize) -> Dfg {
+    let mut dfg = Dfg::new(16);
+    let mut a = dfg.input();
+    let mut b = dfg.input();
+    let zero = dfg.constant(0);
+    for _ in 0..iterations {
+        // swap so that a >= b:  t = a<b;  m = 0 - t (all-ones if t)
+        let t = dfg.op(Op::Ltu, &[a, b]);
+        let m = dfg.op(Op::Sub, &[zero, t]);
+        let x = dfg.op(Op::Xor, &[a, b]);
+        let sw = dfg.op(Op::And, &[x, m]);
+        let hi = dfg.op(Op::Xor, &[a, sw]);
+        let lo = dfg.op(Op::Xor, &[b, sw]);
+        // b==0 guard: keep (hi, lo) when lo==0 else (lo, hi-lo).
+        let z = dfg.op(Op::Eq, &[lo, zero]);
+        let zm = dfg.op(Op::Sub, &[zero, z]);
+        let diff = dfg.op(Op::Sub, &[hi, lo]);
+        let keep = dfg.op(Op::And, &[hi, zm]);
+        let nzm = dfg.op(Op::Not, &[zm]);
+        let step_a = dfg.op(Op::And, &[lo, nzm]);
+        let na = dfg.op(Op::Or, &[keep, step_a]);
+        let step_b = dfg.op(Op::And, &[diff, nzm]);
+        a = na;
+        b = step_b;
+    }
+    dfg.mark_output(a);
+    dfg.mark_output(b);
+    dfg
+}
+
+/// Reference for the unrolled GCD trace.
+pub fn gcd_reference(mut a: u64, mut b: u64, iterations: usize) -> (u64, u64) {
+    for _ in 0..iterations {
+        let (hi, lo) = if a < b { (b, a) } else { (a, b) };
+        if lo == 0 {
+            a = hi;
+            b = 0;
+        } else {
+            a = lo;
+            b = hi - lo;
+        }
+    }
+    (a & 0xFFFF, b & 0xFFFF)
+}
+
+#[cfg(test)]
+mod dct_gcd_tests {
+    use super::*;
+
+    #[test]
+    fn dct8_matches_reference() {
+        let x = [10u64, 20, 30, 40, 50, 60, 70, 80];
+        let dfg = dct8_dfg();
+        let mut mem = x.to_vec();
+        let out = dfg.eval(&[], &mut mem);
+        let want = dct8_reference(&x);
+        assert_eq!(out, want.to_vec());
+    }
+
+    #[test]
+    fn dct_dc_row_sums_inputs() {
+        // Row 0 coefficients are all cos(0)*128 = 128.
+        let x = [1u64, 1, 1, 1, 1, 1, 1, 1];
+        let out = dct8_reference(&x);
+        assert_eq!(out[0], 8 * 128);
+    }
+
+    #[test]
+    fn gcd_trace_converges() {
+        // 24 unrolled steps settle gcd(48, 36) = 12.
+        let dfg = gcd_dfg(24);
+        let out = dfg.eval(&[48, 36], &mut vec![0]);
+        assert_eq!(out[0], 12);
+        assert_eq!(out[1], 0);
+        assert_eq!(gcd_reference(48, 36, 24), (12, 0));
+    }
+
+    #[test]
+    fn gcd_trace_matches_reference_midway() {
+        for (a, b, k) in [(270u64, 192u64, 3usize), (17, 5, 5), (1000, 35, 7)] {
+            let dfg = gcd_dfg(k);
+            let out = dfg.eval(&[a, b], &mut vec![0]);
+            let (ra, rb) = gcd_reference(a, b, k);
+            assert_eq!((out[0], out[1]), (ra, rb), "gcd({a},{b}) after {k}");
+        }
+    }
+}

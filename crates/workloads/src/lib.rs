@@ -1,0 +1,36 @@
+//! Workloads for the TTA design/test space exploration.
+//!
+//! The paper validates its method on the UNIX "Crypt" application (DES
+//! password hashing, ref. \[7\]). This crate provides:
+//!
+//! * a complete, test-vector-validated [`des`] implementation and the
+//!   [`crypt`] password hash built on it (the *reference semantics*);
+//! * the hand lowering of the crypt kernel onto the 16-bit MOVE IR
+//!   ([`lower`]), checked value-for-value against the reference;
+//! * additional workloads ([`extra`]) exercising other corners of the
+//!   design space, and the registry ([`suite`]) the exploration driver
+//!   consumes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tta_workloads::crypt::crypt;
+//! use tta_workloads::suite;
+//!
+//! // The application itself:
+//! assert_eq!(crypt("hunter2", "ab").len(), 13);
+//!
+//! // The schedulable kernel:
+//! let w = suite::crypt(2);
+//! let mut mem = w.mem.clone();
+//! let out = w.dfg.eval(&w.inputs, &mut mem);
+//! assert_eq!(out.len(), 4); // L and R halves as 16-bit words
+//! ```
+
+pub mod crypt;
+pub mod des;
+pub mod extra;
+pub mod lower;
+pub mod suite;
+
+pub use suite::Workload;

@@ -1,0 +1,127 @@
+//! The workload registry the exploration driver consumes.
+
+use tta_movec::ir::Dfg;
+
+use crate::{extra, lower};
+
+/// A schedulable workload: a DFG trace plus everything needed to run and
+/// account for it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// The dataflow trace.
+    pub dfg: Dfg,
+    /// Live-in values for the golden-model evaluation.
+    pub inputs: Vec<u64>,
+    /// Initial data memory image.
+    pub mem: Vec<u64>,
+    /// How many times the trace executes in the full application
+    /// (multiplies the scheduled cycle count).
+    pub trace_iterations: u64,
+}
+
+impl Workload {
+    /// Full-application cycle estimate from one scheduled trace.
+    pub fn application_cycles(&self, trace_cycles: u32) -> u64 {
+        u64::from(trace_cycles) * self.trace_iterations
+    }
+}
+
+/// The paper's workload: the crypt(3) kernel, `rounds` Feistel rounds per
+/// trace (16 = one full block cipher; fewer rounds shrink the trace for
+/// fast tests while `trace_iterations` keeps the full-app total honest).
+pub fn crypt(rounds: usize) -> Workload {
+    let key = crate::crypt::password_key("explorer");
+    Workload {
+        name: format!("crypt[{rounds}r]"),
+        dfg: lower::lower_crypt_rounds(rounds),
+        inputs: vec![0, 0, 0, 0],
+        mem: lower::crypt_mem_image(key),
+        trace_iterations: lower::crypt_trace_multiplier(rounds),
+    }
+}
+
+/// 16-tap FIR filter (needs a multiplier).
+pub fn fir16() -> Workload {
+    let taps: Vec<u64> = (1..=16).map(|k| (k * 7 + 3) & 0xFF).collect();
+    let dfg = extra::fir_dfg(&taps);
+    Workload {
+        name: "fir16".into(),
+        dfg,
+        inputs: vec![],
+        mem: (0..64).map(|k| (k * 13 + 1) & 0xFFFF).collect(),
+        trace_iterations: 256, // one output sample per trace
+    }
+}
+
+/// Bit-count ladder (pure ALU).
+pub fn bitcount() -> Workload {
+    Workload {
+        name: "bitcount".into(),
+        dfg: extra::bitcount_dfg(),
+        inputs: vec![0xA5A5],
+        mem: vec![0],
+        trace_iterations: 4096,
+    }
+}
+
+/// 32-word Fletcher checksum (load heavy).
+pub fn checksum32() -> Workload {
+    Workload {
+        name: "checksum32".into(),
+        dfg: extra::checksum_dfg(32),
+        inputs: vec![],
+        mem: (0..64).map(|k| (k * 31 + 7) & 0xFFFF).collect(),
+        trace_iterations: 512,
+    }
+}
+
+/// 8-point DCT (multiplier-dominated, 64 MULs per trace).
+pub fn dct8() -> Workload {
+    Workload {
+        name: "dct8".into(),
+        dfg: extra::dct8_dfg(),
+        inputs: vec![],
+        mem: (0..8).map(|k| (k * 97 + 11) & 0xFFFF).collect(),
+        trace_iterations: 64, // one 8-sample block per trace
+    }
+}
+
+/// Branch-free Euclid GCD trace (ALU + CMP mix, long dependence chain).
+pub fn gcd12() -> Workload {
+    Workload {
+        name: "gcd12".into(),
+        dfg: extra::gcd_dfg(12),
+        inputs: vec![2310, 1155],
+        mem: vec![0],
+        trace_iterations: 1024,
+    }
+}
+
+/// Every standard workload at test-friendly sizes.
+pub fn all_standard() -> Vec<Workload> {
+    vec![crypt(4), fir16(), bitcount(), checksum32(), dct8(), gcd12()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_evaluate() {
+        for w in all_standard() {
+            let mut mem = w.mem.clone();
+            let out = w.dfg.eval(&w.inputs, &mut mem);
+            assert!(!out.is_empty(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn application_cycles_scale() {
+        let w = crypt(16);
+        assert_eq!(w.application_cycles(100), 2500);
+        let w4 = crypt(4);
+        assert_eq!(w4.application_cycles(100), 10_000);
+    }
+}

@@ -1,0 +1,66 @@
+//! Bring your own workload: define a dataflow kernel, verify it against
+//! plain Rust, then explore which TTA suits it — including the test
+//! axis. Shows that a MUL-hungry kernel selects differently from Crypt.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use ttadse::explore::explore::{ExploreConfig, Explorer};
+use ttadse::movec::ir::{Dfg, Op};
+use ttadse::workloads::Workload;
+
+/// A small polynomial evaluator: y = c3·x³ + c2·x² + c1·x + c0 (Horner).
+fn horner_dfg(coeffs: [u64; 4]) -> Dfg {
+    let mut dfg = Dfg::new(16);
+    let x = dfg.input();
+    let mut acc = dfg.constant(coeffs[3]);
+    for &c in coeffs[..3].iter().rev() {
+        let t = dfg.op(Op::Mul, &[acc, x]);
+        let cc = dfg.constant(c);
+        acc = dfg.op(Op::Add, &[t, cc]);
+    }
+    dfg.mark_output(acc);
+    dfg
+}
+
+fn main() {
+    let coeffs = [7u64, 3, 0, 2]; // 2x^3 + 0x^2 + 3x + 7
+    let dfg = horner_dfg(coeffs);
+
+    // Golden check against plain Rust (wrapping 16-bit).
+    let x = 5u64;
+    let expect = (2 * x * x * x + 3 * x + 7) & 0xFFFF;
+    let got = dfg.eval(&[x], &mut vec![0]);
+    assert_eq!(got[0], expect);
+    println!("horner(5) = {} ✓ (matches Rust)", got[0]);
+
+    // Explore: this kernel *requires* a multiplier, so MUL-less
+    // architectures drop out as infeasible.
+    let mut space = ExploreConfig::fast().space;
+    space.muls = vec![0, 1];
+    let workload = Workload {
+        name: "horner3".into(),
+        dfg,
+        inputs: vec![x],
+        mem: vec![0],
+        trace_iterations: 1024,
+    };
+    let mut explorer = Explorer::new(ExploreConfig { space });
+    let result = explorer.run(&workload);
+    println!(
+        "{} feasible, {} infeasible (no multiplier)",
+        result.evaluated.len(),
+        result.infeasible
+    );
+    let best = result.select_equal_weights();
+    println!("selected architecture:\n{}", best.architecture);
+    assert!(
+        best.architecture.fus.iter().any(|f| f.name.starts_with("mul")),
+        "a MUL-hungry workload must select a machine with a multiplier"
+    );
+    println!(
+        "area {:.0} GE, {} cycles, test cost {:.0}",
+        best.area,
+        best.cycles,
+        best.test_cost.unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's Figure 9 architecture, schedule a tiny
+//! program on it, and look at all three cost axes — area, execution
+//! time, and test cost.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ttadse::arch::Architecture;
+use ttadse::explore::explore::{ExploreConfig, Explorer};
+use ttadse::explore::testcost::architecture_test_cost;
+use ttadse::movec::ir::{Dfg, Op};
+use ttadse::movec::schedule::Scheduler;
+
+fn main() {
+    // 1. The machine: 16-bit, 2 buses, ALU+CMP+LD/ST+PC+IMM, RF1+RF2.
+    let arch = Architecture::figure9();
+    println!("architecture:\n{arch}");
+
+    // 2. A small program: y = ((a + b) ^ c) compared against a threshold.
+    let mut dfg = Dfg::new(16);
+    let a = dfg.input();
+    let b = dfg.input();
+    let c = dfg.input();
+    let sum = dfg.op(Op::Add, &[a, b]);
+    let x = dfg.op(Op::Xor, &[sum, c]);
+    let threshold = dfg.constant(1000);
+    let flag = dfg.op(Op::Ltu, &[x, threshold]);
+    dfg.mark_output(flag);
+
+    // Golden-model check: the IR interprets like ordinary arithmetic.
+    let out = dfg.eval(&[400, 300, 7], &mut vec![0]);
+    assert_eq!(out[0], u64::from(((400 + 300) ^ 7) < 1000));
+
+    // 3. Schedule the data transports.
+    let schedule = Scheduler::new(&arch)
+        .run(&dfg)
+        .expect("figure 9 runs ALU/CMP programs");
+    println!(
+        "schedule: {} cycles, {} moves, {} spills",
+        schedule.cycles,
+        schedule.moves.len(),
+        schedule.spills
+    );
+
+    // 4. The three cost axes of the paper.
+    let mut explorer = Explorer::new(ExploreConfig::paper());
+    let area = explorer.architecture_area(&arch);
+    let clock = explorer.clock_period(&arch);
+    println!("area: {area:.0} gate equivalents");
+    println!(
+        "execution time: {} cycles x {clock:.1} gate delays = {:.0}",
+        schedule.cycles,
+        f64::from(schedule.cycles) * clock
+    );
+    let test = architecture_test_cost(&arch, explorer.db_mut());
+    println!("test cost (eq. 14): {:.0} cycles", test.total);
+    for c in &test.components {
+        let marker = if c.excluded { " (excluded)" } else { "" };
+        println!(
+            "  {:<6} np={:<4} CD={} ft={:<6.0} fts={:<6.0}{marker}",
+            c.name, c.np, c.cd, c.functional_cost, c.fts
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the TTA design/test space exploration toolchain —
+//! a from-scratch reproduction of Zivkovic, Tangelder & Kerkhoff,
+//! *Design and Test Space Exploration of Transport-Triggered
+//! Architectures* (DATE 2000).
+//!
+//! Re-exports every subsystem crate under one roof so examples and
+//! integration tests can `use ttadse::…`:
+//!
+//! * [`netlist`] — gate-level netlists + component generators,
+//! * [`atpg`] — stuck-at ATPG and fault simulation,
+//! * [`dft`] — scan insertion and march tests,
+//! * [`arch`] — the TTA machine template and transport-timing model,
+//! * [`movec`] — the MOVE-style IR and transport scheduler,
+//! * [`workloads`] — crypt(3) and friends,
+//! * [`explore`] — the paper's contribution: test-cost model, Pareto
+//!   exploration and architecture selection.
+
+pub use tta_arch as arch;
+pub use tta_atpg as atpg;
+pub use tta_core as explore;
+pub use tta_dft as dft;
+pub use tta_movec as movec;
+pub use tta_netlist as netlist;
+pub use tta_workloads as workloads;

@@ -1,0 +1,88 @@
+//! Integration: the complete paper flow at fast scale — sweep, Pareto,
+//! test lifting, selection — with the paper's structural claims checked
+//! end to end.
+
+use ttadse::explore::explore::{ExploreConfig, Explorer};
+use ttadse::explore::norm::{Norm, Weights};
+use ttadse::explore::pareto::{dominates, pareto_front};
+use ttadse::workloads::suite;
+
+#[test]
+fn full_flow_properties() {
+    let mut explorer = Explorer::new(ExploreConfig::fast());
+    let result = explorer.run(&suite::crypt(1));
+
+    // Non-degenerate sweep.
+    assert!(result.evaluated.len() >= 6);
+    assert!(!result.pareto2d.is_empty());
+
+    // Pareto front really is a front.
+    let pts: Vec<Vec<f64>> = result
+        .evaluated
+        .iter()
+        .map(|e| vec![e.area, e.exec_time])
+        .collect();
+    assert_eq!(pareto_front(&pts), result.pareto2d);
+
+    // "only the architectures that correspond to the Pareto points … are
+    // evaluated in terms of testing".
+    for (i, e) in result.evaluated.iter().enumerate() {
+        assert_eq!(e.test_cost.is_some(), result.pareto2d.contains(&i), "{i}");
+    }
+
+    // Figure 8 projection property.
+    assert!(result.projection_holds());
+
+    // The selected point is on the front and no point dominates it in 3-D.
+    let best = result.select_equal_weights();
+    let best3 = best.point3d();
+    for e in result.pareto3d_points() {
+        assert!(
+            !dominates(&e.point3d(), &best3),
+            "selection must not be 3-D dominated"
+        );
+    }
+}
+
+#[test]
+fn selection_responds_to_weights() {
+    let mut explorer = Explorer::new(ExploreConfig::fast());
+    let result = explorer.run(&suite::crypt(1));
+    // Area-heavy weights must never select a point with larger area than
+    // the equal-weight choice.
+    let equal = result.select_equal_weights();
+    let area_heavy = result.select(&Weights(vec![100.0, 1.0, 1.0]), Norm::Euclidean);
+    assert!(area_heavy.area <= equal.area);
+    // Time-heavy weights must never select a slower point.
+    let time_heavy = result.select(&Weights(vec![1.0, 100.0, 1.0]), Norm::Euclidean);
+    assert!(time_heavy.exec_time <= equal.exec_time);
+}
+
+#[test]
+fn test_cost_varies_along_the_front() {
+    // Figure 8's message: architectures adjacent on the 2-D front can
+    // differ in test cost; the axis must not be constant (unless the
+    // front collapses to one point).
+    let mut explorer = Explorer::new(ExploreConfig::fast());
+    let result = explorer.run(&suite::crypt(1));
+    let costs: Vec<f64> = result
+        .pareto3d_points()
+        .iter()
+        .map(|e| e.test_cost.expect("front has test cost"))
+        .collect();
+    if costs.len() >= 2 {
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "test axis is flat: {costs:?}");
+    }
+}
+
+#[test]
+fn different_workloads_can_select_different_machines() {
+    let mut explorer = Explorer::new(ExploreConfig::fast());
+    let crypt = explorer.run(&suite::crypt(1));
+    let checksum = explorer.run(&suite::checksum32());
+    // Both select something valid; the fronts themselves may differ.
+    assert!(crypt.select_equal_weights().test_cost.is_some());
+    assert!(checksum.select_equal_weights().test_cost.is_some());
+}

@@ -1,0 +1,82 @@
+//! Integration: every schedule the compiler produces — on any
+//! architecture, for any workload — satisfies the paper's
+//! transport-timing relations (2)–(8), and the CD floors of eqs. (9)–(10)
+//! hold on the generated templates.
+
+use ttadse::arch::template::{TemplateBuilder, TemplateSpace};
+use ttadse::arch::{transport_cycles, validate_relations, Architecture, FuKind};
+use ttadse::movec::schedule::Scheduler;
+use ttadse::workloads::suite;
+
+#[test]
+fn all_workloads_on_figure9_respect_relations() {
+    let arch = Architecture::figure9();
+    for w in [suite::crypt(2), suite::bitcount(), suite::checksum32()] {
+        let s = Scheduler::new(&arch)
+            .run(&w.dfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for (fu, ops) in s.transports_per_fu() {
+            validate_relations(ops)
+                .unwrap_or_else(|v| panic!("{} fu{fu}: {v}", w.name));
+        }
+    }
+}
+
+#[test]
+fn every_space_architecture_respects_relations_on_crypt() {
+    let w = suite::crypt(1);
+    for arch in TemplateSpace::tiny().enumerate() {
+        let s = Scheduler::new(&arch).run(&w.dfg).expect("tiny space schedulable");
+        for ops in s.transports_per_fu().values() {
+            assert_eq!(validate_relations(ops), Ok(()), "{}", arch.name);
+        }
+    }
+}
+
+#[test]
+fn cd_floor_eq9_and_eq10_across_bus_counts() {
+    // 3+ buses: every ALU port on its own bus -> CD = 3 (eq. 9).
+    // 1 bus: all ports share -> CD = 5 (eq. 10 and beyond).
+    for (buses, expect) in [(3usize, 3u32), (2, 4), (1, 5)] {
+        let arch = TemplateBuilder::new(format!("b{buses}"), 16, buses)
+            .fu(FuKind::Alu)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .rf(8, 1, 1)
+            .build();
+        let alu = arch.fus().iter().find(|f| f.kind == FuKind::Alu).unwrap();
+        assert_eq!(transport_cycles(alu), expect, "{buses} buses");
+    }
+}
+
+#[test]
+fn schedule_cycle_counts_scale_down_with_resources() {
+    // The Figure 2 mechanism: richer machines are never slower.
+    let w = suite::crypt(2);
+    let lean = TemplateBuilder::new("lean", 16, 1)
+        .fu(FuKind::Alu)
+        .fu(FuKind::Immediate)
+        .fu(FuKind::LdSt)
+        .fu(FuKind::Pc)
+        .rf(8, 1, 1)
+        .build();
+    let rich = TemplateBuilder::new("rich", 16, 4)
+        .fu(FuKind::Alu)
+        .fu(FuKind::Alu)
+        .fu(FuKind::Alu)
+        .fu(FuKind::Immediate)
+        .fu(FuKind::Immediate)
+        .fu(FuKind::LdSt)
+        .fu(FuKind::Pc)
+        .rf(16, 2, 2)
+        .rf(16, 2, 2)
+        .build();
+    let s_lean = Scheduler::new(&lean).run(&w.dfg).unwrap();
+    let s_rich = Scheduler::new(&rich).run(&w.dfg).unwrap();
+    assert!(
+        s_rich.cycles < s_lean.cycles,
+        "rich {} !< lean {}",
+        s_rich.cycles,
+        s_lean.cycles
+    );
+}
