@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer. Each
+//! benchmark runs a short warm-up followed by `sample_size` timed
+//! batches and prints the mean per-iteration time. No statistics,
+//! baselines or HTML reports; swap the workspace `compat/criterion` path
+//! for the real crate to get those.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running a warm-up iteration then `samples` timed ones.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, outside the timed window
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&self, label: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        run(&mut b);
+        let mean = if b.iters > 0 {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{label:<28} time: {mean:>12.2?}  ({} iters)",
+            self.name, b.iters
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a bench entry point running the listed functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `fn main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("alg", 8).to_string(), "alg/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

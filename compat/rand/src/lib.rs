@@ -1,0 +1,150 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no registry access, so this crate provides the
+//! exact API subset the workspace uses — `rngs::StdRng`, the [`Rng`] and
+//! [`SeedableRng`] traits, and `random::<bool / f64 / uN>()` — backed by a
+//! deterministic splitmix64/xoshiro256** generator. Replace the
+//! `compat/rand` path entry in the workspace manifest with the real crate
+//! once a registry is reachable; call sites need no changes.
+
+/// Types that can be sampled from the "standard" distribution.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl StandardSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The part of the `rand` RNG interface the workspace uses.
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from the standard distribution
+    /// (uniform over the domain; `f64` in `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `[low, high)` (u64 ranges only — the subset used).
+    fn random_range(&mut self, range: core::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic xoshiro256** generator seeded via splitmix64 — the
+    /// stand-in for `rand::rngs::StdRng`. Not cryptographic; statistically
+    /// fine for test-pattern bootstrap and benchmark point clouds.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 to fill the state, as rand does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bools_mix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trues = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((300..700).contains(&trues), "{trues}");
+    }
+}

@@ -108,9 +108,7 @@ pub fn collapse(nl: &Netlist, universe: &FaultUniverse) -> CollapsedFaults {
             GateKind::Nand => Some((false, true)),
             GateKind::Or => Some((true, true)),
             GateKind::Nor => Some((true, false)),
-            GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor | GateKind::Mux2 => {
-                None
-            }
+            GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor | GateKind::Mux2 => None,
         };
         match gate.kind() {
             GateKind::Buf => {

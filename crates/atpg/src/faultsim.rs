@@ -116,7 +116,13 @@ impl FaultSimulator {
                 self.touched.push(net.index() as u32);
                 self.touched_flag[net.index()] = true;
                 detected |= self.observe_diff(good, net);
-                schedule_readers(net, &mut heap, &mut self.queued, &self.topo_pos, &self.fanout);
+                schedule_readers(
+                    net,
+                    &mut heap,
+                    &mut self.queued,
+                    &self.topo_pos,
+                    &self.fanout,
+                );
             }
             FaultSite::GatePin(gid, pin) => {
                 // Only the faulted gate sees the stuck pin.

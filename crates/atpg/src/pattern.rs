@@ -155,9 +155,7 @@ mod tests {
 
     #[test]
     fn retain_indices_keeps_selected() {
-        let mut ts: TestSet = (0..5)
-            .map(|i| Pattern::new(vec![i % 2 == 0]))
-            .collect();
+        let mut ts: TestSet = (0..5).map(|i| Pattern::new(vec![i % 2 == 0])).collect();
         ts.retain_indices(&[0, 3]);
         assert_eq!(ts.len(), 2);
         assert_eq!(ts.patterns()[0].bits(), &[true]);

@@ -278,18 +278,33 @@ impl<'a> Podem<'a> {
                     let va = values[a.index()];
                     let vb = values[b.index()];
                     if va.good == V3::X {
-                        let target = if vb.good.is_binary() { vb.good.not() } else { V3::One };
+                        let target = if vb.good.is_binary() {
+                            vb.good.not()
+                        } else {
+                            V3::One
+                        };
                         return Some((a, target));
                     }
                     if vb.good == V3::X {
-                        let target = if va.good.is_binary() { va.good.not() } else { V3::One };
+                        let target = if va.good.is_binary() {
+                            va.good.not()
+                        } else {
+                            V3::One
+                        };
                         return Some((b, target));
                     }
                     None
                 } else if sel.good == V3::X {
                     // Select the input carrying the effect.
                     let va = values[a.index()];
-                    Some((sel_net, if va.is_fault_effect() { V3::Zero } else { V3::One }))
+                    Some((
+                        sel_net,
+                        if va.is_fault_effect() {
+                            V3::Zero
+                        } else {
+                            V3::One
+                        },
+                    ))
                 } else {
                     // Select known; effect must be on the selected leg
                     // already — nothing more to set here.
@@ -363,7 +378,11 @@ impl<'a> Podem<'a> {
                     } else {
                         (values[a.index()].good, b)
                     };
-                    let target = if kind == GateKind::Xor { val } else { val.not() };
+                    let target = if kind == GateKind::Xor {
+                        val
+                    } else {
+                        val.not()
+                    };
                     let v = if known.is_binary() {
                         target.xor(known)
                     } else {

@@ -104,13 +104,12 @@ impl Scoap {
                 // side inputs to non-controlling values.
                 let side_cost: u32 = match g.kind() {
                     GateKind::Buf | GateKind::Not => 0,
-                    GateKind::And | GateKind::Nand => {
-                        ins.iter()
-                            .enumerate()
-                            .filter(|(k, _)| *k != pin)
-                            .map(|(_, s)| cc1[s.index()])
-                            .fold(0u32, |a, v| a.saturating_add(v))
-                    }
+                    GateKind::And | GateKind::Nand => ins
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != pin)
+                        .map(|(_, s)| cc1[s.index()])
+                        .fold(0u32, |a, v| a.saturating_add(v)),
                     GateKind::Or | GateKind::Nor => ins
                         .iter()
                         .enumerate()
@@ -172,9 +171,7 @@ impl Scoap {
     /// untestability — e.g. a dangling carry-out cone).
     pub fn untestable_net_count(&self) -> usize {
         (0..self.cc0.len())
-            .filter(|&i| {
-                self.cc0[i].min(self.cc1[i]) >= UNREACHABLE || self.co[i] >= UNREACHABLE
-            })
+            .filter(|&i| self.cc0[i].min(self.cc1[i]) >= UNREACHABLE || self.co[i] >= UNREACHABLE)
             .count()
     }
 }

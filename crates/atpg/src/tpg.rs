@@ -372,11 +372,14 @@ mod tests {
         let alu = components::alu(4);
         let result = Atpg::new(AtpgConfig::default()).run(&alu.netlist);
         let mut fs = FaultSimulator::new(alu.netlist.clone());
-        let (redetected, _) =
-            fs.run_with_dropping(result.test_set.patterns(), &result.faults);
+        let (redetected, _) = fs.run_with_dropping(result.test_set.patterns(), &result.faults);
         for (i, s) in result.status.iter().enumerate() {
             if *s == FaultStatus::Detected {
-                assert!(redetected[i], "fault {} lost by compaction", result.faults[i]);
+                assert!(
+                    redetected[i],
+                    "fault {} lost by compaction",
+                    result.faults[i]
+                );
             }
         }
     }

@@ -33,6 +33,7 @@ impl V3 {
     }
 
     /// Logical complement (X stays X).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             V3::Zero => V3::One,

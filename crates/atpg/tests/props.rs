@@ -16,7 +16,9 @@ fn random_circuit(seed: u64, n_inputs: usize, n_gates: usize) -> Netlist {
     let mut b = NetlistBuilder::new(format!("rand{seed}"));
     let mut lcg = seed | 1;
     let mut next = move || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (lcg >> 33) as usize
     };
     let mut nets: Vec<NetId> = (0..n_inputs).map(|i| b.input(format!("i{i}"))).collect();

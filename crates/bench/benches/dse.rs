@@ -1,21 +1,42 @@
 //! End-to-end design-space exploration benchmark (fast scale): sweep,
-//! Pareto reduction and test-cost lifting.
+//! Pareto reduction and test-cost lifting, serial vs parallel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tta_core::explore::{ExploreConfig, Explorer};
+use tta_arch::template::TemplateSpace;
+use tta_core::explore::Exploration;
+use tta_core::ComponentDb;
 use tta_workloads::suite;
 
 fn bench_dse(c: &mut Criterion) {
     let mut group = c.benchmark_group("dse");
     group.sample_size(10);
     let workload = suite::crypt(1);
-    group.bench_function("fast_space_crypt1", |b| {
-        // Reuse one explorer so the component database amortises, as a
-        // real sweep would.
-        let mut explorer = Explorer::new(ExploreConfig::fast());
-        explorer.run(&workload);
-        b.iter(|| black_box(explorer.run(&workload).pareto2d.len()));
+    // Share one database so the component annotations amortise, as a
+    // real sweep campaign would; warm it once up front.
+    let db = ComponentDb::new();
+    Exploration::over(TemplateSpace::fast_default())
+        .workload(&workload)
+        .with_db(&db)
+        .run();
+    group.bench_function("fast_space_crypt1_serial", |b| {
+        b.iter(|| {
+            let result = Exploration::over(TemplateSpace::fast_default())
+                .workload(&workload)
+                .with_db(&db)
+                .run();
+            black_box(result.pareto.len())
+        });
+    });
+    group.bench_function("fast_space_crypt1_parallel", |b| {
+        b.iter(|| {
+            let result = Exploration::over(TemplateSpace::fast_default())
+                .workload(&workload)
+                .with_db(&db)
+                .parallel(true)
+                .run();
+            black_box(result.pareto.len())
+        });
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("fig9", |b| {
         let mut exp = Experiments::new(Scale::Fast);
         exp.exploration();
-        b.iter(|| black_box(fig9(&mut exp).selected.area));
+        b.iter(|| black_box(fig9(&mut exp).selected.area()));
     });
     group.bench_function("table1", |b| {
         let mut exp = Experiments::new(Scale::Fast);

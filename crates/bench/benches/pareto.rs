@@ -17,11 +17,9 @@ fn bench_pareto(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto");
     for (n, dims) in [(100usize, 2usize), (100, 3), (1000, 2), (1000, 3)] {
         let pts = clouds(n, dims);
-        group.bench_with_input(
-            BenchmarkId::new(format!("{dims}d"), n),
-            &pts,
-            |b, pts| b.iter(|| black_box(pareto_front(pts).len())),
-        );
+        group.bench_with_input(BenchmarkId::new(format!("{dims}d"), n), &pts, |b, pts| {
+            b.iter(|| black_box(pareto_front(pts).len()))
+        });
     }
     group.finish();
 }

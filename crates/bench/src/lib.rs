@@ -18,10 +18,11 @@
 
 use std::fmt;
 
+use tta_arch::template::TemplateSpace;
 use tta_arch::vliw::VliwTemplate;
 use tta_arch::{Architecture, BusId, FuInstance, FuKind};
-use tta_core::backannotate::ComponentKey;
-use tta_core::explore::{EvaluatedArch, ExploreConfig, ExploreResult, Explorer};
+use tta_core::backannotate::{ComponentDb, ComponentKey};
+use tta_core::explore::{EvaluatedArch, Exploration, ExploreResult};
 use tta_core::fullscan::FullScanDb;
 use tta_core::report::TextTable;
 use tta_core::testcost::{architecture_test_cost, ftfu_ratio};
@@ -38,11 +39,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Exploration config for this scale.
-    pub fn explore_config(self) -> ExploreConfig {
+    /// Template space for this scale.
+    pub fn space(self) -> TemplateSpace {
         match self {
-            Scale::Paper => ExploreConfig::paper(),
-            Scale::Fast => ExploreConfig::fast(),
+            Scale::Paper => TemplateSpace::paper_default(),
+            Scale::Fast => TemplateSpace::fast_default(),
         }
     }
 
@@ -72,11 +73,12 @@ impl Scale {
     }
 }
 
-/// Shared experiment context (explorer + crypt workload + result cache).
+/// Shared experiment context (annotation database + crypt workload +
+/// result cache).
 pub struct Experiments {
     /// The scale everything runs at.
     pub scale: Scale,
-    explorer: Explorer,
+    db: ComponentDb,
     result: Option<ExploreResult>,
 }
 
@@ -85,23 +87,30 @@ impl Experiments {
     pub fn new(scale: Scale) -> Self {
         Experiments {
             scale,
-            explorer: Explorer::new(scale.explore_config()),
+            db: ComponentDb::new(),
             result: None,
         }
     }
 
-    /// Runs (or returns the cached) crypt exploration.
+    /// Runs (or returns the cached) crypt exploration — parallel, which
+    /// is bit-identical to the serial sweep.
     pub fn exploration(&mut self) -> &ExploreResult {
         if self.result.is_none() {
             let workload = suite::crypt(self.scale.crypt_rounds());
-            self.result = Some(self.explorer.run(&workload));
+            self.result = Some(
+                Exploration::over(self.scale.space())
+                    .workload(&workload)
+                    .with_db(&self.db)
+                    .parallel(true)
+                    .run(),
+            );
         }
         self.result.as_ref().expect("just populated")
     }
 
-    /// The underlying explorer (component database access).
-    pub fn explorer_mut(&mut self) -> &mut Explorer {
-        &mut self.explorer
+    /// The shared back-annotation database.
+    pub fn db(&self) -> &ComponentDb {
+        &self.db
     }
 }
 
@@ -125,12 +134,12 @@ pub fn fig2(exp: &mut Experiments) -> Fig2 {
     let result = exp.exploration();
     let mut points = Vec::new();
     for (i, e) in result.evaluated.iter().enumerate() {
-        points.push((e.area, e.exec_time, result.pareto2d.contains(&i)));
+        points.push((e.area(), e.exec_time(), result.is_on_front(i)));
     }
     let mut front: Vec<(f64, f64, String)> = result
-        .pareto2d_points()
+        .pareto_points()
         .iter()
-        .map(|e| (e.area, e.exec_time, e.architecture.name.clone()))
+        .map(|e| (e.area(), e.exec_time(), e.architecture.name.clone()))
         .collect();
     front.sort_by(|a, b| a.0.total_cmp(&b.0));
     Fig2 {
@@ -177,11 +186,7 @@ pub struct Fig6 {
 /// Regenerates Figure 6.
 pub fn fig6(exp: &mut Experiments) -> Fig6 {
     let w = exp.scale.width();
-    let np = exp
-        .explorer_mut()
-        .db_mut()
-        .get(ComponentKey::Alu(w))
-        .np;
+    let np = exp.db().get(ComponentKey::Alu(w)).np;
     let fu1 = FuInstance {
         kind: FuKind::Alu,
         name: "fu1".into(),
@@ -208,7 +213,11 @@ pub fn fig6(exp: &mut Experiments) -> Fig6 {
 
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6 — identical FUs, different test cost (np = {})", self.np)?;
+        writeln!(
+            f,
+            "Figure 6 — identical FUs, different test cost (np = {})",
+            self.np
+        )?;
         let mut t = TextTable::new(["unit", "ports", "CD", "ftfu"]);
         t.row([
             "FU1".into(),
@@ -284,13 +293,13 @@ pub struct Fig8 {
 pub fn fig8(exp: &mut Experiments) -> Fig8 {
     let result = exp.exploration();
     let mut points: Vec<(f64, f64, f64, String)> = result
-        .pareto3d_points()
+        .pareto_points()
         .iter()
         .map(|e| {
             (
-                e.area,
-                e.exec_time,
-                e.test_cost.expect("front points carry test cost"),
+                e.area(),
+                e.exec_time(),
+                e.test_cost().expect("front points carry the test axis"),
                 e.architecture.name.clone(),
             )
         })
@@ -314,7 +323,12 @@ impl fmt::Display for Fig8 {
             "Figure 8 — 3-D Pareto points (projection holds: {}, test spread {:.2}x)",
             self.projection_holds, self.test_spread
         )?;
-        let mut t = TextTable::new(["area [GE]", "exec time", "test cost [cycles]", "architecture"]);
+        let mut t = TextTable::new([
+            "area [GE]",
+            "exec time",
+            "test cost [cycles]",
+            "architecture",
+        ]);
         for (a, time, tc, name) in &self.points {
             t.row([
                 format!("{a:.0}"),
@@ -378,9 +392,9 @@ impl fmt::Display for Fig9 {
         writeln!(
             f,
             "area {:.0} GE, exec time {:.0}, test cost {:.0} cycles",
-            self.selected.area,
-            self.selected.exec_time,
-            self.selected.test_cost.unwrap_or(f64::NAN)
+            self.selected.area(),
+            self.selected.exec_time(),
+            self.selected.test_cost().unwrap_or(f64::NAN)
         )?;
         writeln!(f, "selection sensitivity:")?;
         for (label, name) in &self.alternatives {
@@ -456,9 +470,9 @@ pub fn table1(exp: &mut Experiments) -> Table1 {
 
 /// Table 1 for an explicit architecture.
 pub fn table1_for(exp: &mut Experiments, arch: Architecture) -> Table1 {
-    let w = arch.width as u16;
+    let w = u16::try_from(arch.width).expect("harness widths fit the component keys");
     let mut fullscan = FullScanDb::new();
-    let cost = architecture_test_cost(&arch, exp.explorer_mut().db_mut());
+    let cost = architecture_test_cost(&arch, exp.db());
     let mut rows = Vec::new();
     for (c, fu_or_rf) in cost.components.iter().zip(
         arch.fus()
@@ -467,19 +481,9 @@ pub fn table1_for(exp: &mut Experiments, arch: Architecture) -> Table1 {
             .chain(arch.rfs().iter().map(|r| (None, Some(r)))),
     ) {
         let (key, n_inputs, is_rf) = match fu_or_rf {
-            (Some(kind), None) => {
-                let key = match kind {
-                    FuKind::Alu => ComponentKey::Alu(w),
-                    FuKind::Cmp => ComponentKey::Cmp(w),
-                    FuKind::Mul => ComponentKey::Mul(w),
-                    FuKind::LdSt => ComponentKey::LdSt(w),
-                    FuKind::Pc => ComponentKey::Pc(w),
-                    FuKind::Immediate => ComponentKey::Imm(w),
-                };
-                (key, kind.input_ports(), false)
-            }
+            (Some(kind), None) => (ComponentKey::for_fu(kind, w), kind.input_ports(), false),
             (None, Some(rf)) => (
-                ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8),
+                ComponentKey::for_rf(rf, w).expect("harness RFs fit the component keys"),
                 rf.nin(),
                 true,
             ),
@@ -512,7 +516,14 @@ impl fmt::Display for Table1 {
             self.architecture.name
         )?;
         let mut t = TextTable::new([
-            "Component", "full scan", "our approach", "nl", "ftfu", "ftrf", "fts", "FC (%)",
+            "Component",
+            "full scan",
+            "our approach",
+            "nl",
+            "ftfu",
+            "ftrf",
+            "fts",
+            "FC (%)",
         ]);
         for r in &self.rows {
             let ours = if r.excluded {

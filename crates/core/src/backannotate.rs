@@ -7,17 +7,23 @@
 //!
 //! [`ComponentDb`] lazily generates each component netlist, runs ATPG
 //! (march tests for register-file storage), and caches the record — so a
-//! whole design-space sweep pays for each distinct component once.
+//! whole design-space sweep pays for each distinct component once. The
+//! cache is interior-mutable (`RwLock` over `Arc`ed records), so a shared
+//! `&ComponentDb` serves many sweep threads concurrently; [`ComponentDb::warm`]
+//! pre-annotates a key set up front so the sweep itself runs over a
+//! read-mostly database.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
+use tta_arch::{FuKind, RfInstance};
 use tta_atpg::{Atpg, AtpgConfig};
 use tta_dft::march::MarchAlgorithm;
 use tta_netlist::components::{self, Component};
 use tta_netlist::timing;
 
 /// Identity of a pre-designed component (the cache key).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ComponentKey {
     /// ALU at the given width.
     Alu(u16),
@@ -38,18 +44,49 @@ pub enum ComponentKey {
 }
 
 impl ComponentKey {
+    /// The key of the functional-unit component for `kind` at datapath
+    /// width `width` — the single source of the FU→component mapping.
+    pub fn for_fu(kind: FuKind, width: u16) -> ComponentKey {
+        match kind {
+            FuKind::Alu => ComponentKey::Alu(width),
+            FuKind::Cmp => ComponentKey::Cmp(width),
+            FuKind::Mul => ComponentKey::Mul(width),
+            FuKind::LdSt => ComponentKey::LdSt(width),
+            FuKind::Pc => ComponentKey::Pc(width),
+            FuKind::Immediate => ComponentKey::Imm(width),
+        }
+    }
+
+    /// The key of a register file, with checked narrowing: `None` when
+    /// the geometry exceeds the key's field widths (>65535 registers or
+    /// >255 ports) instead of silently truncating to a *smaller* RF.
+    pub fn for_rf(rf: &RfInstance, width: u16) -> Option<ComponentKey> {
+        Some(ComponentKey::Rf(
+            width,
+            u16::try_from(rf.regs).ok()?,
+            u8::try_from(rf.nin()).ok()?,
+            u8::try_from(rf.nout()).ok()?,
+        ))
+    }
+
+    /// The socket-group key serving a component with `n_input_ports`
+    /// inputs; `None` when the port count exceeds the key's `u8` field.
+    pub fn socket_group(width: u16, n_input_ports: usize) -> Option<ComponentKey> {
+        Some(ComponentKey::SocketGroup(
+            width,
+            u8::try_from(n_input_ports).ok()?,
+        ))
+    }
+
     /// Generates the component netlist for this key.
     pub fn generate(self) -> Component {
         match self {
             ComponentKey::Alu(w) => components::alu(w as usize),
             ComponentKey::Cmp(w) => components::cmp(w as usize),
             ComponentKey::Mul(w) => components::mul(w as usize),
-            ComponentKey::Rf(w, regs, nin, nout) => components::register_file(
-                w as usize,
-                regs as usize,
-                nin as usize,
-                nout as usize,
-            ),
+            ComponentKey::Rf(w, regs, nin, nout) => {
+                components::register_file(w as usize, regs as usize, nin as usize, nout as usize)
+            }
             ComponentKey::LdSt(w) => components::load_store(w as usize),
             ComponentKey::Pc(w) => components::pc(w as usize),
             ComponentKey::Imm(w) => components::immediate(w as usize),
@@ -103,11 +140,16 @@ pub struct ComponentRecord {
 ///
 /// March-tested register files use [`MarchAlgorithm::march_cminus`] by
 /// default; the algorithm is configurable for the eq.-(12) ablation.
+///
+/// The cache is interior-mutable: [`ComponentDb::get`] takes `&self`, so
+/// a single database can be shared (by reference) across sweep threads.
+/// Annotation is deterministic per key — concurrent first accesses to
+/// the same key duplicate work but converge on identical records.
 #[derive(Debug)]
 pub struct ComponentDb {
     atpg: Atpg,
     march: MarchAlgorithm,
-    cache: HashMap<ComponentKey, ComponentRecord>,
+    cache: RwLock<HashMap<ComponentKey, Arc<ComponentRecord>>>,
 }
 
 impl Default for ComponentDb {
@@ -122,7 +164,7 @@ impl ComponentDb {
         ComponentDb {
             atpg: Atpg::new(AtpgConfig::default()),
             march: MarchAlgorithm::march_cminus(),
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -131,7 +173,7 @@ impl ComponentDb {
         ComponentDb {
             atpg: Atpg::new(atpg_config),
             march,
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -141,22 +183,39 @@ impl ComponentDb {
     }
 
     /// Fetches (computing and caching on first use) the record for `key`.
-    pub fn get(&mut self, key: ComponentKey) -> &ComponentRecord {
-        if !self.cache.contains_key(&key) {
-            let record = self.compute(key);
-            self.cache.insert(key, record);
+    pub fn get(&self, key: ComponentKey) -> Arc<ComponentRecord> {
+        if let Some(rec) = self.cache.read().expect("db lock").get(&key) {
+            return Arc::clone(rec);
         }
-        &self.cache[&key]
+        // Compute outside the lock: annotation can take seconds and other
+        // keys must stay readable meanwhile.
+        let record = Arc::new(self.compute(key));
+        let mut cache = self.cache.write().expect("db lock");
+        Arc::clone(cache.entry(key).or_insert(record))
+    }
+
+    /// Whether `key` has already been annotated.
+    pub fn contains(&self, key: ComponentKey) -> bool {
+        self.cache.read().expect("db lock").contains_key(&key)
+    }
+
+    /// Annotates every key in `keys` that is not cached yet (serially).
+    /// [`crate::explore::Exploration`] warms in parallel by sharing the
+    /// database across threads that each call [`ComponentDb::get`].
+    pub fn warm(&self, keys: impl IntoIterator<Item = ComponentKey>) {
+        for key in keys {
+            self.get(key);
+        }
     }
 
     /// Number of distinct components annotated so far.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.cache.read().expect("db lock").len()
     }
 
     /// Whether nothing has been annotated yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.len() == 0
     }
 
     fn compute(&self, key: ComponentKey) -> ComponentRecord {
@@ -201,7 +260,7 @@ mod tests {
 
     #[test]
     fn records_are_cached() {
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let a = db.get(ComponentKey::Alu(4)).np;
         assert_eq!(db.len(), 1);
         let b = db.get(ComponentKey::Alu(4)).np;
@@ -211,7 +270,7 @@ mod tests {
 
     #[test]
     fn rf_uses_march_counts() {
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let r8 = db.get(ComponentKey::Rf(8, 8, 1, 2)).np;
         let r12 = db.get(ComponentKey::Rf(8, 12, 1, 2)).np;
         assert_eq!(r8, 80); // March C-: 10n
@@ -220,7 +279,7 @@ mod tests {
 
     #[test]
     fn alu_patterns_beat_exhaustive() {
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let rec = db.get(ComponentKey::Alu(8)).clone();
         assert!(rec.np > 10 && rec.np < 500, "np = {}", rec.np);
         assert!(rec.adjusted_coverage > 0.99);
@@ -229,7 +288,7 @@ mod tests {
 
     #[test]
     fn socket_group_is_small() {
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let rec = db.get(ComponentKey::SocketGroup(8, 2)).clone();
         assert!(rec.np < 64, "socket np = {}", rec.np);
         assert_eq!(rec.ff_total, 6);

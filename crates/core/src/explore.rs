@@ -1,153 +1,601 @@
-//! The design-space exploration driver: MOVE-style area/time sweep,
+//! The design-space exploration pipeline: MOVE-style area/time sweep,
 //! Pareto reduction, test-cost lifting and weighted-norm selection —
 //! Sections 2–4 of the paper end to end.
+//!
+//! The entry point is the [`Exploration`] builder:
+//!
+//! ```no_run
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::explore::Exploration;
+//! use tta_workloads::suite;
+//!
+//! let result = Exploration::over(TemplateSpace::fast_default())
+//!     .workload(&suite::crypt(1))
+//!     .parallel(true)
+//!     .run();
+//! let best = result.select_equal_weights();
+//! println!("selected: {}", best.architecture);
+//! ```
+//!
+//! Cost axes are pluggable via the [`crate::models`] traits; the sweep
+//! runs serially or in parallel over a pre-warmed, read-mostly
+//! [`ComponentDb`], and parallel runs are bit-identical to serial ones.
 
 use tta_arch::template::TemplateSpace;
-use tta_arch::{Architecture, FuKind, InstructionFormat};
+use tta_arch::Architecture;
 use tta_movec::schedule::Scheduler;
 use tta_workloads::Workload;
 
-use crate::backannotate::{ComponentDb, ComponentKey};
+use crate::backannotate::ComponentDb;
+use crate::models::{
+    keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
+    InterconnectModel, TestCostModel, TimingModel,
+};
 use crate::norm::{select, Norm, Weights};
+use crate::parallel::{default_threads, par_map};
 use crate::pareto::pareto_front;
-use crate::testcost::{architecture_test_cost, ArchTestCost};
+use crate::testcost::ArchTestCost;
 
-/// Wiring/driver area charged per move bus, in NAND2 equivalents per
-/// data-path bit (buses are long wires with repeaters and per-socket
-/// drivers; a coarse but monotone model).
-const BUS_AREA_PER_BIT: f64 = 4.0;
+// ---------------------------------------------------------------------
+// Objectives
+// ---------------------------------------------------------------------
 
-/// Clock-period penalty per additional bus (longer wires), in normalised
-/// gate delays.
-const BUS_DELAY_PENALTY: f64 = 0.2;
-
-/// Control-path area charged per instruction bit (instruction register +
-/// decode drivers), NAND2 equivalents. The paper's "control signals and
-/// bits … adjoined to the data-bus" made explicit.
-const CONTROL_AREA_PER_INSTR_BIT: f64 = 6.0;
-
-/// Exploration configuration.
-#[derive(Debug, Clone)]
-pub struct ExploreConfig {
-    /// The template space to enumerate.
-    pub space: TemplateSpace,
+/// One axis of the exploration's objective space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Silicon area, NAND2 gate equivalents (minimise).
+    Area,
+    /// Full-application execution time, normalised gate delays
+    /// (minimise).
+    ExecTime,
+    /// eq. (14) functional test cost, cycles (minimise).
+    TestCost,
 }
 
-impl ExploreConfig {
-    /// The paper's space: 16-bit machines, 1–4 buses, varying FU/RF mixes
-    /// (144 points). Used by the figure/table benches.
-    pub fn paper() -> Self {
-        ExploreConfig {
-            space: TemplateSpace::paper_default(),
-        }
-    }
-
-    /// A reduced 8-bit space that keeps every effect visible but
-    /// back-annotates in seconds — used by tests and examples.
-    pub fn fast() -> Self {
-        ExploreConfig {
-            space: TemplateSpace {
-                width: 8,
-                buses: vec![1, 2, 3],
-                alus: vec![1, 2],
-                cmps: vec![1],
-                muls: vec![0],
-                imms: vec![1],
-                rf_sets: vec![vec![(8, 1, 2)], vec![(4, 1, 1)]],
-            },
+impl Objective {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Area => "area",
+            Objective::ExecTime => "exec_time",
+            Objective::TestCost => "test_cost",
         }
     }
 }
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed point in objective space: named axes with their values, in a
+/// fixed order. Replaces the old `(area, exec_time, Option<test_cost>)`
+/// side-channel — an axis is either present (with a value) or absent,
+/// and lookups never panic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObjectiveVector {
+    axes: Vec<Objective>,
+    values: Vec<f64>,
+}
+
+impl ObjectiveVector {
+    /// Builds a vector from `(axis, value)` pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (Objective, f64)>) -> Self {
+        let mut v = ObjectiveVector::default();
+        for (axis, value) in pairs {
+            v.push(axis, value);
+        }
+        v
+    }
+
+    /// Appends an axis. Panics if the axis is already present (each axis
+    /// appears at most once).
+    pub fn push(&mut self, axis: Objective, value: f64) {
+        assert!(
+            !self.axes.contains(&axis),
+            "objective axis {axis} already present"
+        );
+        self.axes.push(axis);
+        self.values.push(value);
+    }
+
+    /// The value on `axis`, or `None` when the axis is absent.
+    pub fn get(&self, axis: Objective) -> Option<f64> {
+        self.axes
+            .iter()
+            .position(|&a| a == axis)
+            .map(|i| self.values[i])
+    }
+
+    /// The axes, in storage order.
+    pub fn axes(&self) -> &[Objective] {
+        &self.axes
+    }
+
+    /// The raw values, in axis order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of axes.
+    pub fn len(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Whether no axis is present.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// The sub-vector over `axes`, or `None` if any axis is absent.
+    pub fn project(&self, axes: &[Objective]) -> Option<ObjectiveVector> {
+        let values: Option<Vec<f64>> = axes.iter().map(|&a| self.get(a)).collect();
+        Some(ObjectiveVector {
+            axes: axes.to_vec(),
+            values: values?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Evaluated points and results
+// ---------------------------------------------------------------------
 
 /// One fully evaluated architecture (a point of Figures 2 and 8).
 #[derive(Debug, Clone)]
 pub struct EvaluatedArch {
     /// The architecture itself.
     pub architecture: Architecture,
-    /// Cell + interconnect area, NAND2 gate equivalents.
-    pub area: f64,
-    /// Full-application cycle count.
+    /// Aggregate full-application cycle count over the workload suite.
     pub cycles: u64,
-    /// Execution time = cycles × clock period (normalised gate delays).
-    pub exec_time: f64,
-    /// eq. (14) test cost (populated for 2-D Pareto points only; `None`
-    /// elsewhere — the paper evaluates test cost on the Pareto set).
-    pub test_cost: Option<f64>,
-    /// Register-pressure overflow events in the schedule.
+    /// Per-workload cycle counts, in [`ExploreResult::workloads`] order.
+    pub workload_cycles: Vec<u64>,
+    /// Register-pressure overflow events summed over the schedules.
     pub spills: u32,
+    /// The typed objective coordinates: `[Area, ExecTime]` for every
+    /// point, plus `TestCost` once the point is lifted onto the front.
+    pub objectives: ObjectiveVector,
 }
 
 impl EvaluatedArch {
-    /// The 3-D coordinate (area, exec time, test cost).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the test cost was not evaluated for this point.
-    pub fn point3d(&self) -> Vec<f64> {
-        vec![
-            self.area,
-            self.exec_time,
-            self.test_cost.expect("test cost evaluated on Pareto points"),
-        ]
+    /// Cell + interconnect area, NAND2 gate equivalents.
+    pub fn area(&self) -> f64 {
+        self.objectives
+            .get(Objective::Area)
+            .expect("every evaluated point has an area axis")
+    }
+
+    /// Execution time = cycles × clock period (normalised gate delays).
+    pub fn exec_time(&self) -> f64 {
+        self.objectives
+            .get(Objective::ExecTime)
+            .expect("every evaluated point has an exec-time axis")
+    }
+
+    /// eq. (14) test cost — present exactly for Pareto points (the paper
+    /// evaluates test cost on the Pareto set only).
+    pub fn test_cost(&self) -> Option<f64> {
+        self.objectives.get(Objective::TestCost)
+    }
+
+    /// The 3-D coordinate (area, exec time, test cost), or `None` when
+    /// the test axis has not been lifted for this point.
+    #[deprecated(since = "0.1.0", note = "use `objectives` / `test_cost()` instead")]
+    pub fn point3d(&self) -> Option<Vec<f64>> {
+        self.objectives
+            .project(&[Objective::Area, Objective::ExecTime, Objective::TestCost])
+            .map(|v| v.values().to_vec())
     }
 }
 
 /// Result of one exploration run.
 #[derive(Debug, Clone)]
 pub struct ExploreResult {
-    /// Every feasible evaluated point.
+    /// Every feasible evaluated point, in enumeration order.
     pub evaluated: Vec<EvaluatedArch>,
-    /// Indices (into `evaluated`) of the 2-D (area, time) Pareto front —
-    /// Figure 2.
-    pub pareto2d: Vec<usize>,
-    /// Architectures enumerated but infeasible for the workload.
+    /// Indices (into `evaluated`) of the Pareto front. The front is
+    /// computed on the 2-D (area, time) sweep axes — Figure 2 — and its
+    /// members are then lifted with the test axis — Figure 8. Lifting
+    /// preserves non-domination, so these are also exactly the
+    /// N-dimensional Pareto points of the lifted vectors.
+    pub pareto: Vec<usize>,
+    /// Architectures enumerated but infeasible for the workload suite
+    /// (unschedulable, or outside the component model's domain).
     pub infeasible: usize,
+    /// Names of the workloads the sweep aggregated over.
+    pub workloads: Vec<String>,
 }
 
 impl ExploreResult {
-    /// The 2-D Pareto points in (area, exec-time) order.
-    pub fn pareto2d_points(&self) -> Vec<&EvaluatedArch> {
-        self.pareto2d.iter().map(|&i| &self.evaluated[i]).collect()
+    /// The Pareto points, in enumeration order.
+    pub fn pareto_points(&self) -> Vec<&EvaluatedArch> {
+        self.pareto.iter().map(|&i| &self.evaluated[i]).collect()
     }
 
-    /// The 3-D points of Figure 8 (test axis on the 2-D front).
-    pub fn pareto3d_points(&self) -> Vec<&EvaluatedArch> {
-        self.pareto2d_points()
+    /// The full N-dimensional objective vectors of the Pareto front.
+    pub fn pareto_vectors(&self) -> Vec<&ObjectiveVector> {
+        self.pareto
+            .iter()
+            .map(|&i| &self.evaluated[i].objectives)
+            .collect()
+    }
+
+    /// The objective axes of the (lifted) front points.
+    pub fn axes(&self) -> &[Objective] {
+        self.pareto
+            .first()
+            .map(|&i| self.evaluated[i].objectives.axes())
+            .unwrap_or(&[])
+    }
+
+    /// Whether `evaluated[index]` is on the Pareto front.
+    pub fn is_on_front(&self, index: usize) -> bool {
+        self.pareto.contains(&index)
+    }
+
+    /// Selects the architecture with minimal weighted norm over the
+    /// lifted front (Figure 9), or `None` for an empty front.
+    pub fn try_select(&self, weights: &Weights, norm: Norm) -> Option<&EvaluatedArch> {
+        if self.pareto.is_empty() {
+            return None;
+        }
+        let pts: Vec<Vec<f64>> = self
+            .pareto_vectors()
+            .iter()
+            .map(|v| v.values().to_vec())
+            .collect();
+        let local = select(&pts, weights, norm);
+        Some(&self.evaluated[self.pareto[local]])
     }
 
     /// Selects the Figure 9 architecture: minimal weighted norm over the
-    /// 3-D points.
+    /// lifted front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the front is empty (no feasible point) or the weight
+    /// dimensionality mismatches [`ExploreResult::axes`]; use
+    /// [`ExploreResult::try_select`] for a fallible variant.
     pub fn select(&self, weights: &Weights, norm: Norm) -> &EvaluatedArch {
-        let pts: Vec<Vec<f64>> = self.pareto2d_points().iter().map(|e| e.point3d()).collect();
-        let local = select(&pts, weights, norm);
-        self.pareto2d_points()[local]
+        self.try_select(weights, norm)
+            .expect("cannot select from an empty Pareto front")
     }
 
-    /// The paper's setting: equal weights, Euclidean norm.
+    /// The paper's setting: equal weights over all axes, Euclidean norm.
     pub fn select_equal_weights(&self) -> &EvaluatedArch {
-        self.select(&Weights::equal(3), Norm::Euclidean)
+        self.select(&Weights::equal(self.axes().len()), Norm::Euclidean)
     }
 
-    /// Projection property (Figure 8 caption): the 3-D points projected
-    /// onto (area, time) are exactly the Figure 2 front.
+    /// Projection property (Figure 8 caption): the lifted points
+    /// projected onto (area, time) are exactly the Figure 2 front.
     pub fn projection_holds(&self) -> bool {
         let pts2d: Vec<Vec<f64>> = self
-            .pareto2d_points()
+            .pareto_points()
             .iter()
-            .map(|e| vec![e.area, e.exec_time])
+            .map(|e| vec![e.area(), e.exec_time()])
             .collect();
         pareto_front(&pts2d).len() == pts2d.len()
     }
 }
 
-/// The exploration engine; owns the back-annotation database so repeated
-/// runs (different workloads, different weights) share component records.
+// ---------------------------------------------------------------------
+// The Exploration builder
+// ---------------------------------------------------------------------
+
+/// Composable exploration pipeline over a template space.
+///
+/// Configure the space, workload suite and cost models, then [`run`]
+/// the staged flow: (pre-warm) → sweep → Pareto-reduce → lift test cost
+/// → done. See the [module docs](self) for an example.
+///
+/// [`run`]: Exploration::run
+pub struct Exploration<'db> {
+    space: TemplateSpace,
+    workloads: Vec<Workload>,
+    // None = the default annotated model parameterised by `interconnect`,
+    // resolved at `run()` — so custom models always win over
+    // `.interconnect(..)` regardless of builder-call order.
+    area: Option<Box<dyn AreaModel>>,
+    timing: Option<Box<dyn TimingModel>>,
+    test: Option<Box<dyn TestCostModel>>,
+    interconnect: InterconnectModel,
+    db: Option<&'db ComponentDb>,
+    parallel: bool,
+    threads: Option<usize>,
+}
+
+impl<'db> Exploration<'db> {
+    /// Starts a pipeline over `space` with the paper's default models
+    /// (back-annotated components + paper interconnect constants), no
+    /// workloads, and a serial sweep.
+    pub fn over(space: TemplateSpace) -> Self {
+        Exploration {
+            space,
+            workloads: Vec::new(),
+            area: None,
+            timing: None,
+            test: None,
+            interconnect: InterconnectModel::paper(),
+            db: None,
+            parallel: false,
+            threads: None,
+        }
+    }
+
+    /// Adds one workload to the suite. With several workloads the sweep
+    /// aggregates (sums) full-application cycles across the suite; an
+    /// architecture is feasible only if *every* workload schedules.
+    pub fn workload(mut self, w: &Workload) -> Self {
+        self.workloads.push(w.clone());
+        self
+    }
+
+    /// Adds every workload of a suite.
+    pub fn workloads<'a>(mut self, ws: impl IntoIterator<Item = &'a Workload>) -> Self {
+        self.workloads.extend(ws.into_iter().cloned());
+        self
+    }
+
+    /// Replaces all three cost models at once.
+    pub fn models(
+        mut self,
+        area: impl AreaModel + 'static,
+        timing: impl TimingModel + 'static,
+        test: impl TestCostModel + 'static,
+    ) -> Self {
+        self.area = Some(Box::new(area));
+        self.timing = Some(Box::new(timing));
+        self.test = Some(Box::new(test));
+        self
+    }
+
+    /// Replaces the area model.
+    pub fn area_model(mut self, m: impl AreaModel + 'static) -> Self {
+        self.area = Some(Box::new(m));
+        self
+    }
+
+    /// Replaces the timing model.
+    pub fn timing_model(mut self, m: impl TimingModel + 'static) -> Self {
+        self.timing = Some(Box::new(m));
+        self
+    }
+
+    /// Replaces the test-cost model.
+    pub fn test_cost_model(mut self, m: impl TestCostModel + 'static) -> Self {
+        self.test = Some(Box::new(m));
+        self
+    }
+
+    /// Uses `ic` for whichever of the annotated default area/timing
+    /// models are still in effect at [`Exploration::run`]. A custom
+    /// model installed via [`Exploration::models`] /
+    /// [`Exploration::area_model`] / [`Exploration::timing_model`]
+    /// always wins, regardless of call order.
+    pub fn interconnect(mut self, ic: InterconnectModel) -> Self {
+        self.interconnect = ic;
+        self
+    }
+
+    /// Shares an existing back-annotation database, so repeated runs
+    /// (different workloads, weights or models) reuse component records.
+    pub fn with_db(mut self, db: &'db ComponentDb) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// Evaluates the sweep (and the pre-warm and lift stages) on worker
+    /// threads. Results are bit-identical to the serial sweep.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Worker-thread count for [`Exploration::parallel`] (defaults to
+    /// the machine's available parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    fn thread_count(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        self.threads.unwrap_or_else(default_threads)
+    }
+
+    /// Runs the staged flow: pre-warm → sweep → 2-D Pareto → test-cost
+    /// lifting of the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was added.
+    pub fn run(mut self) -> ExploreResult {
+        assert!(
+            !self.workloads.is_empty(),
+            "Exploration::run needs at least one workload (use .workload(..))"
+        );
+        // Custom models may never read the annotation database; only
+        // pre-warm when at least one default (db-backed) model is in
+        // effect.
+        let uses_db_defaults = self.area.is_none() || self.timing.is_none() || self.test.is_none();
+        let (area, timing, test) = self.resolve_models();
+        let owned_db;
+        let db: &ComponentDb = match self.db {
+            Some(db) => db,
+            None => {
+                owned_db = ComponentDb::new();
+                &owned_db
+            }
+        };
+        let threads = self.thread_count();
+        let archs = self.space.enumerate();
+
+        // Stage 0: pre-warm the component database for every key the
+        // space can touch, so parallel workers never duplicate an
+        // annotation. A serial sweep annotates lazily instead — it only
+        // ever pays for keys that feasible points actually read — and a
+        // fully-custom model stack may never read the database at all.
+        if self.parallel && uses_db_defaults {
+            let mut keys: Vec<_> = archs.iter().filter_map(keys_of).flatten().collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys.retain(|&k| !db.contains(k));
+            par_map(&keys, threads, |_, &key| {
+                db.get(key);
+            });
+        }
+
+        // Stage 1: the sweep. Evaluate every enumerated architecture on
+        // the full workload suite.
+        let evaluations = par_map(&archs, threads, |_, arch| {
+            evaluate_point(arch, &self.workloads, &*area, &*timing, db)
+        });
+        let mut evaluated = Vec::new();
+        let mut infeasible = 0usize;
+        for e in evaluations {
+            match e {
+                Some(e) => evaluated.push(e),
+                None => infeasible += 1,
+            }
+        }
+
+        // Stage 2: reduce to the (area, time) Pareto front — Figure 2.
+        let pts2d: Vec<Vec<f64>> = evaluated
+            .iter()
+            .map(|e| vec![e.area(), e.exec_time()])
+            .collect();
+        let pareto = pareto_front(&pts2d);
+
+        // Stage 3: lift the front with the eq. (14) test axis — Figure 8.
+        // "only the architectures that correspond to the Pareto points in
+        // the design space are evaluated in terms of testing".
+        let costs = par_map(&pareto, threads, |_, &i| {
+            test.test_cost(&evaluated[i].architecture, db).total
+        });
+        for (&i, total) in pareto.iter().zip(costs) {
+            evaluated[i].objectives.push(Objective::TestCost, total);
+        }
+
+        ExploreResult {
+            evaluated,
+            pareto,
+            infeasible,
+            workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+        }
+    }
+
+    /// Resolves the installed or default models (defaults parameterised
+    /// by the configured [`InterconnectModel`]).
+    fn resolve_models(
+        &mut self,
+    ) -> (
+        Box<dyn AreaModel>,
+        Box<dyn TimingModel>,
+        Box<dyn TestCostModel>,
+    ) {
+        let ic = self.interconnect;
+        (
+            self.area
+                .take()
+                .unwrap_or_else(|| Box::new(AnnotatedAreaModel::new(ic))),
+            self.timing
+                .take()
+                .unwrap_or_else(|| Box::new(AnnotatedTimingModel::new(ic))),
+            self.test
+                .take()
+                .unwrap_or_else(|| Box::new(Eq14TestCostModel)),
+        )
+    }
+}
+
+/// Evaluates one architecture on a workload suite (area + throughput
+/// only; the test axis is lifted later, on front points). Infeasibility
+/// is entirely the models’ verdict: a non-finite area or clock period
+/// (the default annotated models return infinity for out-of-
+/// [`crate::backannotate::ComponentKey`]-domain geometries) or an
+/// unschedulable workload drops the point.
+fn evaluate_point(
+    arch: &Architecture,
+    workloads: &[Workload],
+    area_model: &dyn AreaModel,
+    timing_model: &dyn TimingModel,
+    db: &ComponentDb,
+) -> Option<EvaluatedArch> {
+    let mut workload_cycles = Vec::with_capacity(workloads.len());
+    let mut spills = 0u32;
+    for w in workloads {
+        let schedule = Scheduler::new(arch).run(&w.dfg).ok()?;
+        workload_cycles.push(w.application_cycles(schedule.cycles));
+        spills += schedule.spills;
+    }
+    let cycles: u64 = workload_cycles.iter().sum();
+    let area = area_model.area(arch, db);
+    let clock = timing_model.clock_period(arch, db);
+    if !area.is_finite() || !clock.is_finite() {
+        return None;
+    }
+    Some(EvaluatedArch {
+        architecture: arch.clone(),
+        cycles,
+        workload_cycles,
+        spills,
+        objectives: ObjectiveVector::new([
+            (Objective::Area, area),
+            (Objective::ExecTime, cycles as f64 * clock),
+        ]),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Deprecated monolithic driver (one-release compatibility shim)
+// ---------------------------------------------------------------------
+
+/// Exploration configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Exploration::over(TemplateSpace::paper_default() / fast_default())`"
+)]
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// The template space to enumerate.
+    pub space: TemplateSpace,
+}
+
+#[allow(deprecated)]
+impl ExploreConfig {
+    /// The paper's space: 16-bit machines, 1–4 buses, varying FU/RF mixes
+    /// (144 points).
+    pub fn paper() -> Self {
+        ExploreConfig {
+            space: TemplateSpace::paper_default(),
+        }
+    }
+
+    /// The reduced 8-bit space of [`TemplateSpace::fast_default`].
+    pub fn fast() -> Self {
+        ExploreConfig {
+            space: TemplateSpace::fast_default(),
+        }
+    }
+}
+
+/// The old monolithic exploration engine, now a thin wrapper over
+/// [`Exploration`] and the [`crate::models`] defaults.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Exploration` builder and the `models` traits instead"
+)]
 #[derive(Debug)]
 pub struct Explorer {
+    #[allow(deprecated)]
     config: ExploreConfig,
     db: ComponentDb,
 }
 
+#[allow(deprecated)]
 impl Explorer {
     /// Creates an explorer.
     pub fn new(config: ExploreConfig) -> Self {
@@ -163,142 +611,192 @@ impl Explorer {
     }
 
     /// Access to the back-annotation database.
+    pub fn db(&self) -> &ComponentDb {
+        &self.db
+    }
+
+    /// Mutable access to the back-annotation database (the database is
+    /// interior-mutable now; prefer [`Explorer::db`]).
     pub fn db_mut(&mut self) -> &mut ComponentDb {
         &mut self.db
     }
 
-    /// Area of one architecture: back-annotated component areas + socket
-    /// groups + bus wiring.
+    /// Area of one architecture under the default annotated model.
     pub fn architecture_area(&mut self, arch: &Architecture) -> f64 {
-        let w = arch.width as u16;
-        let mut area = 0.0;
-        for fu in arch.fus() {
-            let key = match fu.kind {
-                FuKind::Alu => ComponentKey::Alu(w),
-                FuKind::Cmp => ComponentKey::Cmp(w),
-                FuKind::Mul => ComponentKey::Mul(w),
-                FuKind::LdSt => ComponentKey::LdSt(w),
-                FuKind::Pc => ComponentKey::Pc(w),
-                FuKind::Immediate => ComponentKey::Imm(w),
-            };
-            area += self.db.get(key).area;
-            area += self
-                .db
-                .get(ComponentKey::SocketGroup(w, fu.kind.input_ports() as u8))
-                .area;
-        }
-        for rf in arch.rfs() {
-            area += self
-                .db
-                .get(ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8))
-                .area;
-            area += self
-                .db
-                .get(ComponentKey::SocketGroup(w, rf.nin() as u8))
-                .area;
-        }
-        let control = f64::from(InstructionFormat::of(arch).width()) * CONTROL_AREA_PER_INSTR_BIT;
-        area + control + arch.bus_count() as f64 * arch.width as f64 * BUS_AREA_PER_BIT
+        AnnotatedAreaModel::default().area(arch, &self.db)
     }
 
-    /// Clock period of one architecture: slowest component plus a wiring
-    /// penalty per bus.
+    /// Clock period of one architecture under the default annotated
+    /// model.
     pub fn clock_period(&mut self, arch: &Architecture) -> f64 {
-        let w = arch.width as u16;
-        let mut worst: f64 = 0.0;
-        for fu in arch.fus() {
-            let key = match fu.kind {
-                FuKind::Alu => ComponentKey::Alu(w),
-                FuKind::Cmp => ComponentKey::Cmp(w),
-                FuKind::Mul => ComponentKey::Mul(w),
-                FuKind::LdSt => ComponentKey::LdSt(w),
-                FuKind::Pc => ComponentKey::Pc(w),
-                FuKind::Immediate => ComponentKey::Imm(w),
-            };
-            worst = worst.max(self.db.get(key).critical_path);
-        }
-        for rf in arch.rfs() {
-            let key = ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8);
-            worst = worst.max(self.db.get(key).critical_path);
-        }
-        worst + arch.bus_count() as f64 * BUS_DELAY_PENALTY
+        AnnotatedTimingModel::default().clock_period(arch, &self.db)
     }
 
     /// Evaluates one architecture on `workload` (area + throughput only).
     pub fn evaluate(&mut self, arch: &Architecture, workload: &Workload) -> Option<EvaluatedArch> {
-        let schedule = Scheduler::new(arch).run(&workload.dfg).ok()?;
-        let cycles = workload.application_cycles(schedule.cycles);
-        let clock = self.clock_period(arch);
-        Some(EvaluatedArch {
-            area: self.architecture_area(arch),
-            exec_time: cycles as f64 * clock,
-            cycles,
-            test_cost: None,
-            spills: schedule.spills,
-            architecture: arch.clone(),
-        })
+        evaluate_point(
+            arch,
+            std::slice::from_ref(workload),
+            &AnnotatedAreaModel::default(),
+            &AnnotatedTimingModel::default(),
+            &self.db,
+        )
     }
 
     /// Full test cost of one architecture (eq. 14).
     pub fn test_cost(&mut self, arch: &Architecture) -> ArchTestCost {
-        architecture_test_cost(arch, &mut self.db)
+        crate::testcost::architecture_test_cost(arch, &self.db)
     }
 
-    /// Runs the complete flow on one workload: sweep → 2-D Pareto →
-    /// test-cost lifting of the Pareto points.
+    /// Runs the complete flow on one workload.
     pub fn run(&mut self, workload: &Workload) -> ExploreResult {
-        let archs = self.config.space.enumerate();
-        let mut evaluated = Vec::new();
-        let mut infeasible = 0;
-        for arch in &archs {
-            match self.evaluate(arch, workload) {
-                Some(e) => evaluated.push(e),
-                None => infeasible += 1,
-            }
-        }
-        let pts2d: Vec<Vec<f64>> = evaluated
-            .iter()
-            .map(|e| vec![e.area, e.exec_time])
-            .collect();
-        let pareto2d = pareto_front(&pts2d);
-        // "only the architectures that correspond to the Pareto points in
-        // the design space are evaluated in terms of testing".
-        for &i in &pareto2d {
-            let cost = architecture_test_cost(&evaluated[i].architecture, &mut self.db);
-            evaluated[i].test_cost = Some(cost.total);
-        }
-        ExploreResult {
-            evaluated,
-            pareto2d,
-            infeasible,
-        }
+        Exploration::over(self.config.space.clone())
+            .workload(workload)
+            .with_db(&self.db)
+            .run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tta_arch::FuKind;
     use tta_workloads::suite;
 
     #[test]
     fn fast_exploration_produces_a_front() {
-        let mut explorer = Explorer::new(ExploreConfig::fast());
-        let result = explorer.run(&suite::crypt(1));
+        let result = Exploration::over(TemplateSpace::fast_default())
+            .workload(&suite::crypt(1))
+            .run();
         assert!(result.evaluated.len() >= 6, "{}", result.evaluated.len());
-        assert!(!result.pareto2d.is_empty());
+        assert!(!result.pareto.is_empty());
         assert!(result.projection_holds());
-        // Test cost present exactly on the front.
+        // Test axis present exactly on the front.
         for (i, e) in result.evaluated.iter().enumerate() {
-            assert_eq!(e.test_cost.is_some(), result.pareto2d.contains(&i));
+            assert_eq!(e.test_cost().is_some(), result.is_on_front(i));
         }
         let best = result.select_equal_weights();
-        assert!(best.test_cost.is_some());
+        assert!(best.test_cost().is_some());
+        assert_eq!(
+            result.axes(),
+            [Objective::Area, Objective::ExecTime, Objective::TestCost]
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let serial = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .parallel(false)
+            .run();
+        let parallel = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .parallel(true)
+            .run();
+        assert_eq!(serial.evaluated.len(), parallel.evaluated.len());
+        for (a, b) in serial.evaluated.iter().zip(&parallel.evaluated) {
+            assert_eq!(a.architecture.name, b.architecture.name);
+            assert_eq!(a.objectives, b.objectives);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        assert_eq!(serial.pareto, parallel.pareto);
+        assert_eq!(
+            serial.select_equal_weights().architecture.name,
+            parallel.select_equal_weights().architecture.name
+        );
+    }
+
+    #[test]
+    fn multi_workload_aggregates_cycles() {
+        let crypt = suite::crypt(1);
+        let checksum = suite::checksum32();
+        let db = ComponentDb::new();
+        let combined = Exploration::over(TemplateSpace::fast_default())
+            .workloads([&crypt, &checksum])
+            .with_db(&db)
+            .run();
+        let solo = Exploration::over(TemplateSpace::fast_default())
+            .workload(&crypt)
+            .with_db(&db)
+            .run();
+        assert_eq!(
+            combined.workloads,
+            vec![crypt.name.clone(), checksum.name.clone()]
+        );
+        // Aggregate cycles are the per-workload sum, and are at least
+        // the single-workload cycles for the same architecture.
+        for e in &combined.evaluated {
+            assert_eq!(e.cycles, e.workload_cycles.iter().sum::<u64>());
+            assert_eq!(e.workload_cycles.len(), 2);
+            if let Some(s) = solo
+                .evaluated
+                .iter()
+                .find(|s| s.architecture.name == e.architecture.name)
+            {
+                assert!(e.cycles >= s.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_interconnect_shifts_the_space() {
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let paper = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        let free = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .interconnect(InterconnectModel::free())
+            .run();
+        for (p, f) in paper.evaluated.iter().zip(&free.evaluated) {
+            assert!(f.area() < p.area(), "free interconnect must shrink area");
+            assert!(f.exec_time() < p.exec_time());
+        }
+    }
+
+    #[test]
+    fn custom_model_wins_over_interconnect_regardless_of_order() {
+        struct FlatArea;
+        impl crate::models::AreaModel for FlatArea {
+            fn area(&self, _: &Architecture, _: &ComponentDb) -> f64 {
+                42.0
+            }
+        }
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        // interconnect() *after* the custom model must not displace it.
+        let result = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .area_model(FlatArea)
+            .interconnect(InterconnectModel::free())
+            .run();
+        for e in &result.evaluated {
+            assert_eq!(e.area(), 42.0);
+        }
+        // …and the free interconnect still reaches the default timing
+        // model: zero bus penalty means a smaller clock than paper's.
+        let paper = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        for (f, p) in result.evaluated.iter().zip(&paper.evaluated) {
+            assert!(f.exec_time() < p.exec_time());
+        }
     }
 
     #[test]
     fn area_grows_with_units() {
-        let mut explorer = Explorer::new(ExploreConfig::fast());
         use tta_arch::template::TemplateBuilder;
+        let db = ComponentDb::new();
+        let model = AnnotatedAreaModel::default();
         let small = TemplateBuilder::new("s", 8, 2)
             .fu(FuKind::Alu)
             .fu(FuKind::LdSt)
@@ -316,6 +814,27 @@ mod tests {
             .rf(8, 1, 2)
             .rf(8, 1, 2)
             .build();
-        assert!(explorer.architecture_area(&big) > explorer.architecture_area(&small));
+        assert!(model.area(&big, &db) > model.area(&small, &db));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_explorer_shim_still_runs() {
+        let mut explorer = Explorer::new(ExploreConfig::fast());
+        let result = explorer.run(&suite::crypt(1));
+        assert!(!result.pareto.is_empty());
+        assert!(result.select_equal_weights().test_cost().is_some());
+        assert!(!explorer.db().is_empty());
+    }
+
+    #[test]
+    fn objective_vector_is_typed_and_total() {
+        let mut v = ObjectiveVector::new([(Objective::Area, 10.0)]);
+        v.push(Objective::ExecTime, 20.0);
+        assert_eq!(v.get(Objective::Area), Some(10.0));
+        assert_eq!(v.get(Objective::TestCost), None);
+        assert_eq!(v.values(), &[10.0, 20.0]);
+        assert_eq!(v.project(&[Objective::ExecTime]).unwrap().values(), &[20.0]);
+        assert!(v.project(&[Objective::Area, Objective::TestCost]).is_none());
     }
 }

@@ -70,9 +70,13 @@ impl FullScanDb {
         let component = key.generate();
         let scanned = insert_scan(&component.netlist);
         let comp_result = self.atpg.run(&component.netlist);
-        // Socket logic joins the same chain.
-        let width = component.width as u16;
-        let sock = ComponentKey::SocketGroup(width, n_input_ports as u8).generate();
+        // Socket logic joins the same chain. Checked narrowing, like the
+        // other cost paths: an out-of-model geometry must fail loudly
+        // instead of scanning a silently truncated socket group.
+        let width = u16::try_from(component.width).expect("component width fits the key fields");
+        let sock = ComponentKey::socket_group(width, n_input_ports)
+            .expect("socket group port count fits the key fields")
+            .generate();
         let sock_result = self.atpg.run(&sock.netlist);
         let np = comp_result.pattern_count() + sock_result.pattern_count();
         let nl = component.netlist.dff_count() + socket_state_bits(n_input_ports);
@@ -99,7 +103,7 @@ mod tests {
         // The paper's headline comparison, at 8 bits: the functional
         // approach needs far fewer cycles than full scan.
         let mut fsdb = FullScanDb::new();
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let arch = TemplateBuilder::new("t", 8, 2)
             .fu(FuKind::Alu)
             .fu(FuKind::Cmp)
@@ -108,7 +112,7 @@ mod tests {
             .fu(FuKind::Immediate)
             .rf(8, 1, 2)
             .build();
-        let ours = architecture_test_cost(&arch, &mut db);
+        let ours = architecture_test_cost(&arch, &db);
         let alu_ours = ours
             .components
             .iter()

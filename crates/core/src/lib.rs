@@ -11,26 +11,59 @@
 //!    into a per-architecture test cost — [`testcost`];
 //! 3. classical full scan is costed as the baseline — [`fullscan`];
 //! 4. the design space is swept (area from the netlists, execution time
-//!    from the MOVE scheduler), reduced to Pareto points, lifted to 3-D
+//!    from the MOVE scheduler), reduced to Pareto points, lifted to N-D
 //!    with the test axis, and the final architecture is selected with a
 //!    weighted norm — [`pareto`], [`norm`], [`explore`].
+//!
+//! Each cost axis is a pluggable trait ([`models`]): swap the cell
+//! library, the interconnect constants or the whole test methodology
+//! without touching the pipeline.
 //!
 //! # Quickstart
 //!
 //! ```no_run
-//! use tta_core::explore::{ExploreConfig, Explorer};
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::explore::Exploration;
 //! use tta_workloads::suite;
 //!
-//! let mut explorer = Explorer::new(ExploreConfig::fast());
-//! let result = explorer.run(&suite::crypt(2));
+//! let result = Exploration::over(TemplateSpace::fast_default())
+//!     .workload(&suite::crypt(2))
+//!     .parallel(true)
+//!     .run();
 //! let best = result.select_equal_weights();
 //! println!("selected: {}", best.architecture);
+//! println!("area {:.0} GE, test cost {:.0} cycles",
+//!     best.area(), best.test_cost().unwrap_or(f64::NAN));
+//! ```
+//!
+//! Customising the pipeline — multiple workloads, custom interconnect
+//! constants, explicit parallelism, a shared annotation database:
+//!
+//! ```no_run
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::explore::Exploration;
+//! use tta_core::models::InterconnectModel;
+//! use tta_core::ComponentDb;
+//! use tta_workloads::suite;
+//!
+//! let db = ComponentDb::new();
+//! let crypt = suite::crypt(2);
+//! let checksum = suite::checksum32();
+//! let result = Exploration::over(TemplateSpace::paper_default())
+//!     .workloads([&crypt, &checksum])
+//!     .interconnect(InterconnectModel { bus_area_per_bit: 6.0, ..InterconnectModel::paper() })
+//!     .with_db(&db)
+//!     .parallel(true)
+//!     .run();
+//! assert!(result.projection_holds());
 //! ```
 
 pub mod backannotate;
 pub mod explore;
 pub mod fullscan;
+pub mod models;
 pub mod norm;
+pub mod parallel;
 pub mod pareto;
 pub mod report;
 pub mod rfmem;
@@ -38,9 +71,16 @@ pub mod testcost;
 pub mod testplan;
 
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
-pub use explore::{EvaluatedArch, ExploreConfig, ExploreResult, Explorer};
+pub use explore::{EvaluatedArch, Exploration, ExploreResult, Objective, ObjectiveVector};
+pub use models::{
+    AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
+    TestCostModel, TimingModel,
+};
 pub use norm::{Norm, Weights};
 pub use pareto::pareto_front;
-pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use rfmem::{RfImplementationComparison, RfMemSpec};
+pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use testplan::{TestPhase, TestPlan};
+
+#[allow(deprecated)]
+pub use explore::{ExploreConfig, Explorer};

@@ -1,0 +1,318 @@
+//! Pluggable cost models for the exploration pipeline.
+//!
+//! The paper evaluates every architecture on three axes — silicon area,
+//! execution time and test cost — each of which mixes *back-annotated*
+//! component numbers with an *analytical* interconnect model. This module
+//! factors that split into traits so each axis can be swapped
+//! independently (different cell library, a pessimistic wire model, a
+//! full-scan test-cost baseline, …) while the default implementations
+//! reproduce the paper's flow exactly:
+//!
+//! * [`AreaModel`] → [`AnnotatedAreaModel`]: netlist cell areas from the
+//!   [`ComponentDb`] plus bus wiring and control-path area from the
+//!   [`InterconnectModel`];
+//! * [`TimingModel`] → [`AnnotatedTimingModel`]: slowest component
+//!   critical path plus a per-bus wire penalty;
+//! * [`TestCostModel`] → [`Eq14TestCostModel`]: the eqs. (11)–(14)
+//!   functional test cost of [`crate::testcost`].
+//!
+//! All model methods take a shared `&ComponentDb`, so one database serves
+//! a whole (possibly parallel) sweep.
+
+use tta_arch::{Architecture, InstructionFormat};
+
+use crate::backannotate::{ComponentDb, ComponentKey};
+use crate::testcost::{architecture_test_cost, ArchTestCost};
+
+/// The analytical interconnect/control model: the constants the paper
+/// folds into its area and delay numbers, made explicit and configurable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectModel {
+    /// Wiring/driver area charged per move bus, in NAND2 equivalents per
+    /// data-path bit (buses are long wires with repeaters and per-socket
+    /// drivers; a coarse but monotone model).
+    pub bus_area_per_bit: f64,
+    /// Clock-period penalty per additional bus (longer wires), in
+    /// normalised gate delays.
+    pub bus_delay_penalty: f64,
+    /// Control-path area charged per instruction bit (instruction
+    /// register + decode drivers), NAND2 equivalents. The paper's
+    /// "control signals and bits … adjoined to the data-bus" made
+    /// explicit.
+    pub control_area_per_instr_bit: f64,
+}
+
+impl InterconnectModel {
+    /// The constants used throughout the paper's evaluation.
+    pub fn paper() -> Self {
+        InterconnectModel {
+            bus_area_per_bit: 4.0,
+            bus_delay_penalty: 0.2,
+            control_area_per_instr_bit: 6.0,
+        }
+    }
+
+    /// An idealised interconnect: buses and control are free. Useful to
+    /// isolate the pure component contribution of an architecture.
+    pub fn free() -> Self {
+        InterconnectModel {
+            bus_area_per_bit: 0.0,
+            bus_delay_penalty: 0.0,
+            control_area_per_instr_bit: 0.0,
+        }
+    }
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Area axis: NAND2 gate equivalents of one architecture.
+pub trait AreaModel: Send + Sync {
+    /// Total area of `arch`. Non-finite values mark the architecture as
+    /// outside the model's domain; the sweep drops such points as
+    /// infeasible.
+    fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64;
+}
+
+/// Timing axis: clock period of one architecture in normalised gate
+/// delays.
+pub trait TimingModel: Send + Sync {
+    /// Clock period of `arch`. Non-finite values mark the architecture
+    /// as infeasible, as for [`AreaModel::area`].
+    fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64;
+}
+
+/// Test axis: structural/functional test cost of one architecture.
+pub trait TestCostModel: Send + Sync {
+    /// Full per-component breakdown plus the comparative total.
+    fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost;
+}
+
+/// Width of `arch` as the `u16` the [`ComponentKey`] encoding uses, or
+/// `None` for out-of-model widths.
+pub(crate) fn key_width(arch: &Architecture) -> Option<u16> {
+    u16::try_from(arch.width).ok()
+}
+
+/// The default area model: back-annotated cell areas + socket groups +
+/// bus wiring + control path.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedAreaModel {
+    /// The interconnect constants.
+    pub interconnect: InterconnectModel,
+}
+
+impl AnnotatedAreaModel {
+    /// Model with explicit interconnect constants.
+    pub fn new(interconnect: InterconnectModel) -> Self {
+        AnnotatedAreaModel { interconnect }
+    }
+}
+
+impl AreaModel for AnnotatedAreaModel {
+    fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        let Some(w) = key_width(arch) else {
+            return f64::INFINITY;
+        };
+        let mut area = 0.0;
+        for fu in arch.fus() {
+            area += db.get(ComponentKey::for_fu(fu.kind, w)).area;
+            let Some(sock) = ComponentKey::socket_group(w, fu.kind.input_ports()) else {
+                return f64::INFINITY;
+            };
+            area += db.get(sock).area;
+        }
+        for rf in arch.rfs() {
+            let (Some(key), Some(sock)) = (
+                ComponentKey::for_rf(rf, w),
+                ComponentKey::socket_group(w, rf.nin()),
+            ) else {
+                return f64::INFINITY;
+            };
+            area += db.get(key).area;
+            area += db.get(sock).area;
+        }
+        let control = f64::from(InstructionFormat::of(arch).width())
+            * self.interconnect.control_area_per_instr_bit;
+        area + control
+            + arch.bus_count() as f64 * arch.width as f64 * self.interconnect.bus_area_per_bit
+    }
+}
+
+/// The default timing model: slowest back-annotated component critical
+/// path plus a wiring penalty per bus.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedTimingModel {
+    /// The interconnect constants.
+    pub interconnect: InterconnectModel,
+}
+
+impl AnnotatedTimingModel {
+    /// Model with explicit interconnect constants.
+    pub fn new(interconnect: InterconnectModel) -> Self {
+        AnnotatedTimingModel { interconnect }
+    }
+}
+
+impl TimingModel for AnnotatedTimingModel {
+    fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        let Some(w) = key_width(arch) else {
+            return f64::INFINITY;
+        };
+        let mut worst: f64 = 0.0;
+        for fu in arch.fus() {
+            worst = worst.max(db.get(ComponentKey::for_fu(fu.kind, w)).critical_path);
+        }
+        for rf in arch.rfs() {
+            let Some(key) = ComponentKey::for_rf(rf, w) else {
+                return f64::INFINITY;
+            };
+            worst = worst.max(db.get(key).critical_path);
+        }
+        worst + arch.bus_count() as f64 * self.interconnect.bus_delay_penalty
+    }
+}
+
+/// The default test-cost model: the paper's eq. (14) total.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Eq14TestCostModel;
+
+impl TestCostModel for Eq14TestCostModel {
+    fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
+        architecture_test_cost(arch, db)
+    }
+}
+
+/// Whether `arch` is inside the component model's domain — every
+/// geometry fits the [`ComponentKey`] fields, so [`keys_of`] would
+/// return `Some` (this is its allocation-free mirror). The sweep itself
+/// does not call this — infeasibility is the models' non-finite-value
+/// verdict — but space generators can use it to validate candidates
+/// before enumeration.
+pub fn in_model(arch: &Architecture) -> bool {
+    let Some(w) = key_width(arch) else {
+        return false;
+    };
+    arch.fus()
+        .iter()
+        .all(|fu| ComponentKey::socket_group(w, fu.kind.input_ports()).is_some())
+        && arch.rfs().iter().all(|rf| {
+            ComponentKey::for_rf(rf, w).is_some()
+                && ComponentKey::socket_group(w, rf.nin()).is_some()
+        })
+}
+
+/// Every [`ComponentKey`] needed to evaluate `arch` (area, timing and
+/// test cost), or `None` when the architecture is outside the component
+/// model's domain (checked narrowing — see [`ComponentKey::for_rf`]).
+pub fn keys_of(arch: &Architecture) -> Option<Vec<ComponentKey>> {
+    let w = key_width(arch)?;
+    let mut keys = Vec::new();
+    for fu in arch.fus() {
+        keys.push(ComponentKey::for_fu(fu.kind, w));
+        keys.push(ComponentKey::socket_group(w, fu.kind.input_ports())?);
+    }
+    for rf in arch.rfs() {
+        keys.push(ComponentKey::for_rf(rf, w)?);
+        keys.push(ComponentKey::socket_group(w, rf.nin())?);
+    }
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_arch::template::TemplateBuilder;
+    use tta_arch::FuKind;
+
+    fn arch8() -> Architecture {
+        TemplateBuilder::new("m", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .build()
+    }
+
+    #[test]
+    fn paper_interconnect_is_default() {
+        assert_eq!(InterconnectModel::default(), InterconnectModel::paper());
+    }
+
+    #[test]
+    fn interconnect_constants_shift_area_and_clock() {
+        let db = ComponentDb::new();
+        let arch = arch8();
+        let paper_area = AnnotatedAreaModel::default().area(&arch, &db);
+        let free_area = AnnotatedAreaModel::new(InterconnectModel::free()).area(&arch, &db);
+        assert!(paper_area > free_area, "{paper_area} vs {free_area}");
+
+        let paper_clk = AnnotatedTimingModel::default().clock_period(&arch, &db);
+        let free_clk =
+            AnnotatedTimingModel::new(InterconnectModel::free()).clock_period(&arch, &db);
+        assert!(paper_clk > free_clk);
+        // With free interconnect, the clock is exactly the slowest
+        // component.
+        let worst = arch
+            .fus()
+            .iter()
+            .map(|fu| db.get(ComponentKey::for_fu(fu.kind, 8)).critical_path)
+            .chain(
+                arch.rfs()
+                    .iter()
+                    .map(|rf| db.get(ComponentKey::for_rf(rf, 8).unwrap()).critical_path),
+            )
+            .fold(0.0f64, f64::max);
+        assert_eq!(free_clk, worst);
+    }
+
+    #[test]
+    fn keys_of_covers_every_component() {
+        let arch = arch8();
+        let keys = keys_of(&arch).unwrap();
+        let db = ComponentDb::new();
+        db.warm(keys.iter().copied());
+        // Evaluating through the models must hit only pre-warmed keys.
+        let before = db.len();
+        AnnotatedAreaModel::default().area(&arch, &db);
+        AnnotatedTimingModel::default().clock_period(&arch, &db);
+        Eq14TestCostModel.test_cost(&arch, &db);
+        assert_eq!(db.len(), before, "models touched an unwarmed key");
+    }
+
+    #[test]
+    fn in_model_agrees_with_keys_of() {
+        let ok = arch8();
+        assert!(in_model(&ok));
+        assert!(keys_of(&ok).is_some());
+        let bad = TemplateBuilder::new("wide", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Pc)
+            .rf(70_000, 1, 2)
+            .build();
+        assert!(!in_model(&bad));
+        assert!(keys_of(&bad).is_none());
+    }
+
+    #[test]
+    fn out_of_model_rf_is_infinite_not_truncated() {
+        // An RF with 70_000 registers overflows the u16 key field; the
+        // old `as` cast silently aliased it to a tiny RF. Now the area
+        // is infinite (→ infeasible) instead.
+        let arch = TemplateBuilder::new("wide", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Pc)
+            .rf(70_000, 1, 2)
+            .build();
+        assert!(keys_of(&arch).is_none());
+        let db = ComponentDb::new();
+        assert!(AnnotatedAreaModel::default().area(&arch, &db).is_infinite());
+        assert!(AnnotatedTimingModel::default()
+            .clock_period(&arch, &db)
+            .is_infinite());
+    }
+}

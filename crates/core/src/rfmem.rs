@@ -85,9 +85,8 @@ pub struct RfImplementationComparison {
 impl RfImplementationComparison {
     /// Builds the comparison by generating the structural netlist.
     pub fn new(spec: RfMemSpec) -> Self {
-        let comp = tta_netlist::components::register_file(
-            spec.width, spec.regs, spec.nin, spec.nout,
-        );
+        let comp =
+            tta_netlist::components::register_file(spec.width, spec.regs, spec.nin, spec.nout);
         let scanned = tta_dft::scan::insert_scan(&comp.netlist);
         RfImplementationComparison {
             spec,
@@ -110,10 +109,19 @@ mod tests {
 
     #[test]
     fn area_grows_with_every_dimension() {
-        let base = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
+        let base = RfMemSpec {
+            regs: 8,
+            width: 16,
+            nin: 1,
+            nout: 2,
+        };
         let more_regs = RfMemSpec { regs: 12, ..base };
         let wider = RfMemSpec { width: 32, ..base };
-        let more_ports = RfMemSpec { nin: 2, nout: 3, ..base };
+        let more_ports = RfMemSpec {
+            nin: 2,
+            nout: 3,
+            ..base
+        };
         assert!(more_regs.area() > base.area());
         assert!(wider.area() > base.area());
         assert!(more_ports.area() > base.area());
@@ -140,7 +148,12 @@ mod tests {
 
     #[test]
     fn march_np_matches_flipflop_model() {
-        let spec = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
+        let spec = RfMemSpec {
+            regs: 8,
+            width: 16,
+            nin: 1,
+            nout: 2,
+        };
         let alg = MarchAlgorithm::march_cminus();
         assert_eq!(spec.march_patterns(&alg), 80);
         assert!(!spec.full_scannable());
@@ -148,8 +161,18 @@ mod tests {
 
     #[test]
     fn access_delay_grows_with_size() {
-        let small = RfMemSpec { regs: 8, width: 16, nin: 1, nout: 2 };
-        let big = RfMemSpec { regs: 64, width: 16, nin: 1, nout: 2 };
+        let small = RfMemSpec {
+            regs: 8,
+            width: 16,
+            nin: 1,
+            nout: 2,
+        };
+        let big = RfMemSpec {
+            regs: 64,
+            width: 16,
+            nin: 1,
+            nout: 2,
+        };
         assert!(big.access_delay() > small.access_delay());
     }
 }

@@ -119,26 +119,36 @@ pub fn socket_state_bits(n_input_ports: usize) -> usize {
     n_input_ports + 4
 }
 
+/// An infinite test cost marking an architecture outside the component
+/// model's domain (the same convention as the area/timing models: the
+/// sweep and any selection drop such points instead of trusting a
+/// silently truncated key).
+fn out_of_model() -> ArchTestCost {
+    ArchTestCost {
+        components: Vec::new(),
+        total: f64::INFINITY,
+    }
+}
+
 /// Computes the full eq.-(14) test cost of `arch`, back-annotating
 /// components through `db` as needed.
-pub fn architecture_test_cost(arch: &Architecture, db: &mut ComponentDb) -> ArchTestCost {
-    let w = arch.width as u16;
+///
+/// Architectures outside the component model's domain (width or RF/port
+/// geometry overflowing the [`ComponentKey`] fields) get an empty
+/// breakdown with an infinite total rather than a truncated-key cost.
+pub fn architecture_test_cost(arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
+    let Ok(w) = u16::try_from(arch.width) else {
+        return out_of_model();
+    };
     let mut components = Vec::new();
 
     for fu in arch.fus() {
-        let key = match fu.kind {
-            FuKind::Alu => ComponentKey::Alu(w),
-            FuKind::Cmp => ComponentKey::Cmp(w),
-            FuKind::Mul => ComponentKey::Mul(w),
-            FuKind::LdSt => ComponentKey::LdSt(w),
-            FuKind::Pc => ComponentKey::Pc(w),
-            FuKind::Immediate => ComponentKey::Imm(w),
-        };
-        let rec = db.get(key).clone();
+        let rec = db.get(ComponentKey::for_fu(fu.kind, w)).clone();
         let n_inputs = fu.kind.input_ports();
-        let sock = db
-            .get(ComponentKey::SocketGroup(w, n_inputs as u8))
-            .clone();
+        let Some(sock_key) = ComponentKey::socket_group(w, n_inputs) else {
+            return out_of_model();
+        };
+        let sock = db.get(sock_key).clone();
         let cd = timing::transport_cycles(fu);
         let nl = rec.ff_infrastructure + socket_state_bits(n_inputs);
         let excluded = matches!(fu.kind, FuKind::LdSt | FuKind::Pc | FuKind::Immediate);
@@ -156,11 +166,14 @@ pub fn architecture_test_cost(arch: &Architecture, db: &mut ComponentDb) -> Arch
     }
 
     for rf in arch.rfs() {
-        let key = ComponentKey::Rf(w, rf.regs as u16, rf.nin() as u8, rf.nout() as u8);
+        let (Some(key), Some(sock_key)) = (
+            ComponentKey::for_rf(rf, w),
+            ComponentKey::socket_group(w, rf.nin()),
+        ) else {
+            return out_of_model();
+        };
         let rec = db.get(key).clone();
-        let sock = db
-            .get(ComponentKey::SocketGroup(w, rf.nin() as u8))
-            .clone();
+        let sock = db.get(sock_key).clone();
         let cd = timing::rf_transport_cycles(rf.write_ports[0], rf.read_ports[0]);
         let nl = rec.ff_infrastructure + socket_state_bits(rf.nin());
         components.push(ComponentTestCost {
@@ -202,9 +215,9 @@ mod tests {
 
     #[test]
     fn fewer_buses_cost_more() {
-        let mut db = ComponentDb::new();
-        let wide = architecture_test_cost(&arch8(4), &mut db).total;
-        let narrow = architecture_test_cost(&arch8(1), &mut db).total;
+        let db = ComponentDb::new();
+        let wide = architecture_test_cost(&arch8(4), &db).total;
+        let narrow = architecture_test_cost(&arch8(1), &db).total;
         assert!(
             narrow > wide,
             "1-bus cost {narrow} must exceed 4-bus cost {wide}"
@@ -213,8 +226,8 @@ mod tests {
 
     #[test]
     fn excluded_units_not_in_total() {
-        let mut db = ComponentDb::new();
-        let cost = architecture_test_cost(&arch8(2), &mut db);
+        let db = ComponentDb::new();
+        let cost = architecture_test_cost(&arch8(2), &db);
         let included: f64 = cost
             .components
             .iter()
@@ -247,9 +260,24 @@ mod tests {
     }
 
     #[test]
+    fn out_of_model_rf_costs_infinity_not_a_truncated_key() {
+        // 70_000 registers overflow the u16 key field; the old `as` cast
+        // aliased this to a tiny RF and returned a confident wrong cost.
+        let arch = TemplateBuilder::new("wide", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Pc)
+            .rf(70_000, 1, 2)
+            .build();
+        let db = ComponentDb::new();
+        let cost = architecture_test_cost(&arch, &db);
+        assert!(cost.total.is_infinite());
+        assert!(cost.components.is_empty());
+    }
+
+    #[test]
     fn socket_cost_uses_pipeline_chain() {
-        let mut db = ComponentDb::new();
-        let cost = architecture_test_cost(&arch8(2), &mut db);
+        let db = ComponentDb::new();
+        let cost = architecture_test_cost(&arch8(2), &db);
         let alu = cost
             .components
             .iter()

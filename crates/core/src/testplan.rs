@@ -57,7 +57,7 @@ pub struct TestPlan {
 impl TestPlan {
     /// Builds the plan: all socket-scan phases first (interconnect), then
     /// every component's functional phase.
-    pub fn for_architecture(arch: &Architecture, db: &mut ComponentDb) -> Self {
+    pub fn for_architecture(arch: &Architecture, db: &ComponentDb) -> Self {
         let cost = architecture_test_cost(arch, db);
         Self::from_costs(&cost.components)
     }
@@ -126,8 +126,8 @@ mod tests {
 
     #[test]
     fn interconnect_precedes_functional() {
-        let mut db = ComponentDb::new();
-        let plan = TestPlan::for_architecture(&arch(), &mut db);
+        let db = ComponentDb::new();
+        let plan = TestPlan::for_architecture(&arch(), &db);
         assert!(plan.interconnect_first());
         // Two phases per component (FUs + RFs).
         assert_eq!(plan.phases.len(), 2 * (5 + 1));
@@ -135,10 +135,10 @@ mod tests {
 
     #[test]
     fn totals_are_consistent_with_cost_model() {
-        let mut db = ComponentDb::new();
+        let db = ComponentDb::new();
         let a = arch();
-        let cost = architecture_test_cost(&a, &mut db);
-        let plan = TestPlan::for_architecture(&a, &mut db);
+        let cost = architecture_test_cost(&a, &db);
+        let plan = TestPlan::for_architecture(&a, &db);
         let expect: f64 = cost
             .components
             .iter()
@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn display_orders_phases() {
-        let mut db = ComponentDb::new();
-        let plan = TestPlan::for_architecture(&arch(), &mut db);
+        let db = ComponentDb::new();
+        let plan = TestPlan::for_architecture(&arch(), &db);
         let text = plan.to_string();
         let scan_pos = text.find("scan").unwrap();
         let func_pos = text.find("func").unwrap();

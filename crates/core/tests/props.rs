@@ -3,9 +3,12 @@
 //! monotonicity.
 
 use proptest::prelude::*;
+use tta_arch::template::TemplateSpace;
+use tta_core::explore::Exploration;
 use tta_core::norm::{normalize, select, Norm, Weights};
 use tta_core::pareto::{dominates, is_pareto_set, pareto_front};
 use tta_core::testcost::{ftfu_ratio, ftrf};
+use tta_core::ComponentDb;
 
 fn cloud(dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(
@@ -103,5 +106,85 @@ proptest! {
         let one = ftrf(np, cd, 1, 1, nb);
         let two = ftrf(np, cd, 1, 2, nb);
         prop_assert!(two <= one, "{two} > {one}");
+    }
+
+    #[test]
+    fn lifting_a_front_with_any_axis_preserves_nondomination(pts in cloud(2), seed in 0u64..1000) {
+        // The pipeline's Figure-8 step: take the 2-D front, append a
+        // third axis (any values at all), and the lifted points must all
+        // stay Pareto-optimal — so the 2-D→3-D lift never needs a
+        // re-filter and the projection property holds by construction.
+        let front = pareto_front(&pts);
+        let lifted: Vec<Vec<f64>> = front
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let extra = ((seed + k as u64) % 977) as f64;
+                vec![pts[i][0], pts[i][1], extra]
+            })
+            .collect();
+        prop_assert_eq!(pareto_front(&lifted).len(), lifted.len());
+    }
+}
+
+/// A randomised tiny template space: every draw is a valid space whose
+/// exploration finishes quickly at width 4.
+fn tiny_space(buses: Vec<usize>, alus: Vec<usize>, regs: usize) -> TemplateSpace {
+    TemplateSpace {
+        width: 4,
+        buses,
+        alus,
+        cmps: vec![1],
+        muls: vec![0],
+        imms: vec![1],
+        rf_sets: vec![vec![(regs, 1, 2)]],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_sweep_equals_serial_on_random_spaces(
+        nbuses in 1usize..4,
+        nalus in 1usize..3,
+        regs in 2usize..9,
+        threads in 2usize..9,
+    ) {
+        let space = tiny_space(
+            (1..=nbuses).collect(),
+            (1..=nalus).collect(),
+            regs,
+        );
+        let w = tta_workloads::suite::checksum32();
+        let db = ComponentDb::new();
+        let serial = Exploration::over(space.clone())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        let parallel = Exploration::over(space)
+            .workload(&w)
+            .with_db(&db)
+            .parallel(true)
+            .threads(threads)
+            .run();
+        // Identical evaluated set…
+        prop_assert_eq!(serial.evaluated.len(), parallel.evaluated.len());
+        for (a, b) in serial.evaluated.iter().zip(&parallel.evaluated) {
+            prop_assert_eq!(&a.architecture.name, &b.architecture.name);
+            prop_assert_eq!(&a.objectives, &b.objectives);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.spills, b.spills);
+        }
+        // …identical front…
+        prop_assert_eq!(&serial.pareto, &parallel.pareto);
+        prop_assert_eq!(serial.infeasible, parallel.infeasible);
+        // …identical selection.
+        if !serial.pareto.is_empty() {
+            prop_assert_eq!(
+                &serial.select_equal_weights().architecture.name,
+                &parallel.select_equal_weights().architecture.name
+            );
+        }
     }
 }

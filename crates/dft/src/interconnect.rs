@@ -62,7 +62,11 @@ impl BusFault {
 /// The classic interconnect test set: walking-1, walking-0, plus the two
 /// solid backgrounds — `2·width + 2` words.
 pub fn walking_patterns(width: usize) -> Vec<u64> {
-    let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut v = Vec::with_capacity(2 * width + 2);
     v.push(0);
     v.push(mask);

@@ -42,6 +42,6 @@ pub mod testtime;
 pub use chains::ChainPlan;
 pub use interconnect::BusFault;
 pub use march::{MarchAlgorithm, MarchElement, MarchOp, MarchTest};
-pub use misr::{Lfsr, Misr};
 pub use memory::{MemFault, MemFaultKind, MultiPortMemory};
+pub use misr::{Lfsr, Misr};
 pub use scan::{insert_scan, ScanDesign};

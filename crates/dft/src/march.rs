@@ -111,9 +111,18 @@ impl MarchAlgorithm {
         MarchAlgorithm {
             name: "MATS+",
             elements: vec![
-                MarchElement { order: Either, ops: vec![W0] },
-                MarchElement { order: Up, ops: vec![R0, W1] },
-                MarchElement { order: Down, ops: vec![R1, W0] },
+                MarchElement {
+                    order: Either,
+                    ops: vec![W0],
+                },
+                MarchElement {
+                    order: Up,
+                    ops: vec![R0, W1],
+                },
+                MarchElement {
+                    order: Down,
+                    ops: vec![R1, W0],
+                },
             ],
         }
     }
@@ -127,12 +136,30 @@ impl MarchAlgorithm {
         MarchAlgorithm {
             name: "March C-",
             elements: vec![
-                MarchElement { order: Either, ops: vec![W0] },
-                MarchElement { order: Up, ops: vec![R0, W1] },
-                MarchElement { order: Up, ops: vec![R1, W0] },
-                MarchElement { order: Down, ops: vec![R0, W1] },
-                MarchElement { order: Down, ops: vec![R1, W0] },
-                MarchElement { order: Either, ops: vec![R0] },
+                MarchElement {
+                    order: Either,
+                    ops: vec![W0],
+                },
+                MarchElement {
+                    order: Up,
+                    ops: vec![R0, W1],
+                },
+                MarchElement {
+                    order: Up,
+                    ops: vec![R1, W0],
+                },
+                MarchElement {
+                    order: Down,
+                    ops: vec![R0, W1],
+                },
+                MarchElement {
+                    order: Down,
+                    ops: vec![R1, W0],
+                },
+                MarchElement {
+                    order: Either,
+                    ops: vec![R0],
+                },
             ],
         }
     }
@@ -145,11 +172,26 @@ impl MarchAlgorithm {
         MarchAlgorithm {
             name: "March B",
             elements: vec![
-                MarchElement { order: Either, ops: vec![W0] },
-                MarchElement { order: Up, ops: vec![R0, W1, R1, W0, R0, W1] },
-                MarchElement { order: Up, ops: vec![R1, W0, W1] },
-                MarchElement { order: Down, ops: vec![R1, W0, W1, W0] },
-                MarchElement { order: Down, ops: vec![R0, W1, W0] },
+                MarchElement {
+                    order: Either,
+                    ops: vec![W0],
+                },
+                MarchElement {
+                    order: Up,
+                    ops: vec![R0, W1, R1, W0, R0, W1],
+                },
+                MarchElement {
+                    order: Up,
+                    ops: vec![R1, W0, W1],
+                },
+                MarchElement {
+                    order: Down,
+                    ops: vec![R1, W0, W1, W0],
+                },
+                MarchElement {
+                    order: Down,
+                    ops: vec![R0, W1, W0],
+                },
             ],
         }
     }
@@ -200,12 +242,20 @@ impl MarchAlgorithm {
                         MarchOp::W1 => mem.write(addr, ones),
                         MarchOp::R0 => {
                             if mem.read(addr) != 0 {
-                                return Err(MarchFailure { word: addr, element: ei, op: oi });
+                                return Err(MarchFailure {
+                                    word: addr,
+                                    element: ei,
+                                    op: oi,
+                                });
                             }
                         }
                         MarchOp::R1 => {
                             if mem.read(addr) != ones {
-                                return Err(MarchFailure { word: addr, element: ei, op: oi });
+                                return Err(MarchFailure {
+                                    word: addr,
+                                    element: ei,
+                                    op: oi,
+                                });
                             }
                         }
                     }
@@ -398,7 +448,11 @@ pub fn run_two_port(
                     MarchOp::R0 => {
                         if mem.read(addr) != 0 {
                             return (
-                                Err(MarchFailure { word: addr, element: ei, op: oi }),
+                                Err(MarchFailure {
+                                    word: addr,
+                                    element: ei,
+                                    op: oi,
+                                }),
                                 cycles,
                             );
                         }
@@ -406,7 +460,11 @@ pub fn run_two_port(
                     MarchOp::R1 => {
                         if mem.read(addr) != ones {
                             return (
-                                Err(MarchFailure { word: addr, element: ei, op: oi }),
+                                Err(MarchFailure {
+                                    word: addr,
+                                    element: ei,
+                                    op: oi,
+                                }),
                                 cycles,
                             );
                         }

@@ -134,16 +134,12 @@ impl MultiPortMemory {
                 match f.kind {
                     MemFaultKind::StuckAt0 => newv &= !bit,
                     MemFaultKind::StuckAt1 => newv |= bit,
-                    MemFaultKind::TransitionUp => {
-                        // Cannot raise the bit if it was 0.
-                        if old & bit == 0 {
-                            newv &= !bit | (old & bit);
-                        }
+                    // Cannot raise the bit if it was 0.
+                    MemFaultKind::TransitionUp if old & bit == 0 => {
+                        newv &= !bit | (old & bit);
                     }
-                    MemFaultKind::TransitionDown => {
-                        if old & bit != 0 {
-                            newv |= bit;
-                        }
+                    MemFaultKind::TransitionDown if old & bit != 0 => {
+                        newv |= bit;
                     }
                     _ => {}
                 }

@@ -27,7 +27,11 @@ impl Lfsr {
     /// never leaves the zero state).
     pub fn new(width: u32, taps: u64, seed: u64) -> Self {
         assert!((1..=64).contains(&width), "LFSR width out of range");
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let seed = seed & mask;
         assert_ne!(seed, 0, "LFSR seed must be nonzero");
         Lfsr {

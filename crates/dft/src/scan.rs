@@ -176,7 +176,13 @@ mod tests {
         let mut plain = OwnedSeqSim::new(alu.netlist.clone());
         let mut scan = OwnedSeqSim::new(scanned.netlist().clone());
         let stim: &[&[(&str, u64)]] = &[
-            &[("o_in", 9), ("t_in", 3), ("en_o", 1), ("en_t", 1), ("op", 0)],
+            &[
+                ("o_in", 9),
+                ("t_in", 3),
+                ("en_o", 1),
+                ("en_t", 1),
+                ("op", 0),
+            ],
             &[],
             &[],
         ];

@@ -30,11 +30,7 @@ pub fn render_move_code(arch: &Architecture, schedule: &Schedule) -> String {
     let nb = arch.bus_count();
     let mut by_cycle: Vec<Vec<String>> = vec![Vec::new(); schedule.makespan as usize + 1];
     for mv in &schedule.moves {
-        let text = format!(
-            "{} -> {}",
-            endpoint(arch, mv.src),
-            endpoint(arch, mv.dst)
-        );
+        let text = format!("{} -> {}", endpoint(arch, mv.src), endpoint(arch, mv.dst));
         by_cycle[mv.cycle as usize].push(text);
     }
     let mut out = String::new();

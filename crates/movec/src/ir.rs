@@ -88,7 +88,7 @@ impl Op {
                 Some(FuClass::Alu)
             }
             Op::Mul => Some(FuClass::Mul),
-            Op::Eq | Op::Ne | Op::Ltu | Op::Geu => Some(FuClass::Cmp)            ,
+            Op::Eq | Op::Ne | Op::Ltu | Op::Geu => Some(FuClass::Cmp),
             Op::Load | Op::Store => Some(FuClass::LdSt),
         }
     }
@@ -193,7 +193,10 @@ impl Dfg {
     /// Marks a value as a live-out.
     pub fn mark_output(&mut self, v: ValueId) {
         assert!(v.index() < self.nodes.len(), "unknown value {v}");
-        assert!(self.nodes[v.index()].op.has_result(), "stores have no value");
+        assert!(
+            self.nodes[v.index()].op.has_result(),
+            "stores have no value"
+        );
         self.outputs.push(v);
     }
 
@@ -214,7 +217,10 @@ impl Dfg {
 
     /// Number of nodes that execute on some FU (excludes live-ins).
     pub fn operation_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.op.fu_class().is_some()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.op.fu_class().is_some())
+            .count()
     }
 
     /// Consumers of every value.
@@ -234,7 +240,11 @@ impl Dfg {
         let cons = self.consumers();
         let mut prio = vec![0u32; self.nodes.len()];
         for i in (0..self.nodes.len()).rev() {
-            let best = cons[i].iter().map(|c| prio[c.index()] + 1).max().unwrap_or(0);
+            let best = cons[i]
+                .iter()
+                .map(|c| prio[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
             prio[i] = best;
         }
         prio
@@ -256,7 +266,7 @@ impl Dfg {
     ///
     /// Panics if `inputs` is shorter than [`Self::input_count`] or `mem`
     /// is empty while the graph contains memory operations.
-    pub fn eval(&self, inputs: &[u64], mem: &mut Vec<u64>) -> Vec<u64> {
+    pub fn eval(&self, inputs: &[u64], mem: &mut [u64]) -> Vec<u64> {
         let mask = self.mask();
         let w = self.width as u64;
         let mut values = vec![0u64; self.nodes.len()];
@@ -337,7 +347,7 @@ mod tests {
         let b = dfg.input();
         let s = dfg.op(Op::Add, &[a, b]);
         dfg.mark_output(s);
-        assert_eq!(dfg.eval(&[200, 100], &mut vec![0]), vec![(200 + 100) & 0xFF]);
+        assert_eq!(dfg.eval(&[200, 100], &mut [0]), vec![(200 + 100) & 0xFF]);
     }
 
     #[test]

@@ -42,11 +42,7 @@ impl ScheduleReport {
     }
 }
 
-fn count_endpoint(
-    fu: &mut HashMap<usize, usize>,
-    rf: &mut HashMap<usize, usize>,
-    mv: &Move,
-) {
+fn count_endpoint(fu: &mut HashMap<usize, usize>, rf: &mut HashMap<usize, usize>, mv: &Move) {
     match mv.src {
         Endpoint::FuResult(i) | Endpoint::Imm(i) => *fu.entry(i).or_default() += 1,
         Endpoint::RfRead(i) => *rf.entry(i).or_default() += 1,

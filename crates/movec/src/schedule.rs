@@ -128,9 +128,7 @@ impl Pool {
     }
 
     fn free_at(&self, cycle: u32) -> bool {
-        self.used
-            .get(cycle as usize)
-            .map_or(true, |&u| u < self.cap)
+        self.used.get(cycle as usize).is_none_or(|&u| u < self.cap)
     }
 
     fn take(&mut self, cycle: u32) {
@@ -342,9 +340,7 @@ impl<'a> State<'a> {
             return false;
         }
         match self.place[v.index()] {
-            Place::Rf { rf, available } => {
-                cycle >= available && self.rf_read[rf].free_at(cycle)
-            }
+            Place::Rf { rf, available } => cycle >= available && self.rf_read[rf].free_at(cycle),
             Place::Imm => self
                 .imm_units
                 .iter()
@@ -430,8 +426,11 @@ impl<'a> State<'a> {
             0 => {}
             1 => self.commit_read(node.args[0], c_t, Endpoint::FuTrigger(fu)),
             2 => {
-                self.commit_read(node.args[0], c_o.expect("binary op has operand cycle"),
-                    Endpoint::FuOperand(fu));
+                self.commit_read(
+                    node.args[0],
+                    c_o.expect("binary op has operand cycle"),
+                    Endpoint::FuOperand(fu),
+                );
                 self.commit_read(node.args[1], c_t, Endpoint::FuTrigger(fu));
             }
             _ => unreachable!("IR ops have at most 2 args"),

@@ -104,8 +104,8 @@ proptest! {
         b in 0u64..0xFFFF,
     ) {
         let dfg = build_dfg(&ops);
-        let r1 = dfg.eval(&[a, b], &mut vec![0u64; 4]);
-        let r2 = dfg.eval(&[a, b], &mut vec![0u64; 4]);
+        let r1 = dfg.eval(&[a, b], &mut [0u64; 4]);
+        let r2 = dfg.eval(&[a, b], &mut [0u64; 4]);
         prop_assert_eq!(r1, r2);
     }
 }

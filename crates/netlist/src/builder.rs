@@ -73,7 +73,9 @@ impl NetlistBuilder {
 
     /// Declares a `width`-bit primary input word named `name[i]`.
     pub fn input_word(&mut self, name: &str, width: usize) -> Word {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Marks `net` as a primary output called `name`.
@@ -387,13 +389,7 @@ impl NetlistBuilder {
         let mut lines = Vec::with_capacity(n);
         for code in 0..n {
             let bits: Vec<NetId> = (0..sel.len())
-                .map(|b| {
-                    if code >> b & 1 == 1 {
-                        sel[b]
-                    } else {
-                        sel_n[b]
-                    }
-                })
+                .map(|b| if code >> b & 1 == 1 { sel[b] } else { sel_n[b] })
                 .collect();
             lines.push(self.and_reduce(&bits));
         }

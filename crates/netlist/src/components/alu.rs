@@ -53,7 +53,11 @@ impl AluOp {
     /// Shift amounts use the low `log2(width)` bits of `t`, matching the
     /// generated barrel shifter.
     pub fn eval(self, o: u64, t: u64, width: u32) -> u64 {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let shamt = t & (width as u64 - 1);
         let r = match self {
             AluOp::Add => o.wrapping_add(t),

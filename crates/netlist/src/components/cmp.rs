@@ -39,7 +39,11 @@ impl CmpOp {
 
     /// Reference semantics at `width` bits; returns 0 or 1.
     pub fn eval(self, o: u64, t: u64, width: u32) -> u64 {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let (o, t) = (o & mask, t & mask);
         let sign = 1u64 << (width - 1);
         let ltu = o < t;

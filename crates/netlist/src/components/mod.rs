@@ -93,9 +93,7 @@ impl ComponentKind {
     pub fn is_datapath(&self) -> bool {
         !matches!(
             self,
-            ComponentKind::InputSocket
-                | ComponentKind::OutputSocket
-                | ComponentKind::StageControl
+            ComponentKind::InputSocket | ComponentKind::OutputSocket | ComponentKind::StageControl
         )
     }
 }

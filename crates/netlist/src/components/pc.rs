@@ -67,7 +67,7 @@ mod tests {
         let mut sim = OwnedSeqSim::new(c.netlist);
         sim.step_words(&[]); // pc: 0 -> 1
         sim.step_words(&[]); // pc: 1 -> 2
-        // Observe during a stalled cycle (PC holds while we look).
+                             // Observe during a stalled cycle (PC holds while we look).
         sim.step_words(&[("stall", 1)]);
         assert_eq!(sim.output_words()["iaddr"], 2);
     }

@@ -16,8 +16,11 @@ use crate::components::{Component, ComponentKind};
 /// the component register), `enable` (load strobe, one cycle delayed
 /// through `Fin` per relations (6)–(7) of the paper).
 pub fn input_socket(width: usize, id_bits: usize, id_value: u64) -> Component {
-    assert!(id_bits >= 1 && id_bits <= 16, "socket id field out of range");
-    assert!(id_value < (1 << id_bits), "socket id does not fit the field");
+    assert!((1..=16).contains(&id_bits), "socket id field out of range");
+    assert!(
+        id_value < (1 << id_bits),
+        "socket id does not fit the field"
+    );
     let mut b = NetlistBuilder::new(format!("isock{width}_id{id_value}"));
     let bus = b.input_word("bus", width);
     let addr = b.input_word("addr", id_bits);
@@ -63,8 +66,11 @@ pub fn input_socket(width: usize, id_bits: usize, id_value: u64) -> Component {
 /// outputs `bus_out` (gated data; the AND-gating models the tri-state
 /// driver) and `drive` (bus-driver enable via `Fout`, relation (8)).
 pub fn output_socket(width: usize, id_bits: usize, id_value: u64) -> Component {
-    assert!(id_bits >= 1 && id_bits <= 16, "socket id field out of range");
-    assert!(id_value < (1 << id_bits), "socket id does not fit the field");
+    assert!((1..=16).contains(&id_bits), "socket id field out of range");
+    assert!(
+        id_value < (1 << id_bits),
+        "socket id does not fit the field"
+    );
     let mut b = NetlistBuilder::new(format!("osock{width}_id{id_value}"));
     let r_in = b.input_word("r_in", width);
     let addr = b.input_word("addr", id_bits);
@@ -106,7 +112,10 @@ pub fn output_socket(width: usize, id_bits: usize, id_value: u64) -> Component {
 /// block yields the socket pattern count `np`, while the scan-chain
 /// length `nl` additionally spans the component's pipeline registers.
 pub fn socket_group(width: usize, n_inputs: usize, id_bits: usize) -> Component {
-    assert!(n_inputs >= 1 && id_bits >= 1 && id_bits <= 16, "bad socket group");
+    assert!(
+        n_inputs >= 1 && (1..=16).contains(&id_bits),
+        "bad socket group"
+    );
     let mut b = NetlistBuilder::new(format!("sockgrp{width}x{n_inputs}"));
     let bus = b.input_word("bus", width);
     let addr = b.input_word("addr", id_bits);

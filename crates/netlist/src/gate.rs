@@ -167,7 +167,7 @@ mod tests {
     fn arities_match_eval_expectations() {
         for kind in GateKind::ALL {
             let n = kind.arity();
-            assert!(n >= 1 && n <= 3, "{kind} arity {n} out of range");
+            assert!((1..=3).contains(&n), "{kind} arity {n} out of range");
         }
     }
 

@@ -96,8 +96,14 @@ mod tests {
         b.output("z", z);
         let s = NetlistStats::of(&b.finish());
         assert_eq!(s.gates, 3);
-        let and_idx = GateKind::ALL.iter().position(|k| *k == GateKind::And).unwrap();
-        let xor_idx = GateKind::ALL.iter().position(|k| *k == GateKind::Xor).unwrap();
+        let and_idx = GateKind::ALL
+            .iter()
+            .position(|k| *k == GateKind::And)
+            .unwrap();
+        let xor_idx = GateKind::ALL
+            .iter()
+            .position(|k| *k == GateKind::Xor)
+            .unwrap();
         assert_eq!(s.histogram[and_idx], 1);
         assert_eq!(s.histogram[xor_idx], 1);
         assert!(s.to_string().contains("mix"));

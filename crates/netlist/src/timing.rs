@@ -49,7 +49,12 @@ pub fn logic_depth(nl: &Netlist) -> Vec<u32> {
     let mut depth = vec![0u32; nl.net_count()];
     for &gid in nl.topo_order() {
         let g = nl.gate(gid);
-        let worst_in = g.inputs().iter().map(|n| depth[n.index()]).max().unwrap_or(0);
+        let worst_in = g
+            .inputs()
+            .iter()
+            .map(|n| depth[n.index()])
+            .max()
+            .unwrap_or(0);
         depth[g.output().index()] = worst_in + 1;
     }
     depth

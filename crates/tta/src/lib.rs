@@ -33,8 +33,6 @@ pub mod template;
 pub mod timing;
 pub mod vliw;
 
-pub use arch::{
-    Architecture, ArchitectureError, BusId, FuInstance, FuKind, PortRole, RfInstance,
-};
+pub use arch::{Architecture, ArchitectureError, BusId, FuInstance, FuKind, PortRole, RfInstance};
 pub use isa::InstructionFormat;
 pub use timing::{transport_cycles, validate_relations, OpTransport, RelationViolation};

@@ -146,6 +146,21 @@ impl TemplateSpace {
         }
     }
 
+    /// A reduced 8-bit space that keeps every effect visible but
+    /// back-annotates in seconds — used by tests, examples and CI smoke
+    /// runs.
+    pub fn fast_default() -> Self {
+        TemplateSpace {
+            width: 8,
+            buses: vec![1, 2, 3],
+            alus: vec![1, 2],
+            cmps: vec![1],
+            muls: vec![0],
+            imms: vec![1],
+            rf_sets: vec![vec![(8, 1, 2)], vec![(4, 1, 1)]],
+        }
+    }
+
     /// A tiny space for unit tests (a handful of points).
     pub fn tiny() -> Self {
         TemplateSpace {
@@ -242,12 +257,18 @@ mod tests {
     #[test]
     fn round_robin_shares_buses_when_scarce() {
         // 1-bus machine: every port lands on bus0 -> maximum sharing.
-        let a = TemplateBuilder::new("one", 8, 1).fu(FuKind::Alu).rf(4, 1, 1).build();
+        let a = TemplateBuilder::new("one", 8, 1)
+            .fu(FuKind::Alu)
+            .rf(4, 1, 1)
+            .build();
         let alu = &a.fus[0];
         assert_eq!(alu.operand_bus, alu.trigger_bus);
         assert_eq!(crate::timing::transport_cycles(alu), 5);
         // 3-bus machine: ALU ports spread out.
-        let b = TemplateBuilder::new("three", 8, 3).fu(FuKind::Alu).rf(4, 1, 1).build();
+        let b = TemplateBuilder::new("three", 8, 3)
+            .fu(FuKind::Alu)
+            .rf(4, 1, 1)
+            .build();
         assert_eq!(crate::timing::transport_cycles(&b.fus[0]), 3);
     }
 

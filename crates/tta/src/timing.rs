@@ -53,7 +53,11 @@ impl std::fmt::Display for RelationViolation {
                 "relation ({}) violated by operations {} and {j}",
                 self.relation, self.op
             ),
-            None => write!(f, "relation ({}) violated by operation {}", self.relation, self.op),
+            None => write!(
+                f,
+                "relation ({}) violated by operation {}",
+                self.relation, self.op
+            ),
         }
     }
 }
@@ -71,20 +75,40 @@ pub fn validate_relations(ops: &[OpTransport]) -> Result<(), RelationViolation> 
     for (i, op) in ops.iter().enumerate() {
         if let Some(o) = op.o {
             if op.t < o {
-                return Err(RelationViolation { relation: 2, op: i, other: None });
+                return Err(RelationViolation {
+                    relation: 2,
+                    op: i,
+                    other: None,
+                });
             }
             if o < op.fin + 1 {
-                return Err(RelationViolation { relation: 6, op: i, other: None });
+                return Err(RelationViolation {
+                    relation: 6,
+                    op: i,
+                    other: None,
+                });
             }
         }
         if op.r < op.t + 1 {
-            return Err(RelationViolation { relation: 3, op: i, other: None });
+            return Err(RelationViolation {
+                relation: 3,
+                op: i,
+                other: None,
+            });
         }
         if op.t < op.fin + 1 {
-            return Err(RelationViolation { relation: 7, op: i, other: None });
+            return Err(RelationViolation {
+                relation: 7,
+                op: i,
+                other: None,
+            });
         }
         if op.fout < op.r + 1 {
-            return Err(RelationViolation { relation: 8, op: i, other: None });
+            return Err(RelationViolation {
+                relation: 8,
+                op: i,
+                other: None,
+            });
         }
     }
     for (i, a) in ops.iter().enumerate() {
@@ -94,14 +118,22 @@ pub fn validate_relations(ops: &[OpTransport]) -> Result<(), RelationViolation> 
             }
             // (4): trigger order must match result order.
             if (a.t > b.t) != (a.r > b.r) {
-                return Err(RelationViolation { relation: 4, op: i, other: Some(j) });
+                return Err(RelationViolation {
+                    relation: 4,
+                    op: i,
+                    other: Some(j),
+                });
             }
             // (5): a later operation's operand must arrive after the
             // earlier operation's trigger (no early overwrite).
             if a.t > b.t {
                 if let Some(oa) = a.o {
                     if oa <= b.t {
-                        return Err(RelationViolation { relation: 5, op: i, other: Some(j) });
+                        return Err(RelationViolation {
+                            relation: 5,
+                            op: i,
+                            other: Some(j),
+                        });
                     }
                 }
             }
@@ -146,8 +178,7 @@ fn distinct_count(buses: &[BusId]) -> u32 {
 /// Builds the canonical minimum-latency transport for one operation of
 /// `fu` starting at `start` (the Fin decode cycle), honouring eqs. (9–10).
 pub fn canonical_transport(fu: &FuInstance, start: u32) -> OpTransport {
-    let shared_ot =
-        fu.kind != FuKind::Immediate && fu.operand_bus == fu.trigger_bus;
+    let shared_ot = fu.kind != FuKind::Immediate && fu.operand_bus == fu.trigger_bus;
     let fin = start;
     let (o, t) = if fu.kind == FuKind::Immediate {
         (None, fin + 1)
@@ -208,21 +239,45 @@ mod tests {
 
     #[test]
     fn relation2_catches_trigger_before_operand() {
-        let bad = OpTransport { o: Some(5), t: 4, r: 6, fin: 3, fout: 7 };
+        let bad = OpTransport {
+            o: Some(5),
+            t: 4,
+            r: 6,
+            fin: 3,
+            fout: 7,
+        };
         let err = validate_relations(&[bad]).unwrap_err();
         assert_eq!(err.relation, 2);
     }
 
     #[test]
     fn relation3_catches_zero_latency() {
-        let bad = OpTransport { o: Some(4), t: 4, r: 4, fin: 3, fout: 7 };
+        let bad = OpTransport {
+            o: Some(4),
+            t: 4,
+            r: 4,
+            fin: 3,
+            fout: 7,
+        };
         assert_eq!(validate_relations(&[bad]).unwrap_err().relation, 3);
     }
 
     #[test]
     fn relation4_catches_out_of_order_completion() {
-        let a = OpTransport { o: Some(1), t: 1, r: 5, fin: 0, fout: 6 };
-        let b = OpTransport { o: Some(3), t: 3, r: 4, fin: 2, fout: 7 };
+        let a = OpTransport {
+            o: Some(1),
+            t: 1,
+            r: 5,
+            fin: 0,
+            fout: 6,
+        };
+        let b = OpTransport {
+            o: Some(3),
+            t: 3,
+            r: 4,
+            fin: 2,
+            fout: 7,
+        };
         let err = validate_relations(&[a, b]).unwrap_err();
         assert_eq!(err.relation, 4);
     }
@@ -231,19 +286,49 @@ mod tests {
     fn relation5_catches_operand_overwrite() {
         // Op b triggers at 3; op a (later trigger at 4) loads its operand
         // at cycle 2 ≤ 3 — it would be overwritten by b's execution.
-        let a = OpTransport { o: Some(2), t: 4, r: 5, fin: 1, fout: 6 };
-        let b = OpTransport { o: Some(3), t: 3, r: 4, fin: 1, fout: 5 };
+        let a = OpTransport {
+            o: Some(2),
+            t: 4,
+            r: 5,
+            fin: 1,
+            fout: 6,
+        };
+        let b = OpTransport {
+            o: Some(3),
+            t: 3,
+            r: 4,
+            fin: 1,
+            fout: 5,
+        };
         let err = validate_relations(&[a, b]).unwrap_err();
         assert_eq!(err.relation, 5);
     }
 
     #[test]
     fn relations_6_7_8_catch_decode_violations() {
-        let bad6 = OpTransport { o: Some(0), t: 1, r: 2, fin: 0, fout: 3 };
+        let bad6 = OpTransport {
+            o: Some(0),
+            t: 1,
+            r: 2,
+            fin: 0,
+            fout: 3,
+        };
         assert_eq!(validate_relations(&[bad6]).unwrap_err().relation, 6);
-        let bad7 = OpTransport { o: None, t: 0, r: 1, fin: 0, fout: 2 };
+        let bad7 = OpTransport {
+            o: None,
+            t: 0,
+            r: 1,
+            fin: 0,
+            fout: 2,
+        };
         assert_eq!(validate_relations(&[bad7]).unwrap_err().relation, 7);
-        let bad8 = OpTransport { o: None, t: 1, r: 2, fin: 0, fout: 2 };
+        let bad8 = OpTransport {
+            o: None,
+            t: 1,
+            r: 2,
+            fin: 0,
+            fout: 2,
+        };
         assert_eq!(validate_relations(&[bad8]).unwrap_err().relation, 8);
     }
 

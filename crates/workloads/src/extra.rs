@@ -128,8 +128,12 @@ mod tests {
     fn bitcount_matches_popcount() {
         let dfg = bitcount_dfg();
         for x in [0u64, 1, 0xFFFF, 0xA5A5, 0x1234, 0x8000] {
-            let out = dfg.eval(&[x], &mut vec![0]);
-            assert_eq!(out[0], u64::from((x as u16).count_ones() as u16), "x={x:04x}");
+            let out = dfg.eval(&[x], &mut [0]);
+            assert_eq!(
+                out[0],
+                u64::from((x as u16).count_ones() as u16),
+                "x={x:04x}"
+            );
         }
     }
 
@@ -273,7 +277,7 @@ mod dct_gcd_tests {
     fn gcd_trace_converges() {
         // 24 unrolled steps settle gcd(48, 36) = 12.
         let dfg = gcd_dfg(24);
-        let out = dfg.eval(&[48, 36], &mut vec![0]);
+        let out = dfg.eval(&[48, 36], &mut [0]);
         assert_eq!(out[0], 12);
         assert_eq!(out[1], 0);
         assert_eq!(gcd_reference(48, 36, 24), (12, 0));
@@ -283,7 +287,7 @@ mod dct_gcd_tests {
     fn gcd_trace_matches_reference_midway() {
         for (a, b, k) in [(270u64, 192u64, 3usize), (17, 5, 5), (1000, 35, 7)] {
             let dfg = gcd_dfg(k);
-            let out = dfg.eval(&[a, b], &mut vec![0]);
+            let out = dfg.eval(&[a, b], &mut [0]);
             let (ra, rb) = gcd_reference(a, b, k);
             assert_eq!((out[0], out[1]), (ra, rb), "gcd({a},{b}) after {k}");
         }

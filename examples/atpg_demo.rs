@@ -52,8 +52,10 @@ fn main() {
     let scan_cycles = full_scan_cycles(result.pattern_count(), nl);
     let functional_cycles = result.pattern_count() * 4; // CD = 4 on 2 buses
     println!("\n-- test application time --");
-    println!("full scan     : {scan_cycles} cycles (chain of {nl} FFs, {:.1} GE overhead)",
-        scanned.area_overhead());
+    println!(
+        "full scan     : {scan_cycles} cycles (chain of {nl} FFs, {:.1} GE overhead)",
+        scanned.area_overhead()
+    );
     println!("our approach  : {functional_cycles} cycles (functional, over the move buses)");
     println!(
         "advantage     : {:.1}x fewer cycles",

@@ -1,46 +1,50 @@
 //! The complete paper flow on the Crypt application: design-space sweep,
 //! 2-D Pareto front (Figure 2), test-cost lifting (Figure 8) and
-//! equal-weight Euclidean selection (Figure 9).
+//! equal-weight Euclidean selection (Figure 9) — through the
+//! `Exploration` builder with a parallel sweep.
 //!
 //! Run with: `cargo run --release --example crypt_explore` (add `--fast`
 //! for the reduced 8-bit space).
 
-use ttadse::explore::explore::{ExploreConfig, Explorer};
+use ttadse::arch::template::TemplateSpace;
+use ttadse::explore::explore::Exploration;
 use ttadse::explore::norm::{Norm, Weights};
 use ttadse::workloads::suite;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let (config, rounds) = if fast {
-        (ExploreConfig::fast(), 1)
+    let (space, rounds) = if fast {
+        (TemplateSpace::fast_default(), 1)
     } else {
-        (ExploreConfig::paper(), 16)
+        (TemplateSpace::paper_default(), 16)
     };
     let workload = suite::crypt(rounds);
     println!(
         "exploring {} architectures for {} …",
-        config.space.len(),
+        space.len(),
         workload.name
     );
 
-    let mut explorer = Explorer::new(config);
-    let result = explorer.run(&workload);
+    let result = Exploration::over(space)
+        .workload(&workload)
+        .parallel(true)
+        .run();
     println!(
         "{} feasible points, {} infeasible, {} on the Pareto front\n",
         result.evaluated.len(),
         result.infeasible,
-        result.pareto2d.len()
+        result.pareto.len()
     );
 
     println!("-- Figure 2: area/time Pareto front --");
-    let mut front = result.pareto2d_points();
-    front.sort_by(|a, b| a.area.total_cmp(&b.area));
+    let mut front = result.pareto_points();
+    front.sort_by(|a, b| a.area().total_cmp(&b.area()));
     for e in &front {
         println!(
             "  area {:>8.0} GE   time {:>12.0}   test {:>8.0}   {}",
-            e.area,
-            e.exec_time,
-            e.test_cost.unwrap_or(f64::NAN),
+            e.area(),
+            e.exec_time(),
+            e.test_cost().unwrap_or(f64::NAN),
             e.architecture.name
         );
     }
@@ -51,9 +55,9 @@ fn main() {
     println!("{}", best.architecture);
     println!(
         "area {:.0} GE, {} cycles, test cost {:.0} cycles",
-        best.area,
+        best.area(),
         best.cycles,
-        best.test_cost.unwrap_or(f64::NAN)
+        best.test_cost().unwrap_or(f64::NAN)
     );
 
     println!("\n-- selection sensitivity --");

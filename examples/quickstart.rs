@@ -1,12 +1,13 @@
 //! Quickstart: build the paper's Figure 9 architecture, schedule a tiny
 //! program on it, and look at all three cost axes — area, execution
-//! time, and test cost.
+//! time, and test cost — through the pluggable cost models.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use ttadse::arch::Architecture;
-use ttadse::explore::explore::{ExploreConfig, Explorer};
+use ttadse::explore::models::{AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, TimingModel};
 use ttadse::explore::testcost::architecture_test_cost;
+use ttadse::explore::ComponentDb;
 use ttadse::movec::ir::{Dfg, Op};
 use ttadse::movec::schedule::Scheduler;
 
@@ -27,7 +28,7 @@ fn main() {
     dfg.mark_output(flag);
 
     // Golden-model check: the IR interprets like ordinary arithmetic.
-    let out = dfg.eval(&[400, 300, 7], &mut vec![0]);
+    let out = dfg.eval(&[400, 300, 7], &mut [0]);
     assert_eq!(out[0], u64::from(((400 + 300) ^ 7) < 1000));
 
     // 3. Schedule the data transports.
@@ -41,17 +42,18 @@ fn main() {
         schedule.spills
     );
 
-    // 4. The three cost axes of the paper.
-    let mut explorer = Explorer::new(ExploreConfig::paper());
-    let area = explorer.architecture_area(&arch);
-    let clock = explorer.clock_period(&arch);
+    // 4. The three cost axes of the paper, via the default models over a
+    //    shared back-annotation database.
+    let db = ComponentDb::new();
+    let area = AnnotatedAreaModel::default().area(&arch, &db);
+    let clock = AnnotatedTimingModel::default().clock_period(&arch, &db);
     println!("area: {area:.0} gate equivalents");
     println!(
         "execution time: {} cycles x {clock:.1} gate delays = {:.0}",
         schedule.cycles,
         f64::from(schedule.cycles) * clock
     );
-    let test = architecture_test_cost(&arch, explorer.db_mut());
+    let test = architecture_test_cost(&arch, &db);
     println!("test cost (eq. 14): {:.0} cycles", test.total);
     for c in &test.components {
         let marker = if c.excluded { " (excluded)" } else { "" };

@@ -16,8 +16,8 @@ fn main() {
     let arch = Architecture::figure9();
 
     // --- the test programme -------------------------------------------
-    let mut db = ComponentDb::new();
-    let plan = TestPlan::for_architecture(&arch, &mut db);
+    let db = ComponentDb::new();
+    let plan = TestPlan::for_architecture(&arch, &db);
     assert!(plan.interconnect_first(), "scan precedes functional");
     println!("{plan}");
 

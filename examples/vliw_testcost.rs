@@ -33,8 +33,16 @@ fn main() {
 
     // A pathological template: mutual access dependency = no test order.
     let broken = VliwTemplate::new()
-        .component("a", VliwAccess::Direct, VliwAccess::Through(vec!["b".into()]))
-        .component("b", VliwAccess::Direct, VliwAccess::Through(vec!["a".into()]));
+        .component(
+            "a",
+            VliwAccess::Direct,
+            VliwAccess::Through(vec!["b".into()]),
+        )
+        .component(
+            "b",
+            VliwAccess::Direct,
+            VliwAccess::Through(vec!["a".into()]),
+        );
     match broken.test_order() {
         Err(cycle) => println!("\npathological template correctly rejected: {cycle}"),
         Ok(_) => unreachable!("mutual dependency has no order"),

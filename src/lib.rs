@@ -12,8 +12,24 @@
 //! * [`arch`] — the TTA machine template and transport-timing model,
 //! * [`movec`] — the MOVE-style IR and transport scheduler,
 //! * [`workloads`] — crypt(3) and friends,
-//! * [`explore`] — the paper's contribution: test-cost model, Pareto
-//!   exploration and architecture selection.
+//! * [`explore`] — the paper's contribution: pluggable cost models
+//!   (`models`), the composable `Exploration` pipeline with serial or
+//!   parallel sweeps, Pareto reduction and weighted-norm selection.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ttadse::arch::template::TemplateSpace;
+//! use ttadse::explore::explore::Exploration;
+//! use ttadse::workloads::suite;
+//!
+//! let result = Exploration::over(TemplateSpace::fast_default())
+//!     .workload(&suite::crypt(1))
+//!     .parallel(true)
+//!     .run();
+//! let best = result.select_equal_weights();
+//! println!("{} (area {:.0} GE)", best.architecture, best.area());
+//! ```
 
 pub use tta_arch as arch;
 pub use tta_atpg as atpg;

@@ -36,7 +36,9 @@ fn rf_netlist_agrees_with_behavioural_memory_model() {
 
     let mut lcg = 12345u64;
     let mut next = || {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         lcg >> 33
     };
     for _ in 0..40 {

@@ -16,8 +16,7 @@ fn all_workloads_on_figure9_respect_relations() {
             .run(&w.dfg)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         for (fu, ops) in s.transports_per_fu() {
-            validate_relations(ops)
-                .unwrap_or_else(|v| panic!("{} fu{fu}: {v}", w.name));
+            validate_relations(ops).unwrap_or_else(|v| panic!("{} fu{fu}: {v}", w.name));
         }
     }
 }
@@ -26,7 +25,9 @@ fn all_workloads_on_figure9_respect_relations() {
 fn every_space_architecture_respects_relations_on_crypt() {
     let w = suite::crypt(1);
     for arch in TemplateSpace::tiny().enumerate() {
-        let s = Scheduler::new(&arch).run(&w.dfg).expect("tiny space schedulable");
+        let s = Scheduler::new(&arch)
+            .run(&w.dfg)
+            .expect("tiny space schedulable");
         for ops in s.transports_per_fu().values() {
             assert_eq!(validate_relations(ops), Ok(()), "{}", arch.name);
         }
