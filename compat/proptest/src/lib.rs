@@ -249,7 +249,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

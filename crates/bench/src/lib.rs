@@ -22,6 +22,7 @@ use tta_arch::template::TemplateSpace;
 use tta_arch::vliw::VliwTemplate;
 use tta_arch::{Architecture, BusId, FuInstance, FuKind};
 use tta_core::backannotate::{ComponentDb, ComponentKey};
+use tta_core::cache::SweepCache;
 use tta_core::explore::{EvaluatedArch, Exploration, ExploreResult};
 use tta_core::fullscan::FullScanDb;
 use tta_core::report::TextTable;
@@ -74,20 +75,36 @@ impl Scale {
 }
 
 /// Shared experiment context (annotation database + crypt workload +
-/// result cache).
-pub struct Experiments {
+/// result cache, optionally backed by a persistent [`SweepCache`]).
+pub struct Experiments<'c> {
     /// The scale everything runs at.
     pub scale: Scale,
     db: ComponentDb,
+    cache: Option<&'c SweepCache>,
     result: Option<ExploreResult>,
 }
 
-impl Experiments {
-    /// Creates a context at `scale`.
+impl Experiments<'static> {
+    /// Creates a context at `scale` (no persistent cache).
     pub fn new(scale: Scale) -> Self {
         Experiments {
             scale,
             db: ComponentDb::new(),
+            cache: None,
+            result: None,
+        }
+    }
+}
+
+impl<'c> Experiments<'c> {
+    /// Creates a context whose exploration consults (and populates) a
+    /// persistent sweep cache — a warm cache skips the whole sweep and
+    /// is bit-identical to a cold run.
+    pub fn with_cache(scale: Scale, cache: &'c SweepCache) -> Self {
+        Experiments {
+            scale,
+            db: ComponentDb::new(),
+            cache: Some(cache),
             result: None,
         }
     }
@@ -97,13 +114,14 @@ impl Experiments {
     pub fn exploration(&mut self) -> &ExploreResult {
         if self.result.is_none() {
             let workload = suite::crypt(self.scale.crypt_rounds());
-            self.result = Some(
-                Exploration::over(self.scale.space())
-                    .workload(&workload)
-                    .with_db(&self.db)
-                    .parallel(true)
-                    .run(),
-            );
+            let mut e = Exploration::over(self.scale.space())
+                .workload(&workload)
+                .with_db(&self.db)
+                .parallel(true);
+            if let Some(cache) = self.cache {
+                e = e.cache(cache);
+            }
+            self.result = Some(e.run());
         }
         self.result.as_ref().expect("just populated")
     }

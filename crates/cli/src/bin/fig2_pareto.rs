@@ -1,0 +1,6 @@
+//! Legacy alias for `ttadse fig2` (kept so pre-CLI invocations keep
+//! working; `--csv` maps to `--format csv`).
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::legacy_figure_main("fig2")
+}

@@ -1,0 +1,5 @@
+//! Legacy alias for `ttadse fig7`.
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::legacy_figure_main("fig7")
+}

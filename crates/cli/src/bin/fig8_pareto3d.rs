@@ -1,0 +1,5 @@
+//! Legacy alias for `ttadse fig8` (`--csv` maps to `--format csv`).
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::legacy_figure_main("fig8")
+}

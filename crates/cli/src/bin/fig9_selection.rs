@@ -1,0 +1,5 @@
+//! Legacy alias for `ttadse fig9`.
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::legacy_figure_main("fig9")
+}

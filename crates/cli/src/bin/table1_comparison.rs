@@ -1,0 +1,5 @@
+//! Legacy alias for `ttadse table1` (`--figure9` passes through).
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::legacy_figure_main("table1")
+}

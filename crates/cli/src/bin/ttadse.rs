@@ -1,0 +1,5 @@
+//! The unified `ttadse` CLI — see `ttadse help`.
+
+fn main() -> std::process::ExitCode {
+    ttadse_cli::main_with_args(std::env::args().skip(1).collect())
+}

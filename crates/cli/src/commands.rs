@@ -1,0 +1,698 @@
+//! Subcommand implementations: `explore`, the six figure/table
+//! regenerations, and `cache` management.
+
+use std::io::Write;
+
+use tta_arch::template::TemplateSpace;
+use tta_bench::{fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale};
+use tta_core::cache::SweepCache;
+use tta_core::explore::{Exploration, ExploreResult};
+use tta_core::models::InterconnectModel;
+use tta_core::report::TextTable;
+use tta_core::ComponentDb;
+use tta_workloads::{suite, Workload};
+
+use crate::json;
+use crate::opts::{unknown_flag, ArgCursor, CommonOpts, Format};
+use crate::CliError;
+
+// ---------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------
+
+/// Opens the persistent cache named by `--cache-dir`, if any, and
+/// reports resume state on stderr.
+fn open_cache(common: &CommonOpts, err: &mut dyn Write) -> Result<Option<SweepCache>, CliError> {
+    let Some(dir) = &common.cache_dir else {
+        return Ok(None);
+    };
+    let cache = SweepCache::open(dir)
+        .map_err(|e| CliError::runtime(format!("cannot open cache dir {}: {e}", dir.display())))?;
+    if common.resume {
+        writeln!(
+            err,
+            "resuming: {} cached entries under {}",
+            cache.len(),
+            dir.display()
+        )?;
+    }
+    Ok(Some(cache))
+}
+
+/// Prints hit/miss accounting on stderr (never stdout — stdout must be
+/// byte-identical between cold and warm runs).
+fn cache_report(cache: &Option<SweepCache>, err: &mut dyn Write) -> Result<(), CliError> {
+    if let Some(cache) = cache {
+        writeln!(
+            err,
+            "cache: {} hits, {} misses -> {}",
+            cache.hits(),
+            cache.misses(),
+            cache.path().display()
+        )?;
+    }
+    Ok(())
+}
+
+fn scale_of(common: &CommonOpts) -> Scale {
+    if common.fast {
+        Scale::Fast
+    } else {
+        Scale::Paper
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Paper => "paper",
+        Scale::Fast => "fast",
+    }
+}
+
+/// Builds the figure experiment context, wired to the cache when one is
+/// configured.
+fn experiments<'c>(scale: Scale, cache: &'c Option<SweepCache>) -> Experiments<'c> {
+    match cache {
+        Some(c) => Experiments::with_cache(scale, c),
+        None => Experiments::new(scale),
+    }
+}
+
+/// JSON object for one Pareto-front member.
+fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
+    json::object([
+        ("architecture", json::string(&e.architecture.name)),
+        ("area", json::number(e.area())),
+        ("exec_time", json::number(e.exec_time())),
+        ("test_cost", json::opt_number(e.test_cost())),
+        ("cycles", json::int(e.cycles)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// explore
+// ---------------------------------------------------------------------
+
+struct ExploreOpts {
+    common: CommonOpts,
+    space: Option<String>,
+    workloads: Vec<String>,
+    rounds: Option<usize>,
+    parallel: bool,
+    threads: Option<usize>,
+    interconnect: InterconnectModel,
+}
+
+fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
+    let mut o = ExploreOpts {
+        common: CommonOpts::default(),
+        space: None,
+        workloads: Vec::new(),
+        rounds: None,
+        parallel: true,
+        threads: None,
+        interconnect: InterconnectModel::paper(),
+    };
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if o.common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--space" => o.space = Some(cursor.value_for("--space")?),
+            "--workload" => o
+                .workloads
+                .extend(cursor.value_for("--workload")?.split(',').map(String::from)),
+            "--rounds" => o.rounds = Some(cursor.parse_for("--rounds")?),
+            "--parallel" => o.parallel = true,
+            "--serial" => o.parallel = false,
+            "--threads" => o.threads = Some(cursor.parse_for("--threads")?),
+            "--bus-area" => o.interconnect.bus_area_per_bit = cursor.parse_for("--bus-area")?,
+            "--bus-delay" => o.interconnect.bus_delay_penalty = cursor.parse_for("--bus-delay")?,
+            "--control-area" => {
+                o.interconnect.control_area_per_instr_bit = cursor.parse_for("--control-area")?
+            }
+            other => return Err(unknown_flag("explore", other)),
+        }
+    }
+    o.common.validate()?;
+    Ok(o)
+}
+
+fn space_of(o: &ExploreOpts) -> Result<TemplateSpace, CliError> {
+    // `--fast` is the scale shorthand the figure subcommands use; let it
+    // pick the space here too, but an explicit `--space` always wins.
+    let name = match &o.space {
+        Some(name) => name.as_str(),
+        None if o.common.fast => "fast",
+        None => "paper",
+    };
+    match name {
+        "paper" => Ok(TemplateSpace::paper_default()),
+        "fast" => Ok(TemplateSpace::fast_default()),
+        "tiny" => Ok(TemplateSpace::tiny()),
+        other => Err(CliError::usage(format!(
+            "unknown --space {other:?} (expected paper, fast or tiny)"
+        ))),
+    }
+}
+
+fn workloads_of(o: &ExploreOpts, paper_scale: bool) -> Result<Vec<Workload>, CliError> {
+    let names: Vec<&str> = if o.workloads.is_empty() {
+        vec!["crypt"]
+    } else {
+        o.workloads.iter().map(String::as_str).collect()
+    };
+    let rounds = o.rounds.unwrap_or(if paper_scale { 16 } else { 1 });
+    let mut out = Vec::new();
+    for name in names {
+        match name {
+            "crypt" => out.push(suite::crypt(rounds)),
+            "fir16" => out.push(suite::fir16()),
+            "bitcount" => out.push(suite::bitcount()),
+            "checksum32" => out.push(suite::checksum32()),
+            "dct8" => out.push(suite::dct8()),
+            "gcd12" => out.push(suite::gcd12()),
+            // Spelled out (not suite::all_standard()) so --rounds applies
+            // to the crypt member consistently with `--workload crypt`.
+            "all" => out.extend([
+                suite::crypt(rounds),
+                suite::fir16(),
+                suite::bitcount(),
+                suite::checksum32(),
+                suite::dct8(),
+                suite::gcd12(),
+            ]),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown workload {other:?} (expected crypt, fir16, bitcount, checksum32, dct8, gcd12 or all)"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `ttadse explore`: one full sweep with every knob exposed.
+pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let o = parse_explore(args)?;
+    let space = space_of(&o)?;
+    let paper_scale = space.width == 16;
+    let workloads = workloads_of(&o, paper_scale)?;
+    let cache = open_cache(&o.common, err)?;
+    let space_points = space.len();
+    writeln!(
+        err,
+        "exploring {space_points} template points x {} workload(s)...",
+        workloads.len()
+    )?;
+
+    let db = ComponentDb::new();
+    let mut e = Exploration::over(space)
+        .workloads(&workloads)
+        .with_db(&db)
+        .interconnect(o.interconnect)
+        .parallel(o.parallel);
+    if let Some(n) = o.threads {
+        e = e.threads(n);
+    }
+    if let Some(c) = &cache {
+        e = e.cache(c);
+    }
+    let result = e.run();
+    render_explore(&result, o.common.format, out)?;
+    cache_report(&cache, err)
+}
+
+fn render_explore(
+    result: &ExploreResult,
+    format: Format,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    match format {
+        Format::Table => {
+            writeln!(
+                out,
+                "explored {} feasible points ({} infeasible) over [{}]; {} on the Pareto front",
+                result.evaluated.len(),
+                result.infeasible,
+                result.workloads.join(", "),
+                result.pareto.len()
+            )?;
+            let mut t = TextTable::new(["architecture", "area [GE]", "exec time", "test cost"]);
+            let mut front = result.pareto_points();
+            front.sort_by(|a, b| a.area().total_cmp(&b.area()));
+            for e in front {
+                t.row([
+                    e.architecture.name.clone(),
+                    format!("{:.0}", e.area()),
+                    format!("{:.0}", e.exec_time()),
+                    e.test_cost().map_or("-".into(), |c| format!("{c:.0}")),
+                ]);
+            }
+            writeln!(out, "{t}")?;
+            let best = result.try_select(
+                &tta_core::Weights::equal(result.axes().len()),
+                tta_core::Norm::Euclidean,
+            );
+            if let Some(best) = best {
+                writeln!(out, "selected (equal-weight Euclid): {}", best.architecture)?;
+            }
+        }
+        Format::Json => {
+            let mut front = result.pareto_points();
+            front.sort_by(|a, b| a.area().total_cmp(&b.area()));
+            let selected = result.try_select(
+                &tta_core::Weights::equal(result.axes().len()),
+                tta_core::Norm::Euclidean,
+            );
+            let doc = json::object([
+                ("command", json::string("explore")),
+                (
+                    "workloads",
+                    json::array(result.workloads.iter().map(|w| json::string(w))),
+                ),
+                ("evaluated", json::int(result.evaluated.len() as u64)),
+                ("infeasible", json::int(result.infeasible as u64)),
+                (
+                    "front",
+                    json::array(front.iter().map(|e| front_point_json(e))),
+                ),
+                (
+                    "selected",
+                    selected.map_or_else(|| "null".into(), front_point_json),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(
+                out,
+                "architecture,area,exec_time,cycles,spills,on_front,test_cost"
+            )?;
+            for (i, e) in result.evaluated.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    e.architecture.name,
+                    e.area(),
+                    e.exec_time(),
+                    e.cycles,
+                    e.spills,
+                    u8::from(result.is_on_front(i)),
+                    e.test_cost().map_or(String::new(), |c| c.to_string()),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------
+
+fn parse_common_only(cmd: &'static str, args: &[String]) -> Result<CommonOpts, CliError> {
+    let mut common = CommonOpts::default();
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if !common.consume(&arg, &mut cursor)? {
+            return Err(unknown_flag(cmd, &arg));
+        }
+    }
+    common.validate()?;
+    Ok(common)
+}
+
+/// `ttadse fig2`: the 2-D (area, time) solution space.
+pub fn fig2_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let common = parse_common_only("fig2", args)?;
+    let scale = scale_of(&common);
+    writeln!(err, "running Figure 2 at {} scale...", scale_label(scale))?;
+    let cache = open_cache(&common, err)?;
+    let mut exp = experiments(scale, &cache);
+    let fig = fig2(&mut exp);
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig2")),
+                ("scale", json::string(scale_label(scale))),
+                (
+                    "points",
+                    json::array(fig.points.iter().map(|(a, t, on)| {
+                        json::object([
+                            ("area", json::number(*a)),
+                            ("exec_time", json::number(*t)),
+                            ("on_front", json::boolean(*on)),
+                        ])
+                    })),
+                ),
+                (
+                    "front",
+                    json::array(fig.front.iter().map(|(a, t, name)| {
+                        json::object([
+                            ("area", json::number(*a)),
+                            ("exec_time", json::number(*t)),
+                            ("architecture", json::string(name)),
+                        ])
+                    })),
+                ),
+                ("infeasible", json::int(fig.infeasible as u64)),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "area,exec_time,on_front")?;
+            for (a, t, on) in &fig.points {
+                writeln!(out, "{a:.1},{t:.1},{}", u8::from(*on))?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+/// `ttadse fig6`: identical FUs, different test cost.
+pub fn fig6_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let common = parse_common_only("fig6", args)?;
+    let scale = scale_of(&common);
+    let cache = open_cache(&common, err)?;
+    let mut exp = experiments(scale, &cache);
+    let fig = fig6(&mut exp);
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig6")),
+                ("np", json::int(fig.np as u64)),
+                (
+                    "dedicated",
+                    json::object([
+                        ("cd", json::int(u64::from(fig.dedicated.0))),
+                        ("ftfu", json::number(fig.dedicated.1)),
+                    ]),
+                ),
+                (
+                    "shared",
+                    json::object([
+                        ("cd", json::int(u64::from(fig.shared.0))),
+                        ("ftfu", json::number(fig.shared.1)),
+                    ]),
+                ),
+                (
+                    "ratio_form",
+                    json::array([
+                        json::number(fig.ratio_form.0),
+                        json::number(fig.ratio_form.1),
+                    ]),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "unit,cd,ftfu")?;
+            writeln!(out, "dedicated,{},{}", fig.dedicated.0, fig.dedicated.1)?;
+            writeln!(out, "shared,{},{}", fig.shared.0, fig.shared.1)?;
+        }
+    }
+    cache_report(&cache, err)
+}
+
+/// `ttadse fig7`: VLIW test access and order. No sweep runs, but the
+/// common cache flags are still honoured (an attached cache reports
+/// zero traffic) so one flag set works across every subcommand.
+pub fn fig7_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let common = parse_common_only("fig7", args)?;
+    let cache = open_cache(&common, err)?;
+    let fig = fig7();
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig7")),
+                (
+                    "direct",
+                    json::array(fig.direct.iter().map(|s| json::string(s))),
+                ),
+                (
+                    "order",
+                    json::array(fig.order.iter().map(|s| json::string(s))),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "role,component")?;
+            for c in &fig.direct {
+                writeln!(out, "direct,{c}")?;
+            }
+            for c in &fig.order {
+                writeln!(out, "order,{c}")?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+/// `ttadse fig8`: the lifted 3-D Pareto set.
+pub fn fig8_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let common = parse_common_only("fig8", args)?;
+    let scale = scale_of(&common);
+    writeln!(err, "running Figure 8 at {} scale...", scale_label(scale))?;
+    let cache = open_cache(&common, err)?;
+    let mut exp = experiments(scale, &cache);
+    let fig = fig8(&mut exp);
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig8")),
+                ("scale", json::string(scale_label(scale))),
+                (
+                    "points",
+                    json::array(fig.points.iter().map(|(a, t, tc, name)| {
+                        json::object([
+                            ("area", json::number(*a)),
+                            ("exec_time", json::number(*t)),
+                            ("test_cost", json::number(*tc)),
+                            ("architecture", json::string(name)),
+                        ])
+                    })),
+                ),
+                ("projection_holds", json::boolean(fig.projection_holds)),
+                ("test_spread", json::number(fig.test_spread)),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "area,exec_time,test_cost,architecture")?;
+            for (a, t, tc, name) in &fig.points {
+                writeln!(out, "{a:.1},{t:.1},{tc:.1},{name}")?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+/// `ttadse fig9`: the weighted-norm selection.
+pub fn fig9_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let common = parse_common_only("fig9", args)?;
+    let scale = scale_of(&common);
+    writeln!(err, "running Figure 9 at {} scale...", scale_label(scale))?;
+    let cache = open_cache(&common, err)?;
+    let mut exp = experiments(scale, &cache);
+    let fig = fig9(&mut exp);
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig9")),
+                ("scale", json::string(scale_label(scale))),
+                ("selected", front_point_json(&fig.selected)),
+                (
+                    "alternatives",
+                    json::array(fig.alternatives.iter().map(|(label, name)| {
+                        json::object([
+                            ("label", json::string(label)),
+                            ("architecture", json::string(name)),
+                        ])
+                    })),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "label,architecture")?;
+            writeln!(out, "selected,{}", fig.selected.architecture.name)?;
+            for (label, name) in &fig.alternatives {
+                writeln!(out, "{},{name}", label.replace(',', ";"))?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+/// `ttadse table1`: full scan vs the functional methodology.
+pub fn table1_cmd(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut common = CommonOpts::default();
+    let mut figure9 = false;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--figure9" => figure9 = true,
+            other => return Err(unknown_flag("table1", other)),
+        }
+    }
+    common.validate()?;
+    let scale = scale_of(&common);
+    let cache = open_cache(&common, err)?;
+    let mut exp = experiments(scale, &cache);
+    let table = if figure9 {
+        table1_for(&mut exp, tta_arch::Architecture::figure9())
+    } else {
+        writeln!(
+            err,
+            "selecting the architecture at {} scale...",
+            scale_label(scale)
+        )?;
+        table1(&mut exp)
+    };
+    match common.format {
+        Format::Table => writeln!(out, "{table}")?,
+        Format::Json => {
+            let (fs, ours) = table.totals();
+            let doc = json::object([
+                ("table", json::string("table1")),
+                ("architecture", json::string(&table.architecture.name)),
+                (
+                    "rows",
+                    json::array(table.rows.iter().map(|r| {
+                        json::object([
+                            ("component", json::string(&r.component)),
+                            ("full_scan", json::int(r.full_scan as u64)),
+                            ("ours", json::number(r.ours)),
+                            ("nl", json::int(r.nl as u64)),
+                            ("ftfu", json::opt_number(r.ftfu)),
+                            ("ftrf", json::opt_number(r.ftrf)),
+                            ("fts", json::number(r.fts)),
+                            ("coverage_pct", json::number(r.coverage)),
+                            ("excluded", json::boolean(r.excluded)),
+                        ])
+                    })),
+                ),
+                (
+                    "totals",
+                    json::object([
+                        ("full_scan", json::number(fs)),
+                        ("ours", json::number(ours)),
+                    ]),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(
+                out,
+                "component,full_scan,ours,nl,ftfu,ftrf,fts,coverage_pct,excluded"
+            )?;
+            for r in &table.rows {
+                writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{}",
+                    r.component,
+                    r.full_scan,
+                    r.ours,
+                    r.nl,
+                    r.ftfu.map_or(String::new(), |v| v.to_string()),
+                    r.ftrf.map_or(String::new(), |v| v.to_string()),
+                    r.fts,
+                    r.coverage,
+                    u8::from(r.excluded),
+                )?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+// ---------------------------------------------------------------------
+// cache
+// ---------------------------------------------------------------------
+
+/// `ttadse cache <stats|clear> --cache-dir DIR`.
+pub fn cache_cmd(
+    args: &[String],
+    out: &mut dyn Write,
+    _err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut common = CommonOpts::default();
+    let mut action: Option<String> = None;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "stats" | "clear" if action.is_none() => action = Some(arg),
+            other => return Err(unknown_flag("cache", other)),
+        }
+    }
+    common.validate()?;
+    let action = action.unwrap_or_else(|| "stats".into());
+    let Some(dir) = &common.cache_dir else {
+        return Err(CliError::usage("ttadse cache needs --cache-dir"));
+    };
+    let cache = SweepCache::open(dir)
+        .map_err(|e| CliError::runtime(format!("cannot open cache dir {}: {e}", dir.display())))?;
+    match action.as_str() {
+        "stats" => {
+            let exists = cache.path().exists();
+            match common.format {
+                Format::Json => {
+                    let doc = json::object([
+                        ("command", json::string("cache-stats")),
+                        ("path", json::string(&cache.path().display().to_string())),
+                        ("exists", json::boolean(exists)),
+                        ("entries", json::int(cache.len() as u64)),
+                    ]);
+                    writeln!(out, "{doc}")?;
+                }
+                Format::Csv => {
+                    writeln!(out, "path,exists,entries")?;
+                    writeln!(
+                        out,
+                        "{},{},{}",
+                        cache.path().display(),
+                        u8::from(exists),
+                        cache.len()
+                    )?;
+                }
+                Format::Table => {
+                    writeln!(
+                        out,
+                        "cache {}: {} entries{}",
+                        cache.path().display(),
+                        cache.len(),
+                        if exists { "" } else { " (no file yet)" }
+                    )?;
+                }
+            }
+        }
+        "clear" => {
+            let n = cache.len();
+            cache
+                .invalidate()
+                .map_err(|e| CliError::runtime(format!("cannot clear cache: {e}")))?;
+            writeln!(out, "cleared {n} entries from {}", cache.path().display())?;
+        }
+        _ => unreachable!("action is validated above"),
+    }
+    Ok(())
+}

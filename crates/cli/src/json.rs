@@ -1,0 +1,116 @@
+//! Minimal deterministic JSON rendering.
+//!
+//! The container has no serde, and the CLI's contract is stronger than
+//! serde's anyway: *byte-identical* output for identical results (the
+//! warm-vs-cold cache acceptance check literally `diff`s two runs). So
+//! values are rendered by hand with a fixed field order, `\u{...}`-free
+//! minimal escaping, and Rust's shortest-roundtrip float formatting
+//! (identical bit pattern ⇒ identical text).
+
+use std::fmt::Write;
+
+/// Escapes `s` as a JSON string literal, including the quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON value: shortest-roundtrip decimal for
+/// finite values, `null` for NaN/∞ (JSON has no non-finite numbers).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // Rust may print a bare exponent form for extreme values; JSON
+        // accepts it, but normalise the one illegal case `inf`-free.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders an integer count as a JSON number.
+pub fn int(v: u64) -> String {
+    v.to_string()
+}
+
+/// Renders a `bool` as a JSON literal.
+pub fn boolean(v: bool) -> String {
+    String::from(if v { "true" } else { "false" })
+}
+
+/// Renders an optional `f64` (`None` → `null`).
+pub fn opt_number(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), number)
+}
+
+/// Joins already-rendered JSON values into an array literal.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Joins rendered `"key": value` pairs into an object literal; keys are
+/// escaped here, values must already be valid JSON.
+pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&string(k));
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(opt_number(None), "null");
+    }
+
+    #[test]
+    fn composes_objects_and_arrays() {
+        let obj = object([("a", number(1.0)), ("b", array([string("x")]))]);
+        assert_eq!(obj, "{\"a\":1.0,\"b\":[\"x\"]}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The unified `ttadse` command line.
+//!
+//! One binary drives the whole reproduction — template-space sweeps,
+//! every figure/table of the paper's evaluation, and the persistent
+//! sweep cache:
+//!
+//! ```text
+//! ttadse explore --space fast --workload crypt --parallel --format json
+//! ttadse fig2 --fast --format json --cache-dir .ttadse-cache
+//! ttadse fig8 --cache-dir .ttadse-cache     # reuses fig2's sweep
+//! ttadse table1 --figure9
+//! ttadse cache stats --cache-dir .ttadse-cache
+//! ```
+//!
+//! Output goes to stdout in `--format table` (human), `json` (one
+//! document, byte-identical for identical results) or `csv`; progress
+//! and cache accounting go to stderr, so stdout is always scriptable.
+//!
+//! The six historical `fig*`/`table1_comparison` binaries still exist
+//! as aliases for the corresponding subcommands (see `src/bin/`).
+
+use std::io::Write;
+
+mod commands;
+pub mod json;
+pub mod opts;
+
+/// A CLI failure: what to print and which exit code to use.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message (printed to stderr by the binaries).
+    pub message: String,
+    /// Process exit code: 2 for usage errors, 1 for runtime failures.
+    pub exit_code: u8,
+}
+
+impl CliError {
+    /// A bad-invocation error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            exit_code: 2,
+        }
+    }
+
+    /// A runtime failure (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            // Downstream closed (e.g. `ttadse fig7 | head`): exit
+            // quietly like every well-behaved pipe citizen.
+            return CliError {
+                message: String::new(),
+                exit_code: 0,
+            };
+        }
+        CliError::runtime(format!("i/o error: {e}"))
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+const USAGE: &str = "\
+ttadse — TTA design/test space exploration (DATE 2000 reproduction)
+
+USAGE:
+    ttadse <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+    explore   Run one exploration sweep end to end
+    fig2      Figure 2: (area, exec time) solution space + Pareto front
+    fig6      Figure 6: identical FUs, different test cost
+    fig7      Figure 7: VLIW ASIP test access and test order
+    fig8      Figure 8: Pareto set lifted with the test-cost axis
+    fig9      Figure 9: weighted-norm architecture selection
+    table1    Table 1: full scan vs the functional methodology
+    cache     Inspect (`stats`) or delete (`clear`) a sweep cache
+    help      Print this help
+
+COMMON FLAGS:
+    --fast                 Reduced 8-bit space (default: the paper's 16-bit)
+    --format FORMAT        table (default) | json | csv
+    --cache-dir DIR        Persistent sweep cache; re-runs skip cached points
+    --resume               Require --cache-dir; continue an interrupted sweep
+
+EXPLORE FLAGS:
+    --space NAME           paper | fast | tiny
+    --workload LIST        crypt,fir16,bitcount,checksum32,dct8,gcd12,all
+    --rounds N             Crypt Feistel rounds per trace
+    --parallel / --serial  Sweep on worker threads (default) or one
+    --threads N            Pin the worker count
+    --bus-area X           Interconnect model: bus area per bit [GE]
+    --bus-delay X          Interconnect model: clock penalty per bus
+    --control-area X       Interconnect model: area per instruction bit [GE]
+
+TABLE1 FLAGS:
+    --figure9              Cost the paper's published architecture directly
+
+Cache accounting and progress go to stderr; stdout carries only the
+requested output, byte-identical across warm and cold cache runs.
+";
+
+/// Dispatches a full argument list (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown subcommands/flags (exit code 2) or
+/// runtime failures (exit code 1).
+pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        write!(out, "{USAGE}")?;
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "explore" => commands::explore(rest, out, err),
+        "fig2" => commands::fig2_cmd(rest, out, err),
+        "fig6" => commands::fig6_cmd(rest, out, err),
+        "fig7" => commands::fig7_cmd(rest, out, err),
+        "fig8" => commands::fig8_cmd(rest, out, err),
+        "fig9" => commands::fig9_cmd(rest, out, err),
+        "table1" => commands::table1_cmd(rest, out, err),
+        "cache" => commands::cache_cmd(rest, out, err),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        "--version" | "-V" => {
+            writeln!(out, "ttadse {}", env!("CARGO_PKG_VERSION"))?;
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown subcommand {other:?} (see `ttadse help`)"
+        ))),
+    }
+}
+
+/// Entry point shared by the `ttadse` binary and the legacy aliases:
+/// runs `args`, reporting errors on stderr with the right exit code.
+pub fn main_with_args(args: Vec<String>) -> std::process::ExitCode {
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    let result = run(&args, &mut stdout.lock(), &mut stderr.lock());
+    match result {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.message.is_empty() {
+                eprintln!("ttadse: {}", e.message);
+            }
+            std::process::ExitCode::from(e.exit_code)
+        }
+    }
+}
+
+/// Entry point for the legacy single-figure binaries: maps the old flag
+/// dialect (`--csv`, bare `--fast`) onto the subcommand `cmd` and runs
+/// it.
+pub fn legacy_figure_main(cmd: &str) -> std::process::ExitCode {
+    let mut args = vec![cmd.to_string()];
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            // The pre-CLI binaries spelled machine-readable output --csv.
+            "--csv" => args.extend(["--format".to_string(), "csv".to_string()]),
+            _ => args.push(arg),
+        }
+    }
+    main_with_args(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<(String, String), CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        run(&args, &mut out, &mut err)?;
+        Ok((
+            String::from_utf8(out).expect("stdout is utf-8"),
+            String::from_utf8(err).expect("stderr is utf-8"),
+        ))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (out, _) = run_capture(&["help"]).unwrap();
+        assert!(out.contains("SUBCOMMANDS"));
+        let (bare, _) = run_capture(&[]).unwrap();
+        assert_eq!(out, bare);
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        let e = run_capture(&["figure2"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+        assert!(e.message.contains("figure2"));
+    }
+
+    #[test]
+    fn unknown_flag_is_usage_error() {
+        let e = run_capture(&["fig2", "--fastest"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+    }
+
+    #[test]
+    fn resume_without_cache_dir_is_rejected() {
+        let e = run_capture(&["fig2", "--fast", "--resume"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+        assert!(e.message.contains("--cache-dir"));
+    }
+
+    #[test]
+    fn fig7_renders_all_formats() {
+        let (table, _) = run_capture(&["fig7"]).unwrap();
+        assert!(table.contains("test order"));
+        let (json_out, _) = run_capture(&["fig7", "--format", "json"]).unwrap();
+        assert!(json_out.starts_with('{') && json_out.contains("\"order\""));
+        let (csv, _) = run_capture(&["fig7", "--format", "csv"]).unwrap();
+        assert!(csv.starts_with("role,component"));
+    }
+
+    #[test]
+    fn cache_subcommand_requires_dir() {
+        let e = run_capture(&["cache", "stats"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+    }
+}

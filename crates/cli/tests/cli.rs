@@ -1,0 +1,106 @@
+//! End-to-end CLI tests through `ttadse_cli::run`: the warm-cache
+//! byte-identity contract, resume accounting, and cache management.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ttadse_cli::run;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ttadse-cli-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_ok(args: &[&str]) -> (String, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    run(&args, &mut out, &mut err).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+    (
+        String::from_utf8(out).expect("stdout utf-8"),
+        String::from_utf8(err).expect("stderr utf-8"),
+    )
+}
+
+#[test]
+fn warm_cache_json_is_byte_identical_and_all_hits() {
+    let dir = tmpdir("explore");
+    let cache_dir = dir.to_str().expect("utf-8 temp path");
+    let explore = [
+        "explore",
+        "--space",
+        "tiny",
+        "--rounds",
+        "1",
+        "--serial",
+        "--format",
+        "json",
+        "--cache-dir",
+        cache_dir,
+    ];
+    let (cold_out, cold_err) = run_ok(&explore);
+    assert!(cold_out.starts_with('{'), "one JSON document: {cold_out}");
+    assert!(cold_err.contains("misses"), "{cold_err}");
+
+    // Second run: resumable, every point a hit, stdout byte-identical.
+    let mut resumed: Vec<&str> = explore.to_vec();
+    resumed.push("--resume");
+    let (warm_out, warm_err) = run_ok(&resumed);
+    assert_eq!(cold_out, warm_out, "stdout must be byte-identical");
+    assert!(warm_err.contains("resuming:"), "{warm_err}");
+    assert!(warm_err.contains("0 misses"), "{warm_err}");
+
+    // The cache subcommand sees the same file…
+    let (stats, _) = run_ok(&[
+        "cache",
+        "stats",
+        "--cache-dir",
+        cache_dir,
+        "--format",
+        "json",
+    ]);
+    assert!(stats.contains("\"exists\":true"), "{stats}");
+    // …and clears it.
+    let (cleared, _) = run_ok(&["cache", "clear", "--cache-dir", cache_dir]);
+    assert!(cleared.contains("cleared"), "{cleared}");
+    let (stats, _) = run_ok(&[
+        "cache",
+        "stats",
+        "--cache-dir",
+        cache_dir,
+        "--format",
+        "json",
+    ]);
+    assert!(stats.contains("\"entries\":0"), "{stats}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn csv_and_table_render_the_same_sweep() {
+    let dir = tmpdir("formats");
+    let cache_dir = dir.to_str().expect("utf-8 temp path");
+    let base = [
+        "explore",
+        "--space",
+        "tiny",
+        "--rounds",
+        "1",
+        "--cache-dir",
+        cache_dir,
+    ];
+    let (csv, _) = run_ok(&[&base[..], &["--format", "csv"]].concat());
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("architecture,area,exec_time,cycles,spills,on_front,test_cost")
+    );
+    let rows = lines.count();
+    let (table, _) = run_ok(&[&base[..], &["--format", "table"]].concat());
+    assert!(
+        table.contains(&format!("explored {rows} feasible points")),
+        "table and csv must agree: {table}"
+    );
+    assert!(table.contains("selected (equal-weight Euclid):"));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -182,6 +182,20 @@ impl ComponentDb {
         &self.march
     }
 
+    /// Content address of the annotation *engines* (ATPG configuration +
+    /// march algorithm) for the persistent sweep cache — a database with
+    /// ablated engines produces different records, so cached results
+    /// keyed on one engine set must not serve another. The cached
+    /// records themselves are excluded: they are a pure function of the
+    /// engines and the key.
+    pub fn fingerprint(&self) -> u64 {
+        crate::cache::Fingerprint::new()
+            .str("component-db")
+            .str(&format!("{:?}", self.atpg))
+            .str(&format!("{:?}", self.march))
+            .finish()
+    }
+
     /// Fetches (computing and caching on first use) the record for `key`.
     pub fn get(&self, key: ComponentKey) -> Arc<ComponentRecord> {
         if let Some(rec) = self.cache.read().expect("db lock").get(&key) {

@@ -1,0 +1,708 @@
+//! Persistent, content-addressed evaluation cache for the sweep.
+//!
+//! Paper-scale explorations re-evaluate the same `(architecture,
+//! workload suite, cost models)` points across runs — every figure
+//! regeneration, every weight-sensitivity study, every interrupted
+//! sweep restarted from scratch pays the full scheduling + annotation
+//! bill again. [`SweepCache`] removes that bill: each evaluated point is
+//! stored under a 64-bit *content address* derived from everything that
+//! determines its result —
+//!
+//! * the architecture itself (width, buses, every FU/RF with its
+//!   port→bus assignment),
+//! * the workload suite (names, traces, memory images, iteration
+//!   counts, in order),
+//! * the cost-model fingerprints ([`crate::models::AreaModel::fingerprint`]
+//!   and friends — models that cannot describe themselves opt the run
+//!   out of caching entirely),
+//! * the cache format version.
+//!
+//! Change any input and the address changes, so stale entries are never
+//! *returned*, only *ignored* — there is no invalidation protocol to get
+//! wrong. Results are stored as raw `f64` bit patterns, which makes a
+//! warm-cache run **bit-identical** to a cold one (and to serial vs
+//! parallel runs, which were already bit-identical).
+//!
+//! # On-disk format
+//!
+//! One plain-text file, `ttadse-cache.v1`, under the chosen cache
+//! directory. The first line is a versioned header; each subsequent
+//! line is one entry:
+//!
+//! ```text
+//! ttadse-sweep-cache 1
+//! E <key> F <cycles> <spills> <area-bits> <exec-bits> <wl-cycles>...
+//! E <key> I
+//! T <key> <testcost-bits>
+//! ```
+//!
+//! `E` lines are sweep evaluations (`F`easible with payload,
+//! `I`nfeasible), `T` lines are test-cost lifts. A missing file, a
+//! wrong header, or any malformed line degrades to a clean
+//! re-evaluation — a corrupt cache can cost time, never correctness.
+//! [`SweepCache::flush`] merges with whatever is on disk before an
+//! atomic rename, so concurrent sweeps sharing one directory union
+//! their work on a best-effort basis: the rename keeps the file valid
+//! at all times, but two *simultaneous* flushes race and the loser's
+//! newest entries may need re-evaluating later — again time, never
+//! correctness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::cache::SweepCache;
+//! use tta_core::explore::Exploration;
+//! use tta_workloads::suite;
+//!
+//! let cache = SweepCache::open("/tmp/ttadse-cache").unwrap();
+//! let result = Exploration::over(TemplateSpace::paper_default())
+//!     .workload(&suite::crypt(16))
+//!     .cache(&cache)
+//!     .run(); // second run: every point is a cache hit
+//! println!("hits {}, misses {}", cache.hits(), cache.misses());
+//! # let _ = result;
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tta_arch::Architecture;
+use tta_workloads::Workload;
+
+/// On-disk format version. Bump it whenever cached results could stop
+/// matching fresh ones: an entry-layout or fingerprint-recipe change,
+/// but also any change to *evaluation semantics* the fingerprints
+/// cannot see — the scheduler, the component netlist generators, the
+/// ATPG/march engines, or the cost formulas. The content address covers
+/// a point's inputs, not the code that evaluates it; this constant is
+/// the version of that code.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// File name of the cache inside the cache directory (versioned, so a
+/// future format lives alongside instead of tripping over this one).
+pub const CACHE_FILE_NAME: &str = "ttadse-cache.v1";
+
+const HEADER: &str = "ttadse-sweep-cache 1";
+
+// ---------------------------------------------------------------------
+// Content addressing
+// ---------------------------------------------------------------------
+
+/// Incremental FNV-1a 64-bit hasher — the workspace has no external
+/// hashing crate, and the cache needs a *stable* hash (Rust's `Hasher`
+/// default is randomised per process), so the recipe is spelled out
+/// here.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts a fingerprint from the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Absorbs a string (length-prefixed, so `"ab" + "c"` and
+    /// `"a" + "bc"` hash differently).
+    pub fn str(self, s: &str) -> Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Absorbs a `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` as its exact bit pattern.
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// The accumulated 64-bit digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content address of one architecture: width, bus count, and every
+/// FU/RF instance with its full port→bus assignment (the assignment
+/// changes transport cycles and hence both schedules and test cost).
+pub fn arch_fingerprint(arch: &Architecture) -> u64 {
+    let mut f = Fingerprint::new()
+        .str("arch")
+        .u64(arch.width as u64)
+        .u64(arch.buses as u64)
+        .u64(arch.fus.len() as u64)
+        .u64(arch.rfs.len() as u64);
+    for fu in &arch.fus {
+        f = f
+            .str(fu.kind.mnemonic())
+            .str(&fu.name)
+            .u64(u64::from(fu.operand_bus.0))
+            .u64(u64::from(fu.trigger_bus.0))
+            .u64(u64::from(fu.result_bus.0));
+    }
+    for rf in &arch.rfs {
+        f = f
+            .str(&rf.name)
+            .u64(rf.regs as u64)
+            .u64(rf.write_ports.len() as u64)
+            .u64(rf.read_ports.len() as u64);
+        for b in rf.write_ports.iter().chain(&rf.read_ports) {
+            f = f.u64(u64::from(b.0));
+        }
+    }
+    f.finish()
+}
+
+/// Content address of one workload: name, iteration multiplier, inputs,
+/// memory image and the full dataflow trace (via its `Debug` rendering,
+/// which lists every node, operation and edge).
+pub fn workload_fingerprint(w: &Workload) -> u64 {
+    let mut f = Fingerprint::new()
+        .str("workload")
+        .str(&w.name)
+        .u64(w.trace_iterations)
+        .u64(w.inputs.len() as u64);
+    for &v in &w.inputs {
+        f = f.u64(v);
+    }
+    f = f.u64(w.mem.len() as u64);
+    for &v in &w.mem {
+        f = f.u64(v);
+    }
+    f.str(&format!("{:?}", w.dfg)).finish()
+}
+
+// ---------------------------------------------------------------------
+// Entries
+// ---------------------------------------------------------------------
+
+/// A cached sweep evaluation of one architecture on one workload suite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalEntry {
+    /// The point was infeasible (unschedulable, or outside the component
+    /// model's domain) — cached so re-runs skip the scheduling attempt.
+    Infeasible,
+    /// A feasible evaluation; floats are carried as exact bit patterns.
+    Feasible {
+        /// Aggregate full-application cycles.
+        cycles: u64,
+        /// Per-workload cycle counts, in suite order.
+        workload_cycles: Vec<u64>,
+        /// Register-pressure spill events.
+        spills: u32,
+        /// `f64::to_bits` of the area objective.
+        area_bits: u64,
+        /// `f64::to_bits` of the exec-time objective.
+        exec_bits: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Entry {
+    Eval(EvalEntry),
+    /// `f64::to_bits` of a lifted eq.-(14) test-cost total.
+    Test(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Kind {
+    Eval,
+    Test,
+}
+
+// ---------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------
+
+/// A persistent, thread-safe evaluation cache (see the [module
+/// docs](self) for the design and the on-disk format).
+#[derive(Debug)]
+pub struct SweepCache {
+    path: PathBuf,
+    entries: Mutex<HashMap<(Kind, u64), Entry>>,
+    dirty: std::sync::atomic::AtomicBool,
+    /// `(len, mtime)` of the on-disk file as of the last load or flush —
+    /// an rsync-style quick check so chunked flushes skip re-parsing a
+    /// file nobody else has touched (re-reading a growing file every
+    /// chunk would make persistence O(N²) over a large sweep).
+    disk_state: Mutex<Option<(u64, std::time::SystemTime)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Quick-check signature of the file at `path`.
+fn stat_sig(path: &Path) -> Option<(u64, std::time::SystemTime)> {
+    let meta = fs::metadata(path).ok()?;
+    Some((meta.len(), meta.modified().ok()?))
+}
+
+impl SweepCache {
+    /// Opens (creating the directory if needed) the cache under `dir`,
+    /// loading whatever valid entries the on-disk file holds. A missing,
+    /// corrupt or version-mismatched file yields an empty cache — never
+    /// an error; only an unusable *directory* is reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when `dir` cannot be
+    /// created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<SweepCache> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE_NAME);
+        let (entries, disk_state) = match load_entries(&path) {
+            Some(entries) => (entries, stat_sig(&path)),
+            None => (HashMap::new(), None),
+        };
+        Ok(SweepCache {
+            path,
+            entries: Mutex::new(entries),
+            dirty: std::sync::atomic::AtomicBool::new(false),
+            disk_state: Mutex::new(disk_state),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// An in-memory cache that never touches disk ([`SweepCache::flush`]
+    /// is a no-op). Useful for tests and for sharing work between
+    /// repeated in-process runs.
+    pub fn in_memory() -> SweepCache {
+        SweepCache {
+            path: PathBuf::new(),
+            entries: Mutex::new(HashMap::new()),
+            dirty: std::sync::atomic::AtomicBool::new(false),
+            disk_state: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The on-disk file this cache persists to (empty for
+    /// [`SweepCache::in_memory`]).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks up a sweep evaluation. Hit/miss counters are updated.
+    pub fn lookup_eval(&self, key: u64) -> Option<EvalEntry> {
+        let found = match self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .get(&(Kind::Eval, key))
+        {
+            Some(Entry::Eval(e)) => Some(e.clone()),
+            _ => None,
+        };
+        self.count(found.is_some());
+        found
+    }
+
+    /// Whether an evaluation for `key` is present, *without* touching
+    /// the hit/miss counters — for planning passes (e.g. deciding which
+    /// component keys still need pre-warming) that precede the counted
+    /// lookup.
+    pub fn contains_eval(&self, key: u64) -> bool {
+        matches!(
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .get(&(Kind::Eval, key)),
+            Some(Entry::Eval(_))
+        )
+    }
+
+    /// Whether a test-cost lift for `key` is present, *without* touching
+    /// the hit/miss counters — the lift-stage mirror of
+    /// [`SweepCache::contains_eval`].
+    pub fn contains_test(&self, key: u64) -> bool {
+        matches!(
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .get(&(Kind::Test, key)),
+            Some(Entry::Test(_))
+        )
+    }
+
+    /// Stores a sweep evaluation (in memory; [`SweepCache::flush`]
+    /// persists).
+    pub fn store_eval(&self, key: u64, entry: EvalEntry) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert((Kind::Eval, key), Entry::Eval(entry));
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// Looks up a lifted test-cost total (exact bit pattern).
+    pub fn lookup_test(&self, key: u64) -> Option<f64> {
+        let found = match self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .get(&(Kind::Test, key))
+        {
+            Some(Entry::Test(bits)) => Some(f64::from_bits(*bits)),
+            _ => None,
+        };
+        self.count(found.is_some());
+        found
+    }
+
+    /// Stores a lifted test-cost total.
+    pub fn store_test(&self, key: u64, total: f64) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert((Kind::Test, key), Entry::Test(total.to_bits()));
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lookups answered from the cache since it was opened.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh evaluation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries currently held (evaluations + test lifts).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists the cache: merges the in-memory entries with whatever is
+    /// on disk (another process may have flushed meanwhile), then writes
+    /// the union atomically (a per-process temp file + rename), so an
+    /// interrupted or concurrent flush leaves a valid file intact.
+    /// A no-op when nothing was stored since the last flush, so warm
+    /// re-runs never rewrite the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] on write failure. In-memory
+    /// caches return `Ok(())` without touching disk.
+    pub fn flush(&self) -> io::Result<()> {
+        if self.path.as_os_str().is_empty() || !self.dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut entries = self.entries.lock().expect("cache lock");
+        let mut disk_state = self.disk_state.lock().expect("cache lock");
+        // Merge from disk only when another writer has plausibly touched
+        // the file since we last read or wrote it.
+        if stat_sig(&self.path) != *disk_state {
+            if let Some(disk) = load_entries(&self.path) {
+                for (k, v) in disk {
+                    entries.entry(k).or_insert(v);
+                }
+            }
+        }
+        let mut lines: Vec<String> = entries.iter().map(|(k, v)| render_line(k, v)).collect();
+        // Deterministic file contents: sort lines, not hash order.
+        lines.sort_unstable();
+        let mut body = String::with_capacity(lines.len() * 48 + HEADER.len() + 1);
+        body.push_str(HEADER);
+        body.push('\n');
+        for line in lines {
+            body.push_str(&line);
+            body.push('\n');
+        }
+        // Unique temp name per flush: concurrent flushers (other
+        // processes, or two instances in this one) must never interleave
+        // writes into one temp file.
+        static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, &self.path)?;
+        self.dirty.store(false, Ordering::Release);
+        *disk_state = stat_sig(&self.path);
+        Ok(())
+    }
+
+    /// Drops every entry, in memory and on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] when the cache file exists
+    /// but cannot be removed.
+    pub fn invalidate(&self) -> io::Result<()> {
+        self.entries.lock().expect("cache lock").clear();
+        self.dirty.store(false, Ordering::Release);
+        *self.disk_state.lock().expect("cache lock") = None;
+        if !self.path.as_os_str().is_empty() && self.path.exists() {
+            fs::remove_file(&self.path)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------
+
+fn render_line(key: &(Kind, u64), entry: &Entry) -> String {
+    let mut s = String::new();
+    match entry {
+        Entry::Eval(EvalEntry::Infeasible) => {
+            let _ = write!(s, "E {:016x} I", key.1);
+        }
+        Entry::Eval(EvalEntry::Feasible {
+            cycles,
+            workload_cycles,
+            spills,
+            area_bits,
+            exec_bits,
+        }) => {
+            let _ = write!(
+                s,
+                "E {:016x} F {cycles} {spills} {area_bits:016x} {exec_bits:016x}",
+                key.1
+            );
+            for c in workload_cycles {
+                let _ = write!(s, " {c}");
+            }
+        }
+        Entry::Test(bits) => {
+            let _ = write!(s, "T {:016x} {bits:016x}", key.1);
+        }
+    }
+    s
+}
+
+/// Parses the cache file at `path`. Returns `None` (≙ empty cache) for
+/// a missing file, a bad header, or *any* malformed line — a cache that
+/// cannot be trusted in full is not trusted at all.
+fn load_entries(path: &Path) -> Option<HashMap<(Kind, u64), Entry>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return None;
+    }
+    let mut map = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, entry) = parse_line(line)?;
+        map.insert(key, entry);
+    }
+    Some(map)
+}
+
+fn parse_line(line: &str) -> Option<((Kind, u64), Entry)> {
+    let mut parts = line.split(' ');
+    let tag = parts.next()?;
+    let key = u64::from_str_radix(parts.next()?, 16).ok()?;
+    match tag {
+        "E" => match parts.next()? {
+            "I" => {
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(((Kind::Eval, key), Entry::Eval(EvalEntry::Infeasible)))
+            }
+            "F" => {
+                let cycles = parts.next()?.parse().ok()?;
+                let spills = parts.next()?.parse().ok()?;
+                let area_bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+                let exec_bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+                let workload_cycles: Option<Vec<u64>> = parts.map(|p| p.parse().ok()).collect();
+                Some((
+                    (Kind::Eval, key),
+                    Entry::Eval(EvalEntry::Feasible {
+                        cycles,
+                        workload_cycles: workload_cycles?,
+                        spills,
+                        area_bits,
+                        exec_bits,
+                    }),
+                ))
+            }
+            _ => None,
+        },
+        "T" => {
+            let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(((Kind::Test, key), Entry::Test(bits)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ttadse-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_feasible() -> EvalEntry {
+        EvalEntry::Feasible {
+            cycles: 1234,
+            workload_cycles: vec![1000, 234],
+            spills: 3,
+            area_bits: 4000.5f64.to_bits(),
+            exec_bits: 77.25f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.store_eval(42, sample_feasible());
+        cache.store_eval(43, EvalEntry::Infeasible);
+        cache.store_test(42, 99.75);
+        cache.flush().unwrap();
+
+        let reloaded = SweepCache::open(&dir).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert_eq!(reloaded.lookup_eval(42), Some(sample_feasible()));
+        assert_eq!(reloaded.lookup_eval(43), Some(EvalEntry::Infeasible));
+        assert_eq!(reloaded.lookup_test(42), Some(99.75));
+        assert_eq!(reloaded.lookup_eval(44), None);
+        assert_eq!(reloaded.hits(), 3);
+        assert_eq!(reloaded.misses(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_and_test_keys_do_not_collide() {
+        let cache = SweepCache::in_memory();
+        cache.store_test(7, 1.0);
+        assert_eq!(cache.lookup_eval(7), None);
+        cache.store_eval(7, EvalEntry::Infeasible);
+        assert_eq!(cache.lookup_test(7), Some(1.0));
+    }
+
+    #[test]
+    fn corrupt_file_degrades_to_empty() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CACHE_FILE_NAME), format!("{HEADER}\nE zzzz I\n")).unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_degrades_to_empty() {
+        let dir = tmpdir("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CACHE_FILE_NAME),
+            "ttadse-sweep-cache 999\nE 000000000000002a I\n",
+        )
+        .unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_merges_with_concurrent_writers() {
+        let dir = tmpdir("merge");
+        let a = SweepCache::open(&dir).unwrap();
+        let b = SweepCache::open(&dir).unwrap();
+        a.store_eval(1, EvalEntry::Infeasible);
+        b.store_eval(2, sample_feasible());
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let merged = SweepCache::open(&dir).unwrap();
+        assert_eq!(merged.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_is_deterministic() {
+        let dir = tmpdir("determ");
+        let cache = SweepCache::open(&dir).unwrap();
+        for k in 0..32u64 {
+            cache.store_eval(k.wrapping_mul(0x9E37_79B9), EvalEntry::Infeasible);
+        }
+        cache.flush().unwrap();
+        let first = fs::read_to_string(cache.path()).unwrap();
+        cache.flush().unwrap();
+        let second = fs::read_to_string(cache.path()).unwrap();
+        assert_eq!(first, second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_clears_memory_and_disk() {
+        let dir = tmpdir("invalidate");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.store_eval(1, EvalEntry::Infeasible);
+        cache.flush().unwrap();
+        assert!(cache.path().exists());
+        cache.invalidate().unwrap();
+        assert!(cache.is_empty());
+        assert!(!cache.path().exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let a = Fingerprint::new().str("ab").str("c").finish();
+        let b = Fingerprint::new().str("a").str("bc").finish();
+        assert_ne!(a, b, "length prefix must separate string boundaries");
+        let arch1 = Architecture::figure9();
+        let mut arch2 = Architecture::figure9();
+        assert_eq!(arch_fingerprint(&arch1), arch_fingerprint(&arch2));
+        arch2.fus[0].trigger_bus = tta_arch::BusId(0);
+        assert_ne!(
+            arch_fingerprint(&arch1),
+            arch_fingerprint(&arch2),
+            "port→bus assignment is part of the identity"
+        );
+    }
+}

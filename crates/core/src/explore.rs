@@ -20,6 +20,74 @@
 //! Cost axes are pluggable via the [`crate::models`] traits; the sweep
 //! runs serially or in parallel over a pre-warmed, read-mostly
 //! [`ComponentDb`], and parallel runs are bit-identical to serial ones.
+//! Attach a [`SweepCache`] ([`Exploration::cache`]) and re-runs skip
+//! every already-evaluated point, bit-identically.
+//!
+//! # Migration from the old `Explorer`
+//!
+//! PR 1 replaced the monolithic `Explorer`/`ExploreConfig` driver with
+//! this builder; the shim is gone. The replacements below are
+//! compile-checked (they run as doc-tests on the tiny space).
+//!
+//! `Explorer::new(ExploreConfig::fast()).run(&w)` became the builder
+//! chain, `ExploreConfig::paper()/fast()` became
+//! [`TemplateSpace::paper_default`]/[`TemplateSpace::fast_default`],
+//! the serial-only sweep grew [`Exploration::parallel`] (bit-identical;
+//! [`Exploration::threads`] pins workers), and results moved from bare
+//! `(area, exec_time, Option<test_cost>)` fields to accessors plus a
+//! typed [`ObjectiveVector`]:
+//!
+//! ```
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::explore::{Exploration, Objective};
+//! use tta_workloads::suite;
+//!
+//! let w = suite::crypt(1);
+//! let result = Exploration::over(TemplateSpace::tiny())
+//!     .workload(&w)
+//!     .parallel(true) // bit-identical to the serial sweep
+//!     .threads(2)
+//!     .run();
+//!
+//! // `result.pareto2d` / `pareto2d_points()` / `pareto3d_points()`
+//! // became `result.pareto` / `pareto_points()` / `pareto_vectors()`:
+//! assert!(!result.pareto.is_empty());
+//! let e = result.pareto_points()[0];
+//!
+//! // `EvaluatedArch { area, exec_time, test_cost }` fields became
+//! // accessors over the typed objective vector:
+//! assert!(e.area() > 0.0 && e.exec_time() > 0.0);
+//! assert_eq!(e.test_cost(), e.objectives.get(Objective::TestCost));
+//!
+//! // `point3d()` (which panicked off-front) became a total projection:
+//! let p = e.objectives.project(&[Objective::Area, Objective::TestCost]);
+//! assert_eq!(p.unwrap().values().len(), 2);
+//! ```
+//!
+//! `Explorer::architecture_area`/`clock_period` became the
+//! [`crate::models`] traits, the magic interconnect constants became an
+//! explicit [`InterconnectModel`], and `ComponentDb::get(&mut self)`
+//! became interior-mutable `get(&self)` (shareable across threads,
+//! [`ComponentDb::warm`] pre-annotates):
+//!
+//! ```
+//! use tta_arch::Architecture;
+//! use tta_core::models::{
+//!     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, InterconnectModel, TimingModel,
+//! };
+//! use tta_core::ComponentDb;
+//!
+//! let db = ComponentDb::new(); // note: not `mut`
+//! let arch = Architecture::figure9();
+//! let area = AnnotatedAreaModel::default().area(&arch, &db);
+//! let clock = AnnotatedTimingModel::default().clock_period(&arch, &db);
+//! assert!(area > 0.0 && clock > 0.0);
+//!
+//! // The paper's constants, explicit and swappable:
+//! let ic = InterconnectModel { bus_area_per_bit: 6.0, ..InterconnectModel::paper() };
+//! let wider = AnnotatedAreaModel::new(ic).area(&arch, &db);
+//! assert!(wider > area);
+//! ```
 
 use tta_arch::template::TemplateSpace;
 use tta_arch::Architecture;
@@ -27,6 +95,10 @@ use tta_movec::schedule::Scheduler;
 use tta_workloads::Workload;
 
 use crate::backannotate::ComponentDb;
+use crate::cache::{
+    arch_fingerprint, workload_fingerprint, EvalEntry, Fingerprint, SweepCache,
+    CACHE_FORMAT_VERSION,
+};
 use crate::models::{
     keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
     InterconnectModel, TestCostModel, TimingModel,
@@ -34,7 +106,6 @@ use crate::models::{
 use crate::norm::{select, Norm, Weights};
 use crate::parallel::{default_threads, par_map};
 use crate::pareto::pareto_front;
-use crate::testcost::ArchTestCost;
 
 // ---------------------------------------------------------------------
 // Objectives
@@ -301,9 +372,15 @@ pub struct Exploration<'db> {
     test: Option<Box<dyn TestCostModel>>,
     interconnect: InterconnectModel,
     db: Option<&'db ComponentDb>,
+    cache: Option<&'db SweepCache>,
     parallel: bool,
     threads: Option<usize>,
 }
+
+/// With a cache attached, the sweep persists after every chunk of this
+/// many points, so an interrupted paper-scale run resumes from the last
+/// completed chunk rather than from scratch.
+const CACHE_FLUSH_CHUNK: usize = 64;
 
 impl<'db> Exploration<'db> {
     /// Starts a pipeline over `space` with the paper's default models
@@ -318,6 +395,7 @@ impl<'db> Exploration<'db> {
             test: None,
             interconnect: InterconnectModel::paper(),
             db: None,
+            cache: None,
             parallel: false,
             threads: None,
         }
@@ -385,6 +463,21 @@ impl<'db> Exploration<'db> {
         self
     }
 
+    /// Attaches a persistent evaluation cache ([`crate::cache`]):
+    /// points whose content address is already cached skip scheduling
+    /// and model evaluation, and fresh results are persisted in chunks
+    /// so an interrupted sweep resumes where it stopped. Warm-cache
+    /// results are bit-identical to cold ones.
+    ///
+    /// Caching silently disables itself when any installed cost model
+    /// returns `None` from its `fingerprint()` method (the result could
+    /// not be content-addressed). Flush failures are swallowed — a
+    /// read-only cache directory costs persistence, never the sweep.
+    pub fn cache(mut self, cache: &'db SweepCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Evaluates the sweep (and the pre-warm and lift stages) on worker
     /// threads. Results are bit-identical to the serial sweep.
     pub fn parallel(mut self, on: bool) -> Self {
@@ -433,13 +526,58 @@ impl<'db> Exploration<'db> {
         let threads = self.thread_count();
         let archs = self.space.enumerate();
 
+        // Content-address bases for the persistent cache: everything
+        // that determines a point's result except the point itself.
+        // `None` (no cache attached, or an unfingerprintable model)
+        // bypasses caching entirely.
+        let eval_cache = self.cache.and_then(|cache| {
+            let base = Fingerprint::new()
+                .str("eval")
+                .u64(u64::from(CACHE_FORMAT_VERSION))
+                .u64(area.fingerprint()?)
+                .u64(timing.fingerprint()?)
+                .u64(db.fingerprint())
+                .u64(self.workloads.len() as u64);
+            let base = self
+                .workloads
+                .iter()
+                .fold(base, |f, w| f.u64(workload_fingerprint(w)))
+                .finish();
+            Some((cache, base))
+        });
+        let test_cache = self.cache.and_then(|cache| {
+            let base = Fingerprint::new()
+                .str("test")
+                .u64(u64::from(CACHE_FORMAT_VERSION))
+                .u64(test.fingerprint()?)
+                .u64(db.fingerprint())
+                .finish();
+            Some((cache, base))
+        });
+        let point_key = |base: u64, arch: &Architecture| {
+            Fingerprint::new()
+                .u64(base)
+                .u64(arch_fingerprint(arch))
+                .finish()
+        };
+
         // Stage 0: pre-warm the component database for every key the
         // space can touch, so parallel workers never duplicate an
         // annotation. A serial sweep annotates lazily instead — it only
         // ever pays for keys that feasible points actually read — and a
         // fully-custom model stack may never read the database at all.
+        // Cached points never read the database either, so only
+        // cache-missing architectures contribute keys.
         if self.parallel && uses_db_defaults {
-            let mut keys: Vec<_> = archs.iter().filter_map(keys_of).flatten().collect();
+            let mut keys: Vec<_> = archs
+                .iter()
+                .filter(|arch| match &eval_cache {
+                    Some((cache, base)) => !cache.contains_eval(point_key(*base, arch)),
+                    None => true,
+                })
+                .filter_map(keys_of)
+                .flatten()
+                .collect();
             keys.sort_unstable();
             keys.dedup();
             keys.retain(|&k| !db.contains(k));
@@ -449,10 +587,30 @@ impl<'db> Exploration<'db> {
         }
 
         // Stage 1: the sweep. Evaluate every enumerated architecture on
-        // the full workload suite.
-        let evaluations = par_map(&archs, threads, |_, arch| {
-            evaluate_point(arch, &self.workloads, &*area, &*timing, db)
-        });
+        // the full workload suite — answering from the cache where
+        // possible and persisting fresh results chunk by chunk, so an
+        // interrupted run resumes from the last completed chunk.
+        let evaluations: Vec<Option<EvaluatedArch>> = match &eval_cache {
+            None => par_map(&archs, threads, |_, arch| {
+                evaluate_point(arch, &self.workloads, &*area, &*timing, db)
+            }),
+            Some((cache, base)) => {
+                let mut out = Vec::with_capacity(archs.len());
+                for chunk in archs.chunks(CACHE_FLUSH_CHUNK) {
+                    out.extend(par_map(chunk, threads, |_, arch| {
+                        let key = point_key(*base, arch);
+                        if let Some(entry) = cache.lookup_eval(key) {
+                            return rehydrate(arch, entry);
+                        }
+                        let e = evaluate_point(arch, &self.workloads, &*area, &*timing, db);
+                        cache.store_eval(key, dehydrate(e.as_ref()));
+                        e
+                    }));
+                    let _ = cache.flush();
+                }
+                out
+            }
+        };
         let mut evaluated = Vec::new();
         let mut infeasible = 0usize;
         for e in evaluations {
@@ -472,9 +630,45 @@ impl<'db> Exploration<'db> {
         // Stage 3: lift the front with the eq. (14) test axis — Figure 8.
         // "only the architectures that correspond to the Pareto points in
         // the design space are evaluated in terms of testing".
+        //
+        // Pre-warm first (parallel, db-backed test model): when the sweep
+        // was answered from the cache, stage 0 warmed nothing, but an
+        // uncached lift still reads the database — without this, parallel
+        // lift workers would each recompute shared ATPG records.
+        if self.parallel && uses_db_defaults {
+            let mut keys: Vec<_> = pareto
+                .iter()
+                .map(|&i| &evaluated[i].architecture)
+                .filter(|arch| match &test_cache {
+                    Some((cache, base)) => !cache.contains_test(point_key(*base, arch)),
+                    None => true,
+                })
+                .filter_map(keys_of)
+                .flatten()
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys.retain(|&k| !db.contains(k));
+            par_map(&keys, threads, |_, &key| {
+                db.get(key);
+            });
+        }
         let costs = par_map(&pareto, threads, |_, &i| {
-            test.test_cost(&evaluated[i].architecture, db).total
+            let arch = &evaluated[i].architecture;
+            if let Some((cache, base)) = &test_cache {
+                let key = point_key(*base, arch);
+                if let Some(total) = cache.lookup_test(key) {
+                    return total;
+                }
+                let total = test.test_cost(arch, db).total;
+                cache.store_test(key, total);
+                return total;
+            }
+            test.test_cost(arch, db).total
         });
+        if let Some((cache, _)) = &test_cache {
+            let _ = cache.flush();
+        }
         for (&i, total) in pareto.iter().zip(costs) {
             evaluated[i].objectives.push(Objective::TestCost, total);
         }
@@ -508,6 +702,45 @@ impl<'db> Exploration<'db> {
                 .take()
                 .unwrap_or_else(|| Box::new(Eq14TestCostModel)),
         )
+    }
+}
+
+/// Rebuilds an evaluation from its cache entry. The floats come back as
+/// the exact bit patterns the original evaluation produced, so a warm
+/// sweep is bit-identical to a cold one.
+fn rehydrate(arch: &Architecture, entry: EvalEntry) -> Option<EvaluatedArch> {
+    match entry {
+        EvalEntry::Infeasible => None,
+        EvalEntry::Feasible {
+            cycles,
+            workload_cycles,
+            spills,
+            area_bits,
+            exec_bits,
+        } => Some(EvaluatedArch {
+            architecture: arch.clone(),
+            cycles,
+            workload_cycles,
+            spills,
+            objectives: ObjectiveVector::new([
+                (Objective::Area, f64::from_bits(area_bits)),
+                (Objective::ExecTime, f64::from_bits(exec_bits)),
+            ]),
+        }),
+    }
+}
+
+/// The cache entry for a fresh evaluation (`None` = infeasible point).
+fn dehydrate(e: Option<&EvaluatedArch>) -> EvalEntry {
+    match e {
+        None => EvalEntry::Infeasible,
+        Some(e) => EvalEntry::Feasible {
+            cycles: e.cycles,
+            workload_cycles: e.workload_cycles.clone(),
+            spills: e.spills,
+            area_bits: e.area().to_bits(),
+            exec_bits: e.exec_time().to_bits(),
+        },
     }
 }
 
@@ -547,114 +780,6 @@ fn evaluate_point(
             (Objective::ExecTime, cycles as f64 * clock),
         ]),
     })
-}
-
-// ---------------------------------------------------------------------
-// Deprecated monolithic driver (one-release compatibility shim)
-// ---------------------------------------------------------------------
-
-/// Exploration configuration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Exploration::over(TemplateSpace::paper_default() / fast_default())`"
-)]
-#[derive(Debug, Clone)]
-pub struct ExploreConfig {
-    /// The template space to enumerate.
-    pub space: TemplateSpace,
-}
-
-#[allow(deprecated)]
-impl ExploreConfig {
-    /// The paper's space: 16-bit machines, 1–4 buses, varying FU/RF mixes
-    /// (144 points).
-    pub fn paper() -> Self {
-        ExploreConfig {
-            space: TemplateSpace::paper_default(),
-        }
-    }
-
-    /// The reduced 8-bit space of [`TemplateSpace::fast_default`].
-    pub fn fast() -> Self {
-        ExploreConfig {
-            space: TemplateSpace::fast_default(),
-        }
-    }
-}
-
-/// The old monolithic exploration engine, now a thin wrapper over
-/// [`Exploration`] and the [`crate::models`] defaults.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `Exploration` builder and the `models` traits instead"
-)]
-#[derive(Debug)]
-pub struct Explorer {
-    #[allow(deprecated)]
-    config: ExploreConfig,
-    db: ComponentDb,
-}
-
-#[allow(deprecated)]
-impl Explorer {
-    /// Creates an explorer.
-    pub fn new(config: ExploreConfig) -> Self {
-        Explorer {
-            config,
-            db: ComponentDb::new(),
-        }
-    }
-
-    /// Creates an explorer around an existing database.
-    pub fn with_db(config: ExploreConfig, db: ComponentDb) -> Self {
-        Explorer { config, db }
-    }
-
-    /// Access to the back-annotation database.
-    pub fn db(&self) -> &ComponentDb {
-        &self.db
-    }
-
-    /// Mutable access to the back-annotation database (the database is
-    /// interior-mutable now; prefer [`Explorer::db`]).
-    pub fn db_mut(&mut self) -> &mut ComponentDb {
-        &mut self.db
-    }
-
-    /// Area of one architecture under the default annotated model.
-    pub fn architecture_area(&mut self, arch: &Architecture) -> f64 {
-        AnnotatedAreaModel::default().area(arch, &self.db)
-    }
-
-    /// Clock period of one architecture under the default annotated
-    /// model.
-    pub fn clock_period(&mut self, arch: &Architecture) -> f64 {
-        AnnotatedTimingModel::default().clock_period(arch, &self.db)
-    }
-
-    /// Evaluates one architecture on `workload` (area + throughput only).
-    pub fn evaluate(&mut self, arch: &Architecture, workload: &Workload) -> Option<EvaluatedArch> {
-        evaluate_point(
-            arch,
-            std::slice::from_ref(workload),
-            &AnnotatedAreaModel::default(),
-            &AnnotatedTimingModel::default(),
-            &self.db,
-        )
-    }
-
-    /// Full test cost of one architecture (eq. 14).
-    pub fn test_cost(&mut self, arch: &Architecture) -> ArchTestCost {
-        crate::testcost::architecture_test_cost(arch, &self.db)
-    }
-
-    /// Runs the complete flow on one workload.
-    pub fn run(&mut self, workload: &Workload) -> ExploreResult {
-        Exploration::over(self.config.space.clone())
-            .workload(workload)
-            .with_db(&self.db)
-            .run()
-    }
 }
 
 #[cfg(test)]
@@ -815,16 +940,6 @@ mod tests {
             .rf(8, 1, 2)
             .build();
         assert!(model.area(&big, &db) > model.area(&small, &db));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_explorer_shim_still_runs() {
-        let mut explorer = Explorer::new(ExploreConfig::fast());
-        let result = explorer.run(&suite::crypt(1));
-        assert!(!result.pareto.is_empty());
-        assert!(result.select_equal_weights().test_cost().is_some());
-        assert!(!explorer.db().is_empty());
     }
 
     #[test]

@@ -37,7 +37,8 @@
 //! ```
 //!
 //! Customising the pipeline — multiple workloads, custom interconnect
-//! constants, explicit parallelism, a shared annotation database:
+//! constants, explicit parallelism, a shared annotation database, a
+//! persistent sweep cache:
 //!
 //! ```no_run
 //! use tta_arch::template::TemplateSpace;
@@ -49,16 +50,21 @@
 //! let db = ComponentDb::new();
 //! let crypt = suite::crypt(2);
 //! let checksum = suite::checksum32();
+//! let cache = tta_core::SweepCache::open("/tmp/ttadse-cache").unwrap();
 //! let result = Exploration::over(TemplateSpace::paper_default())
 //!     .workloads([&crypt, &checksum])
 //!     .interconnect(InterconnectModel { bus_area_per_bit: 6.0, ..InterconnectModel::paper() })
 //!     .with_db(&db)
+//!     .cache(&cache) // re-runs skip every cached point, bit-identically
 //!     .parallel(true)
 //!     .run();
 //! assert!(result.projection_holds());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod backannotate;
+pub mod cache;
 pub mod explore;
 pub mod fullscan;
 pub mod models;
@@ -71,6 +77,7 @@ pub mod testcost;
 pub mod testplan;
 
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
+pub use cache::SweepCache;
 pub use explore::{EvaluatedArch, Exploration, ExploreResult, Objective, ObjectiveVector};
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
@@ -81,6 +88,3 @@ pub use pareto::pareto_front;
 pub use rfmem::{RfImplementationComparison, RfMemSpec};
 pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use testplan::{TestPhase, TestPlan};
-
-#[allow(deprecated)]
-pub use explore::{ExploreConfig, Explorer};

@@ -22,6 +22,7 @@
 use tta_arch::{Architecture, InstructionFormat};
 
 use crate::backannotate::{ComponentDb, ComponentKey};
+use crate::cache::Fingerprint;
 use crate::testcost::{architecture_test_cost, ArchTestCost};
 
 /// The analytical interconnect/control model: the constants the paper
@@ -43,6 +44,17 @@ pub struct InterconnectModel {
 }
 
 impl InterconnectModel {
+    /// Content address of the constants, for the persistent sweep cache
+    /// ([`crate::cache`]).
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .str("interconnect")
+            .f64(self.bus_area_per_bit)
+            .f64(self.bus_delay_penalty)
+            .f64(self.control_area_per_instr_bit)
+            .finish()
+    }
+
     /// The constants used throughout the paper's evaluation.
     pub fn paper() -> Self {
         InterconnectModel {
@@ -75,6 +87,16 @@ pub trait AreaModel: Send + Sync {
     /// outside the model's domain; the sweep drops such points as
     /// infeasible.
     fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64;
+
+    /// Content address of the model's behaviour for the persistent
+    /// sweep cache ([`crate::cache`]): two models with the same
+    /// fingerprint must produce bit-identical results for every
+    /// architecture. The default `None` opts the model out — a run with
+    /// an unfingerprintable model never consults or populates the
+    /// cache, which is always safe.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Timing axis: clock period of one architecture in normalised gate
@@ -83,12 +105,22 @@ pub trait TimingModel: Send + Sync {
     /// Clock period of `arch`. Non-finite values mark the architecture
     /// as infeasible, as for [`AreaModel::area`].
     fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64;
+
+    /// Cache fingerprint; same contract as [`AreaModel::fingerprint`].
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Test axis: structural/functional test cost of one architecture.
 pub trait TestCostModel: Send + Sync {
     /// Full per-component breakdown plus the comparative total.
     fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost;
+
+    /// Cache fingerprint; same contract as [`AreaModel::fingerprint`].
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Width of `arch` as the `u16` the [`ComponentKey`] encoding uses, or
@@ -113,6 +145,15 @@ impl AnnotatedAreaModel {
 }
 
 impl AreaModel for AnnotatedAreaModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("annotated-area")
+                .u64(self.interconnect.fingerprint())
+                .finish(),
+        )
+    }
+
     fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
         let Some(w) = key_width(arch) else {
             return f64::INFINITY;
@@ -158,6 +199,15 @@ impl AnnotatedTimingModel {
 }
 
 impl TimingModel for AnnotatedTimingModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("annotated-timing")
+                .u64(self.interconnect.fingerprint())
+                .finish(),
+        )
+    }
+
     fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
         let Some(w) = key_width(arch) else {
             return f64::INFINITY;
@@ -181,6 +231,10 @@ impl TimingModel for AnnotatedTimingModel {
 pub struct Eq14TestCostModel;
 
 impl TestCostModel for Eq14TestCostModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(Fingerprint::new().str("eq14-test-cost").finish())
+    }
+
     fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
         architecture_test_cost(arch, db)
     }

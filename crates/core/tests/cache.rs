@@ -1,0 +1,222 @@
+//! Integration tests of the persistent sweep cache: warm-cache runs are
+//! bit-identical to cold ones (property-tested over workload/parallelism
+//! variations), corrupt or version-mismatched cache files degrade to a
+//! clean re-evaluation, and unfingerprintable models opt out safely.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tta_arch::template::TemplateSpace;
+use tta_arch::Architecture;
+use tta_core::cache::{SweepCache, CACHE_FILE_NAME};
+use tta_core::explore::{Exploration, ExploreResult};
+use tta_core::models::AreaModel;
+use tta_core::ComponentDb;
+use tta_workloads::suite;
+
+/// One shared annotation database so the many small sweeps below pay
+/// for the 8-bit component library once.
+fn db() -> &'static ComponentDb {
+    static DB: OnceLock<ComponentDb> = OnceLock::new();
+    DB.get_or_init(ComponentDb::new)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ttadse-cache-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_tiny(rounds: usize, parallel: bool, cache: Option<&SweepCache>) -> ExploreResult {
+    let w = suite::crypt(rounds);
+    let mut e = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(db())
+        .parallel(parallel);
+    if let Some(c) = cache {
+        e = e.cache(c);
+    }
+    e.run()
+}
+
+/// Bit-exact comparison of two exploration results.
+fn assert_bit_identical(a: &ExploreResult, b: &ExploreResult) {
+    assert_eq!(a.evaluated.len(), b.evaluated.len());
+    assert_eq!(a.infeasible, b.infeasible);
+    assert_eq!(a.pareto, b.pareto);
+    assert_eq!(a.workloads, b.workloads);
+    for (x, y) in a.evaluated.iter().zip(&b.evaluated) {
+        assert_eq!(x.architecture.name, y.architecture.name);
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.workload_cycles, y.workload_cycles);
+        assert_eq!(x.spills, y.spills);
+        assert_eq!(x.objectives.axes(), y.objectives.axes());
+        let xb: Vec<u64> = x.objectives.values().iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.objectives.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "objective bits differ for {}", x.architecture.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline property: for any workload size and threading mode,
+    /// a warm-cache run is bit-identical to the cold run that filled the
+    /// cache — and answers entirely from it.
+    #[test]
+    fn warm_cache_is_bit_identical_to_cold(rounds in 1usize..3, parallel in proptest::bool::ANY) {
+        let dir = tmpdir(&format!("prop-{rounds}-{parallel}"));
+        let cache = SweepCache::open(&dir).expect("temp dir is writable");
+        let cold = run_tiny(rounds, parallel, Some(&cache));
+        prop_assert!(cache.misses() > 0, "cold run must evaluate");
+
+        // A fresh handle reloads purely from disk.
+        let warm_cache = SweepCache::open(&dir).expect("reopen");
+        let warm = run_tiny(rounds, parallel, Some(&warm_cache));
+        prop_assert!(warm_cache.misses() == 0, "warm run must not evaluate");
+        prop_assert!(warm_cache.hits() > 0);
+        assert_bit_identical(&cold, &warm);
+
+        // And the serial/parallel invariant still holds through the cache.
+        let flipped = run_tiny(rounds, !parallel, Some(&warm_cache));
+        assert_bit_identical(&cold, &flipped);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn corrupt_cache_degrades_to_clean_reevaluation() {
+    let dir = tmpdir("corrupt");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join(CACHE_FILE_NAME),
+        "ttadse-sweep-cache 1\nE not-hex F bogus\ngarbage line\n",
+    )
+    .unwrap();
+    let cache = SweepCache::open(&dir).expect("open ignores corruption");
+    assert!(cache.is_empty(), "corrupt file must load as empty");
+    let with_cache = run_tiny(1, false, Some(&cache));
+    let without = run_tiny(1, false, None);
+    assert_bit_identical(&with_cache, &without);
+    // The re-evaluation replaced the corrupt file with a valid one.
+    let reloaded = SweepCache::open(&dir).expect("reopen");
+    assert!(!reloaded.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_degrades_to_clean_reevaluation() {
+    let dir = tmpdir("version");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join(CACHE_FILE_NAME),
+        "ttadse-sweep-cache 999\nE 0000000000000001 I\n",
+    )
+    .unwrap();
+    let cache = SweepCache::open(&dir).expect("open ignores future versions");
+    assert!(cache.is_empty());
+    let with_cache = run_tiny(1, false, Some(&cache));
+    let without = run_tiny(1, false, None);
+    assert_bit_identical(&with_cache, &without);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Number of sweep-evaluation (`E`) entries in the flushed cache file.
+fn eval_entries(cache: &SweepCache) -> usize {
+    fs::read_to_string(cache.path())
+        .expect("flushed")
+        .lines()
+        .filter(|l| l.starts_with("E "))
+        .count()
+}
+
+#[test]
+fn changed_workload_misses_instead_of_serving_stale_results() {
+    let dir = tmpdir("stale");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let first = run_tiny(1, false, Some(&cache));
+    let n1 = eval_entries(&cache);
+    assert_eq!(n1, first.evaluated.len() + first.infeasible);
+    // Two crypt rounds are a different trace: every point gets a fresh
+    // evaluation entry instead of a stale hit. (Test-cost lifts *are*
+    // shared — they depend on the architecture, not the workload.)
+    let second = run_tiny(2, false, Some(&cache));
+    assert_eq!(
+        eval_entries(&cache),
+        n1 + second.evaluated.len() + second.infeasible,
+        "each workload suite owns its evaluation entries"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unfingerprintable_model_bypasses_the_eval_cache() {
+    struct FlatArea;
+    impl AreaModel for FlatArea {
+        fn area(&self, _: &Architecture, _: &ComponentDb) -> f64 {
+            42.0
+        }
+        // No fingerprint() override: the default None opts out.
+    }
+    let dir = tmpdir("optout");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let w = suite::crypt(1);
+    let first = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(db())
+        .area_model(FlatArea)
+        .cache(&cache)
+        .run();
+    // Evaluations must not be cached (the area model is opaque); the
+    // default test-cost model is fingerprintable, so lifts still are —
+    // and that is sound, because a lift depends only on the
+    // architecture, the test model and the annotation engines.
+    let text = fs::read_to_string(cache.path()).expect("flushed");
+    assert!(
+        !text.lines().any(|l| l.starts_with("E ")),
+        "no eval entries for an unfingerprintable model:\n{text}"
+    );
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("T ")).count(),
+        first.pareto.len(),
+        "test lifts are still content-addressable"
+    );
+    // A second run is correct (and still flat-area).
+    let second = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(db())
+        .area_model(FlatArea)
+        .cache(&cache)
+        .run();
+    assert_bit_identical(&first, &second);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_space_points_share_entries() {
+    // tiny() is a subset of fast_default(): a fast-space sweep must
+    // pre-populate every tiny-space point.
+    let dir = tmpdir("subset");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let w = suite::crypt(1);
+    Exploration::over(TemplateSpace::fast_default())
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .run();
+    let n = eval_entries(&cache);
+    let h0 = cache.hits();
+    run_tiny(1, false, Some(&cache));
+    assert!(
+        cache.hits() > h0,
+        "tiny points were cached by the fast sweep"
+    );
+    assert_eq!(
+        eval_entries(&cache),
+        n,
+        "no tiny point should re-evaluate (its front may still lift fresh test entries)"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
