@@ -38,6 +38,18 @@ fn bench_dse(c: &mut Criterion) {
             black_box(result.pareto.len())
         });
     });
+    group.bench_function("fast_space_crypt1_random6", |b| {
+        b.iter(|| {
+            let result = Exploration::over(TemplateSpace::fast_default())
+                .workload(&workload)
+                .with_db(&db)
+                .strategy(tta_core::search::RandomSample)
+                .budget(6)
+                .seed(42)
+                .run();
+            black_box(result.pareto.len())
+        });
+    });
     group.finish();
 }
 

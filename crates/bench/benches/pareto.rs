@@ -1,10 +1,13 @@
-//! Pareto filtering benchmarks on synthetic point clouds.
+//! Pareto filtering benchmarks on synthetic point clouds: the batch
+//! `pareto_front` entry point (O(n log n) in 2-D, O(n²) reference
+//! otherwise) versus the streaming `ParetoArchive` the budgeted search
+//! strategies feed — the sweep's front-maintenance hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use tta_core::pareto::pareto_front;
+use tta_core::pareto::{pareto_front, pareto_front_reference, ParetoArchive};
 
 fn clouds(n: usize, dims: usize) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(42);
@@ -24,5 +27,36 @@ fn bench_pareto(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pareto);
+/// Full-sweep front construction vs streaming maintenance on a 10k
+/// 2-D cloud: `pareto_front` (fast path), the O(n²) reference it
+/// replaced, and `ParetoArchive` inserts as evaluations arrive.
+fn bench_front_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("front10k");
+    group.sample_size(10);
+    let pts = clouds(10_000, 2);
+    group.bench_with_input(BenchmarkId::new("batch_fast", pts.len()), &pts, |b, pts| {
+        b.iter(|| black_box(pareto_front(pts).len()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("batch_reference", pts.len()),
+        &pts,
+        |b, pts| b.iter(|| black_box(pareto_front_reference(pts).len())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("streaming_archive", pts.len()),
+        &pts,
+        |b, pts| {
+            b.iter(|| {
+                let mut archive = ParetoArchive::new();
+                for (i, p) in pts.iter().enumerate() {
+                    archive.try_insert(i, p);
+                }
+                black_box(archive.len())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto, bench_front_construction);
 criterion_main!(benches);

@@ -93,6 +93,28 @@ fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
 // explore
 // ---------------------------------------------------------------------
 
+/// `--strategy` selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Strategy {
+    #[default]
+    Exhaustive,
+    Random,
+    HillClimb,
+}
+
+impl Strategy {
+    fn parse(s: &str) -> Result<Strategy, CliError> {
+        match s {
+            "exhaustive" => Ok(Strategy::Exhaustive),
+            "random" => Ok(Strategy::Random),
+            "hillclimb" => Ok(Strategy::HillClimb),
+            other => Err(CliError::usage(format!(
+                "unknown --strategy {other:?} (expected exhaustive, random or hillclimb)"
+            ))),
+        }
+    }
+}
+
 struct ExploreOpts {
     common: CommonOpts,
     space: Option<String>,
@@ -101,6 +123,9 @@ struct ExploreOpts {
     parallel: bool,
     threads: Option<usize>,
     interconnect: InterconnectModel,
+    strategy: Strategy,
+    budget: Option<usize>,
+    seed: Option<u64>,
 }
 
 fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
@@ -112,6 +137,9 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
         parallel: true,
         threads: None,
         interconnect: InterconnectModel::paper(),
+        strategy: Strategy::default(),
+        budget: None,
+        seed: None,
     };
     let mut cursor = ArgCursor::new(args);
     while let Some(arg) = cursor.next() {
@@ -127,6 +155,9 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
             "--parallel" => o.parallel = true,
             "--serial" => o.parallel = false,
             "--threads" => o.threads = Some(cursor.parse_for("--threads")?),
+            "--strategy" => o.strategy = Strategy::parse(&cursor.value_for("--strategy")?)?,
+            "--budget" => o.budget = Some(cursor.parse_for("--budget")?),
+            "--seed" => o.seed = Some(cursor.parse_for("--seed")?),
             "--bus-area" => o.interconnect.bus_area_per_bit = cursor.parse_for("--bus-area")?,
             "--bus-delay" => o.interconnect.bus_delay_penalty = cursor.parse_for("--bus-delay")?,
             "--control-area" => {
@@ -136,6 +167,11 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
         }
     }
     o.common.validate()?;
+    if o.budget == Some(0) {
+        return Err(CliError::usage(
+            "--budget must be at least 1 (0 would evaluate nothing)",
+        ));
+    }
     Ok(o)
 }
 
@@ -213,6 +249,17 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         .with_db(&db)
         .interconnect(o.interconnect)
         .parallel(o.parallel);
+    e = match o.strategy {
+        Strategy::Exhaustive => e.strategy(tta_core::search::Exhaustive),
+        Strategy::Random => e.strategy(tta_core::search::RandomSample),
+        Strategy::HillClimb => e.strategy(tta_core::search::HillClimb::default()),
+    };
+    if let Some(b) = o.budget {
+        e = e.budget(b);
+    }
+    if let Some(s) = o.seed {
+        e = e.seed(s);
+    }
     if let Some(n) = o.threads {
         e = e.threads(n);
     }
@@ -229,8 +276,18 @@ fn render_explore(
     format: Format,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    let s = &result.search;
     match format {
         Format::Table => {
+            writeln!(
+                out,
+                "strategy {}: visited {} of {} template points{}{}",
+                s.strategy,
+                s.evaluations,
+                s.space_len,
+                s.budget.map_or(String::new(), |b| format!(" (budget {b})")),
+                s.seed.map_or(String::new(), |v| format!(" (seed {v})")),
+            )?;
             writeln!(
                 out,
                 "explored {} feasible points ({} infeasible) over [{}]; {} on the Pareto front",
@@ -269,6 +326,20 @@ fn render_explore(
             let doc = json::object([
                 ("command", json::string("explore")),
                 (
+                    "search",
+                    json::object([
+                        ("strategy", json::string(&s.strategy)),
+                        (
+                            "budget",
+                            s.budget
+                                .map_or_else(|| "null".into(), |b| json::int(b as u64)),
+                        ),
+                        ("seed", s.seed.map_or_else(|| "null".into(), json::int)),
+                        ("space_points", json::int(s.space_len as u64)),
+                        ("evaluations", json::int(s.evaluations as u64)),
+                    ]),
+                ),
+                (
                     "workloads",
                     json::array(result.workloads.iter().map(|w| json::string(w))),
                 ),
@@ -286,6 +357,18 @@ fn render_explore(
             writeln!(out, "{doc}")?;
         }
         Format::Csv => {
+            // Strategy metadata rides along as a comment line, so a
+            // sampled front in a results directory is never mistaken
+            // for an exhaustive one.
+            writeln!(
+                out,
+                "# strategy={} budget={} seed={} space_points={} evaluations={}",
+                s.strategy,
+                s.budget.map_or("none".into(), |b| b.to_string()),
+                s.seed.map_or("none".into(), |v| v.to_string()),
+                s.space_len,
+                s.evaluations,
+            )?;
             writeln!(
                 out,
                 "architecture,area,exec_time,cycles,spills,on_front,test_cost"

@@ -101,6 +101,9 @@ EXPLORE FLAGS:
     --space NAME           paper | fast | tiny
     --workload LIST        crypt,fir16,bitcount,checksum32,dct8,gcd12,all
     --rounds N             Crypt Feistel rounds per trace
+    --strategy NAME        exhaustive (default) | random | hillclimb
+    --budget N             Evaluate at most N template points
+    --seed S               Seed for random/hillclimb (deterministic per seed)
     --parallel / --serial  Sweep on worker threads (default) or one
     --threads N            Pin the worker count
     --bus-area X           Interconnect model: bus area per bit [GE]

@@ -77,6 +77,61 @@ fn warm_cache_json_is_byte_identical_and_all_hits() {
 }
 
 #[test]
+fn seeded_random_search_is_deterministic_and_budgeted() {
+    let base = [
+        "explore",
+        "--space",
+        "fast",
+        "--rounds",
+        "1",
+        "--workload",
+        "checksum32",
+        "--strategy",
+        "random",
+        "--budget",
+        "4",
+        "--seed",
+        "42",
+        "--format",
+        "json",
+    ];
+    let (a, _) = run_ok(&base);
+    let (b, _) = run_ok(&base);
+    assert_eq!(a, b, "same seed must be byte-identical");
+    assert!(
+        a.contains("\"search\":{\"strategy\":\"random\",\"budget\":4,\"seed\":42"),
+        "{a}"
+    );
+    // At most `budget` points visited.
+    let evals = a
+        .split("\"evaluations\":")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse::<usize>().ok())
+        .expect("evaluations field");
+    assert!(evals <= 4, "{evals}");
+
+    let mut other_seed: Vec<&str> = base.to_vec();
+    let n = other_seed.len();
+    other_seed[n - 3] = "7";
+    let (c, _) = run_ok(&other_seed);
+    assert_ne!(a, c, "a different seed samples a different subset");
+}
+
+#[test]
+fn unknown_strategy_is_a_usage_error() {
+    let args: Vec<String> = ["explore", "--strategy", "simulated-annealing"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let e = run(&args, &mut out, &mut err).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    assert!(e.message.contains("simulated-annealing"), "{}", e.message);
+}
+
+#[test]
 fn csv_and_table_render_the_same_sweep() {
     let dir = tmpdir("formats");
     let cache_dir = dir.to_str().expect("utf-8 temp path");
@@ -91,6 +146,11 @@ fn csv_and_table_render_the_same_sweep() {
     ];
     let (csv, _) = run_ok(&[&base[..], &["--format", "csv"]].concat());
     let mut lines = csv.lines();
+    let meta = lines.next().expect("strategy metadata comment");
+    assert!(
+        meta.starts_with("# strategy=exhaustive"),
+        "metadata line: {meta}"
+    );
     assert_eq!(
         lines.next(),
         Some("architecture,area,exec_time,cycles,spills,on_front,test_cost")

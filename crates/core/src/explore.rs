@@ -23,6 +23,15 @@
 //! Attach a [`SweepCache`] ([`Exploration::cache`]) and re-runs skip
 //! every already-evaluated point, bit-identically.
 //!
+//! *Which* points get evaluated is equally pluggable
+//! ([`crate::search`]): the default [`Exhaustive`] strategy sweeps the
+//! whole space exactly like the classic engine, while
+//! [`Exploration::strategy`] + [`Exploration::budget`] +
+//! [`Exploration::seed`] run budgeted random or front-guided searches
+//! over spaces too large to enumerate — evaluations stream through a
+//! [`ParetoArchive`] instead of a full-set re-scan, and
+//! [`ExploreResult::search`] records how the space was searched.
+//!
 //! # Migration from the old `Explorer`
 //!
 //! PR 1 replaced the monolithic `Explorer`/`ExploreConfig` driver with
@@ -89,6 +98,8 @@
 //! assert!(wider > area);
 //! ```
 
+use std::collections::HashSet;
+
 use tta_arch::template::TemplateSpace;
 use tta_arch::Architecture;
 use tta_movec::schedule::Scheduler;
@@ -105,7 +116,8 @@ use crate::models::{
 };
 use crate::norm::{select, Norm, Weights};
 use crate::parallel::{default_threads, par_map};
-use crate::pareto::pareto_front;
+use crate::pareto::{pareto_front, ParetoArchive};
+use crate::search::{Exhaustive, Observation, SearchContext, SearchStrategy};
 
 // ---------------------------------------------------------------------
 // Objectives
@@ -260,10 +272,56 @@ impl EvaluatedArch {
     }
 }
 
+/// Failure modes of [`Exploration::try_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The builder was run without any workload.
+    EmptyWorkloads,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::EmptyWorkloads => {
+                f.write_str("Exploration::run needs at least one workload (use .workload(..))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// How a sweep searched its space — recorded on every
+/// [`ExploreResult`], and surfaced by the CLI's JSON/CSV output so a
+/// sampled front is never mistaken for an exhaustive one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchInfo {
+    /// The strategy's [`SearchStrategy::name`].
+    pub strategy: String,
+    /// The configured evaluation budget (`None` = unlimited).
+    pub budget: Option<usize>,
+    /// The configured RNG seed (`None` = the default, 0).
+    pub seed: Option<u64>,
+    /// Total number of points in the template space.
+    pub space_len: usize,
+    /// Points actually visited (feasible + infeasible).
+    pub evaluations: usize,
+    /// Strategy batches evaluated.
+    pub rounds: usize,
+}
+
+impl SearchInfo {
+    /// Whether every point of the space was visited.
+    pub fn exhausted_space(&self) -> bool {
+        self.evaluations == self.space_len
+    }
+}
+
 /// Result of one exploration run.
 #[derive(Debug, Clone)]
 pub struct ExploreResult {
-    /// Every feasible evaluated point, in enumeration order.
+    /// Every feasible evaluated point, in evaluation order (enumeration
+    /// order for the default [`Exhaustive`] strategy).
     pub evaluated: Vec<EvaluatedArch>,
     /// Indices (into `evaluated`) of the Pareto front. The front is
     /// computed on the 2-D (area, time) sweep axes — Figure 2 — and its
@@ -271,11 +329,13 @@ pub struct ExploreResult {
     /// preserves non-domination, so these are also exactly the
     /// N-dimensional Pareto points of the lifted vectors.
     pub pareto: Vec<usize>,
-    /// Architectures enumerated but infeasible for the workload suite
+    /// Architectures visited but infeasible for the workload suite
     /// (unschedulable, or outside the component model's domain).
     pub infeasible: usize,
     /// Names of the workloads the sweep aggregated over.
     pub workloads: Vec<String>,
+    /// Which strategy searched the space, under what budget and seed.
+    pub search: SearchInfo,
 }
 
 impl ExploreResult {
@@ -375,10 +435,17 @@ pub struct Exploration<'db> {
     cache: Option<&'db SweepCache>,
     parallel: bool,
     threads: Option<usize>,
+    // None = the default Exhaustive strategy, resolved at run().
+    strategy: Option<Box<dyn SearchStrategy>>,
+    budget: Option<usize>,
+    seed: Option<u64>,
 }
 
-/// With a cache attached, the sweep persists after every chunk of this
-/// many points, so an interrupted paper-scale run resumes from the last
+/// The engine materialises and evaluates batches in chunks of this many
+/// points: at most one chunk of built [`Architecture`]s is ever alive
+/// (even the exhaustive whole-space batch streams through bounded
+/// memory), and with a cache attached each chunk is persisted as it
+/// completes, so an interrupted paper-scale run resumes from the last
 /// completed chunk rather than from scratch.
 const CACHE_FLUSH_CHUNK: usize = 64;
 
@@ -398,6 +465,9 @@ impl<'db> Exploration<'db> {
             cache: None,
             parallel: false,
             threads: None,
+            strategy: None,
+            budget: None,
+            seed: None,
         }
     }
 
@@ -492,6 +562,36 @@ impl<'db> Exploration<'db> {
         self
     }
 
+    /// Replaces the search strategy deciding *which* points of the
+    /// space get evaluated (see [`crate::search`]). The default is
+    /// [`Exhaustive`], which visits every point in enumeration order
+    /// and is bit-identical — results and cache keys — to the classic
+    /// sweep. Non-exhaustive strategies are folded into the sweep-cache
+    /// content address, so sampled runs never share entries with
+    /// exhaustive ones.
+    pub fn strategy(mut self, s: impl SearchStrategy + 'static) -> Self {
+        self.strategy = Some(Box::new(s));
+        self
+    }
+
+    /// Caps the number of points visited (feasible or not, cached or
+    /// not — a warm cache changes the cost of a budgeted run, never its
+    /// trajectory). Unlimited by default; the [`Exhaustive`] strategy
+    /// under a budget evaluates the first `n` points in enumeration
+    /// order.
+    pub fn budget(mut self, n: usize) -> Self {
+        self.budget = Some(n);
+        self
+    }
+
+    /// Seeds the strategy's random generator (default 0). Runs with the
+    /// same strategy, budget and seed evaluate the same points in the
+    /// same order, bit-identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
     fn thread_count(&self) -> usize {
         if !self.parallel {
             return 1;
@@ -499,17 +599,31 @@ impl<'db> Exploration<'db> {
         self.threads.unwrap_or_else(default_threads)
     }
 
-    /// Runs the staged flow: pre-warm → sweep → 2-D Pareto → test-cost
-    /// lifting of the front.
+    /// Runs the staged flow: strategy-driven sweep (with per-batch
+    /// pre-warm) → streaming Pareto front → test-cost lifting of the
+    /// front.
     ///
     /// # Panics
     ///
-    /// Panics if no workload was added.
-    pub fn run(mut self) -> ExploreResult {
-        assert!(
-            !self.workloads.is_empty(),
-            "Exploration::run needs at least one workload (use .workload(..))"
-        );
+    /// Panics if no workload was added; [`Exploration::try_run`] is the
+    /// fallible variant.
+    pub fn run(self) -> ExploreResult {
+        match self.try_run() {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Exploration::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::EmptyWorkloads`] when no workload was
+    /// added to the builder.
+    pub fn try_run(mut self) -> Result<ExploreResult, ExploreError> {
+        if self.workloads.is_empty() {
+            return Err(ExploreError::EmptyWorkloads);
+        }
         // Custom models may never read the annotation database; only
         // pre-warm when at least one default (db-backed) model is in
         // effect.
@@ -524,12 +638,29 @@ impl<'db> Exploration<'db> {
             }
         };
         let threads = self.thread_count();
-        let archs = self.space.enumerate();
+        let mut strategy: Box<dyn SearchStrategy> =
+            self.strategy.take().unwrap_or_else(|| Box::new(Exhaustive));
+        let strategy_name = strategy.name();
+        let strategy_salt = strategy.cache_salt();
+        let budget = self.budget.unwrap_or(usize::MAX);
+        let seed = self.seed.unwrap_or(0);
 
         // Content-address bases for the persistent cache: everything
         // that determines a point's result except the point itself.
         // `None` (no cache attached, or an unfingerprintable model)
-        // bypasses caching entirely.
+        // bypasses caching entirely. Non-exhaustive strategies fold
+        // their identity (plus budget and seed, which shape the
+        // trajectory) into the base, so a sampled run's entries can
+        // never be confused with an exhaustive sweep's.
+        let salted = |f: Fingerprint| match strategy_salt {
+            None => f,
+            Some(salt) => f
+                .str("strategy")
+                .str(strategy_name)
+                .u64(salt)
+                .u64(self.budget.map_or(u64::MAX, |b| b as u64))
+                .u64(seed),
+        };
         let eval_cache = self.cache.and_then(|cache| {
             let base = Fingerprint::new()
                 .str("eval")
@@ -541,18 +672,16 @@ impl<'db> Exploration<'db> {
             let base = self
                 .workloads
                 .iter()
-                .fold(base, |f, w| f.u64(workload_fingerprint(w)))
-                .finish();
-            Some((cache, base))
+                .fold(base, |f, w| f.u64(workload_fingerprint(w)));
+            Some((cache, salted(base).finish()))
         });
         let test_cache = self.cache.and_then(|cache| {
             let base = Fingerprint::new()
                 .str("test")
                 .u64(u64::from(CACHE_FORMAT_VERSION))
                 .u64(test.fingerprint()?)
-                .u64(db.fingerprint())
-                .finish();
-            Some((cache, base))
+                .u64(db.fingerprint());
+            Some((cache, salted(base).finish()))
         });
         let point_key = |base: u64, arch: &Architecture| {
             Fingerprint::new()
@@ -561,71 +690,162 @@ impl<'db> Exploration<'db> {
                 .finish()
         };
 
-        // Stage 0: pre-warm the component database for every key the
-        // space can touch, so parallel workers never duplicate an
-        // annotation. A serial sweep annotates lazily instead — it only
-        // ever pays for keys that feasible points actually read — and a
-        // fully-custom model stack may never read the database at all.
-        // Cached points never read the database either, so only
-        // cache-missing architectures contribute keys.
-        if self.parallel && uses_db_defaults {
-            let mut keys: Vec<_> = archs
-                .iter()
-                .filter(|arch| match &eval_cache {
-                    Some((cache, base)) => !cache.contains_eval(point_key(*base, arch)),
-                    None => true,
-                })
-                .filter_map(keys_of)
-                .flatten()
-                .collect();
-            keys.sort_unstable();
-            keys.dedup();
-            keys.retain(|&k| !db.contains(k));
-            par_map(&keys, threads, |_, &key| {
-                db.get(key);
-            });
-        }
-
-        // Stage 1: the sweep. Evaluate every enumerated architecture on
-        // the full workload suite — answering from the cache where
-        // possible and persisting fresh results chunk by chunk, so an
-        // interrupted run resumes from the last completed chunk.
-        let evaluations: Vec<Option<EvaluatedArch>> = match &eval_cache {
-            None => par_map(&archs, threads, |_, arch| {
-                evaluate_point(arch, &self.workloads, &*area, &*timing, db)
-            }),
-            Some((cache, base)) => {
-                let mut out = Vec::with_capacity(archs.len());
-                for chunk in archs.chunks(CACHE_FLUSH_CHUNK) {
-                    out.extend(par_map(chunk, threads, |_, arch| {
-                        let key = point_key(*base, arch);
-                        if let Some(entry) = cache.lookup_eval(key) {
-                            return rehydrate(arch, entry);
-                        }
-                        let e = evaluate_point(arch, &self.workloads, &*area, &*timing, db);
-                        cache.store_eval(key, dehydrate(e.as_ref()));
-                        e
-                    }));
-                    let _ = cache.flush();
-                }
-                out
-            }
-        };
-        let mut evaluated = Vec::new();
+        // Stages 0–2, batched: the strategy proposes point indices, the
+        // engine lazily builds and evaluates them, and every feasible
+        // result streams into an incrementally maintained Pareto
+        // archive that guides the next proposal round. No stage ever
+        // materialises the space.
+        let space = &self.space;
+        let space_len = space.len();
+        let workloads = &self.workloads;
+        let mut evaluated: Vec<EvaluatedArch> = Vec::new();
+        let mut eval_space_index: Vec<usize> = Vec::new();
+        let mut observations: Vec<Observation> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut archive = ParetoArchive::new();
         let mut infeasible = 0usize;
-        for e in evaluations {
-            match e {
-                Some(e) => evaluated.push(e),
-                None => infeasible += 1,
+        let mut rounds = 0usize;
+
+        loop {
+            let remaining = budget.saturating_sub(seen.len());
+            if remaining == 0 {
+                break;
+            }
+            let front_spaces: Vec<usize> = archive
+                .ids()
+                .iter()
+                .map(|&id| eval_space_index[id])
+                .collect();
+            let ctx = SearchContext::new(
+                space,
+                seed,
+                rounds,
+                remaining,
+                &observations,
+                &front_spaces,
+                &seen,
+            );
+            let batch = strategy.next_batch(&ctx);
+            // Keep only in-range, never-seen proposals, within budget.
+            let mut fresh: Vec<usize> = Vec::new();
+            for i in batch {
+                if i < space_len && seen.insert(i) {
+                    fresh.push(i);
+                    if fresh.len() == remaining {
+                        break;
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            rounds += 1;
+            // Materialise at most one chunk of architectures at a time
+            // (indices are cheap, built points are not), so even the
+            // exhaustive strategy's whole-space batch streams through
+            // bounded memory instead of re-creating the old
+            // `enumerate()` vector.
+            for index_chunk in fresh.chunks(CACHE_FLUSH_CHUNK) {
+                let archs: Vec<Architecture> =
+                    index_chunk.iter().map(|&i| space.point(i)).collect();
+
+                // Stage 0: pre-warm the component database for every
+                // key this chunk can touch, so parallel workers never
+                // duplicate an annotation. A serial sweep annotates
+                // lazily instead — it only ever pays for keys that
+                // feasible points actually read — and a fully-custom
+                // model stack may never read the database at all.
+                // Cached points never read the database either, so
+                // only cache-missing architectures contribute keys
+                // (and keys warmed by earlier chunks are filtered by
+                // `db.contains`).
+                if self.parallel && uses_db_defaults {
+                    let mut keys: Vec<_> = archs
+                        .iter()
+                        .filter(|arch| match &eval_cache {
+                            Some((cache, base)) => !cache.contains_eval(point_key(*base, arch)),
+                            None => true,
+                        })
+                        .filter_map(keys_of)
+                        .flatten()
+                        .collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    keys.retain(|&k| !db.contains(k));
+                    par_map(&keys, threads, |_, &key| {
+                        db.get(key);
+                    });
+                }
+
+                // Stage 1: evaluate the chunk on the full workload
+                // suite — answering from the cache where possible and
+                // persisting fresh results chunk by chunk, so an
+                // interrupted run resumes from the last completed
+                // chunk.
+                let evaluations: Vec<Option<EvaluatedArch>> = match &eval_cache {
+                    None => par_map(&archs, threads, |_, arch| {
+                        evaluate_point(arch, workloads, &*area, &*timing, db)
+                    }),
+                    Some((cache, base)) => {
+                        let out = par_map(&archs, threads, |_, arch| {
+                            let key = point_key(*base, arch);
+                            if let Some(entry) = cache.lookup_eval(key) {
+                                return rehydrate(arch, entry);
+                            }
+                            let e = evaluate_point(arch, workloads, &*area, &*timing, db);
+                            cache.store_eval(key, dehydrate(e.as_ref()));
+                            e
+                        });
+                        let _ = cache.flush();
+                        out
+                    }
+                };
+
+                // Stage 2, streaming: feasible results join the
+                // evaluated set and are offered to the archive
+                // (insert-time dominance check — no full-set re-scan);
+                // every outcome becomes an observation the strategy
+                // can steer by.
+                for (k, e) in evaluations.into_iter().enumerate() {
+                    let index = index_chunk[k];
+                    match e {
+                        Some(e) => {
+                            let id = evaluated.len();
+                            archive.try_insert(id, &[e.area(), e.exec_time()]);
+                            observations.push(Observation {
+                                index,
+                                objectives: Some((e.area(), e.exec_time())),
+                            });
+                            eval_space_index.push(index);
+                            evaluated.push(e);
+                        }
+                        None => {
+                            infeasible += 1;
+                            observations.push(Observation {
+                                index,
+                                objectives: None,
+                            });
+                        }
+                    }
+                }
             }
         }
 
-        // Stage 2: reduce to the (area, time) Pareto front — Figure 2.
-        let pts2d: Vec<Vec<f64>> = evaluated
-            .iter()
-            .map(|e| vec![e.area(), e.exec_time()])
-            .collect();
-        let pareto = pareto_front(&pts2d);
+        // The streaming archive *is* the (area, time) Pareto front —
+        // Figure 2. `pareto_front` stays on as the verification oracle.
+        let pareto = archive.ids();
+        #[cfg(debug_assertions)]
+        {
+            let pts2d: Vec<Vec<f64>> = evaluated
+                .iter()
+                .map(|e| vec![e.area(), e.exec_time()])
+                .collect();
+            debug_assert_eq!(
+                pareto,
+                pareto_front(&pts2d),
+                "streaming front must match the batch oracle"
+            );
+        }
 
         // Stage 3: lift the front with the eq. (14) test axis — Figure 8.
         // "only the architectures that correspond to the Pareto points in
@@ -673,12 +893,20 @@ impl<'db> Exploration<'db> {
             evaluated[i].objectives.push(Objective::TestCost, total);
         }
 
-        ExploreResult {
+        Ok(ExploreResult {
             evaluated,
             pareto,
             infeasible,
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
-        }
+            search: SearchInfo {
+                strategy: strategy_name.to_string(),
+                budget: self.budget,
+                seed: self.seed,
+                space_len,
+                evaluations: seen.len(),
+                rounds,
+            },
+        })
     }
 
     /// Resolves the installed or default models (defaults parameterised

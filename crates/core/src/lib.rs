@@ -73,18 +73,22 @@ pub mod parallel;
 pub mod pareto;
 pub mod report;
 pub mod rfmem;
+pub mod search;
 pub mod testcost;
 pub mod testplan;
 
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
-pub use explore::{EvaluatedArch, Exploration, ExploreResult, Objective, ObjectiveVector};
+pub use explore::{
+    EvaluatedArch, Exploration, ExploreError, ExploreResult, Objective, ObjectiveVector, SearchInfo,
+};
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
     TestCostModel, TimingModel,
 };
 pub use norm::{Norm, Weights};
-pub use pareto::pareto_front;
+pub use pareto::{pareto_front, ParetoArchive};
 pub use rfmem::{RfImplementationComparison, RfMemSpec};
+pub use search::{Exhaustive, HillClimb, RandomSample, SearchStrategy};
 pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use testplan::{TestPhase, TestPlan};

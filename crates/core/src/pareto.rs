@@ -22,7 +22,26 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 
 /// Indices of the Pareto-optimal points of `points` (minimisation in
 /// every coordinate). Duplicate coordinate vectors all survive.
+///
+/// 2-D NaN-free inputs — the sweep's hot shape — take an O(n log n)
+/// sort-and-scan path; everything else falls back to the O(n²)
+/// pairwise scan ([`pareto_front_reference`], which also serves as the
+/// verification oracle the fast path is property-tested against).
 pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let fast_2d = points
+        .iter()
+        .all(|p| p.len() == 2 && !p[0].is_nan() && !p[1].is_nan());
+    if fast_2d {
+        pareto_front_2d(points)
+    } else {
+        pareto_front_reference(points)
+    }
+}
+
+/// The generic O(n²) pairwise Pareto filter — the reference
+/// implementation every optimised path (the 2-D sort-and-scan of
+/// [`pareto_front`], the streaming [`ParetoArchive`]) must agree with.
+pub fn pareto_front_reference(points: &[Vec<f64>]) -> Vec<usize> {
     let mut front = Vec::new();
     'outer: for (i, p) in points.iter().enumerate() {
         for (j, q) in points.iter().enumerate() {
@@ -35,6 +54,39 @@ pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
     front
 }
 
+/// O(n log n) 2-D front: sort by (x, y) ascending, then sweep. Every
+/// dominator of a point sorts strictly before it, so a point survives
+/// exactly when its y is strictly below the best y seen in earlier
+/// *coordinate groups* (exact duplicates share a group and survive or
+/// fall together, matching [`dominates`]' strictness requirement).
+/// Requires NaN-free 2-D input — callers check. The sort must use
+/// arithmetic comparison (total on NaN-free data), not `total_cmp`:
+/// `dominates` sees -0.0 and 0.0 as equal, and `total_cmp` ordering
+/// them apart would let a 0.0-coordinate dominator sort *after* its
+/// -0.0 victim, breaking the sweep invariant.
+fn pareto_front_2d(points: &[Vec<f64>]) -> Vec<usize> {
+    let cmp = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| cmp(points[a][0], points[b][0]).then(cmp(points[a][1], points[b][1])));
+    let mut front = Vec::new();
+    let mut best_y = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        let (x, y) = (points[order[i]][0], points[order[i]][1]);
+        let mut j = i;
+        while j < order.len() && points[order[j]][0] == x && points[order[j]][1] == y {
+            j += 1;
+        }
+        if y < best_y {
+            front.extend_from_slice(&order[i..j]);
+            best_y = y;
+        }
+        i = j;
+    }
+    front.sort_unstable();
+    front
+}
+
 /// Checks the paper's boundary property: no kept point is dominated.
 pub fn is_pareto_set(points: &[Vec<f64>], kept: &[usize]) -> bool {
     kept.iter().all(|&i| {
@@ -43,6 +95,83 @@ pub fn is_pareto_set(points: &[Vec<f64>], kept: &[usize]) -> bool {
             .enumerate()
             .all(|(j, q)| i == j || !dominates(q, &points[i]))
     })
+}
+
+/// An incrementally maintained Pareto front (minimisation).
+///
+/// [`pareto_front`] re-scans the full point set, which is fine for one
+/// batch sweep but O(n²) when evaluations *stream* in — exactly what
+/// budgeted search strategies produce, and what their guidance loop
+/// reads after every batch. The archive instead does an insert-time
+/// dominance check against the current front only: a dominated
+/// candidate is rejected outright, an accepted one evicts whatever it
+/// dominates. Because domination is transitive, the surviving set is
+/// always exactly the Pareto front of everything offered so far,
+/// regardless of insertion order (property-tested against
+/// [`pareto_front_reference`]).
+///
+/// Each point carries a caller-chosen `id` (the sweep uses the index
+/// into its `evaluated` vector); [`ParetoArchive::ids`] returns the
+/// front's ids in ascending order, matching [`pareto_front`]'s output
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    entries: Vec<(usize, Vec<f64>)>,
+    offered: usize,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Offers a point. Returns `true` when the point joins the front
+    /// (evicting any members it dominates), `false` when an existing
+    /// member dominates it. Duplicate coordinate vectors all survive,
+    /// like [`pareto_front`].
+    pub fn try_insert(&mut self, id: usize, point: &[f64]) -> bool {
+        self.offered += 1;
+        if self.entries.iter().any(|(_, q)| dominates(q, point)) {
+            return false;
+        }
+        self.entries.retain(|(_, q)| !dominates(point, q));
+        self.entries.push((id, point.to_vec()));
+        true
+    }
+
+    /// Ids of the current front, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.entries.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The current front as `(id, coordinates)` pairs, in insertion
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.entries.iter().map(|(id, p)| (*id, p.as_slice()))
+    }
+
+    /// Whether `id` is currently on the front.
+    pub fn contains(&self, id: usize) -> bool {
+        self.entries.iter().any(|&(i, _)| i == id)
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of points offered via [`ParetoArchive::try_insert`].
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +221,81 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn fast_2d_path_agrees_with_reference_on_ties_and_duplicates() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 5.0], // duplicate of a front point: both survive
+            vec![1.0, 6.0], // same x, larger y: dominated
+            vec![2.0, 5.0], // same y as (1,5), larger x: dominated
+            vec![2.0, 3.0],
+            vec![4.0, 1.0],
+            vec![4.0, 4.0],
+        ];
+        assert_eq!(pareto_front(&pts), pareto_front_reference(&pts));
+        assert_eq!(pareto_front(&pts), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn nan_coordinates_fall_back_to_the_reference_scan() {
+        let pts = vec![vec![f64::NAN, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        // `dominates` sees NaN comparisons as false, so a NaN
+        // coordinate acts like "≤ everything": (NaN, 1) dominates both
+        // finite points here. The fast path cannot reproduce that, so
+        // NaN inputs must take the reference scan.
+        assert_eq!(pareto_front(&pts), pareto_front_reference(&pts));
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn fast_2d_path_handles_signed_zero_like_the_reference() {
+        // `dominates` treats -0.0 and 0.0 as equal, so (0.0, 3) must
+        // dominate (-0.0, 5) even though total_cmp would sort the
+        // dominator *after* its victim.
+        let pts = vec![vec![-0.0, 5.0], vec![0.0, 3.0]];
+        assert_eq!(pareto_front_reference(&pts), vec![1]);
+        assert_eq!(pareto_front(&pts), pareto_front_reference(&pts));
+        // And exact signed-zero duplicates all survive, like any
+        // coordinate-equal pair.
+        let dups = vec![vec![-0.0, 3.0], vec![0.0, 3.0]];
+        assert_eq!(pareto_front(&dups), pareto_front_reference(&dups));
+        assert_eq!(pareto_front(&dups), vec![0, 1]);
+    }
+
+    #[test]
+    fn archive_streams_to_the_same_front() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 4.0],
+            vec![4.0, 1.0],
+            vec![4.0, 4.0],
+        ];
+        let mut archive = ParetoArchive::new();
+        let accepted: Vec<bool> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| archive.try_insert(i, p))
+            .collect();
+        assert_eq!(accepted, vec![true, true, false, true, false]);
+        assert_eq!(archive.ids(), pareto_front(&pts));
+        assert_eq!(archive.offered(), pts.len());
+        assert!(archive.contains(3) && !archive.contains(2));
+    }
+
+    #[test]
+    fn archive_evicts_dominated_members() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.try_insert(0, &[5.0, 5.0]));
+        assert!(archive.try_insert(1, &[6.0, 4.0]));
+        // Dominates both members: they are evicted, the newcomer stays.
+        assert!(archive.try_insert(2, &[4.0, 3.0]));
+        assert_eq!(archive.ids(), vec![2]);
+        // A duplicate of a member survives alongside it.
+        assert!(archive.try_insert(3, &[4.0, 3.0]));
+        assert_eq!(archive.ids(), vec![2, 3]);
+        assert_eq!(archive.len(), 2);
     }
 }

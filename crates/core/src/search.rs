@@ -1,0 +1,493 @@
+//! Pluggable search strategies over a template space.
+//!
+//! The paper's exploration is an exhaustive sweep over 396 points; that
+//! stops being feasible long before a production-scale space does. This
+//! module decouples *which points get evaluated* from *how a point is
+//! evaluated*: a [`SearchStrategy`] proposes batches of point indices,
+//! the [`crate::explore::Exploration`] engine evaluates them (cached,
+//! parallel, streaming into a [`crate::pareto::ParetoArchive`]) and
+//! feeds the observations back so guided strategies can steer toward
+//! the current front.
+//!
+//! Three strategies ship:
+//!
+//! * [`Exhaustive`] — every point, in enumeration order. The default;
+//!   bit-identical results and cache keys to the classic sweep.
+//! * [`RandomSample`] — a seeded uniform sample of at most `budget`
+//!   distinct points. Deterministic per seed.
+//! * [`HillClimb`] — an evolutionary loop: start from a random
+//!   population, then mutate the template knobs (bus count, FU counts,
+//!   RF set) of current-front members, one mixed-radix digit at a time,
+//!   with random restarts to escape plateaus. Deterministic per seed.
+//!
+//! Strategies are deliberately *pure planners*: they never touch models,
+//! caches or threads, so a new strategy is a single `impl` with no
+//! engine knowledge beyond this module's [`SearchContext`].
+//!
+//! ```
+//! use tta_arch::template::TemplateSpace;
+//! use tta_core::explore::Exploration;
+//! use tta_core::search::RandomSample;
+//! use tta_workloads::suite;
+//!
+//! let result = Exploration::over(TemplateSpace::tiny())
+//!     .workload(&suite::crypt(1))
+//!     .strategy(RandomSample)
+//!     .budget(3)
+//!     .seed(42)
+//!     .run();
+//! assert!(result.evaluated.len() + result.infeasible <= 3);
+//! ```
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tta_arch::template::TemplateSpace;
+
+use crate::cache::Fingerprint;
+
+/// One evaluated point as a strategy sees it: the space index plus the
+/// 2-D sweep objectives, or `None` when the point was infeasible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Index of the point in its [`TemplateSpace`].
+    pub index: usize,
+    /// `(area, exec_time)`, or `None` for an infeasible point.
+    pub objectives: Option<(f64, f64)>,
+}
+
+/// Everything a strategy may consult when planning its next batch.
+///
+/// Built fresh by the engine before each [`SearchStrategy::next_batch`]
+/// call; all views are read-only borrows of engine state.
+pub struct SearchContext<'a> {
+    space: &'a TemplateSpace,
+    seed: u64,
+    round: usize,
+    remaining: usize,
+    observations: &'a [Observation],
+    front: &'a [usize],
+    evaluated: &'a HashSet<usize>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Assembles a context (engine-side; strategies only read it).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        space: &'a TemplateSpace,
+        seed: u64,
+        round: usize,
+        remaining: usize,
+        observations: &'a [Observation],
+        front: &'a [usize],
+        evaluated: &'a HashSet<usize>,
+    ) -> Self {
+        SearchContext {
+            space,
+            seed,
+            round,
+            remaining,
+            observations,
+            front,
+            evaluated,
+        }
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &TemplateSpace {
+        self.space
+    }
+
+    /// The run's RNG seed ([`crate::explore::Exploration::seed`],
+    /// default 0). Strategies must derive all randomness from it.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Batches already issued (0 on the first call).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Evaluations left in the budget. Proposing more than this is
+    /// harmless — the engine truncates — but wasteful.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Every evaluation so far, in evaluation order.
+    pub fn observations(&self) -> &[Observation] {
+        self.observations
+    }
+
+    /// Space indices of the points currently on the Pareto front.
+    pub fn front(&self) -> &[usize] {
+        self.front
+    }
+
+    /// Whether the point at `index` has already been evaluated (such
+    /// proposals are filtered by the engine and spend no budget).
+    pub fn is_evaluated(&self, index: usize) -> bool {
+        self.evaluated.contains(&index)
+    }
+}
+
+/// A search strategy: plans which template-space points to evaluate.
+///
+/// The engine calls [`SearchStrategy::next_batch`] in a loop, evaluates
+/// the fresh indices of each batch (already-seen and out-of-range
+/// proposals are dropped; the batch is truncated to the remaining
+/// budget), and stops when the strategy returns an empty batch or the
+/// budget runs out. Strategies must be deterministic functions of the
+/// context — in particular of [`SearchContext::seed`] — so that a
+/// repeated run reproduces bit-identical results.
+pub trait SearchStrategy {
+    /// Short machine-readable name (`exhaustive`, `random`, …), used in
+    /// CLI flags, result metadata and cache fingerprints.
+    fn name(&self) -> &'static str;
+
+    /// Salt folded into the sweep-cache content address, so sampled
+    /// runs never share cache entries with exhaustive ones. `None`
+    /// (only [`Exhaustive`] returns it) keeps the classic cache keys,
+    /// preserving warm-cache bit-identity with pre-strategy sweeps.
+    fn cache_salt(&self) -> Option<u64>;
+
+    /// The next batch of point indices to evaluate. Empty ⇒ done.
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize>;
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive
+// ---------------------------------------------------------------------
+
+/// The classic full sweep: one batch holding every point in enumeration
+/// order. Results and cache keys are bit-identical to the pre-strategy
+/// engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl SearchStrategy for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn cache_salt(&self) -> Option<u64> {
+        None
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize> {
+        if ctx.round() > 0 {
+            return Vec::new();
+        }
+        (0..ctx.space().len()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RandomSample
+// ---------------------------------------------------------------------
+
+/// A seeded uniform sample of at most `budget` distinct points.
+///
+/// With a budget covering the whole space this degenerates to the
+/// exhaustive order (every index, ascending); otherwise it draws
+/// distinct indices with a [`StdRng`] seeded from the run seed —
+/// rejection sampling while the sample is sparse, a partial
+/// Fisher–Yates shuffle once it is not, so huge spaces never
+/// materialise an index vector they don't need.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSample;
+
+impl SearchStrategy for RandomSample {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn cache_salt(&self) -> Option<u64> {
+        Some(Fingerprint::new().str("random").finish())
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize> {
+        if ctx.round() > 0 {
+            return Vec::new();
+        }
+        let n = ctx.space().len();
+        let k = ctx.remaining().min(n);
+        if k == n {
+            return (0..n).collect();
+        }
+        let mut rng = StdRng::seed_from_u64(ctx.seed());
+        sample_distinct(&mut rng, n, k)
+    }
+}
+
+/// `k` distinct values from `0..n`, in draw order, deterministically.
+fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    if k * 2 <= n {
+        // Sparse: rejection sampling — O(k) memory, no index vector.
+        let mut chosen = HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let i = rng.random_range(0..n as u64) as usize;
+            if chosen.insert(i) {
+                out.push(i);
+            }
+        }
+        out
+    } else {
+        // Dense: partial Fisher–Yates over the full index range.
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + rng.random_range(0..(n - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(k);
+        indices
+    }
+}
+
+// ---------------------------------------------------------------------
+// HillClimb
+// ---------------------------------------------------------------------
+
+/// Evolutionary hill-climbing over the template knobs.
+///
+/// Round 0 evaluates a random population. Every later round takes the
+/// space indices of the *current Pareto front* (the engine's streaming
+/// archive), decodes each into its mixed-radix knob digits
+/// ([`TemplateSpace::coords`]: buses, ALUs, CMPs, MULs, immediates, RF
+/// set) and proposes unseen single-knob mutants; whatever slack remains
+/// in the batch is filled with random restarts so plateaus and
+/// infeasible pockets cannot stall the search. The strategy gives up —
+/// returns an empty batch — when a bounded number of draws finds
+/// nothing unseen, which also makes it terminate cleanly on small
+/// spaces it has fully covered.
+#[derive(Debug, Clone)]
+pub struct HillClimb {
+    /// Points proposed per generation.
+    batch: usize,
+    rng: Option<StdRng>,
+}
+
+impl HillClimb {
+    /// Default generation size.
+    pub const DEFAULT_BATCH: usize = 16;
+
+    /// A climber proposing `batch` points per generation.
+    pub fn with_batch(batch: usize) -> Self {
+        HillClimb {
+            batch: batch.max(1),
+            rng: None,
+        }
+    }
+
+    /// One single-knob mutant of `index`, or `None` when no knob has an
+    /// alternative value.
+    fn mutate(rng: &mut StdRng, space: &TemplateSpace, index: usize) -> Option<usize> {
+        let radices = space.knob_radices();
+        let movable: Vec<usize> = (0..radices.len()).filter(|&d| radices[d] > 1).collect();
+        if movable.is_empty() {
+            return None;
+        }
+        let mut coords = space.coords(index);
+        let dim = movable[rng.random_range(0..movable.len() as u64) as usize];
+        // Uniform over the *other* digit values of that knob.
+        let mut digit = rng.random_range(0..(radices[dim] - 1) as u64) as usize;
+        if digit >= coords[dim] {
+            digit += 1;
+        }
+        coords[dim] = digit;
+        Some(space.index_of(coords))
+    }
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        HillClimb::with_batch(Self::DEFAULT_BATCH)
+    }
+}
+
+impl SearchStrategy for HillClimb {
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn cache_salt(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("hillclimb")
+                .u64(self.batch as u64)
+                .finish(),
+        )
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize> {
+        let n = ctx.space().len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let rng = self
+            .rng
+            .get_or_insert_with(|| StdRng::seed_from_u64(ctx.seed()));
+        let want = self.batch.min(ctx.remaining());
+        let mut fresh: Vec<usize> = Vec::with_capacity(want);
+        let mut proposed: HashSet<usize> = HashSet::with_capacity(want);
+        // Bounded draw attempts: enough to get past collisions on a
+        // healthy space, small enough to terminate fast on an exhausted
+        // one.
+        let mut attempts = (want * 16).max(64);
+        // Parent pool: the current front; empty on round 0 (or when
+        // everything so far was infeasible) ⇒ pure random exploration.
+        let parents = ctx.front();
+        while fresh.len() < want && attempts > 0 {
+            attempts -= 1;
+            let candidate = if parents.is_empty() {
+                rng.random_range(0..n as u64) as usize
+            } else {
+                let parent = parents[rng.random_range(0..parents.len() as u64) as usize];
+                match Self::mutate(rng, ctx.space(), parent) {
+                    Some(m) if !ctx.is_evaluated(m) => m,
+                    // Neighbourhood exhausted or degenerate: restart.
+                    _ => rng.random_range(0..n as u64) as usize,
+                }
+            };
+            if !ctx.is_evaluated(candidate) && proposed.insert(candidate) {
+                fresh.push(candidate);
+            }
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (TemplateSpace, Vec<Observation>, Vec<usize>, HashSet<usize>) {
+        (
+            TemplateSpace::paper_default(),
+            Vec::new(),
+            Vec::new(),
+            HashSet::new(),
+        )
+    }
+
+    fn ctx<'a>(
+        space: &'a TemplateSpace,
+        seed: u64,
+        round: usize,
+        remaining: usize,
+        obs: &'a [Observation],
+        front: &'a [usize],
+        evaluated: &'a HashSet<usize>,
+    ) -> SearchContext<'a> {
+        SearchContext::new(space, seed, round, remaining, obs, front, evaluated)
+    }
+
+    #[test]
+    fn exhaustive_proposes_every_index_once() {
+        let (space, obs, front, seen) = ctx_parts();
+        let mut s = Exhaustive;
+        let batch = s.next_batch(&ctx(&space, 0, 0, usize::MAX, &obs, &front, &seen));
+        assert_eq!(batch, (0..space.len()).collect::<Vec<_>>());
+        let done = s.next_batch(&ctx(&space, 0, 1, usize::MAX, &obs, &front, &seen));
+        assert!(done.is_empty());
+        assert!(s.cache_salt().is_none());
+    }
+
+    #[test]
+    fn random_sample_is_deterministic_distinct_and_budgeted() {
+        let (space, obs, front, seen) = ctx_parts();
+        let batch = |seed| RandomSample.next_batch(&ctx(&space, seed, 0, 10, &obs, &front, &seen));
+        let a = batch(42);
+        let b = batch(42);
+        assert_eq!(a, b, "same seed ⇒ same sample");
+        assert_eq!(a.len(), 10);
+        let distinct: HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), a.len(), "indices must be distinct");
+        assert!(a.iter().all(|&i| i < space.len()));
+        assert_ne!(batch(42), batch(43), "different seed ⇒ different sample");
+    }
+
+    #[test]
+    fn random_sample_covers_the_space_when_budget_allows() {
+        let (space, obs, front, seen) = ctx_parts();
+        let batch =
+            RandomSample.next_batch(&ctx(&space, 7, 0, space.len() + 10, &obs, &front, &seen));
+        assert_eq!(batch, (0..space.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_sampling_stays_distinct() {
+        // k > n/2 exercises the Fisher–Yates branch.
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_distinct(&mut rng, 10, 9);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.iter().collect::<HashSet<_>>().len(), 9);
+    }
+
+    #[test]
+    fn hillclimb_mutates_one_knob_at_a_time() {
+        let space = TemplateSpace::paper_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for index in [0, 5, space.len() - 1] {
+            for _ in 0..32 {
+                let m = HillClimb::mutate(&mut rng, &space, index).expect("knobs movable");
+                assert_ne!(m, index, "a mutant must differ from its parent");
+                assert!(m < space.len());
+                let (a, b) = (space.coords(index), space.coords(m));
+                let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+                assert_eq!(differing, 1, "exactly one knob digit moves");
+            }
+        }
+    }
+
+    #[test]
+    fn hillclimb_explores_randomly_then_climbs_the_front() {
+        let (space, obs, front, seen) = ctx_parts();
+        let mut s = HillClimb::default();
+        let scouts = s.next_batch(&ctx(&space, 9, 0, usize::MAX, &obs, &front, &seen));
+        assert_eq!(scouts.len(), HillClimb::DEFAULT_BATCH);
+        // Feed a front back; the next generation is fresh points only.
+        let seen: HashSet<usize> = scouts.iter().copied().collect();
+        let front = vec![scouts[0]];
+        let obs: Vec<Observation> = scouts
+            .iter()
+            .map(|&index| Observation {
+                index,
+                objectives: Some((1.0, 1.0)),
+            })
+            .collect();
+        let next = s.next_batch(&ctx(&space, 9, 1, usize::MAX, &obs, &front, &seen));
+        assert!(!next.is_empty());
+        assert!(next.iter().all(|i| !seen.contains(i)), "{next:?}");
+    }
+
+    #[test]
+    fn hillclimb_terminates_on_an_exhausted_space() {
+        let space = TemplateSpace::tiny();
+        let seen: HashSet<usize> = (0..space.len()).collect();
+        let obs: Vec<Observation> = (0..space.len())
+            .map(|index| Observation {
+                index,
+                objectives: None,
+            })
+            .collect();
+        let front = Vec::new();
+        let mut s = HillClimb::default();
+        let batch = s.next_batch(&ctx(&space, 0, 1, usize::MAX, &obs, &front, &seen));
+        assert!(batch.is_empty(), "nothing unseen remains");
+    }
+
+    #[test]
+    fn strategy_salts_separate_cache_namespaces() {
+        assert_ne!(RandomSample.cache_salt(), HillClimb::default().cache_salt());
+        assert_ne!(
+            HillClimb::with_batch(8).cache_salt(),
+            HillClimb::with_batch(9).cache_salt(),
+            "generation size is part of the identity"
+        );
+    }
+}

@@ -3,10 +3,14 @@
 //! monotonicity.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tta_arch::template::TemplateSpace;
 use tta_core::explore::Exploration;
 use tta_core::norm::{normalize, select, Norm, Weights};
-use tta_core::pareto::{dominates, is_pareto_set, pareto_front};
+use tta_core::pareto::{
+    dominates, is_pareto_set, pareto_front, pareto_front_reference, ParetoArchive,
+};
 use tta_core::testcost::{ftfu_ratio, ftrf};
 use tta_core::ComponentDb;
 
@@ -42,6 +46,59 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_2d_front_matches_the_reference(pts in cloud(2)) {
+        // `pareto_front` takes the O(n log n) sort-and-scan path for
+        // 2-D input; it must agree with the O(n²) oracle exactly,
+        // indices and order included.
+        prop_assert_eq!(pareto_front(&pts), pareto_front_reference(&pts));
+    }
+
+    #[test]
+    fn fast_2d_front_survives_duplicates(pts in cloud(2), dup in 0usize..60) {
+        // Force coordinate collisions: append a copy of one point.
+        let mut pts = pts;
+        let copy = pts[dup % pts.len()].clone();
+        pts.push(copy);
+        prop_assert_eq!(pareto_front(&pts), pareto_front_reference(&pts));
+    }
+
+    #[test]
+    fn archive_matches_front_for_any_insertion_order(pts in cloud(3), seed in 0u64..1000) {
+        // Shuffle the insertion order; the streaming archive must end
+        // on exactly the batch front, whatever the order.
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..(i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut archive = ParetoArchive::new();
+        for &i in &order {
+            let joined = archive.try_insert(i, &pts[i]);
+            // An accepted point is non-dominated among those offered
+            // so far; a rejected one is dominated by a current member.
+            prop_assert_eq!(
+                joined,
+                !order.iter()
+                    .take_while(|&&j| j != i)
+                    .chain(std::iter::once(&i))
+                    .any(|&j| dominates(&pts[j], &pts[i]))
+            );
+        }
+        prop_assert_eq!(archive.ids(), pareto_front(&pts));
+        prop_assert_eq!(archive.offered(), pts.len());
+    }
+
+    #[test]
+    fn archive_matches_front_in_2d_too(pts in cloud(2)) {
+        let mut archive = ParetoArchive::new();
+        for (i, p) in pts.iter().enumerate() {
+            archive.try_insert(i, p);
+        }
+        prop_assert_eq!(archive.ids(), pareto_front(&pts));
     }
 
     #[test]

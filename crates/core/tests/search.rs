@@ -1,0 +1,220 @@
+//! Integration tests of the strategy-pluggable sweep: exhaustive
+//! equivalence, budgeted/seeded determinism, guided search, the
+//! try_run error path, and strategy-separated cache namespaces.
+
+use tta_arch::template::TemplateSpace;
+use tta_core::cache::SweepCache;
+use tta_core::explore::{Exploration, ExploreError, ExploreResult};
+use tta_core::pareto::is_pareto_set;
+use tta_core::search::{Exhaustive, HillClimb, RandomSample};
+use tta_core::ComponentDb;
+use tta_workloads::suite;
+
+fn assert_bit_identical(a: &ExploreResult, b: &ExploreResult) {
+    assert_eq!(a.evaluated.len(), b.evaluated.len());
+    for (x, y) in a.evaluated.iter().zip(&b.evaluated) {
+        assert_eq!(x.architecture, y.architecture);
+        assert_eq!(x.objectives, y.objectives);
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.spills, y.spills);
+    }
+    assert_eq!(a.pareto, b.pareto);
+    assert_eq!(a.infeasible, b.infeasible);
+}
+
+/// The front of `result` is non-dominated within its evaluated set.
+fn front_is_pareto(result: &ExploreResult) -> bool {
+    let pts: Vec<Vec<f64>> = result
+        .evaluated
+        .iter()
+        .map(|e| vec![e.area(), e.exec_time()])
+        .collect();
+    is_pareto_set(&pts, &result.pareto)
+}
+
+#[test]
+fn explicit_exhaustive_is_bit_identical_to_the_default() {
+    let w = suite::crypt(1);
+    let db = ComponentDb::new();
+    let classic = Exploration::over(TemplateSpace::fast_default())
+        .workload(&w)
+        .with_db(&db)
+        .run();
+    let explicit = Exploration::over(TemplateSpace::fast_default())
+        .workload(&w)
+        .with_db(&db)
+        .strategy(Exhaustive)
+        .run();
+    assert_bit_identical(&classic, &explicit);
+    assert_eq!(classic.search.strategy, "exhaustive");
+    assert_eq!(classic.search.evaluations, classic.search.space_len);
+    assert!(classic.search.exhausted_space());
+}
+
+#[test]
+fn random_sample_is_deterministic_per_seed_and_respects_budget() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let run = |seed| {
+        Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .strategy(RandomSample)
+            .budget(5)
+            .seed(seed)
+            .run()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_bit_identical(&a, &b);
+    assert!(a.search.evaluations <= 5, "{}", a.search.evaluations);
+    assert_eq!(a.evaluated.len() + a.infeasible, a.search.evaluations);
+    assert!(front_is_pareto(&a));
+    assert_eq!(a.search.strategy, "random");
+    assert_eq!(a.search.budget, Some(5));
+    assert_eq!(a.search.seed, Some(42));
+
+    let c = run(7);
+    let names = |r: &ExploreResult| -> Vec<String> {
+        r.evaluated
+            .iter()
+            .map(|e| e.architecture.name.clone())
+            .collect()
+    };
+    assert_ne!(names(&a), names(&c), "different seeds sample differently");
+}
+
+#[test]
+fn random_sample_with_ample_budget_covers_the_space() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let space = TemplateSpace::tiny();
+    let exhaustive = Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(&db)
+        .run();
+    let sampled = Exploration::over(space)
+        .workload(&w)
+        .with_db(&db)
+        .strategy(RandomSample)
+        .seed(1)
+        .run();
+    assert_bit_identical(&exhaustive, &sampled);
+}
+
+#[test]
+fn hillclimb_is_deterministic_and_yields_a_valid_front() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let run = || {
+        Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .strategy(HillClimb::with_batch(4))
+            .budget(8)
+            .seed(3)
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_bit_identical(&a, &b);
+    assert!(a.search.evaluations <= 8);
+    assert!(a.search.rounds >= 2, "guided search iterates in batches");
+    assert!(front_is_pareto(&a));
+    assert!(!a.pareto.is_empty());
+}
+
+#[test]
+fn hillclimb_terminates_when_it_exhausts_a_small_space() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let result = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(&db)
+        .strategy(HillClimb::default())
+        .seed(0)
+        .run();
+    // No budget: the climber must stop on its own, having covered the
+    // tiny space (its random restarts visit everything).
+    assert_eq!(result.search.evaluations, result.search.space_len);
+    assert!(front_is_pareto(&result));
+}
+
+#[test]
+fn exhaustive_budget_truncates_in_enumeration_order() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let space = TemplateSpace::fast_default();
+    let full = Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(&db)
+        .run();
+    let budgeted = Exploration::over(space)
+        .workload(&w)
+        .with_db(&db)
+        .budget(3)
+        .run();
+    assert_eq!(budgeted.search.evaluations, 3);
+    for (b, f) in budgeted.evaluated.iter().zip(&full.evaluated) {
+        assert_eq!(b.architecture.name, f.architecture.name);
+        assert_eq!(b.cycles, f.cycles);
+    }
+    assert!(front_is_pareto(&budgeted));
+}
+
+#[test]
+fn try_run_reports_missing_workloads() {
+    let err = Exploration::over(TemplateSpace::tiny())
+        .try_run()
+        .expect_err("no workload configured");
+    assert_eq!(err, ExploreError::EmptyWorkloads);
+    assert!(err.to_string().contains("at least one workload"));
+}
+
+#[test]
+#[should_panic(expected = "at least one workload")]
+fn run_still_panics_on_missing_workloads() {
+    let _ = Exploration::over(TemplateSpace::tiny()).run();
+}
+
+#[test]
+fn sampled_runs_use_a_separate_cache_namespace() {
+    let w = suite::checksum32();
+    let db = ComponentDb::new();
+    let cache = SweepCache::in_memory();
+    // Warm the cache exhaustively…
+    Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(&db)
+        .cache(&cache)
+        .run();
+    let after_exhaustive = cache.len();
+    assert!(after_exhaustive > 0);
+    // …then a budgeted random run must not *hit* those entries (its
+    // content addresses carry the strategy salt), only add new ones.
+    let h0 = cache.hits();
+    let sampled = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(&db)
+        .cache(&cache)
+        .strategy(RandomSample)
+        .budget(2)
+        .seed(9)
+        .run();
+    assert_eq!(cache.hits(), h0, "no cross-strategy hits");
+    assert!(cache.len() > after_exhaustive);
+
+    // A warm re-run of the same sampled sweep is all hits and
+    // bit-identical.
+    let m0 = cache.misses();
+    let warm = Exploration::over(TemplateSpace::tiny())
+        .workload(&w)
+        .with_db(&db)
+        .cache(&cache)
+        .strategy(RandomSample)
+        .budget(2)
+        .seed(9)
+        .run();
+    assert_eq!(cache.misses(), m0, "warm sampled run misses nothing");
+    assert_bit_identical(&sampled, &warm);
+}

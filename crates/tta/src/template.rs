@@ -176,47 +176,122 @@ impl TemplateSpace {
 
     /// Enumerates every architecture in the space (PC and LD/ST are always
     /// included once, as the paper does).
+    ///
+    /// This materialises the whole space as a `Vec`; prefer
+    /// [`TemplateSpace::points`] when the space is large — the sweep
+    /// engine and search strategies never need the full vector.
     pub fn enumerate(&self) -> Vec<Architecture> {
-        let mut out = Vec::new();
-        for &nb in &self.buses {
-            for &na in &self.alus {
-                for &nc in &self.cmps {
-                    for &nm in &self.muls {
-                        for &ni in &self.imms {
-                            for rfset in &self.rf_sets {
-                                let label = format!(
-                                    "b{nb}a{na}c{nc}m{nm}i{ni}r{}",
-                                    rfset
-                                        .iter()
-                                        .map(|(r, i, o)| format!("{r}.{i}.{o}"))
-                                        .collect::<Vec<_>>()
-                                        .join("_")
-                                );
-                                let mut b = TemplateBuilder::new(label, self.width, nb);
-                                for _ in 0..na {
-                                    b = b.fu(FuKind::Alu);
-                                }
-                                for _ in 0..nc {
-                                    b = b.fu(FuKind::Cmp);
-                                }
-                                for _ in 0..nm {
-                                    b = b.fu(FuKind::Mul);
-                                }
-                                for _ in 0..ni {
-                                    b = b.fu(FuKind::Immediate);
-                                }
-                                b = b.fu(FuKind::LdSt).fu(FuKind::Pc);
-                                for &(regs, nin, nout) in rfset {
-                                    b = b.rf(regs, nin, nout);
-                                }
-                                out.push(b.build());
-                            }
-                        }
-                    }
-                }
-            }
+        self.points().collect()
+    }
+
+    /// A lazy, indexed iterator over every architecture of the space, in
+    /// the same order as [`TemplateSpace::enumerate`]. The iterator is
+    /// [`ExactSizeIterator`] and double-ended, and
+    /// [`TemplateSpace::point`] gives random access by index, so no
+    /// consumer ever needs the materialised `Vec`.
+    pub fn points(&self) -> Points<'_> {
+        Points {
+            space: self,
+            next: 0,
+            end: self.len(),
         }
-        out
+    }
+
+    /// The number of choices per template knob, in index order (most
+    /// significant first): buses, ALUs, CMPs, MULs, immediates, RF sets.
+    /// A point index is the mixed-radix number over these radices —
+    /// search strategies mutate the digits to move through the space.
+    pub fn knob_radices(&self) -> [usize; 6] {
+        [
+            self.buses.len(),
+            self.alus.len(),
+            self.cmps.len(),
+            self.muls.len(),
+            self.imms.len(),
+            self.rf_sets.len(),
+        ]
+    }
+
+    /// Decomposes a point index into its per-knob digits (positions into
+    /// the knob vectors), in [`TemplateSpace::knob_radices`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn coords(&self, index: usize) -> [usize; 6] {
+        assert!(
+            index < self.len(),
+            "point index {index} out of bounds for a {}-point space",
+            self.len()
+        );
+        let radices = self.knob_radices();
+        let mut rest = index;
+        let mut digits = [0usize; 6];
+        for (d, &radix) in digits.iter_mut().zip(&radices).rev() {
+            *d = rest % radix;
+            rest /= radix;
+        }
+        digits
+    }
+
+    /// Recomposes per-knob digits into a point index — the inverse of
+    /// [`TemplateSpace::coords`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when any digit is outside its knob's radix.
+    pub fn index_of(&self, coords: [usize; 6]) -> usize {
+        let radices = self.knob_radices();
+        let mut index = 0usize;
+        for (i, (&d, &radix)) in coords.iter().zip(&radices).enumerate() {
+            assert!(d < radix, "knob {i} digit {d} exceeds radix {radix}");
+            index = index * radix + d;
+        }
+        index
+    }
+
+    /// Builds the architecture at `index` without enumerating any other
+    /// point — random access into [`TemplateSpace::enumerate`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn point(&self, index: usize) -> Architecture {
+        let [bi, ai, ci, mi, ii, ri] = self.coords(index);
+        let (nb, na, nc, nm, ni) = (
+            self.buses[bi],
+            self.alus[ai],
+            self.cmps[ci],
+            self.muls[mi],
+            self.imms[ii],
+        );
+        let rfset = &self.rf_sets[ri];
+        let label = format!(
+            "b{nb}a{na}c{nc}m{nm}i{ni}r{}",
+            rfset
+                .iter()
+                .map(|(r, i, o)| format!("{r}.{i}.{o}"))
+                .collect::<Vec<_>>()
+                .join("_")
+        );
+        let mut b = TemplateBuilder::new(label, self.width, nb);
+        for _ in 0..na {
+            b = b.fu(FuKind::Alu);
+        }
+        for _ in 0..nc {
+            b = b.fu(FuKind::Cmp);
+        }
+        for _ in 0..nm {
+            b = b.fu(FuKind::Mul);
+        }
+        for _ in 0..ni {
+            b = b.fu(FuKind::Immediate);
+        }
+        b = b.fu(FuKind::LdSt).fu(FuKind::Pc);
+        for &(regs, nin, nout) in rfset {
+            b = b.rf(regs, nin, nout);
+        }
+        b.build()
     }
 
     /// Size of the enumerated space.
@@ -235,6 +310,46 @@ impl TemplateSpace {
     }
 }
 
+/// Lazy iterator over a [`TemplateSpace`], returned by
+/// [`TemplateSpace::points`]. Yields architectures in enumeration order
+/// without materialising the space.
+#[derive(Debug, Clone)]
+pub struct Points<'a> {
+    space: &'a TemplateSpace,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for Points<'_> {
+    type Item = Architecture;
+
+    fn next(&mut self) -> Option<Architecture> {
+        if self.next >= self.end {
+            return None;
+        }
+        let arch = self.space.point(self.next);
+        self.next += 1;
+        Some(arch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.end - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Points<'_> {}
+
+impl DoubleEndedIterator for Points<'_> {
+    fn next_back(&mut self) -> Option<Architecture> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(self.space.point(self.end))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +360,35 @@ mod tests {
         let archs = space.enumerate();
         assert_eq!(archs.len(), space.len());
         assert_eq!(archs.len(), 4 * 3 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn points_matches_enumerate_and_random_access() {
+        let space = TemplateSpace::paper_default();
+        let eager = space.enumerate();
+        let lazy: Vec<_> = space.points().collect();
+        assert_eq!(eager, lazy);
+        assert_eq!(space.points().len(), space.len());
+        for (i, arch) in eager.iter().enumerate() {
+            assert_eq!(&space.point(i), arch, "random access at {i}");
+            assert_eq!(space.index_of(space.coords(i)), i);
+        }
+    }
+
+    #[test]
+    fn points_iterates_from_both_ends() {
+        let space = TemplateSpace::fast_default();
+        let forward: Vec<_> = space.points().collect();
+        let mut backward: Vec<_> = space.points().rev().collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn point_rejects_out_of_range_index() {
+        let space = TemplateSpace::tiny();
+        let _ = space.point(space.len());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! canonical transports satisfy relations (2)–(8).
 
 use proptest::prelude::*;
-use tta_arch::template::TemplateBuilder;
+use tta_arch::template::{TemplateBuilder, TemplateSpace};
 use tta_arch::timing::{canonical_transport, rf_transport_cycles};
 use tta_arch::{transport_cycles, validate_relations, BusId, FuInstance, FuKind};
 
@@ -86,6 +86,43 @@ proptest! {
             prop_assert_eq!(cd, 4);
         } else {
             prop_assert_eq!(cd, 3);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lazy_points_agree_with_eager_enumeration(
+        nbuses in 1usize..4,
+        nalus in 1usize..3,
+        ncmps in 1usize..3,
+        muls0 in proptest::bool::ANY,
+        nrfsets in 1usize..3,
+        regs in 2usize..17,
+    ) {
+        // A randomised bounded space; knob vectors of varying lengths
+        // exercise every mixed-radix digit.
+        let space = TemplateSpace {
+            width: 8,
+            buses: (1..=nbuses).collect(),
+            alus: (1..=nalus).collect(),
+            cmps: (1..=ncmps).collect(),
+            muls: if muls0 { vec![0] } else { vec![0, 1] },
+            imms: vec![1],
+            rf_sets: (0..nrfsets).map(|k| vec![(regs + k, 1, 2)]).collect(),
+        };
+        // points() yields exactly len() architectures…
+        let lazy: Vec<_> = space.points().collect();
+        prop_assert_eq!(lazy.len(), space.len());
+        prop_assert_eq!(space.points().len(), space.len());
+        // …element-for-element equal to enumerate()…
+        prop_assert_eq!(&lazy, &space.enumerate());
+        // …and index-based random access matches iteration order.
+        for (i, arch) in lazy.iter().enumerate() {
+            prop_assert_eq!(&space.point(i), arch);
+            prop_assert_eq!(space.index_of(space.coords(i)), i);
         }
     }
 }
