@@ -26,7 +26,11 @@ fn figure9_with_mul() -> Architecture {
 fn bench_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads");
     let arch = figure9_with_mul();
-    for w in suite::all_standard() {
+    let registry = suite::SuiteRegistry::standard();
+    let members = registry
+        .instantiate("all", &suite::SuiteParams::fast())
+        .expect("the standard registry has an `all` suite");
+    for w in members.into_iter().map(|m| m.workload) {
         group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
             b.iter(|| black_box(Scheduler::new(&arch).run(&w.dfg).unwrap().cycles));
         });

@@ -64,6 +64,14 @@ impl Scale {
         }
     }
 
+    /// Workload sizing parameters for this scale.
+    pub fn suite_params(self) -> suite::SuiteParams {
+        match self {
+            Scale::Paper => suite::SuiteParams::paper(),
+            Scale::Fast => suite::SuiteParams::fast(),
+        }
+    }
+
     /// Parses `--fast` from CLI arguments (default: paper scale).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--fast") {
@@ -570,6 +578,138 @@ impl fmt::Display for Table1 {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cross-suite comparison
+// ---------------------------------------------------------------------
+
+/// One row of [`SuiteComparison`]: a weighted suite and what the
+/// equal-weight Euclidean norm selected for it.
+pub struct SuiteComparisonRow {
+    /// Suite name.
+    pub suite: String,
+    /// `(workload name, weight)` members, in aggregation order.
+    pub members: Vec<(String, f64)>,
+    /// Feasible points of the sweep.
+    pub feasible: usize,
+    /// Infeasible points of the sweep.
+    pub infeasible: usize,
+    /// The selected point, when any point was feasible.
+    pub selected: Option<EvaluatedArch>,
+    /// Points each member was the first to make infeasible, in
+    /// [`SuiteComparisonRow::members`] order.
+    pub blocked: Vec<usize>,
+}
+
+/// How the Figure 9 weighted-norm selection moves across workload
+/// suites — the `ttadse workloads compare` harness.
+pub struct SuiteComparison {
+    /// The scale every sweep ran at.
+    pub scale: Scale,
+    /// Template points per sweep.
+    pub space_points: usize,
+    /// One row per requested suite, in request order.
+    pub rows: Vec<SuiteComparisonRow>,
+}
+
+/// Sweeps the scale's template space once per named suite (sharing one
+/// annotation database, and the persistent cache when given) and
+/// reports each suite's weighted-norm selection side by side.
+///
+/// # Errors
+///
+/// Returns the offending name when `suites` contains a name the
+/// standard [`suite::SuiteRegistry`] does not know.
+pub fn compare_suites(
+    scale: Scale,
+    suites: &[String],
+    cache: Option<&SweepCache>,
+) -> Result<SuiteComparison, String> {
+    let registry = suite::SuiteRegistry::standard();
+    let params = scale.suite_params();
+    let db = ComponentDb::new();
+    let space = scale.space();
+    let space_points = space.len();
+    let mut rows = Vec::new();
+    for name in suites {
+        let members = registry
+            .instantiate(name, &params)
+            .ok_or_else(|| name.clone())?;
+        let mut e = Exploration::over(space.clone())
+            .suite(&members)
+            .with_db(&db)
+            .parallel(true);
+        if let Some(cache) = cache {
+            e = e.cache(cache);
+        }
+        let result = e.run();
+        let selected = result.try_select_equal_weights().cloned();
+        rows.push(SuiteComparisonRow {
+            suite: name.clone(),
+            members: members
+                .iter()
+                .map(|m| (m.workload.name.clone(), m.weight))
+                .collect(),
+            feasible: result.evaluated.len(),
+            infeasible: result.infeasible,
+            blocked: result.blocked.clone(),
+            selected,
+        });
+    }
+    Ok(SuiteComparison {
+        scale,
+        space_points,
+        rows,
+    })
+}
+
+impl fmt::Display for SuiteComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Cross-suite comparison — {} template points per sweep",
+            self.space_points
+        )?;
+        let mut t = TextTable::new([
+            "suite",
+            "members",
+            "selected",
+            "area [GE]",
+            "exec time",
+            "test cost",
+            "feasible",
+        ]);
+        for r in &self.rows {
+            let members = r
+                .members
+                .iter()
+                .map(|(n, w)| format!("{n}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            match &r.selected {
+                Some(e) => t.row([
+                    r.suite.clone(),
+                    members,
+                    e.architecture.name.clone(),
+                    format!("{:.0}", e.area()),
+                    format!("{:.0}", e.exec_time()),
+                    e.test_cost().map_or("-".into(), |c| format!("{c:.0}")),
+                    format!("{}/{}", r.feasible, r.feasible + r.infeasible),
+                ]),
+                None => t.row([
+                    r.suite.clone(),
+                    members,
+                    "(no feasible point)".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("0/{}", r.infeasible),
+                ]),
+            }
+        }
+        write!(f, "{t}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +743,43 @@ mod tests {
         let fig = fig8(&mut exp);
         assert!(fig.projection_holds);
         assert!(!fig.points.is_empty());
+    }
+
+    #[test]
+    fn suite_comparison_moves_the_selection() {
+        let cmp = compare_suites(Scale::Fast, &["paper".into(), "dsp".into()], None)
+            .expect("both suites are registered");
+        assert_eq!(cmp.rows.len(), 2);
+        let paper = cmp.rows[0].selected.as_ref().expect("crypt is feasible");
+        let dsp = cmp.rows[1].selected.as_ref().expect("dsp has MUL points");
+        assert_ne!(
+            paper.architecture.name, dsp.architecture.name,
+            "the DSP-weighted suite must select a different optimum"
+        );
+        assert!(
+            dsp.architecture
+                .fus
+                .iter()
+                .any(|f| f.name.starts_with("mul")),
+            "the dsp selection pays for a multiplier"
+        );
+        // MUL-less points are infeasible for the dsp suite, and the
+        // breakdown blames its first MUL-bound member.
+        assert!(cmp.rows[1].infeasible > 0);
+        assert_eq!(
+            cmp.rows[1].blocked.iter().sum::<usize>(),
+            cmp.rows[1].infeasible
+        );
+        assert!(cmp.to_string().contains("dsp"));
+    }
+
+    #[test]
+    fn unknown_suite_is_reported_by_name() {
+        let err = match compare_suites(Scale::Fast, &["media".into()], None) {
+            Err(name) => name,
+            Ok(_) => panic!("unknown suite must be rejected"),
+        };
+        assert_eq!(err, "media");
     }
 
     #[test]

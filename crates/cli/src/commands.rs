@@ -4,13 +4,15 @@
 use std::io::Write;
 
 use tta_arch::template::TemplateSpace;
-use tta_bench::{fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale};
+use tta_bench::{
+    compare_suites, fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale,
+};
 use tta_core::cache::SweepCache;
 use tta_core::explore::{Exploration, ExploreResult};
 use tta_core::models::InterconnectModel;
 use tta_core::report::TextTable;
 use tta_core::ComponentDb;
-use tta_workloads::{suite, Workload};
+use tta_workloads::{SuiteParams, SuiteRegistry, WeightedWorkload};
 
 use crate::json;
 use crate::opts::{unknown_flag, ArgCursor, CommonOpts, Format};
@@ -78,7 +80,8 @@ fn experiments<'c>(scale: Scale, cache: &'c Option<SweepCache>) -> Experiments<'
     }
 }
 
-/// JSON object for one Pareto-front member.
+/// JSON object for one Pareto-front member, including its per-workload
+/// cycle breakdown (in the result's `workloads` order).
 fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
     json::object([
         ("architecture", json::string(&e.architecture.name)),
@@ -86,6 +89,10 @@ fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
         ("exec_time", json::number(e.exec_time())),
         ("test_cost", json::opt_number(e.test_cost())),
         ("cycles", json::int(e.cycles)),
+        (
+            "workload_cycles",
+            json::array(e.workload_cycles.iter().map(|&c| json::int(c))),
+        ),
     ])
 }
 
@@ -119,6 +126,7 @@ struct ExploreOpts {
     common: CommonOpts,
     space: Option<String>,
     workloads: Vec<String>,
+    suite: Option<String>,
     rounds: Option<usize>,
     parallel: bool,
     threads: Option<usize>,
@@ -133,6 +141,7 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
         common: CommonOpts::default(),
         space: None,
         workloads: Vec::new(),
+        suite: None,
         rounds: None,
         parallel: true,
         threads: None,
@@ -151,6 +160,7 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
             "--workload" => o
                 .workloads
                 .extend(cursor.value_for("--workload")?.split(',').map(String::from)),
+            "--suite" => o.suite = Some(cursor.value_for("--suite")?),
             "--rounds" => o.rounds = Some(cursor.parse_for("--rounds")?),
             "--parallel" => o.parallel = true,
             "--serial" => o.parallel = false,
@@ -193,38 +203,89 @@ fn space_of(o: &ExploreOpts) -> Result<TemplateSpace, CliError> {
     }
 }
 
-fn workloads_of(o: &ExploreOpts, paper_scale: bool) -> Result<Vec<Workload>, CliError> {
-    let names: Vec<&str> = if o.workloads.is_empty() {
-        vec!["crypt"]
+/// Workload sizing for a scale, with `--rounds` overriding the crypt
+/// trace length.
+fn suite_params(o: &ExploreOpts, paper_scale: bool) -> SuiteParams {
+    let mut params = if paper_scale {
+        SuiteParams::paper()
     } else {
-        o.workloads.iter().map(String::as_str).collect()
+        SuiteParams::fast()
     };
-    let rounds = o.rounds.unwrap_or(if paper_scale { 16 } else { 1 });
-    let mut out = Vec::new();
-    for name in names {
-        match name {
-            "crypt" => out.push(suite::crypt(rounds)),
-            "fir16" => out.push(suite::fir16()),
-            "bitcount" => out.push(suite::bitcount()),
-            "checksum32" => out.push(suite::checksum32()),
-            "dct8" => out.push(suite::dct8()),
-            "gcd12" => out.push(suite::gcd12()),
-            // Spelled out (not suite::all_standard()) so --rounds applies
-            // to the crypt member consistently with `--workload crypt`.
-            "all" => out.extend([
-                suite::crypt(rounds),
-                suite::fir16(),
-                suite::bitcount(),
-                suite::checksum32(),
-                suite::dct8(),
-                suite::gcd12(),
-            ]),
-            other => {
-                return Err(CliError::usage(format!(
-                    "unknown workload {other:?} (expected crypt, fir16, bitcount, checksum32, dct8, gcd12 or all)"
-                )))
-            }
+    if let Some(rounds) = o.rounds {
+        params.crypt_rounds = rounds;
+    }
+    params
+}
+
+/// Splits a `--workload` item `name[:weight]` into its parts.
+fn parse_workload_spec(spec: &str) -> Result<(&str, f64), CliError> {
+    let (name, weight) = match spec.split_once(':') {
+        None => (spec, 1.0),
+        Some((name, raw)) => {
+            let weight: f64 = raw.parse().map_err(|_| {
+                CliError::usage(format!(
+                    "workload weight {raw:?} in {spec:?} does not parse"
+                ))
+            })?;
+            (name, weight)
         }
+    };
+    if !weight.is_finite() || weight <= 0.0 {
+        return Err(CliError::usage(format!(
+            "workload weight in {spec:?} must be finite and > 0"
+        )));
+    }
+    Ok((name, weight))
+}
+
+/// Resolves `--suite` and every `--workload name[:weight]` item against
+/// the standard registry. The candidate lists in error messages are
+/// derived from the registry, so a newly registered workload can never
+/// drift out of the help text.
+fn workloads_of(
+    registry: &SuiteRegistry,
+    o: &ExploreOpts,
+    paper_scale: bool,
+) -> Result<Vec<WeightedWorkload>, CliError> {
+    let params = suite_params(o, paper_scale);
+    let mut out: Vec<WeightedWorkload> = Vec::new();
+    if let Some(name) = &o.suite {
+        out.extend(registry.instantiate(name, &params).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown --suite {name:?} (expected {})",
+                registry.suite_names().join(", ")
+            ))
+        })?);
+    }
+    for spec in &o.workloads {
+        let (name, weight) = parse_workload_spec(spec)?;
+        if let Some(w) = registry.build(name, &params) {
+            out.push(WeightedWorkload {
+                workload: w,
+                weight,
+            });
+        } else if let Some(members) = registry.instantiate(name, &params) {
+            // A suite name in --workload position (e.g. the historical
+            // `--workload all`); a `:weight` scales every member.
+            out.extend(members.into_iter().map(|mut m| {
+                m.weight *= weight;
+                m
+            }));
+        } else {
+            return Err(CliError::usage(format!(
+                "unknown workload {name:?} (expected a workload: {}; or a suite: {})",
+                registry.workload_names().join(", "),
+                registry.suite_names().join(", ")
+            )));
+        }
+    }
+    if out.is_empty() {
+        // The historical default: the paper's application.
+        out.extend(
+            registry
+                .instantiate("paper", &params)
+                .expect("the standard registry has a `paper` suite"),
+        );
     }
     Ok(out)
 }
@@ -234,7 +295,8 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
     let o = parse_explore(args)?;
     let space = space_of(&o)?;
     let paper_scale = space.width == 16;
-    let workloads = workloads_of(&o, paper_scale)?;
+    let registry = SuiteRegistry::standard();
+    let workloads = workloads_of(&registry, &o, paper_scale)?;
     let cache = open_cache(&o.common, err)?;
     let space_points = space.len();
     writeln!(
@@ -245,7 +307,7 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
 
     let db = ComponentDb::new();
     let mut e = Exploration::over(space)
-        .workloads(&workloads)
+        .suite(&workloads)
         .with_db(&db)
         .interconnect(o.interconnect)
         .parallel(o.parallel);
@@ -308,10 +370,18 @@ fn render_explore(
                 ]);
             }
             writeln!(out, "{t}")?;
-            let best = result.try_select(
-                &tta_core::Weights::equal(result.axes().len()),
-                tta_core::Norm::Euclidean,
-            );
+            writeln!(out, "per-workload breakdown:")?;
+            let mut b = TextTable::new(["workload", "weight", "blocked", "cycles@selected"]);
+            for row in result.workload_breakdown() {
+                b.row([
+                    row.name.to_string(),
+                    format!("{}", row.weight),
+                    row.blocked.to_string(),
+                    row.selected_cycles.map_or("-".into(), |c| c.to_string()),
+                ]);
+            }
+            writeln!(out, "{b}")?;
+            let best = result.try_select_equal_weights();
             if let Some(best) = best {
                 writeln!(out, "selected (equal-weight Euclid): {}", best.architecture)?;
             }
@@ -319,10 +389,7 @@ fn render_explore(
         Format::Json => {
             let mut front = result.pareto_points();
             front.sort_by(|a, b| a.area().total_cmp(&b.area()));
-            let selected = result.try_select(
-                &tta_core::Weights::equal(result.axes().len()),
-                tta_core::Norm::Euclidean,
-            );
+            let selected = result.try_select_equal_weights();
             let doc = json::object([
                 ("command", json::string("explore")),
                 (
@@ -341,7 +408,17 @@ fn render_explore(
                 ),
                 (
                     "workloads",
-                    json::array(result.workloads.iter().map(|w| json::string(w))),
+                    json::array(result.workload_breakdown().iter().map(|b| {
+                        json::object([
+                            ("name", json::string(b.name)),
+                            ("weight", json::number(b.weight)),
+                            ("blocked", json::int(b.blocked as u64)),
+                            (
+                                "selected_cycles",
+                                b.selected_cycles.map_or_else(|| "null".into(), json::int),
+                            ),
+                        ])
+                    })),
                 ),
                 ("evaluated", json::int(result.evaluated.len() as u64)),
                 ("infeasible", json::int(result.infeasible as u64)),
@@ -369,12 +446,23 @@ fn render_explore(
                 s.space_len,
                 s.evaluations,
             )?;
-            writeln!(
+            for b in result.workload_breakdown() {
+                writeln!(
+                    out,
+                    "# workload={} weight={} blocked={}",
+                    b.name, b.weight, b.blocked
+                )?;
+            }
+            write!(
                 out,
                 "architecture,area,exec_time,cycles,spills,on_front,test_cost"
             )?;
+            for name in &result.workloads {
+                write!(out, ",cycles:{name}")?;
+            }
+            writeln!(out)?;
             for (i, e) in result.evaluated.iter().enumerate() {
-                writeln!(
+                write!(
                     out,
                     "{},{},{},{},{},{},{}",
                     e.architecture.name,
@@ -385,6 +473,10 @@ fn render_explore(
                     u8::from(result.is_on_front(i)),
                     e.test_cost().map_or(String::new(), |c| c.to_string()),
                 )?;
+                for c in &e.workload_cycles {
+                    write!(out, ",{c}")?;
+                }
+                writeln!(out)?;
             }
         }
     }
@@ -699,6 +791,242 @@ pub fn table1_cmd(
                     r.coverage,
                     u8::from(r.excluded),
                 )?;
+            }
+        }
+    }
+    cache_report(&cache, err)
+}
+
+// ---------------------------------------------------------------------
+// workloads
+// ---------------------------------------------------------------------
+
+/// `ttadse workloads [list]`: the registered workloads and suites;
+/// `ttadse workloads compare --suites a,b,…`: sweep the space once per
+/// suite and show how the weighted-norm selection moves.
+pub fn workloads_cmd(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut common = CommonOpts::default();
+    let mut action: Option<String> = None;
+    let mut suites: Option<String> = None;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "list" | "compare" if action.is_none() => action = Some(arg),
+            "--suites" => suites = Some(cursor.value_for("--suites")?),
+            other => return Err(unknown_flag("workloads", other)),
+        }
+    }
+    common.validate()?;
+    let registry = SuiteRegistry::standard();
+    match action.as_deref().unwrap_or("list") {
+        "list" => {
+            if suites.is_some() {
+                return Err(CliError::usage(
+                    "--suites only applies to `ttadse workloads compare`",
+                ));
+            }
+            workloads_list(&registry, &common, out)
+        }
+        "compare" => workloads_compare(&registry, &common, suites, out, err),
+        _ => unreachable!("action is validated above"),
+    }
+}
+
+fn workloads_list(
+    registry: &SuiteRegistry,
+    common: &CommonOpts,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let scale = scale_of(common);
+    let params = scale.suite_params();
+    match common.format {
+        Format::Table => {
+            writeln!(out, "workloads at {} scale:", scale_label(scale))?;
+            let mut t = TextTable::new(["name", "instance", "ops", "trace iters"]);
+            for name in registry.workload_names() {
+                let w = registry.build(name, &params).expect("listed => buildable");
+                t.row([
+                    name.to_string(),
+                    w.name.clone(),
+                    w.dfg.operation_count().to_string(),
+                    w.trace_iterations.to_string(),
+                ]);
+            }
+            writeln!(out, "{t}")?;
+            writeln!(out, "suites:")?;
+            let mut t = TextTable::new(["name", "members", "description"]);
+            for s in registry.suites() {
+                let members = s
+                    .members
+                    .iter()
+                    .map(|(n, w)| format!("{n}:{w}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                t.row([s.name.clone(), members, s.description.clone()]);
+            }
+            writeln!(out, "{t}")?;
+        }
+        Format::Json => {
+            let doc = json::object([
+                ("command", json::string("workloads")),
+                ("scale", json::string(scale_label(scale))),
+                (
+                    "workloads",
+                    json::array(registry.workload_names().iter().map(|name| {
+                        let w = registry.build(name, &params).expect("listed => buildable");
+                        json::object([
+                            ("name", json::string(name)),
+                            ("instance", json::string(&w.name)),
+                            ("operations", json::int(w.dfg.operation_count() as u64)),
+                            ("trace_iterations", json::int(w.trace_iterations)),
+                        ])
+                    })),
+                ),
+                (
+                    "suites",
+                    json::array(registry.suites().iter().map(|s| {
+                        json::object([
+                            ("name", json::string(&s.name)),
+                            ("description", json::string(&s.description)),
+                            (
+                                "members",
+                                json::array(s.members.iter().map(|(n, w)| {
+                                    json::object([
+                                        ("workload", json::string(n)),
+                                        ("weight", json::number(*w)),
+                                    ])
+                                })),
+                            ),
+                        ])
+                    })),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(out, "suite,workload,weight")?;
+            for s in registry.suites() {
+                for (n, w) in &s.members {
+                    writeln!(out, "{},{n},{w}", s.name)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn workloads_compare(
+    registry: &SuiteRegistry,
+    common: &CommonOpts,
+    suites: Option<String>,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let scale = scale_of(common);
+    let names: Vec<String> = suites
+        .as_deref()
+        .unwrap_or("paper,dsp,control")
+        .split(',')
+        .map(String::from)
+        .collect();
+    let cache = open_cache(common, err)?;
+    writeln!(
+        err,
+        "comparing {} suite(s) at {} scale...",
+        names.len(),
+        scale_label(scale)
+    )?;
+    let cmp = compare_suites(scale, &names, cache.as_ref()).map_err(|bad| {
+        CliError::usage(format!(
+            "unknown suite {bad:?} (expected {})",
+            registry.suite_names().join(", ")
+        ))
+    })?;
+    match common.format {
+        Format::Table => {
+            writeln!(out, "{cmp}")?;
+            let distinct: std::collections::HashSet<&str> = cmp
+                .rows
+                .iter()
+                .filter_map(|r| r.selected.as_ref())
+                .map(|e| e.architecture.name.as_str())
+                .collect();
+            writeln!(
+                out,
+                "{} suite(s) -> {} distinct selected architecture(s)",
+                cmp.rows.len(),
+                distinct.len()
+            )?;
+        }
+        Format::Json => {
+            let doc = json::object([
+                ("command", json::string("workloads-compare")),
+                ("scale", json::string(scale_label(scale))),
+                ("space_points", json::int(cmp.space_points as u64)),
+                (
+                    "suites",
+                    json::array(cmp.rows.iter().map(|r| {
+                        json::object([
+                            ("suite", json::string(&r.suite)),
+                            (
+                                "members",
+                                json::array(r.members.iter().map(|(n, w)| {
+                                    json::object([
+                                        ("workload", json::string(n)),
+                                        ("weight", json::number(*w)),
+                                    ])
+                                })),
+                            ),
+                            ("feasible", json::int(r.feasible as u64)),
+                            ("infeasible", json::int(r.infeasible as u64)),
+                            (
+                                "blocked",
+                                json::array(r.members.iter().zip(&r.blocked).map(|((n, _), b)| {
+                                    json::object([
+                                        ("workload", json::string(n)),
+                                        ("blocked", json::int(*b as u64)),
+                                    ])
+                                })),
+                            ),
+                            (
+                                "selected",
+                                r.selected
+                                    .as_ref()
+                                    .map_or_else(|| "null".into(), front_point_json),
+                            ),
+                        ])
+                    })),
+                ),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(
+                out,
+                "suite,selected,area,exec_time,test_cost,feasible,infeasible"
+            )?;
+            for r in &cmp.rows {
+                match &r.selected {
+                    Some(e) => writeln!(
+                        out,
+                        "{},{},{},{},{},{},{}",
+                        r.suite,
+                        e.architecture.name,
+                        e.area(),
+                        e.exec_time(),
+                        e.test_cost().map_or(String::new(), |c| c.to_string()),
+                        r.feasible,
+                        r.infeasible,
+                    )?,
+                    None => writeln!(out, "{},,,,,0,{}", r.suite, r.infeasible)?,
+                }
             }
         }
     }

@@ -82,6 +82,7 @@ USAGE:
 
 SUBCOMMANDS:
     explore   Run one exploration sweep end to end
+    workloads List workloads/suites, or `compare` selections across suites
     fig2      Figure 2: (area, exec time) solution space + Pareto front
     fig6      Figure 6: identical FUs, different test cost
     fig7      Figure 7: VLIW ASIP test access and test order
@@ -98,8 +99,10 @@ COMMON FLAGS:
     --resume               Require --cache-dir; continue an interrupted sweep
 
 EXPLORE FLAGS:
+    --workload LIST        Comma-separated `name[:weight]` items; see
+                           `ttadse workloads` for every registered name
+    --suite NAME           A named weighted suite (paper | dsp | control | all)
     --space NAME           paper | fast | tiny
-    --workload LIST        crypt,fir16,bitcount,checksum32,dct8,gcd12,all
     --rounds N             Crypt Feistel rounds per trace
     --strategy NAME        exhaustive (default) | random | hillclimb
     --budget N             Evaluate at most N template points
@@ -109,6 +112,11 @@ EXPLORE FLAGS:
     --bus-area X           Interconnect model: bus area per bit [GE]
     --bus-delay X          Interconnect model: clock penalty per bus
     --control-area X       Interconnect model: area per instruction bit [GE]
+
+WORKLOADS FLAGS:
+    list                   List registered workloads and suites (default)
+    compare                Sweep once per suite; show how selection moves
+    --suites LIST          Suites to compare (default paper,dsp,control)
 
 TABLE1 FLAGS:
     --figure9              Cost the paper's published architecture directly
@@ -130,6 +138,7 @@ pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
     };
     match cmd.as_str() {
         "explore" => commands::explore(rest, out, err),
+        "workloads" => commands::workloads_cmd(rest, out, err),
         "fig2" => commands::fig2_cmd(rest, out, err),
         "fig6" => commands::fig6_cmd(rest, out, err),
         "fig7" => commands::fig7_cmd(rest, out, err),

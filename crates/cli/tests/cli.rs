@@ -151,9 +151,15 @@ fn csv_and_table_render_the_same_sweep() {
         meta.starts_with("# strategy=exhaustive"),
         "metadata line: {meta}"
     );
+    // One breakdown comment per suite member rides along.
+    let breakdown = lines.next().expect("workload breakdown comment");
+    assert!(
+        breakdown.starts_with("# workload=crypt[1r] weight=1 blocked="),
+        "breakdown line: {breakdown}"
+    );
     assert_eq!(
         lines.next(),
-        Some("architecture,area,exec_time,cycles,spills,on_front,test_cost")
+        Some("architecture,area,exec_time,cycles,spills,on_front,test_cost,cycles:crypt[1r]")
     );
     let rows = lines.count();
     let (table, _) = run_ok(&[&base[..], &["--format", "table"]].concat());
@@ -161,6 +167,83 @@ fn csv_and_table_render_the_same_sweep() {
         table.contains(&format!("explored {rows} feasible points")),
         "table and csv must agree: {table}"
     );
+    assert!(table.contains("per-workload breakdown:"), "{table}");
     assert!(table.contains("selected (equal-weight Euclid):"));
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn weighted_suite_runs_report_breakdowns_and_stay_deterministic() {
+    // A weighted multi-workload suite: serial and parallel runs must be
+    // byte-identical, and every output format carries the breakdown.
+    let base = [
+        "explore",
+        "--space",
+        "tiny",
+        "--workload",
+        "checksum32:3,bitcount",
+        "--format",
+        "json",
+    ];
+    let (serial, _) = run_ok(&[&base[..], &["--serial"]].concat());
+    let (parallel, _) = run_ok(&[&base[..], &["--parallel"]].concat());
+    assert_eq!(
+        serial, parallel,
+        "weighted sweep must not depend on threads"
+    );
+    assert!(
+        serial.contains("\"name\":\"checksum32\",\"weight\":3.0,\"blocked\":"),
+        "{serial}"
+    );
+    assert!(serial.contains("\"workload_cycles\":["), "{serial}");
+}
+
+#[test]
+fn suite_flag_and_workloads_subcommand_agree_on_names() {
+    // `--suite dsp` resolves through the registry…
+    let (json_out, _) = run_ok(&[
+        "explore", "--space", "tiny", "--suite", "control", "--format", "json",
+    ]);
+    assert!(json_out.contains("\"name\":\"viterbi[4s]\""), "{json_out}");
+    // …and the listing subcommand shows the same suite composition.
+    let (list, _) = run_ok(&["workloads", "--format", "csv"]);
+    assert!(list.contains("control,viterbi,4"), "{list}");
+    assert!(list.contains("dsp,fft,4"), "{list}");
+}
+
+#[test]
+fn unknown_workloads_and_suites_name_the_registry() {
+    let args: Vec<String> = ["explore", "--workload", "mp3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let e = run(&args, &mut out, &mut err).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    // The candidate list is derived from the registry, so new
+    // workloads can never drift out of the error text.
+    for name in ["crypt", "fft", "viterbi", "dsp"] {
+        assert!(e.message.contains(name), "{}: {}", name, e.message);
+    }
+
+    let args: Vec<String> = ["workloads", "compare", "--suites", "media"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let e = run(&args, &mut Vec::new(), &mut Vec::new()).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    assert!(e.message.contains("paper"), "{}", e.message);
+}
+
+#[test]
+fn bad_workload_weights_are_usage_errors() {
+    for spec in ["crypt:x", "crypt:0", "crypt:-1", "crypt:inf"] {
+        let args: Vec<String> = ["explore", "--workload", spec]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&args, &mut Vec::new(), &mut Vec::new()).unwrap_err();
+        assert_eq!(e.exit_code, 2, "{spec}");
+    }
 }

@@ -25,19 +25,20 @@
 //!
 //! # On-disk format
 //!
-//! One plain-text file, `ttadse-cache.v1`, under the chosen cache
+//! One plain-text file, `ttadse-cache.v2`, under the chosen cache
 //! directory. The first line is a versioned header; each subsequent
 //! line is one entry:
 //!
 //! ```text
-//! ttadse-sweep-cache 1
+//! ttadse-sweep-cache 2
 //! E <key> F <cycles> <spills> <area-bits> <exec-bits> <wl-cycles>...
-//! E <key> I
+//! E <key> I [<blocked-workload>]
 //! T <key> <testcost-bits>
 //! ```
 //!
 //! `E` lines are sweep evaluations (`F`easible with payload,
-//! `I`nfeasible), `T` lines are test-cost lifts. A missing file, a
+//! `I`nfeasible, optionally recording which suite member failed to
+//! schedule), `T` lines are test-cost lifts. A missing file, a
 //! wrong header, or any malformed line degrades to a clean
 //! re-evaluation — a corrupt cache can cost time, never correctness.
 //! [`SweepCache::flush`] merges with whatever is on disk before an
@@ -82,13 +83,13 @@ use tta_workloads::Workload;
 /// ATPG/march engines, or the cost formulas. The content address covers
 /// a point's inputs, not the code that evaluates it; this constant is
 /// the version of that code.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// File name of the cache inside the cache directory (versioned, so a
 /// future format lives alongside instead of tripping over this one).
-pub const CACHE_FILE_NAME: &str = "ttadse-cache.v1";
+pub const CACHE_FILE_NAME: &str = "ttadse-cache.v2";
 
-const HEADER: &str = "ttadse-sweep-cache 1";
+const HEADER: &str = "ttadse-sweep-cache 2";
 
 // ---------------------------------------------------------------------
 // Content addressing
@@ -201,9 +202,15 @@ pub fn workload_fingerprint(w: &Workload) -> u64 {
 /// A cached sweep evaluation of one architecture on one workload suite.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalEntry {
-    /// The point was infeasible (unschedulable, or outside the component
-    /// model's domain) — cached so re-runs skip the scheduling attempt.
-    Infeasible,
+    /// The point was infeasible — cached so re-runs skip the scheduling
+    /// attempt.
+    Infeasible {
+        /// Suite index of the first workload that failed to schedule,
+        /// or `None` when the point fell outside the component model's
+        /// domain instead. Cached so warm per-workload feasibility
+        /// breakdowns are identical to cold ones.
+        blocked: Option<u32>,
+    },
     /// A feasible evaluation; floats are carried as exact bit patterns.
     Feasible {
         /// Aggregate full-application cycles.
@@ -486,8 +493,11 @@ impl SweepCache {
 fn render_line(key: &(Kind, u64), entry: &Entry) -> String {
     let mut s = String::new();
     match entry {
-        Entry::Eval(EvalEntry::Infeasible) => {
+        Entry::Eval(EvalEntry::Infeasible { blocked }) => {
             let _ = write!(s, "E {:016x} I", key.1);
+            if let Some(w) = blocked {
+                let _ = write!(s, " {w}");
+            }
         }
         Entry::Eval(EvalEntry::Feasible {
             cycles,
@@ -539,10 +549,17 @@ fn parse_line(line: &str) -> Option<((Kind, u64), Entry)> {
     match tag {
         "E" => match parts.next()? {
             "I" => {
+                let blocked = match parts.next() {
+                    None => None,
+                    Some(w) => Some(w.parse().ok()?),
+                };
                 if parts.next().is_some() {
                     return None;
                 }
-                Some(((Kind::Eval, key), Entry::Eval(EvalEntry::Infeasible)))
+                Some((
+                    (Kind::Eval, key),
+                    Entry::Eval(EvalEntry::Infeasible { blocked }),
+                ))
             }
             "F" => {
                 let cycles = parts.next()?.parse().ok()?;
@@ -600,14 +617,17 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let cache = SweepCache::open(&dir).unwrap();
         cache.store_eval(42, sample_feasible());
-        cache.store_eval(43, EvalEntry::Infeasible);
+        cache.store_eval(43, EvalEntry::Infeasible { blocked: Some(1) });
         cache.store_test(42, 99.75);
         cache.flush().unwrap();
 
         let reloaded = SweepCache::open(&dir).unwrap();
         assert_eq!(reloaded.len(), 3);
         assert_eq!(reloaded.lookup_eval(42), Some(sample_feasible()));
-        assert_eq!(reloaded.lookup_eval(43), Some(EvalEntry::Infeasible));
+        assert_eq!(
+            reloaded.lookup_eval(43),
+            Some(EvalEntry::Infeasible { blocked: Some(1) })
+        );
         assert_eq!(reloaded.lookup_test(42), Some(99.75));
         assert_eq!(reloaded.lookup_eval(44), None);
         assert_eq!(reloaded.hits(), 3);
@@ -620,7 +640,7 @@ mod tests {
         let cache = SweepCache::in_memory();
         cache.store_test(7, 1.0);
         assert_eq!(cache.lookup_eval(7), None);
-        cache.store_eval(7, EvalEntry::Infeasible);
+        cache.store_eval(7, EvalEntry::Infeasible { blocked: None });
         assert_eq!(cache.lookup_test(7), Some(1.0));
     }
 
@@ -653,7 +673,7 @@ mod tests {
         let dir = tmpdir("merge");
         let a = SweepCache::open(&dir).unwrap();
         let b = SweepCache::open(&dir).unwrap();
-        a.store_eval(1, EvalEntry::Infeasible);
+        a.store_eval(1, EvalEntry::Infeasible { blocked: None });
         b.store_eval(2, sample_feasible());
         a.flush().unwrap();
         b.flush().unwrap();
@@ -667,7 +687,10 @@ mod tests {
         let dir = tmpdir("determ");
         let cache = SweepCache::open(&dir).unwrap();
         for k in 0..32u64 {
-            cache.store_eval(k.wrapping_mul(0x9E37_79B9), EvalEntry::Infeasible);
+            cache.store_eval(
+                k.wrapping_mul(0x9E37_79B9),
+                EvalEntry::Infeasible { blocked: None },
+            );
         }
         cache.flush().unwrap();
         let first = fs::read_to_string(cache.path()).unwrap();
@@ -681,7 +704,7 @@ mod tests {
     fn invalidate_clears_memory_and_disk() {
         let dir = tmpdir("invalidate");
         let cache = SweepCache::open(&dir).unwrap();
-        cache.store_eval(1, EvalEntry::Infeasible);
+        cache.store_eval(1, EvalEntry::Infeasible { blocked: None });
         cache.flush().unwrap();
         assert!(cache.path().exists());
         cache.invalidate().unwrap();

@@ -103,7 +103,7 @@ use std::collections::HashSet;
 use tta_arch::template::TemplateSpace;
 use tta_arch::Architecture;
 use tta_movec::schedule::Scheduler;
-use tta_workloads::Workload;
+use tta_workloads::{WeightedWorkload, Workload};
 
 use crate::backannotate::ComponentDb;
 use crate::cache::{
@@ -230,10 +230,15 @@ impl ObjectiveVector {
 pub struct EvaluatedArch {
     /// The architecture itself.
     pub architecture: Architecture,
-    /// Aggregate full-application cycle count over the workload suite.
+    /// Aggregate (unweighted) full-application cycle count over the
+    /// workload suite.
     pub cycles: u64,
     /// Per-workload cycle counts, in [`ExploreResult::workloads`] order.
     pub workload_cycles: Vec<u64>,
+    /// Weight-scaled aggregate cycles `Σ wᵢ·cyclesᵢ` — the quantity the
+    /// exec-time axis is built from. Equals `cycles as f64` when every
+    /// suite member has weight 1.
+    pub weighted_cycles: f64,
     /// Register-pressure overflow events summed over the schedules.
     pub spills: u32,
     /// The typed objective coordinates: `[Area, ExecTime]` for every
@@ -277,6 +282,9 @@ impl EvaluatedArch {
 pub enum ExploreError {
     /// The builder was run without any workload.
     EmptyWorkloads,
+    /// A suite member carries a weight that is not finite and positive;
+    /// the payload is its index in the suite.
+    InvalidWeight(usize),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -285,6 +293,11 @@ impl std::fmt::Display for ExploreError {
             ExploreError::EmptyWorkloads => {
                 f.write_str("Exploration::run needs at least one workload (use .workload(..))")
             }
+            ExploreError::InvalidWeight(i) => write!(
+                f,
+                "workload #{i} has a non-finite or non-positive weight \
+                 (weights must be finite and > 0)"
+            ),
         }
     }
 }
@@ -334,8 +347,32 @@ pub struct ExploreResult {
     pub infeasible: usize,
     /// Names of the workloads the sweep aggregated over.
     pub workloads: Vec<String>,
+    /// Aggregation weight of each workload, in [`ExploreResult::workloads`]
+    /// order (all 1 unless a weighted suite was installed).
+    pub weights: Vec<f64>,
+    /// How many visited points were infeasible *because of* each
+    /// workload (the first suite member that failed to schedule gets
+    /// the blame), in [`ExploreResult::workloads`] order. Points outside
+    /// the component model's domain are counted in
+    /// [`ExploreResult::infeasible`] but blamed on no workload.
+    pub blocked: Vec<usize>,
     /// Which strategy searched the space, under what budget and seed.
     pub search: SearchInfo,
+}
+
+/// Per-workload slice of an exploration — one row of
+/// [`ExploreResult::workload_breakdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBreakdown<'a> {
+    /// Workload name.
+    pub name: &'a str,
+    /// Aggregation weight.
+    pub weight: f64,
+    /// Visited points this workload was the first to make infeasible.
+    pub blocked: usize,
+    /// This workload's cycle count on the weighted-norm-selected
+    /// architecture (equal weights, Euclidean), when a selection exists.
+    pub selected_cycles: Option<u64>,
 }
 
 impl ExploreResult {
@@ -395,7 +432,31 @@ impl ExploreResult {
 
     /// The paper's setting: equal weights over all axes, Euclidean norm.
     pub fn select_equal_weights(&self) -> &EvaluatedArch {
-        self.select(&Weights::equal(self.axes().len()), Norm::Euclidean)
+        self.try_select_equal_weights()
+            .expect("cannot select from an empty Pareto front")
+    }
+
+    /// Fallible variant of [`ExploreResult::select_equal_weights`]:
+    /// `None` for an empty front.
+    pub fn try_select_equal_weights(&self) -> Option<&EvaluatedArch> {
+        self.try_select(&Weights::equal(self.axes().len()), Norm::Euclidean)
+    }
+
+    /// The per-workload view of the run: name, weight, how many points
+    /// the workload blocked, and its cycle share on the equal-weight
+    /// selection — one row per suite member, in suite order.
+    pub fn workload_breakdown(&self) -> Vec<WorkloadBreakdown<'_>> {
+        let selected = self.try_select_equal_weights();
+        self.workloads
+            .iter()
+            .enumerate()
+            .map(|(i, name)| WorkloadBreakdown {
+                name,
+                weight: self.weights[i],
+                blocked: self.blocked[i],
+                selected_cycles: selected.map(|e| e.workload_cycles[i]),
+            })
+            .collect()
     }
 
     /// Projection property (Figure 8 caption): the lifted points
@@ -424,6 +485,8 @@ impl ExploreResult {
 pub struct Exploration<'db> {
     space: TemplateSpace,
     workloads: Vec<Workload>,
+    // One aggregation weight per workload (1.0 unless weighted).
+    weights: Vec<f64>,
     // None = the default annotated model parameterised by `interconnect`,
     // resolved at `run()` — so custom models always win over
     // `.interconnect(..)` regardless of builder-call order.
@@ -457,6 +520,7 @@ impl<'db> Exploration<'db> {
         Exploration {
             space,
             workloads: Vec::new(),
+            weights: Vec::new(),
             area: None,
             timing: None,
             test: None,
@@ -471,17 +535,41 @@ impl<'db> Exploration<'db> {
         }
     }
 
-    /// Adds one workload to the suite. With several workloads the sweep
-    /// aggregates (sums) full-application cycles across the suite; an
+    /// Adds one workload to the suite at weight 1. With several
+    /// workloads the sweep aggregates full-application cycles across
+    /// the suite (weights scale each member's contribution); an
     /// architecture is feasible only if *every* workload schedules.
-    pub fn workload(mut self, w: &Workload) -> Self {
+    pub fn workload(self, w: &Workload) -> Self {
+        self.workload_weighted(w, 1.0)
+    }
+
+    /// Adds one workload with an explicit aggregation weight: the
+    /// exec-time axis becomes `clock × Σ wᵢ·cyclesᵢ`, so weight 2 counts
+    /// a member twice as heavily as weight 1. Weights must be finite
+    /// and positive ([`Exploration::try_run`] reports
+    /// [`ExploreError::InvalidWeight`] otherwise), and are part of the
+    /// sweep-cache content address.
+    pub fn workload_weighted(mut self, w: &Workload, weight: f64) -> Self {
         self.workloads.push(w.clone());
+        self.weights.push(weight);
         self
     }
 
-    /// Adds every workload of a suite.
+    /// Adds every workload of a suite at weight 1.
     pub fn workloads<'a>(mut self, ws: impl IntoIterator<Item = &'a Workload>) -> Self {
-        self.workloads.extend(ws.into_iter().cloned());
+        for w in ws {
+            self = self.workload(w);
+        }
+        self
+    }
+
+    /// Adds every member of a weighted suite (e.g. one instantiated by
+    /// `tta_workloads::SuiteRegistry::instantiate`), carrying each
+    /// member's weight into the aggregation.
+    pub fn suite<'a>(mut self, members: impl IntoIterator<Item = &'a WeightedWorkload>) -> Self {
+        for m in members {
+            self = self.workload_weighted(&m.workload, m.weight);
+        }
         self
     }
 
@@ -624,6 +712,13 @@ impl<'db> Exploration<'db> {
         if self.workloads.is_empty() {
             return Err(ExploreError::EmptyWorkloads);
         }
+        if let Some(i) = self
+            .weights
+            .iter()
+            .position(|w| !w.is_finite() || *w <= 0.0)
+        {
+            return Err(ExploreError::InvalidWeight(i));
+        }
         // Custom models may never read the annotation database; only
         // pre-warm when at least one default (db-backed) model is in
         // effect.
@@ -669,10 +764,15 @@ impl<'db> Exploration<'db> {
                 .u64(timing.fingerprint()?)
                 .u64(db.fingerprint())
                 .u64(self.workloads.len() as u64);
+            // Weights ride along with each workload: a reweighted suite
+            // changes the exec-time axis, so it must change the address.
             let base = self
                 .workloads
                 .iter()
-                .fold(base, |f, w| f.u64(workload_fingerprint(w)));
+                .zip(&self.weights)
+                .fold(base, |f, (w, &weight)| {
+                    f.u64(workload_fingerprint(w)).f64(weight)
+                });
             Some((cache, salted(base).finish()))
         });
         let test_cache = self.cache.and_then(|cache| {
@@ -698,7 +798,9 @@ impl<'db> Exploration<'db> {
         let space = &self.space;
         let space_len = space.len();
         let workloads = &self.workloads;
+        let weights = &self.weights;
         let mut evaluated: Vec<EvaluatedArch> = Vec::new();
+        let mut blocked: Vec<usize> = vec![0; workloads.len()];
         let mut eval_space_index: Vec<usize> = Vec::new();
         let mut observations: Vec<Observation> = Vec::new();
         let mut seen: HashSet<usize> = HashSet::new();
@@ -782,18 +884,25 @@ impl<'db> Exploration<'db> {
                 // persisting fresh results chunk by chunk, so an
                 // interrupted run resumes from the last completed
                 // chunk.
-                let evaluations: Vec<Option<EvaluatedArch>> = match &eval_cache {
+                let evaluations: Vec<PointOutcome> = match &eval_cache {
                     None => par_map(&archs, threads, |_, arch| {
-                        evaluate_point(arch, workloads, &*area, &*timing, db)
+                        evaluate_point(arch, workloads, weights, &*area, &*timing, db)
                     }),
                     Some((cache, base)) => {
                         let out = par_map(&archs, threads, |_, arch| {
                             let key = point_key(*base, arch);
-                            if let Some(entry) = cache.lookup_eval(key) {
-                                return rehydrate(arch, entry);
+                            // A cache entry inconsistent with this suite
+                            // (corrupt or hash-colliding) rehydrates to
+                            // None and is re-evaluated — a bad cache may
+                            // cost time, never correctness or a panic.
+                            if let Some(outcome) = cache
+                                .lookup_eval(key)
+                                .and_then(|entry| rehydrate(arch, workloads.len(), weights, entry))
+                            {
+                                return outcome;
                             }
-                            let e = evaluate_point(arch, workloads, &*area, &*timing, db);
-                            cache.store_eval(key, dehydrate(e.as_ref()));
+                            let e = evaluate_point(arch, workloads, weights, &*area, &*timing, db);
+                            cache.store_eval(key, dehydrate(&e));
                             e
                         });
                         let _ = cache.flush();
@@ -809,7 +918,7 @@ impl<'db> Exploration<'db> {
                 for (k, e) in evaluations.into_iter().enumerate() {
                     let index = index_chunk[k];
                     match e {
-                        Some(e) => {
+                        Ok(e) => {
                             let id = evaluated.len();
                             archive.try_insert(id, &[e.area(), e.exec_time()]);
                             observations.push(Observation {
@@ -819,8 +928,11 @@ impl<'db> Exploration<'db> {
                             eval_space_index.push(index);
                             evaluated.push(e);
                         }
-                        None => {
+                        Err(why) => {
                             infeasible += 1;
+                            if let Some(w) = why {
+                                blocked[w] += 1;
+                            }
                             observations.push(Observation {
                                 index,
                                 objectives: None,
@@ -898,6 +1010,8 @@ impl<'db> Exploration<'db> {
             pareto,
             infeasible,
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            weights: self.weights.clone(),
+            blocked,
             search: SearchInfo {
                 strategy: strategy_name.to_string(),
                 budget: self.budget,
@@ -933,36 +1047,78 @@ impl<'db> Exploration<'db> {
     }
 }
 
+/// One sweep evaluation: a feasible point, or why the point dropped
+/// (`Err(Some(i))` = suite member `i` failed to schedule first,
+/// `Err(None)` = the cost models returned a non-finite value).
+type PointOutcome = Result<EvaluatedArch, Option<usize>>;
+
+/// Weight-scaled aggregate cycles. Each term `wᵢ·cᵢ` and every partial
+/// sum is an exact integer below 2⁵³ when all weights are 1, so the
+/// unit-weight aggregate is bit-identical to `(Σ cᵢ) as f64` — weighted
+/// suites change results only when they actually reweight.
+fn weighted_sum(workload_cycles: &[u64], weights: &[f64]) -> f64 {
+    workload_cycles
+        .iter()
+        .zip(weights)
+        .map(|(&c, &w)| w * c as f64)
+        .sum()
+}
+
 /// Rebuilds an evaluation from its cache entry. The floats come back as
-/// the exact bit patterns the original evaluation produced, so a warm
-/// sweep is bit-identical to a cold one.
-fn rehydrate(arch: &Architecture, entry: EvalEntry) -> Option<EvaluatedArch> {
+/// the exact bit patterns the original evaluation produced (the
+/// weighted aggregate is deterministically recomputed from the cached
+/// per-workload cycles), so a warm sweep is bit-identical to a cold
+/// one. Entries inconsistent with a suite of `n_workloads` members (a
+/// corrupt cache file, or a content-address collision) return `None`,
+/// which sends the point back to a fresh evaluation.
+fn rehydrate(
+    arch: &Architecture,
+    n_workloads: usize,
+    weights: &[f64],
+    entry: EvalEntry,
+) -> Option<PointOutcome> {
     match entry {
-        EvalEntry::Infeasible => None,
+        EvalEntry::Infeasible { blocked } => {
+            let blocked = match blocked {
+                None => None,
+                Some(w) if (w as usize) < n_workloads => Some(w as usize),
+                Some(_) => return None,
+            };
+            Some(Err(blocked))
+        }
         EvalEntry::Feasible {
             cycles,
             workload_cycles,
             spills,
             area_bits,
             exec_bits,
-        } => Some(EvaluatedArch {
-            architecture: arch.clone(),
-            cycles,
-            workload_cycles,
-            spills,
-            objectives: ObjectiveVector::new([
-                (Objective::Area, f64::from_bits(area_bits)),
-                (Objective::ExecTime, f64::from_bits(exec_bits)),
-            ]),
-        }),
+        } => {
+            if workload_cycles.len() != n_workloads {
+                return None;
+            }
+            let weighted_cycles = weighted_sum(&workload_cycles, weights);
+            Some(Ok(EvaluatedArch {
+                architecture: arch.clone(),
+                cycles,
+                workload_cycles,
+                spills,
+                weighted_cycles,
+                objectives: ObjectiveVector::new([
+                    (Objective::Area, f64::from_bits(area_bits)),
+                    (Objective::ExecTime, f64::from_bits(exec_bits)),
+                ]),
+            }))
+        }
     }
 }
 
-/// The cache entry for a fresh evaluation (`None` = infeasible point).
-fn dehydrate(e: Option<&EvaluatedArch>) -> EvalEntry {
+/// The cache entry for a fresh evaluation.
+fn dehydrate(e: &PointOutcome) -> EvalEntry {
     match e {
-        None => EvalEntry::Infeasible,
-        Some(e) => EvalEntry::Feasible {
+        Err(blocked) => EvalEntry::Infeasible {
+            blocked: blocked.map(|w| w as u32),
+        },
+        Ok(e) => EvalEntry::Feasible {
             cycles: e.cycles,
             workload_cycles: e.workload_cycles.clone(),
             spills: e.spills,
@@ -977,35 +1133,42 @@ fn dehydrate(e: Option<&EvaluatedArch>) -> EvalEntry {
 /// is entirely the models’ verdict: a non-finite area or clock period
 /// (the default annotated models return infinity for out-of-
 /// [`crate::backannotate::ComponentKey`]-domain geometries) or an
-/// unschedulable workload drops the point.
+/// unschedulable workload drops the point — the error records which.
 fn evaluate_point(
     arch: &Architecture,
     workloads: &[Workload],
+    weights: &[f64],
     area_model: &dyn AreaModel,
     timing_model: &dyn TimingModel,
     db: &ComponentDb,
-) -> Option<EvaluatedArch> {
+) -> PointOutcome {
     let mut workload_cycles = Vec::with_capacity(workloads.len());
     let mut spills = 0u32;
-    for w in workloads {
-        let schedule = Scheduler::new(arch).run(&w.dfg).ok()?;
+    for (i, w) in workloads.iter().enumerate() {
+        let schedule = Scheduler::new(arch).run(&w.dfg).map_err(|_| Some(i))?;
         workload_cycles.push(w.application_cycles(schedule.cycles));
         spills += schedule.spills;
     }
     let cycles: u64 = workload_cycles.iter().sum();
+    let weighted_cycles = weighted_sum(&workload_cycles, weights);
     let area = area_model.area(arch, db);
     let clock = timing_model.clock_period(arch, db);
-    if !area.is_finite() || !clock.is_finite() {
-        return None;
+    // Exec time must be finite too: a finite-but-extreme weight can
+    // overflow the weighted aggregate, and an infinite axis would turn
+    // the norm selection into NaN comparisons downstream.
+    let exec_time = weighted_cycles * clock;
+    if !area.is_finite() || !clock.is_finite() || !exec_time.is_finite() {
+        return Err(None);
     }
-    Some(EvaluatedArch {
+    Ok(EvaluatedArch {
         architecture: arch.clone(),
         cycles,
         workload_cycles,
         spills,
+        weighted_cycles,
         objectives: ObjectiveVector::new([
             (Objective::Area, area),
-            (Objective::ExecTime, cycles as f64 * clock),
+            (Objective::ExecTime, exec_time),
         ]),
     })
 }
@@ -1142,6 +1305,114 @@ mod tests {
             .run();
         for (f, p) in result.evaluated.iter().zip(&paper.evaluated) {
             assert!(f.exec_time() < p.exec_time());
+        }
+    }
+
+    #[test]
+    fn unit_weights_are_bit_identical_to_unweighted() {
+        let crypt = suite::crypt(1);
+        let checksum = suite::checksum32();
+        let db = ComponentDb::new();
+        let plain = Exploration::over(TemplateSpace::tiny())
+            .workloads([&crypt, &checksum])
+            .with_db(&db)
+            .run();
+        let weighted = Exploration::over(TemplateSpace::tiny())
+            .workload_weighted(&crypt, 1.0)
+            .workload_weighted(&checksum, 1.0)
+            .with_db(&db)
+            .run();
+        for (a, b) in plain.evaluated.iter().zip(&weighted.evaluated) {
+            assert_eq!(a.objectives, b.objectives);
+            assert_eq!(a.weighted_cycles, a.cycles as f64);
+        }
+    }
+
+    #[test]
+    fn weights_scale_the_exec_time_axis() {
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let base = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        let doubled = Exploration::over(TemplateSpace::tiny())
+            .workload_weighted(&w, 2.0)
+            .with_db(&db)
+            .run();
+        for (a, b) in base.evaluated.iter().zip(&doubled.evaluated) {
+            assert_eq!(a.area(), b.area(), "weights never touch area");
+            assert_eq!(2.0 * a.exec_time(), b.exec_time());
+            assert_eq!(a.cycles, b.cycles, "raw cycles stay unweighted");
+            assert_eq!(b.weighted_cycles, 2.0 * a.cycles as f64);
+        }
+    }
+
+    #[test]
+    fn weights_can_move_the_selection() {
+        // crypt (no MUL needed) vs dct8 (MUL-bound) on a space with a
+        // MUL knob: cranking the DSP member's weight far enough must
+        // shift the equal-weight selection toward a machine that serves
+        // it, and per-workload breakdowns must blame dct8 for every
+        // MUL-less point.
+        let crypt = suite::crypt(1);
+        let dct = suite::dct8();
+        let db = ComponentDb::new();
+        let mut space = TemplateSpace::tiny();
+        space.muls = vec![0, 1];
+        let crypt_heavy = Exploration::over(space.clone())
+            .workload_weighted(&crypt, 1000.0)
+            .workload_weighted(&dct, 1.0)
+            .with_db(&db)
+            .run();
+        let dct_heavy = Exploration::over(space)
+            .workload_weighted(&crypt, 1.0)
+            .workload_weighted(&dct, 1000.0)
+            .with_db(&db)
+            .run();
+        // dct8 is in both suites, so only MUL-bearing points are
+        // feasible and dct8 gets the blame for the rest.
+        assert_eq!(crypt_heavy.blocked, vec![0, crypt_heavy.infeasible]);
+        let b = crypt_heavy.workload_breakdown();
+        assert_eq!(b[1].name, "dct8");
+        assert_eq!(b[1].blocked, crypt_heavy.infeasible);
+        assert!(b[1].selected_cycles.is_some());
+        // The exec-time axis ordering may differ between the two
+        // weightings; the selections both exist.
+        assert!(crypt_heavy
+            .try_select(&Weights::equal(3), Norm::Euclidean)
+            .is_some());
+        assert!(dct_heavy
+            .try_select(&Weights::equal(3), Norm::Euclidean)
+            .is_some());
+    }
+
+    #[test]
+    fn overflowing_weighted_exec_time_drops_the_point() {
+        // A finite-but-absurd weight overflows the weighted aggregate;
+        // the point must drop as infeasible instead of carrying an
+        // infinite axis into the norm selection (NaN comparisons).
+        let w = suite::crypt(1);
+        let result = Exploration::over(TemplateSpace::tiny())
+            .workload_weighted(&w, 1e308)
+            .run();
+        assert!(result.evaluated.is_empty());
+        assert_eq!(result.infeasible, TemplateSpace::tiny().len());
+        assert!(result
+            .try_select(&Weights::equal(0), Norm::Euclidean)
+            .is_none());
+    }
+
+    #[test]
+    fn invalid_weights_are_reported() {
+        let w = suite::crypt(1);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = Exploration::over(TemplateSpace::tiny())
+                .workload(&w)
+                .workload_weighted(&w, bad)
+                .try_run()
+                .unwrap_err();
+            assert_eq!(e, ExploreError::InvalidWeight(1), "{bad}");
         }
     }
 

@@ -63,6 +63,13 @@
 
 #![warn(missing_docs)]
 
+/// The workload-authoring guide, compiled as doc-tests so
+/// `docs/WORKLOADS.md` can never drift from the API it documents.
+#[cfg(doctest)]
+mod workloads_guide {
+    #![doc = include_str!("../../../docs/WORKLOADS.md")]
+}
+
 pub mod backannotate;
 pub mod cache;
 pub mod explore;
@@ -80,7 +87,8 @@ pub mod testplan;
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
 pub use explore::{
-    EvaluatedArch, Exploration, ExploreError, ExploreResult, Objective, ObjectiveVector, SearchInfo,
+    EvaluatedArch, Exploration, ExploreError, ExploreResult, Objective, ObjectiveVector,
+    SearchInfo, WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,

@@ -151,6 +151,93 @@ fn changed_workload_misses_instead_of_serving_stale_results() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+fn run_weighted(weights: (f64, f64), parallel: bool, cache: Option<&SweepCache>) -> ExploreResult {
+    let a = suite::crypt(1);
+    let b = suite::checksum32();
+    let mut e = Exploration::over(TemplateSpace::tiny())
+        .workload_weighted(&a, weights.0)
+        .workload_weighted(&b, weights.1)
+        .with_db(db())
+        .parallel(parallel);
+    if let Some(c) = cache {
+        e = e.cache(c);
+    }
+    e.run()
+}
+
+#[test]
+fn weighted_suites_are_warm_cold_bit_identical() {
+    let dir = tmpdir("weighted");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let cold = run_weighted((3.0, 0.5), false, Some(&cache));
+    assert!(cache.misses() > 0, "cold run must evaluate");
+
+    let warm_cache = SweepCache::open(&dir).expect("reopen");
+    let warm = run_weighted((3.0, 0.5), true, Some(&warm_cache));
+    assert_eq!(warm_cache.misses(), 0, "warm run must not evaluate");
+    assert_bit_identical(&cold, &warm);
+    // Per-workload feasibility blame replays from the cache too.
+    assert_eq!(cold.blocked, warm.blocked);
+    for (x, y) in cold.evaluated.iter().zip(&warm.evaluated) {
+        assert_eq!(x.weighted_cycles.to_bits(), y.weighted_cycles.to_bits());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_blocked_index_degrades_to_clean_reevaluation() {
+    // A well-formed cache line whose blocked-workload payload is out of
+    // range for the suite must be re-evaluated, not trusted (it would
+    // otherwise index past the per-workload accounting).
+    let run = |cache: Option<&SweepCache>| {
+        // dct8 needs a MUL and tiny() has none: every point is
+        // infeasible with the workload itself to blame, so the cache
+        // holds `I 0` entries we can point out of range.
+        let w = suite::dct8();
+        let mut e = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(db());
+        if let Some(c) = cache {
+            e = e.cache(c);
+        }
+        e.run()
+    };
+    let dir = tmpdir("badblocked");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let clean = run(Some(&cache));
+    assert!(clean.infeasible > 0 && clean.blocked == vec![clean.infeasible]);
+    let text = fs::read_to_string(cache.path()).expect("flushed");
+    assert!(text.contains(" I 0"), "expected blamed entries:\n{text}");
+    fs::write(cache.path(), text.replace(" I 0", " I 7")).unwrap();
+
+    let reopened = SweepCache::open(&dir).expect("reopen");
+    let replayed = run(Some(&reopened));
+    assert_bit_identical(&clean, &replayed);
+    assert_eq!(clean.blocked, replayed.blocked);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reweighting_a_suite_misses_instead_of_serving_stale_results() {
+    let dir = tmpdir("reweight");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let first = run_weighted((1.0, 1.0), false, Some(&cache));
+    let n1 = eval_entries(&cache);
+    // Same workloads, different weights: the exec-time axis changes, so
+    // the content address must change with it.
+    let second = run_weighted((1.0, 4.0), false, Some(&cache));
+    assert_eq!(
+        eval_entries(&cache),
+        n1 + second.evaluated.len() + second.infeasible,
+        "each weighting owns its evaluation entries"
+    );
+    for (x, y) in first.evaluated.iter().zip(&second.evaluated) {
+        assert_eq!(x.workload_cycles, y.workload_cycles);
+        assert!(y.exec_time() > x.exec_time(), "upweighting slows the axis");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unfingerprintable_model_bypasses_the_eval_cache() {
     struct FlatArea;

@@ -29,6 +29,8 @@
 //! assert!(!schedule.moves.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codegen;
 pub mod ir;
 pub mod metrics;

@@ -27,6 +27,8 @@
 //! assert!(arch.fus().iter().any(|f| f.kind == FuKind::Alu));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arch;
 pub mod isa;
 pub mod template;

@@ -148,14 +148,15 @@ impl TemplateSpace {
 
     /// A reduced 8-bit space that keeps every effect visible but
     /// back-annotates in seconds — used by tests, examples and CI smoke
-    /// runs.
+    /// runs. The MUL knob is part of the space so multiplier-hungry
+    /// workloads (FFT, FIR, DCT) have feasible points here too.
     pub fn fast_default() -> Self {
         TemplateSpace {
             width: 8,
             buses: vec![1, 2, 3],
             alus: vec![1, 2],
             cmps: vec![1],
-            muls: vec![0],
+            muls: vec![0, 1],
             imms: vec![1],
             rf_sets: vec![vec![(8, 1, 2)], vec![(4, 1, 1)]],
         }

@@ -1,0 +1,205 @@
+//! Radix-2 FFT butterfly stage — the kernel of TTA-based FFT processors.
+//!
+//! Žádník & Takala's FFT processor (arXiv:1905.08239) runs fixed-point
+//! radix-2 butterflies on a TTA core; the butterfly is the textbook
+//! stress case for MUL/ADD chain pressure in the design space. This
+//! module expresses one decimation-in-frequency (DIF) stage over `n`
+//! complex points as a straight-line [`Dfg`] trace:
+//!
+//! for every butterfly `k` in `0..n/2`, with `a = x[k]`,
+//! `b = x[k + n/2]` and the twiddle `W = e^{-j2πk/n}` in Q7 fixed
+//! point:
+//!
+//! ```text
+//! a' = a + b
+//! b' = (a - b) · W
+//! ```
+//!
+//! The complex multiply expands to four scalar MULs and two ALU
+//! combines per butterfly, so the kernel is multiplier-dominated —
+//! architectures without a MUL unit are infeasible for it, and
+//! MUL-capable points shift the selected architecture (exactly the
+//! effect a DSP-weighted suite is meant to expose).
+//!
+//! Arithmetic is wrapping over the DFG word width (two's-complement
+//! encoding for negative twiddles), mirroring what a fixed-point
+//! compiler emits; [`fft_stage_reference`] is the golden model with
+//! the same wrapping semantics, value for value.
+
+use tta_movec::ir::{Dfg, Op, ValueId};
+
+/// Q7 fixed-point scale of the twiddle factors (cos/sin × 128).
+pub const TWIDDLE_SCALE: f64 = 128.0;
+
+/// Q7 twiddle factors `W_n^k = e^{-j2πk/n}` for `k in 0..n/2`, as
+/// `(re, im)` pairs wrapped to 16 bits (negative values encoded
+/// two's-complement, as a fixed-point compiler would emit them).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn fft_twiddles(n: usize) -> Vec<(u16, u16)> {
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "FFT size must be a power of two >= 2"
+    );
+    (0..n / 2)
+        .map(|k| {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let re = (angle.cos() * TWIDDLE_SCALE).round() as i32;
+            let im = (angle.sin() * TWIDDLE_SCALE).round() as i32;
+            ((re as i16) as u16, (im as i16) as u16)
+        })
+        .collect()
+}
+
+/// One radix-2 DIF butterfly stage over `n` complex points as a
+/// 16-bit dataflow trace.
+///
+/// Memory layout: `re[k]` at address `k`, `im[k]` at address `n + k`.
+/// Outputs, in order, for each butterfly `k in 0..n/2`: the sum path
+/// `(re, im)` followed by the twiddled difference path `(re, im)`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn fft_stage_dfg(n: usize) -> Dfg {
+    let twiddles = fft_twiddles(n);
+    let mut dfg = Dfg::new(16);
+    let half = n / 2;
+    for (k, &(wr, wi)) in twiddles.iter().enumerate() {
+        let load = |dfg: &mut Dfg, addr: usize| {
+            let a = dfg.constant(addr as u64);
+            dfg.op(Op::Load, &[a])
+        };
+        let ar = load(&mut dfg, k);
+        let ai = load(&mut dfg, n + k);
+        let br = load(&mut dfg, k + half);
+        let bi = load(&mut dfg, n + k + half);
+        // Sum path: a' = a + b.
+        let sum_r = dfg.op(Op::Add, &[ar, br]);
+        let sum_i = dfg.op(Op::Add, &[ai, bi]);
+        // Difference path: d = a - b, then b' = d · W.
+        let dr = dfg.op(Op::Sub, &[ar, br]);
+        let di = dfg.op(Op::Sub, &[ai, bi]);
+        let cwr = dfg.constant(u64::from(wr));
+        let cwi = dfg.constant(u64::from(wi));
+        let t = complex_mul(&mut dfg, (dr, di), (cwr, cwi));
+        dfg.mark_output(sum_r);
+        dfg.mark_output(sum_i);
+        dfg.mark_output(t.0);
+        dfg.mark_output(t.1);
+    }
+    dfg
+}
+
+/// `(ar + j·ai) · (br + j·bi)` with wrapping word arithmetic: four MULs
+/// plus the cross-term combine.
+fn complex_mul(dfg: &mut Dfg, a: (ValueId, ValueId), b: (ValueId, ValueId)) -> (ValueId, ValueId) {
+    let rr = dfg.op(Op::Mul, &[a.0, b.0]);
+    let ii = dfg.op(Op::Mul, &[a.1, b.1]);
+    let ri = dfg.op(Op::Mul, &[a.0, b.1]);
+    let ir = dfg.op(Op::Mul, &[a.1, b.0]);
+    let re = dfg.op(Op::Sub, &[rr, ii]);
+    let im = dfg.op(Op::Add, &[ri, ir]);
+    (re, im)
+}
+
+/// Golden model for [`fft_stage_dfg`]: the same butterflies with the
+/// same wrapping 16-bit arithmetic, in plain Rust. Returns the outputs
+/// in the trace's output order (`sum_re, sum_im, diff_re, diff_im` per
+/// butterfly).
+///
+/// # Panics
+///
+/// Panics unless `re` and `im` both hold `n` samples for a power-of-two
+/// `n` ≥ 2.
+pub fn fft_stage_reference(re: &[u64], im: &[u64]) -> Vec<u64> {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im sample counts must match");
+    let twiddles = fft_twiddles(n);
+    let m = |v: u64| v & 0xFFFF;
+    let mut out = Vec::with_capacity(2 * n);
+    for (k, &(wr, wi)) in twiddles.iter().enumerate() {
+        let (ar, ai) = (m(re[k]), m(im[k]));
+        let (br, bi) = (m(re[k + n / 2]), m(im[k + n / 2]));
+        out.push(m(ar.wrapping_add(br)));
+        out.push(m(ai.wrapping_add(bi)));
+        let dr = m(ar.wrapping_sub(br));
+        let di = m(ai.wrapping_sub(bi));
+        let (wr, wi) = (u64::from(wr), u64::from(wi));
+        let rr = m(dr.wrapping_mul(wr));
+        let ii = m(di.wrapping_mul(wi));
+        let ri = m(dr.wrapping_mul(wi));
+        let ir = m(di.wrapping_mul(wr));
+        out.push(m(rr.wrapping_sub(ii)));
+        out.push(m(ri.wrapping_add(ir)));
+    }
+    out
+}
+
+/// A deterministic `2n`-word sample frame (`re` then `im`) for the
+/// suite's memory image.
+pub fn fft_sample_frame(n: usize) -> Vec<u64> {
+    (0..2 * n)
+        .map(|k| ((k as u64) * 73 + 19) & 0xFFFF)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_matches_reference() {
+        for n in [2usize, 4, 8, 16] {
+            let mem = fft_sample_frame(n);
+            let (re, im) = mem.split_at(n);
+            let dfg = fft_stage_dfg(n);
+            let mut m = mem.clone();
+            let out = dfg.eval(&[], &mut m);
+            assert_eq!(out, fft_stage_reference(re, im), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dc_butterfly_passes_sums_through() {
+        // k = 0 has W = 1 (Q7: 128): the difference path is the plain
+        // difference scaled by 128.
+        let re = [100u64, 40];
+        let im = [7u64, 3];
+        let out = fft_stage_reference(&re, &im);
+        assert_eq!(out[0], 140); // 100 + 40
+        assert_eq!(out[1], 10); // 7 + 3
+        assert_eq!(out[2], (100 - 40) * 128);
+        assert_eq!(out[3], (7 - 3) * 128);
+    }
+
+    #[test]
+    fn twiddles_live_on_the_unit_circle() {
+        for (re, im) in fft_twiddles(16) {
+            let r = f64::from(re as i16) / TWIDDLE_SCALE;
+            let i = f64::from(im as i16) / TWIDDLE_SCALE;
+            let mag = (r * r + i * i).sqrt();
+            assert!((mag - 1.0).abs() < 0.02, "|W| = {mag}");
+        }
+    }
+
+    #[test]
+    fn stage_is_multiplier_dominated() {
+        use tta_movec::ir::FuClass;
+        let dfg = fft_stage_dfg(8);
+        let muls = dfg
+            .nodes()
+            .iter()
+            .filter(|node| node.op.fu_class() == Some(FuClass::Mul))
+            .count();
+        assert_eq!(muls, 4 * 4, "four MULs per butterfly");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = fft_stage_dfg(6);
+    }
+}

@@ -7,9 +7,15 @@
 //!   [`crypt`] password hash built on it (the *reference semantics*);
 //! * the hand lowering of the crypt kernel onto the 16-bit MOVE IR
 //!   ([`lower`]), checked value-for-value against the reference;
-//! * additional workloads ([`extra`]) exercising other corners of the
-//!   design space, and the registry ([`suite`]) the exploration driver
-//!   consumes.
+//! * additional kernels exercising other corners of the design space:
+//!   the radix-2 FFT butterfly stage ([`fft`], MUL-dominated), the
+//!   Viterbi/turbo add-compare-select step ([`viterbi`], CMP-dominated)
+//!   and the [`extra`] grab bag (FIR, DCT, bitcount, checksum, GCD) —
+//!   each with a golden-model reference;
+//! * the registry of named workloads and *named, weighted suites*
+//!   ([`suite::SuiteRegistry`]: `paper`, `dsp`, `control`, `all`, plus
+//!   your own) the exploration driver, CLI and docs all derive their
+//!   workload lists from. `docs/WORKLOADS.md` is the authoring guide.
 //!
 //! # Quickstart
 //!
@@ -27,10 +33,14 @@
 //! assert_eq!(out.len(), 4); // L and R halves as 16-bit words
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod crypt;
 pub mod des;
 pub mod extra;
+pub mod fft;
 pub mod lower;
 pub mod suite;
+pub mod viterbi;
 
-pub use suite::Workload;
+pub use suite::{Suite, SuiteParams, SuiteRegistry, WeightedWorkload, Workload};

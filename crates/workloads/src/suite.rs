@@ -1,8 +1,25 @@
-//! The workload registry the exploration driver consumes.
+//! The workload registry the exploration driver consumes: named
+//! workloads, sizing parameters, and *weighted suites*.
+//!
+//! A [`Workload`] is one schedulable trace; a [`Suite`] is a named,
+//! weighted set of them (`paper`, `dsp`, `control`, `all`, or your
+//! own); the [`SuiteRegistry`] maps names to both and is the single
+//! source of truth the CLI, the bench harnesses and the docs derive
+//! their workload lists from — a workload registered here can never
+//! drift out of the help text.
+//!
+//! ```
+//! use tta_workloads::suite::{SuiteParams, SuiteRegistry};
+//!
+//! let reg = SuiteRegistry::standard();
+//! let dsp = reg.instantiate("dsp", &SuiteParams::fast()).unwrap();
+//! assert!(dsp.iter().any(|m| m.workload.name.starts_with("fft")));
+//! assert!(dsp.iter().all(|m| m.weight > 0.0));
+//! ```
 
 use tta_movec::ir::Dfg;
 
-use crate::{extra, lower};
+use crate::{extra, fft, lower, viterbi};
 
 /// A schedulable workload: a DFG trace plus everything needed to run and
 /// account for it.
@@ -26,6 +43,18 @@ impl Workload {
     pub fn application_cycles(&self, trace_cycles: u32) -> u64 {
         u64::from(trace_cycles) * self.trace_iterations
     }
+}
+
+/// A workload paired with its weight inside a suite. The weight scales
+/// the workload's cycle contribution in the exploration's aggregate
+/// execution-time axis (`tta_core::explore`): weight 2 counts the
+/// workload twice as heavily as weight 1.
+#[derive(Debug, Clone)]
+pub struct WeightedWorkload {
+    /// The workload itself.
+    pub workload: Workload,
+    /// Relative weight (> 0, finite).
+    pub weight: f64,
 }
 
 /// The paper's workload: the crypt(3) kernel, `rounds` Feistel rounds per
@@ -99,9 +128,269 @@ pub fn gcd12() -> Workload {
     }
 }
 
-/// Every standard workload at test-friendly sizes.
-pub fn all_standard() -> Vec<Workload> {
-    vec![crypt(4), fir16(), bitcount(), checksum32(), dct8(), gcd12()]
+/// One radix-2 FFT butterfly stage over `points` complex points
+/// (fixed-point, MUL-dominated — see [`crate::fft`]).
+///
+/// # Panics
+///
+/// Panics unless `points` is a power of two ≥ 2.
+pub fn fft(points: usize) -> Workload {
+    Workload {
+        name: format!("fft[{points}p]"),
+        dfg: fft::fft_stage_dfg(points),
+        inputs: vec![],
+        mem: fft::fft_sample_frame(points),
+        // One stage per trace; a full N-point FFT is log2(N) stages, and
+        // the application streams 128 frames.
+        trace_iterations: u64::from(points.trailing_zeros()) * 128,
+    }
+}
+
+/// One Viterbi/turbo add-compare-select trellis step over `states`
+/// states (ALU/CMP-dominated, no multiplier — see [`crate::viterbi`]).
+///
+/// # Panics
+///
+/// Panics unless `states` is a power of two in `2..=16`.
+pub fn viterbi(states: usize) -> Workload {
+    Workload {
+        name: format!("viterbi[{states}s]"),
+        dfg: viterbi::acs_step_dfg(states),
+        inputs: vec![],
+        mem: viterbi::acs_metric_frame(states),
+        // One trellis step per trace; a decoded block is 256 steps.
+        trace_iterations: 256,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sizing parameters
+// ---------------------------------------------------------------------
+
+/// Sizing knobs for registry-built workloads: the same named workload
+/// comes in paper-scale and test-friendly variants, and every size is
+/// spelled out here instead of being scattered over call sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteParams {
+    /// Feistel rounds per crypt trace (16 = one full DES block).
+    pub crypt_rounds: usize,
+    /// Complex points per FFT butterfly stage (power of two ≥ 2).
+    pub fft_points: usize,
+    /// Trellis states per add-compare-select step (power of two, 2–16).
+    pub viterbi_states: usize,
+}
+
+impl SuiteParams {
+    /// Paper-scale sizes: full crypt cipher, 16-point FFT stage,
+    /// 8-state trellis.
+    pub fn paper() -> Self {
+        SuiteParams {
+            crypt_rounds: 16,
+            fft_points: 16,
+            viterbi_states: 8,
+        }
+    }
+
+    /// Test-friendly sizes for the fast space and CI smoke runs.
+    pub fn fast() -> Self {
+        SuiteParams {
+            crypt_rounds: 1,
+            fft_points: 8,
+            viterbi_states: 4,
+        }
+    }
+}
+
+impl Default for SuiteParams {
+    fn default() -> Self {
+        SuiteParams::fast()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suites and the registry
+// ---------------------------------------------------------------------
+
+/// A named, weighted suite definition: workload *names* (resolved
+/// against the registry at instantiation time) with their weights.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (`paper`, `dsp`, …).
+    pub name: String,
+    /// One-line description for listings.
+    pub description: String,
+    /// `(workload name, weight)` members, in aggregation order.
+    pub members: Vec<(String, f64)>,
+}
+
+/// Builds one workload at the given sizes.
+type WorkloadFactory = Box<dyn Fn(&SuiteParams) -> Workload + Send + Sync>;
+
+/// The registry of named workloads and named, weighted suites.
+///
+/// [`SuiteRegistry::standard`] registers every built-in workload and
+/// the four standard suites; [`SuiteRegistry::register_workload`] /
+/// [`SuiteRegistry::register_suite`] extend it with your own (see
+/// `docs/WORKLOADS.md`).
+pub struct SuiteRegistry {
+    workloads: Vec<(String, WorkloadFactory)>,
+    suites: Vec<Suite>,
+}
+
+impl SuiteRegistry {
+    /// An empty registry (no workloads, no suites).
+    pub fn new() -> Self {
+        SuiteRegistry {
+            workloads: Vec::new(),
+            suites: Vec::new(),
+        }
+    }
+
+    /// The standard registry: every built-in workload plus the four
+    /// standard suites —
+    ///
+    /// * `paper` — the paper's single application (crypt);
+    /// * `dsp` — kernel-dominated MUL-pressure mix (FFT stage, FIR,
+    ///   DCT), weighted toward the FFT per Žádník & Takala;
+    /// * `control` — decoder/control mix without a multiplier
+    ///   (add-compare-select, GCD, bitcount, checksum), weighted toward
+    ///   the ACS kernel per Shahabuddin et al.;
+    /// * `all` — every workload at weight 1.
+    pub fn standard() -> Self {
+        let mut reg = SuiteRegistry::new();
+        reg.register_workload("crypt", |p: &SuiteParams| crypt(p.crypt_rounds));
+        reg.register_workload("fir16", |_| fir16());
+        reg.register_workload("bitcount", |_| bitcount());
+        reg.register_workload("checksum32", |_| checksum32());
+        reg.register_workload("dct8", |_| dct8());
+        reg.register_workload("gcd12", |_| gcd12());
+        reg.register_workload("fft", |p: &SuiteParams| fft(p.fft_points));
+        reg.register_workload("viterbi", |p: &SuiteParams| viterbi(p.viterbi_states));
+        reg.register_suite(Suite {
+            name: "paper".into(),
+            description: "the paper's single application: crypt(3)/DES".into(),
+            members: vec![("crypt".into(), 1.0)],
+        });
+        reg.register_suite(Suite {
+            name: "dsp".into(),
+            description: "MUL-dominated kernels: FFT butterfly stage, FIR, DCT".into(),
+            members: vec![
+                ("fft".into(), 4.0),
+                ("fir16".into(), 2.0),
+                ("dct8".into(), 1.0),
+            ],
+        });
+        reg.register_suite(Suite {
+            name: "control".into(),
+            description: "decoder/control kernels without a multiplier: ACS, GCD, bitcount, \
+                          checksum"
+                .into(),
+            members: vec![
+                ("viterbi".into(), 4.0),
+                ("gcd12".into(), 2.0),
+                ("bitcount".into(), 1.0),
+                ("checksum32".into(), 1.0),
+            ],
+        });
+        let all = reg
+            .workload_names()
+            .iter()
+            .map(|n| (n.to_string(), 1.0))
+            .collect();
+        reg.register_suite(Suite {
+            name: "all".into(),
+            description: "every registered workload at weight 1".into(),
+            members: all,
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a named workload factory.
+    pub fn register_workload(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&SuiteParams) -> Workload + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        self.workloads.retain(|(n, _)| *n != name);
+        self.workloads.push((name, Box::new(factory)));
+    }
+
+    /// Registers (or replaces) a named suite. Member names are resolved
+    /// lazily, so a suite may be registered before its workloads.
+    pub fn register_suite(&mut self, suite: Suite) {
+        self.suites.retain(|s| s.name != suite.name);
+        self.suites.push(suite);
+    }
+
+    /// Every registered workload name, in registration order.
+    pub fn workload_names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Every registered suite, in registration order.
+    pub fn suites(&self) -> &[Suite] {
+        &self.suites
+    }
+
+    /// Every registered suite name, in registration order.
+    pub fn suite_names(&self) -> Vec<&str> {
+        self.suites.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The suite registered under `name`, if any.
+    pub fn suite(&self, name: &str) -> Option<&Suite> {
+        self.suites.iter().find(|s| s.name == name)
+    }
+
+    /// Builds the workload registered under `name` at the given sizes.
+    pub fn build(&self, name: &str, params: &SuiteParams) -> Option<Workload> {
+        self.workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f(params))
+    }
+
+    /// Instantiates every member of the suite registered under `name`,
+    /// in member order. Returns `None` for an unknown suite name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member names a workload the registry does not
+    /// have — a suite definition bug, not an input error.
+    pub fn instantiate(&self, name: &str, params: &SuiteParams) -> Option<Vec<WeightedWorkload>> {
+        let suite = self.suite(name)?;
+        Some(
+            suite
+                .members
+                .iter()
+                .map(|(member, weight)| WeightedWorkload {
+                    workload: self.build(member, params).unwrap_or_else(|| {
+                        panic!("suite {name:?} names unknown workload {member:?}")
+                    }),
+                    weight: *weight,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Default for SuiteRegistry {
+    /// An empty registry, matching [`SuiteRegistry::new`] (use
+    /// [`SuiteRegistry::standard`] for the built-in workloads and
+    /// suites).
+    fn default() -> Self {
+        SuiteRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for SuiteRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteRegistry")
+            .field("workloads", &self.workload_names())
+            .field("suites", &self.suite_names())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +398,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn workloads_evaluate() {
-        for w in all_standard() {
+    fn registered_workloads_evaluate() {
+        let reg = SuiteRegistry::standard();
+        let params = SuiteParams::fast();
+        for name in reg.workload_names() {
+            let w = reg.build(name, &params).expect("registered");
             let mut mem = w.mem.clone();
             let out = w.dfg.eval(&w.inputs, &mut mem);
             assert!(!out.is_empty(), "{}", w.name);
@@ -123,5 +415,62 @@ mod tests {
         assert_eq!(w.application_cycles(100), 2500);
         let w4 = crypt(4);
         assert_eq!(w4.application_cycles(100), 10_000);
+    }
+
+    #[test]
+    fn standard_suites_instantiate_with_positive_weights() {
+        let reg = SuiteRegistry::standard();
+        for suite_name in ["paper", "dsp", "control", "all"] {
+            let members = reg
+                .instantiate(suite_name, &SuiteParams::fast())
+                .unwrap_or_else(|| panic!("{suite_name} registered"));
+            assert!(!members.is_empty(), "{suite_name}");
+            for m in &members {
+                assert!(
+                    m.weight > 0.0 && m.weight.is_finite(),
+                    "{}",
+                    m.workload.name
+                );
+            }
+        }
+        // `all` covers every registered workload.
+        let all = reg.instantiate("all", &SuiteParams::fast()).unwrap();
+        assert_eq!(all.len(), reg.workload_names().len());
+    }
+
+    #[test]
+    fn suite_sizes_follow_params() {
+        let reg = SuiteRegistry::standard();
+        let fast = reg.build("fft", &SuiteParams::fast()).unwrap();
+        let paper = reg.build("fft", &SuiteParams::paper()).unwrap();
+        assert!(paper.dfg.operation_count() > fast.dfg.operation_count());
+        assert_eq!(fast.name, "fft[8p]");
+        assert_eq!(paper.name, "fft[16p]");
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        let reg = SuiteRegistry::standard();
+        assert!(reg.build("mp3", &SuiteParams::fast()).is_none());
+        assert!(reg.instantiate("media", &SuiteParams::fast()).is_none());
+        assert!(reg.suite("media").is_none());
+    }
+
+    #[test]
+    fn registration_replaces_and_extends() {
+        let mut reg = SuiteRegistry::standard();
+        reg.register_workload("crypt", |_| bitcount());
+        assert_eq!(
+            reg.build("crypt", &SuiteParams::fast()).unwrap().name,
+            "bitcount"
+        );
+        reg.register_suite(Suite {
+            name: "mine".into(),
+            description: "custom".into(),
+            members: vec![("gcd12".into(), 3.0)],
+        });
+        let mine = reg.instantiate("mine", &SuiteParams::fast()).unwrap();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].weight, 3.0);
     }
 }

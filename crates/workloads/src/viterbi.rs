@@ -1,0 +1,161 @@
+//! Viterbi/turbo-style add-compare-select (ACS) — the decoder kernel.
+//!
+//! Shahabuddin et al.'s turbo-decoder TTA (arXiv:1501.04192) is built
+//! around the add-compare-select recursion: every trellis step adds
+//! branch metrics to the surviving path metrics, compares the two
+//! candidates reaching each state, and keeps the smaller one plus a
+//! decision bit. The FU pressure is the opposite of the FFT butterfly:
+//! no multiplier at all, but a long ADD/CMP/mask chain per state —
+//! a comparator-starved architecture chokes on it.
+//!
+//! This module expresses one full trellis step over `states` states as
+//! a straight-line [`Dfg`] trace using branch-free select (compare +
+//! all-ones mask + XOR swap), the form a predicated compiler emits.
+//! [`acs_step_reference`] is the golden model with identical wrapping
+//! semantics.
+
+use tta_movec::ir::{Dfg, Op, ValueId};
+
+/// One add-compare-select trellis step over `states` states.
+///
+/// Memory layout: path metric of state `s` at address `s`; the two
+/// branch metrics feeding state `s` at addresses `states + 2s` and
+/// `states + 2s + 1`. State `s` is reached from predecessor states
+/// `(2s) mod states` and `(2s + 1) mod states` — the butterfly wiring
+/// of a rate-1/2 convolutional trellis.
+///
+/// Outputs, in order: the `states` surviving metrics, then one word
+/// packing the decision bits (bit `s` = 1 when the second path won).
+///
+/// # Panics
+///
+/// Panics unless `states` is a power of two in `2..=16` (the decision
+/// word must fit the 16-bit trace).
+pub fn acs_step_dfg(states: usize) -> Dfg {
+    assert!(
+        (2..=16).contains(&states) && states.is_power_of_two(),
+        "state count must be a power of two in 2..=16"
+    );
+    let mut dfg = Dfg::new(16);
+    let zero = dfg.constant(0);
+    let mut decisions: Option<ValueId> = None;
+    for s in 0..states {
+        let load = |dfg: &mut Dfg, addr: usize| {
+            let a = dfg.constant(addr as u64);
+            dfg.op(Op::Load, &[a])
+        };
+        let pm0 = load(&mut dfg, (2 * s) % states);
+        let pm1 = load(&mut dfg, (2 * s + 1) % states);
+        let bm0 = load(&mut dfg, states + 2 * s);
+        let bm1 = load(&mut dfg, states + 2 * s + 1);
+        // Add.
+        let m0 = dfg.op(Op::Add, &[pm0, bm0]);
+        let m1 = dfg.op(Op::Add, &[pm1, bm1]);
+        // Compare: t = 1 when the second candidate is strictly smaller.
+        let t = dfg.op(Op::Ltu, &[m1, m0]);
+        // Select, branch-free: mask = 0 - t (all ones when t), then
+        // min = m0 ^ ((m0 ^ m1) & mask).
+        let mask = dfg.op(Op::Sub, &[zero, t]);
+        let x = dfg.op(Op::Xor, &[m0, m1]);
+        let pick = dfg.op(Op::And, &[x, mask]);
+        let min = dfg.op(Op::Xor, &[m0, pick]);
+        dfg.mark_output(min);
+        // Pack the decision bit into bit s of the survivor word.
+        let shift = dfg.constant(s as u64);
+        let bit = dfg.op(Op::Shl, &[t, shift]);
+        decisions = Some(match decisions {
+            None => bit,
+            Some(acc) => dfg.op(Op::Or, &[acc, bit]),
+        });
+    }
+    dfg.mark_output(decisions.expect("at least two states"));
+    dfg
+}
+
+/// Golden model for [`acs_step_dfg`]: the same trellis step with the
+/// same wrapping 16-bit arithmetic. `mem` holds path metrics followed
+/// by branch metrics, exactly as the trace's memory image. Returns the
+/// surviving metrics followed by the packed decision word.
+///
+/// # Panics
+///
+/// Panics when `mem` is shorter than `3 × states`.
+pub fn acs_step_reference(states: usize, mem: &[u64]) -> Vec<u64> {
+    assert!(mem.len() >= 3 * states, "need metrics for every state");
+    let m = |v: u64| v & 0xFFFF;
+    let mut out = Vec::with_capacity(states + 1);
+    let mut decisions = 0u64;
+    for s in 0..states {
+        let m0 = m(m(mem[(2 * s) % states]).wrapping_add(mem[states + 2 * s]));
+        let m1 = m(m(mem[(2 * s + 1) % states]).wrapping_add(mem[states + 2 * s + 1]));
+        let t = u64::from(m1 < m0);
+        out.push(if t == 1 { m1 } else { m0 });
+        decisions |= t << s;
+    }
+    out.push(m(decisions));
+    out
+}
+
+/// A deterministic `3n`-word metric frame (path metrics, then branch
+/// metrics) for the suite's memory image.
+pub fn acs_metric_frame(states: usize) -> Vec<u64> {
+    (0..3 * states)
+        .map(|k| ((k as u64) * 41 + 5) % 997)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_matches_reference() {
+        for states in [2usize, 4, 8, 16] {
+            let mem = acs_metric_frame(states);
+            let dfg = acs_step_dfg(states);
+            let mut m = mem.clone();
+            let out = dfg.eval(&[], &mut m);
+            assert_eq!(out, acs_step_reference(states, &mem), "states={states}");
+        }
+    }
+
+    #[test]
+    fn survivor_is_the_smaller_candidate() {
+        // states = 2: state 0 reads pm[0]+bm[0] vs pm[1]+bm[1].
+        let mem = [10u64, 50, 1, 2, 3, 4]; // pm = [10, 50], bm = [1,2,3,4]
+        let out = acs_step_reference(2, &mem);
+        assert_eq!(out[0], 11); // min(10+1, 50+2)
+        assert_eq!(out[1], 13); // state 1: min(10+3, 50+4) = 13
+        assert_eq!(out[2], 0b00); // first path won both
+    }
+
+    #[test]
+    fn decision_bits_flag_second_path_wins() {
+        let mem = [50u64, 1, 9, 0, 9, 0];
+        let out = acs_step_reference(2, &mem);
+        assert_eq!(out[0], 1); // 50+9=59 vs 1+0=1
+        assert_eq!(out[2] & 1, 1, "second path won state 0");
+    }
+
+    #[test]
+    fn step_uses_no_multiplier() {
+        use tta_movec::ir::FuClass;
+        let dfg = acs_step_dfg(8);
+        assert!(dfg
+            .nodes()
+            .iter()
+            .all(|node| node.op.fu_class() != Some(FuClass::Mul)));
+        let cmps = dfg
+            .nodes()
+            .iter()
+            .filter(|node| node.op.fu_class() == Some(FuClass::Cmp))
+            .count();
+        assert_eq!(cmps, 8, "one compare per state");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_state_counts() {
+        let _ = acs_step_dfg(6);
+    }
+}

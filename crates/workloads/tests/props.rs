@@ -1,0 +1,95 @@
+//! Property tests of the workload subsystem: the DFG traces agree with
+//! their golden models over random inputs, and every workload the
+//! standard registry offers actually schedules on the paper space's
+//! maximal template — a workload that cannot run anywhere in the space
+//! would silently hollow out every suite it belongs to.
+
+use proptest::prelude::*;
+use tta_arch::template::TemplateSpace;
+use tta_movec::schedule::Scheduler;
+use tta_workloads::{fft, suite, viterbi};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interpreter == reference for the FFT butterfly stage over random
+    /// sample frames and every supported stage size.
+    #[test]
+    fn fft_stage_matches_golden_model(
+        n_exp in 1u32..5,
+        samples in proptest::collection::vec(0u64..0x10000, 32),
+    ) {
+        let n = 1usize << n_exp;
+        let mem: Vec<u64> = samples[..2 * n].to_vec();
+        let (re, im) = mem.split_at(n);
+        let dfg = fft::fft_stage_dfg(n);
+        let mut m = mem.clone();
+        let got = dfg.eval(&[], &mut m);
+        prop_assert_eq!(got, fft::fft_stage_reference(re, im));
+    }
+
+    /// Interpreter == reference for the add-compare-select step over
+    /// random metric frames and every supported trellis size.
+    #[test]
+    fn acs_step_matches_golden_model(
+        s_exp in 1u32..5,
+        metrics in proptest::collection::vec(0u64..0x10000, 48),
+    ) {
+        let states = 1usize << s_exp;
+        let mem: Vec<u64> = metrics[..3 * states].to_vec();
+        let dfg = viterbi::acs_step_dfg(states);
+        let mut m = mem.clone();
+        let got = dfg.eval(&[], &mut m);
+        prop_assert_eq!(got, viterbi::acs_step_reference(states, &mem));
+    }
+}
+
+/// The largest architecture the paper-default space enumerates (every
+/// knob at its maximum: 4 buses, 3 ALUs, 2 CMPs, 1 MUL, the 16-register
+/// dual-ported RF).
+fn maximal_paper_template() -> tta_arch::Architecture {
+    let space = TemplateSpace::paper_default();
+    let arch = space.point(space.len() - 1);
+    assert!(
+        arch.fus.iter().any(|f| f.name.starts_with("mul")),
+        "the maximal template must carry the MUL knob"
+    );
+    arch
+}
+
+#[test]
+fn every_registered_workload_schedules_on_the_maximal_paper_template() {
+    let arch = maximal_paper_template();
+    let registry = suite::SuiteRegistry::standard();
+    for params in [suite::SuiteParams::fast(), suite::SuiteParams::paper()] {
+        for name in registry.workload_names() {
+            let w = registry.build(name, &params).expect("registered");
+            let schedule = Scheduler::new(&arch)
+                .run(&w.dfg)
+                .unwrap_or_else(|e| panic!("{} must schedule: {e}", w.name));
+            assert!(schedule.cycles > 0, "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn every_suite_member_evaluates_like_its_workload() {
+    // Instantiating through a suite must hand out exactly the same
+    // traces as building the workload directly.
+    let registry = suite::SuiteRegistry::standard();
+    let params = suite::SuiteParams::fast();
+    for s in registry.suites() {
+        let members = registry.instantiate(&s.name, &params).expect("registered");
+        for (member, (name, weight)) in members.iter().zip(&s.members) {
+            let direct = registry.build(name, &params).expect("member registered");
+            assert_eq!(member.workload.name, direct.name);
+            assert_eq!(member.weight, *weight);
+            let mut m1 = member.workload.mem.clone();
+            let mut m2 = direct.mem.clone();
+            assert_eq!(
+                member.workload.dfg.eval(&member.workload.inputs, &mut m1),
+                direct.dfg.eval(&direct.inputs, &mut m2),
+            );
+        }
+    }
+}
