@@ -38,6 +38,18 @@ fn bench_dse(c: &mut Criterion) {
             black_box(result.pareto.len())
         });
     });
+    group.bench_function("fast_space_crypt1_full_lift", |b| {
+        // Full-lift overhead: every feasible point pays the test-cost
+        // model on top of scheduling, and the streaming front is 3-D.
+        b.iter(|| {
+            let result = Exploration::over(TemplateSpace::fast_default())
+                .workload(&workload)
+                .with_db(&db)
+                .lift(tta_core::explore::LiftMode::Full)
+                .run();
+            black_box(result.pareto.len())
+        });
+    });
     group.bench_function("fast_space_crypt1_random6", |b| {
         b.iter(|| {
             let result = Exploration::over(TemplateSpace::fast_default())

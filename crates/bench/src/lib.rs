@@ -23,7 +23,7 @@ use tta_arch::vliw::VliwTemplate;
 use tta_arch::{Architecture, BusId, FuInstance, FuKind};
 use tta_core::backannotate::{ComponentDb, ComponentKey};
 use tta_core::cache::SweepCache;
-use tta_core::explore::{EvaluatedArch, Exploration, ExploreResult};
+use tta_core::explore::{CacheStatus, EvaluatedArch, Exploration, ExploreResult, LiftMode};
 use tta_core::fullscan::FullScanDb;
 use tta_core::report::TextTable;
 use tta_core::testcost::{architecture_test_cost, ftfu_ratio};
@@ -90,6 +90,7 @@ pub struct Experiments<'c> {
     db: ComponentDb,
     cache: Option<&'c SweepCache>,
     result: Option<ExploreResult>,
+    full_result: Option<ExploreResult>,
 }
 
 impl Experiments<'static> {
@@ -100,6 +101,7 @@ impl Experiments<'static> {
             db: ComponentDb::new(),
             cache: None,
             result: None,
+            full_result: None,
         }
     }
 }
@@ -114,24 +116,57 @@ impl<'c> Experiments<'c> {
             db: ComponentDb::new(),
             cache: Some(cache),
             result: None,
+            full_result: None,
         }
+    }
+
+    fn run_exploration(&self, lift: LiftMode) -> ExploreResult {
+        let workload = suite::crypt(self.scale.crypt_rounds());
+        let mut e = Exploration::over(self.scale.space())
+            .workload(&workload)
+            .with_db(&self.db)
+            .lift(lift)
+            .parallel(true);
+        if let Some(cache) = self.cache {
+            e = e.cache(cache);
+        }
+        e.run()
     }
 
     /// Runs (or returns the cached) crypt exploration — parallel, which
     /// is bit-identical to the serial sweep.
     pub fn exploration(&mut self) -> &ExploreResult {
         if self.result.is_none() {
-            let workload = suite::crypt(self.scale.crypt_rounds());
-            let mut e = Exploration::over(self.scale.space())
-                .workload(&workload)
-                .with_db(&self.db)
-                .parallel(true);
-            if let Some(cache) = self.cache {
-                e = e.cache(cache);
-            }
-            self.result = Some(e.run());
+            self.result = Some(self.run_exploration(LiftMode::ParetoOnly));
         }
         self.result.as_ref().expect("just populated")
+    }
+
+    /// Runs (or returns the cached) *full-lift* crypt exploration
+    /// ([`LiftMode::Full`]): every feasible point carries the test
+    /// axis and the front is the true 3-D one. Shares the annotation
+    /// database — and, through the unchanged eval content addresses,
+    /// the persistent cache's scheduling entries — with
+    /// [`Experiments::exploration`].
+    pub fn exploration_full(&mut self) -> &ExploreResult {
+        if self.full_result.is_none() {
+            self.full_result = Some(self.run_exploration(LiftMode::Full));
+        }
+        self.full_result.as_ref().expect("just populated")
+    }
+
+    /// The first cache-flush failure message from any exploration this
+    /// context has run, if any — so harness callers (the CLI figure
+    /// commands) can warn that results were computed but not
+    /// persisted.
+    pub fn flush_failure(&self) -> Option<&str> {
+        [self.result.as_ref(), self.full_result.as_ref()]
+            .into_iter()
+            .flatten()
+            .find_map(|r| match &r.cache_status {
+                CacheStatus::FlushFailed(msg) => Some(msg.as_str()),
+                _ => None,
+            })
     }
 
     /// The shared back-annotation database.
@@ -356,6 +391,85 @@ impl fmt::Display for Fig8 {
             "architecture",
         ]);
         for (a, time, tc, name) in &self.points {
+            t.row([
+                format!("{a:.0}"),
+                format!("{time:.0}"),
+                format!("{tc:.0}"),
+                name.clone(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Figure 8, co-explored: the true 3-D front of a [`LiftMode::Full`]
+/// sweep against the paper's Pareto-only lift — quantifying what the
+/// post-hoc lift misses.
+pub struct Fig8Full {
+    /// Size of the 2-D design front (the points the paper lifts).
+    pub design_front: usize,
+    /// Size of the true 3-D front.
+    pub full_front: usize,
+    /// 3-D front points `(area, exec time, test cost, name)` absent
+    /// from the design-only lift, sorted by area. Each is a genuine
+    /// trade-off — dominated in (area, time), yet cheaper to test than
+    /// every point that dominates it.
+    pub missed: Vec<(f64, f64, f64, String)>,
+    /// Whether the paper's projection assumption survived the full
+    /// sweep (true exactly when nothing was missed).
+    pub projection_holds: bool,
+}
+
+/// Regenerates the Figure 8 comparison under full 3-D co-exploration.
+pub fn fig8_full(exp: &mut Experiments) -> Fig8Full {
+    let result = exp.exploration_full();
+    let design: std::collections::HashSet<usize> = result.design_front().into_iter().collect();
+    let mut missed: Vec<(f64, f64, f64, String)> = result
+        .pareto
+        .iter()
+        .filter(|i| !design.contains(i))
+        .map(|&i| {
+            let e = &result.evaluated[i];
+            (
+                e.area(),
+                e.exec_time(),
+                e.test_cost().expect("full-lift points carry the test axis"),
+                e.architecture.name.clone(),
+            )
+        })
+        .collect();
+    missed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    Fig8Full {
+        design_front: design.len(),
+        full_front: result.pareto.len(),
+        projection_holds: missed.is_empty(),
+        missed,
+    }
+}
+
+impl fmt::Display for Fig8Full {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8 (full lift) — true 3-D front: {} points; Pareto-only lift finds {} and misses {}",
+            self.full_front,
+            self.design_front,
+            self.missed.len()
+        )?;
+        if self.missed.is_empty() {
+            return write!(
+                f,
+                "the paper's projection assumption holds on this space: \
+                 every 3-D Pareto point is already on the (area, time) front"
+            );
+        }
+        let mut t = TextTable::new([
+            "area [GE]",
+            "exec time",
+            "test cost [cycles]",
+            "architecture",
+        ]);
+        for (a, time, tc, name) in &self.missed {
             t.row([
                 format!("{a:.0}"),
                 format!("{time:.0}"),
@@ -609,6 +723,9 @@ pub struct SuiteComparison {
     pub space_points: usize,
     /// One row per requested suite, in request order.
     pub rows: Vec<SuiteComparisonRow>,
+    /// First cache-flush failure across the sweeps, if any — results
+    /// are complete but were not persisted.
+    pub flush_failure: Option<String>,
 }
 
 /// Sweeps the scale's template space once per named suite (sharing one
@@ -630,6 +747,7 @@ pub fn compare_suites(
     let space = scale.space();
     let space_points = space.len();
     let mut rows = Vec::new();
+    let mut flush_failure = None;
     for name in suites {
         let members = registry
             .instantiate(name, &params)
@@ -642,6 +760,9 @@ pub fn compare_suites(
             e = e.cache(cache);
         }
         let result = e.run();
+        if let CacheStatus::FlushFailed(msg) = &result.cache_status {
+            flush_failure.get_or_insert_with(|| msg.clone());
+        }
         let selected = result.try_select_equal_weights().cloned();
         rows.push(SuiteComparisonRow {
             suite: name.clone(),
@@ -659,6 +780,7 @@ pub fn compare_suites(
         scale,
         space_points,
         rows,
+        flush_failure,
     })
 }
 
@@ -743,6 +865,80 @@ mod tests {
         let fig = fig8(&mut exp);
         assert!(fig.projection_holds);
         assert!(!fig.points.is_empty());
+    }
+
+    #[test]
+    fn full_lift_surfaces_points_the_pareto_lift_misses() {
+        use std::collections::HashSet;
+        use tta_core::pareto::dominates;
+
+        // The control suite on the fast space, under the paper's own
+        // eq. (14) model: the true 3-D front holds points that are
+        // dominated in (area, time) yet cheaper to test than every one
+        // of their dominators — the Pareto-only lift never sees them.
+        let registry = suite::SuiteRegistry::standard();
+        let members = registry
+            .instantiate("control", &suite::SuiteParams::fast())
+            .expect("control is a standard suite");
+        let db = ComponentDb::new();
+        let full = Exploration::over(TemplateSpace::fast_default())
+            .suite(&members)
+            .with_db(&db)
+            .lift(LiftMode::Full)
+            .parallel(true)
+            .run();
+        let design: HashSet<usize> = full.design_front().into_iter().collect();
+        // The 3-D front is a superset of the design front…
+        for &i in &design {
+            assert!(full.pareto.contains(&i), "design point {i} fell off");
+        }
+        // …and on this space a *strict* one: the co-exploration
+        // demonstrably surfaces trade-offs the post-hoc lift misses.
+        let missed: Vec<usize> = full
+            .pareto
+            .iter()
+            .copied()
+            .filter(|i| !design.contains(i))
+            .collect();
+        assert!(
+            !missed.is_empty(),
+            "expected the full lift to beat the Pareto-only lift here"
+        );
+        assert!(!full.projection_holds());
+        // Each missed point is genuinely 2-D dominated but 3-D
+        // non-dominated: every (area, time) dominator tests worse.
+        for &m in &missed {
+            let p = &full.evaluated[m];
+            let p2 = [p.area(), p.exec_time()];
+            let dominators: Vec<_> = full
+                .evaluated
+                .iter()
+                .filter(|q| dominates(&[q.area(), q.exec_time()], &p2))
+                .collect();
+            assert!(!dominators.is_empty(), "missed point must be 2-D dominated");
+            for q in dominators {
+                assert!(
+                    q.test_cost().unwrap() > p.test_cost().unwrap(),
+                    "a dominator that also tests better would 3-D dominate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_full_agrees_with_the_two_underlying_sweeps() {
+        let mut exp = Experiments::new(Scale::Fast);
+        let fig = fig8_full(&mut exp);
+        // This equation relies on the annotated models producing no
+        // exact (area, time) ties on the fast space (a tied point can
+        // be 3-D-dominated by its twin — see
+        // `ExploreResult::design_front`); it is a property of this
+        // fixed, deterministic data set.
+        assert_eq!(fig.full_front, fig.design_front + fig.missed.len());
+        assert_eq!(fig.projection_holds, fig.missed.is_empty());
+        // The Pareto-only harness sees the same design front.
+        let pareto_only = fig8(&mut exp);
+        assert_eq!(pareto_only.points.len(), fig.design_front);
     }
 
     #[test]

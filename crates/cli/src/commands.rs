@@ -8,8 +8,8 @@ use tta_bench::{
     compare_suites, fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale,
 };
 use tta_core::cache::SweepCache;
-use tta_core::explore::{Exploration, ExploreResult};
-use tta_core::models::InterconnectModel;
+use tta_core::explore::{CacheStatus, Exploration, ExploreResult, LiftMode};
+use tta_core::models::{InterconnectModel, ScanTestCostModel};
 use tta_core::report::TextTable;
 use tta_core::ComponentDb;
 use tta_workloads::{SuiteParams, SuiteRegistry, WeightedWorkload};
@@ -52,6 +52,36 @@ fn cache_report(cache: &Option<SweepCache>, err: &mut dyn Write) -> Result<(), C
             cache.misses(),
             cache.path().display()
         )?;
+    }
+    Ok(())
+}
+
+/// The shared flush-failure warning line (stderr only — stdout stays
+/// byte-identical across cache fates).
+fn warn_flush_failure(msg: &str, err: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        err,
+        "warning: sweep cache could not be persisted ({msg}); \
+         results are complete but the next run will re-evaluate"
+    )?;
+    Ok(())
+}
+
+/// Warns on stderr when a sweep completed but could not persist its
+/// cache entries.
+fn warn_cache_status(result: &ExploreResult, err: &mut dyn Write) -> Result<(), CliError> {
+    if let CacheStatus::FlushFailed(msg) = &result.cache_status {
+        warn_flush_failure(msg, err)?;
+    }
+    Ok(())
+}
+
+/// [`warn_cache_status`] for the figure-harness context: covers every
+/// exploration the `Experiments` ran (fig2/fig8/fig9/table1 and the
+/// `--full` comparison all sweep through it).
+fn warn_experiments_cache(exp: &Experiments, err: &mut dyn Write) -> Result<(), CliError> {
+    if let Some(msg) = exp.flush_failure() {
+        warn_flush_failure(msg, err)?;
     }
     Ok(())
 }
@@ -122,6 +152,43 @@ impl Strategy {
     }
 }
 
+/// `--test-model` selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum TestModel {
+    #[default]
+    Eq14,
+    Scan,
+}
+
+impl TestModel {
+    fn parse(s: &str) -> Result<TestModel, CliError> {
+        match s {
+            "eq14" => Ok(TestModel::Eq14),
+            "scan" => Ok(TestModel::Scan),
+            other => Err(CliError::usage(format!(
+                "unknown --test-model {other:?} (expected eq14 or scan)"
+            ))),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            TestModel::Eq14 => "eq14",
+            TestModel::Scan => "scan",
+        }
+    }
+}
+
+fn parse_lift(s: &str) -> Result<LiftMode, CliError> {
+    match s {
+        "pareto" => Ok(LiftMode::ParetoOnly),
+        "full" => Ok(LiftMode::Full),
+        other => Err(CliError::usage(format!(
+            "unknown --lift {other:?} (expected pareto or full)"
+        ))),
+    }
+}
+
 struct ExploreOpts {
     common: CommonOpts,
     space: Option<String>,
@@ -134,6 +201,8 @@ struct ExploreOpts {
     strategy: Strategy,
     budget: Option<usize>,
     seed: Option<u64>,
+    lift: LiftMode,
+    test_model: TestModel,
 }
 
 fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
@@ -149,6 +218,8 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
         strategy: Strategy::default(),
         budget: None,
         seed: None,
+        lift: LiftMode::default(),
+        test_model: TestModel::default(),
     };
     let mut cursor = ArgCursor::new(args);
     while let Some(arg) = cursor.next() {
@@ -168,6 +239,8 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
             "--strategy" => o.strategy = Strategy::parse(&cursor.value_for("--strategy")?)?,
             "--budget" => o.budget = Some(cursor.parse_for("--budget")?),
             "--seed" => o.seed = Some(cursor.parse_for("--seed")?),
+            "--lift" => o.lift = parse_lift(&cursor.value_for("--lift")?)?,
+            "--test-model" => o.test_model = TestModel::parse(&cursor.value_for("--test-model")?)?,
             "--bus-area" => o.interconnect.bus_area_per_bit = cursor.parse_for("--bus-area")?,
             "--bus-delay" => o.interconnect.bus_delay_penalty = cursor.parse_for("--bus-delay")?,
             "--control-area" => {
@@ -242,6 +315,16 @@ fn parse_workload_spec(spec: &str) -> Result<(&str, f64), CliError> {
 /// the standard registry. The candidate lists in error messages are
 /// derived from the registry, so a newly registered workload can never
 /// drift out of the help text.
+/// Registry names of the members of `suite_name`, when it names a
+/// registered suite.
+fn suite_member_names<'r>(registry: &'r SuiteRegistry, suite_name: &str) -> Option<Vec<&'r str>> {
+    registry
+        .suites()
+        .iter()
+        .find(|s| s.name == suite_name)
+        .map(|s| s.members.iter().map(|(n, _)| n.as_str()).collect())
+}
+
 fn workloads_of(
     registry: &SuiteRegistry,
     o: &ExploreOpts,
@@ -257,16 +340,67 @@ fn workloads_of(
             ))
         })?);
     }
+    // Repeats of the same *explicit* workload are rejected — as is an
+    // explicit workload that a requested suite already includes: the
+    // user almost certainly meant one weight, and silently compounding
+    // (`fft:2 fft:3` acting as a single heavier member, or `--suite dsp
+    // --workload fft:2` scheduling fft twice) mis-scales the exec-time
+    // axis with no diagnostic. Scaling a *suite* in --workload position
+    // stays multiplicative per member by design — `dsp:2` means "the
+    // dsp suite, every member twice as heavy" — and is documented in
+    // the README. `in_suite` is pre-scanned so the rejection is
+    // order-independent (`--workload fft --workload dsp` fails too).
+    let mut in_suite: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let suite_specs = o.suite.iter().map(|s| s.as_str()).chain(
+        o.workloads
+            .iter()
+            .filter_map(|spec| parse_workload_spec(spec).ok().map(|(n, _)| n)),
+    );
+    for suite_name in suite_specs {
+        if let Some(members) = suite_member_names(registry, suite_name) {
+            for member in members {
+                in_suite.entry(member).or_insert(suite_name);
+            }
+        }
+    }
+    let mut explicit_seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for spec in &o.workloads {
         let (name, weight) = parse_workload_spec(spec)?;
         if let Some(w) = registry.build(name, &params) {
+            if !explicit_seen.insert(name) {
+                return Err(CliError::usage(format!(
+                    "workload {name:?} appears more than once in --workload; \
+                     give it a single name:weight spec instead of repeating it"
+                )));
+            }
+            if let Some(suite) = in_suite.get(name) {
+                return Err(CliError::usage(format!(
+                    "workload {name:?} is already included by suite {suite:?}; \
+                     scale the suite ({suite}:W) or list its members explicitly \
+                     instead of adding the workload twice"
+                )));
+            }
             out.push(WeightedWorkload {
                 workload: w,
                 weight,
             });
         } else if let Some(members) = registry.instantiate(name, &params) {
             // A suite name in --workload position (e.g. the historical
-            // `--workload all`); a `:weight` scales every member.
+            // `--workload all`); a `:weight` scales every member. A
+            // *repeated* suite name would duplicate every member with
+            // compounding weights — rejected like a repeated workload.
+            if !explicit_seen.insert(name) {
+                return Err(CliError::usage(format!(
+                    "suite {name:?} appears more than once in --workload; \
+                     give it a single name:weight spec instead of repeating it"
+                )));
+            }
+            if o.suite.as_deref() == Some(name) {
+                return Err(CliError::usage(format!(
+                    "suite {name:?} was already requested via --suite; \
+                     scaling it again in --workload would double every member"
+                )));
+            }
             out.extend(members.into_iter().map(|mut m| {
                 m.weight *= weight;
                 m
@@ -310,7 +444,11 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         .suite(&workloads)
         .with_db(&db)
         .interconnect(o.interconnect)
+        .lift(o.lift)
         .parallel(o.parallel);
+    if o.test_model == TestModel::Scan {
+        e = e.test_cost_model(ScanTestCostModel::default());
+    }
     e = match o.strategy {
         Strategy::Exhaustive => e.strategy(tta_core::search::Exhaustive),
         Strategy::Random => e.strategy(tta_core::search::RandomSample),
@@ -329,12 +467,14 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         e = e.cache(c);
     }
     let result = e.run();
-    render_explore(&result, o.common.format, out)?;
+    render_explore(&result, o.test_model, o.common.format, out)?;
+    warn_cache_status(&result, err)?;
     cache_report(&cache, err)
 }
 
 fn render_explore(
     result: &ExploreResult,
+    test_model: TestModel,
     format: Format,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
@@ -350,6 +490,14 @@ fn render_explore(
                 s.budget.map_or(String::new(), |b| format!(" (budget {b})")),
                 s.seed.map_or(String::new(), |v| format!(" (seed {v})")),
             )?;
+            if result.lift == LiftMode::Full {
+                writeln!(
+                    out,
+                    "lift full: test axis ({}) swept as a third objective; \
+                     the front below is the true 3-D front",
+                    test_model.label()
+                )?;
+            }
             writeln!(
                 out,
                 "explored {} feasible points ({} infeasible) over [{}]; {} on the Pareto front",
@@ -392,6 +540,8 @@ fn render_explore(
             let selected = result.try_select_equal_weights();
             let doc = json::object([
                 ("command", json::string("explore")),
+                ("lift", json::string(result.lift.label())),
+                ("test_model", json::string(test_model.label())),
                 (
                     "search",
                     json::object([
@@ -439,12 +589,14 @@ fn render_explore(
             // for an exhaustive one.
             writeln!(
                 out,
-                "# strategy={} budget={} seed={} space_points={} evaluations={}",
+                "# strategy={} budget={} seed={} space_points={} evaluations={} lift={} test_model={}",
                 s.strategy,
                 s.budget.map_or("none".into(), |b| b.to_string()),
                 s.seed.map_or("none".into(), |v| v.to_string()),
                 s.space_len,
                 s.evaluations,
+                result.lift.label(),
+                test_model.label(),
             )?;
             for b in result.workload_breakdown() {
                 writeln!(
@@ -544,6 +696,7 @@ pub fn fig2_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
             }
         }
     }
+    warn_experiments_cache(&exp, err)?;
     cache_report(&cache, err)
 }
 
@@ -590,6 +743,7 @@ pub fn fig6_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
             writeln!(out, "shared,{},{}", fig.shared.0, fig.shared.1)?;
         }
     }
+    warn_experiments_cache(&exp, err)?;
     cache_report(&cache, err)
 }
 
@@ -629,13 +783,30 @@ pub fn fig7_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
     cache_report(&cache, err)
 }
 
-/// `ttadse fig8`: the lifted 3-D Pareto set.
+/// `ttadse fig8`: the lifted 3-D Pareto set; `--full` additionally
+/// runs the true 3-D co-exploration and reports what the Pareto-only
+/// lift misses.
 pub fn fig8_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
-    let common = parse_common_only("fig8", args)?;
+    let mut common = CommonOpts::default();
+    let mut full = false;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--full" => full = true,
+            other => return Err(unknown_flag("fig8", other)),
+        }
+    }
+    common.validate()?;
     let scale = scale_of(&common);
     writeln!(err, "running Figure 8 at {} scale...", scale_label(scale))?;
     let cache = open_cache(&common, err)?;
     let mut exp = experiments(scale, &cache);
+    if full {
+        return fig8_full_render(&mut exp, &common, out, err, &cache);
+    }
     let fig = fig8(&mut exp);
     match common.format {
         Format::Table => writeln!(out, "{fig}")?,
@@ -666,7 +837,57 @@ pub fn fig8_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
             }
         }
     }
+    warn_experiments_cache(&exp, err)?;
     cache_report(&cache, err)
+}
+
+/// Renders `ttadse fig8 --full`: the co-explored 3-D front compared
+/// with the paper's Pareto-only lift.
+fn fig8_full_render(
+    exp: &mut Experiments,
+    common: &CommonOpts,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+    cache: &Option<SweepCache>,
+) -> Result<(), CliError> {
+    let fig = tta_bench::fig8_full(exp);
+    match common.format {
+        Format::Table => writeln!(out, "{fig}")?,
+        Format::Json => {
+            let doc = json::object([
+                ("figure", json::string("fig8-full")),
+                ("scale", json::string(scale_label(exp.scale))),
+                ("lift", json::string("full")),
+                ("design_front", json::int(fig.design_front as u64)),
+                ("full_front", json::int(fig.full_front as u64)),
+                ("missed_by_pareto_lift", json::int(fig.missed.len() as u64)),
+                (
+                    "missed",
+                    json::array(fig.missed.iter().map(|(a, t, tc, name)| {
+                        json::object([
+                            ("area", json::number(*a)),
+                            ("exec_time", json::number(*t)),
+                            ("test_cost", json::number(*tc)),
+                            ("architecture", json::string(name)),
+                        ])
+                    })),
+                ),
+                ("projection_holds", json::boolean(fig.projection_holds)),
+            ]);
+            writeln!(out, "{doc}")?;
+        }
+        Format::Csv => {
+            writeln!(
+                out,
+                "area,exec_time,test_cost,architecture,missed_by_pareto_lift"
+            )?;
+            for (a, t, tc, name) in &fig.missed {
+                writeln!(out, "{a:.1},{t:.1},{tc:.1},{name},1")?;
+            }
+        }
+    }
+    warn_experiments_cache(exp, err)?;
+    cache_report(cache, err)
 }
 
 /// `ttadse fig9`: the weighted-norm selection.
@@ -704,6 +925,7 @@ pub fn fig9_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
             }
         }
     }
+    warn_experiments_cache(&exp, err)?;
     cache_report(&cache, err)
 }
 
@@ -794,6 +1016,7 @@ pub fn table1_cmd(
             }
         }
     }
+    warn_experiments_cache(&exp, err)?;
     cache_report(&cache, err)
 }
 
@@ -1029,6 +1252,9 @@ fn workloads_compare(
                 }
             }
         }
+    }
+    if let Some(msg) = &cmp.flush_failure {
+        warn_flush_failure(msg, err)?;
     }
     cache_report(&cache, err)
 }

@@ -107,11 +107,20 @@ EXPLORE FLAGS:
     --strategy NAME        exhaustive (default) | random | hillclimb
     --budget N             Evaluate at most N template points
     --seed S               Seed for random/hillclimb (deterministic per seed)
+    --lift MODE            pareto (default): lift test cost onto the 2-D front
+                           post-hoc, as the paper does; full: sweep the test
+                           axis as a third objective (true 3-D front)
+    --test-model NAME      eq14 (default): the paper's functional test cost;
+                           scan: DfT scan-chain partitioning + shift time
     --parallel / --serial  Sweep on worker threads (default) or one
     --threads N            Pin the worker count
     --bus-area X           Interconnect model: bus area per bit [GE]
     --bus-delay X          Interconnect model: clock penalty per bus
     --control-area X       Interconnect model: area per instruction bit [GE]
+
+FIG8 FLAGS:
+    --full                 Co-explore the test axis (3-D sweep) and report the
+                           true front points the Pareto-only lift misses
 
 WORKLOADS FLAGS:
     list                   List registered workloads and suites (default)

@@ -237,6 +237,188 @@ fn unknown_workloads_and_suites_name_the_registry() {
 }
 
 #[test]
+fn repeated_explicit_workloads_are_rejected_not_compounded() {
+    // `--workload fft:2 --workload fft:3` used to fold into one member
+    // with a silently compounded weight; now it is a loud usage error.
+    for args in [
+        vec![
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "fft:2",
+            "--workload",
+            "fft:3",
+        ],
+        vec!["explore", "--space", "tiny", "--workload", "fft,fft"],
+        vec!["explore", "--space", "tiny", "--workload", "crypt:2,crypt"],
+        // Repeated *suite* names in --workload position would duplicate
+        // every member with compounding weights — same rejection.
+        vec![
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "dsp:2",
+            "--workload",
+            "dsp:3",
+        ],
+        vec!["explore", "--space", "tiny", "--workload", "dsp,dsp"],
+    ] {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let e = run(&args, &mut Vec::new(), &mut Vec::new()).unwrap_err();
+        assert_eq!(e.exit_code, 2, "{args:?}");
+        assert!(e.message.contains("more than once"), "{}", e.message);
+    }
+}
+
+#[test]
+fn suite_and_explicit_workload_overlap_is_rejected() {
+    // A workload reached both via a suite and via an explicit spec
+    // would be scheduled twice with compounding weights — rejected in
+    // either argument order, and whichever way the suite arrived.
+    for args in [
+        vec![
+            "explore",
+            "--space",
+            "tiny",
+            "--suite",
+            "dsp",
+            "--workload",
+            "fft:2",
+        ],
+        vec![
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "fft",
+            "--workload",
+            "dsp",
+        ],
+        vec![
+            "explore",
+            "--space",
+            "tiny",
+            "--suite",
+            "dsp",
+            "--workload",
+            "dsp:2",
+        ],
+    ] {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let e = run(&args, &mut Vec::new(), &mut Vec::new()).unwrap_err();
+        assert_eq!(e.exit_code, 2, "{args:?}");
+        assert!(e.message.contains("dsp"), "{}", e.message);
+    }
+}
+
+#[test]
+fn suite_scaling_in_workload_position_stays_multiplicative() {
+    // `--workload dsp:2` scales every member of the dsp suite (fft
+    // carries weight 4 there, so it lands at 8) — documented behaviour,
+    // distinct from repeating an explicit workload.
+    let (json_out, _) = run_ok(&[
+        "explore",
+        "--space",
+        "tiny",
+        "--workload",
+        "dsp:2",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        json_out.contains("\"name\":\"fft[8p]\",\"weight\":8.0"),
+        "{json_out}"
+    );
+}
+
+#[test]
+fn full_lift_is_deterministic_and_carries_the_test_axis_everywhere() {
+    let dir = tmpdir("full-lift");
+    let cache_dir = dir.to_str().expect("utf-8 temp path");
+    let base = [
+        "explore",
+        "--space",
+        "tiny",
+        "--rounds",
+        "1",
+        "--lift",
+        "full",
+        "--format",
+        "csv",
+        "--cache-dir",
+        cache_dir,
+    ];
+    let (cold, _) = run_ok(&base);
+    let meta = cold.lines().next().expect("metadata comment");
+    assert!(meta.contains("lift=full"), "{meta}");
+    // Every feasible row carries a test cost (the column before the
+    // per-workload cycles is non-empty).
+    for row in cold.lines().filter(|l| !l.starts_with('#')).skip(1) {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert!(!cols[6].is_empty(), "full lift must cost every row: {row}");
+    }
+    // Warm v3 cache: byte-identical, all hits.
+    let (warm, warm_err) = run_ok(&base);
+    assert_eq!(cold, warm, "warm full-lift run must be byte-identical");
+    assert!(warm_err.contains("0 misses"), "{warm_err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_test_model_is_selectable_and_reported() {
+    let (json_out, _) = run_ok(&[
+        "explore",
+        "--space",
+        "tiny",
+        "--lift",
+        "full",
+        "--test-model",
+        "scan",
+        "--format",
+        "json",
+    ]);
+    assert!(json_out.contains("\"lift\":\"full\""), "{json_out}");
+    assert!(json_out.contains("\"test_model\":\"scan\""), "{json_out}");
+
+    for (flag, bad) in [("--lift", "3d"), ("--test-model", "bist")] {
+        let args: Vec<String> = ["explore", flag, bad]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = run(&args, &mut Vec::new(), &mut Vec::new()).unwrap_err();
+        assert_eq!(e.exit_code, 2, "{flag} {bad}");
+        assert!(e.message.contains(bad), "{}", e.message);
+    }
+}
+
+#[test]
+fn figure_commands_warn_when_the_cache_cannot_persist() {
+    let dir = tmpdir("flush-warn");
+    // Wedge a directory where the cache file must land: the sweep
+    // completes but the flush's atomic rename fails (even as root).
+    fs::create_dir_all(dir.join(tta_core::cache::CACHE_FILE_NAME)).unwrap();
+    let (out, err) = run_ok(&["fig2", "--fast", "--cache-dir", dir.to_str().unwrap()]);
+    assert!(err.contains("could not be persisted"), "{err}");
+    assert!(!out.contains("warning"), "stdout must stay clean: {out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig8_full_reports_the_comparison() {
+    let (json_out, _) = run_ok(&["fig8", "--full", "--fast", "--format", "json"]);
+    assert!(json_out.contains("\"figure\":\"fig8-full\""), "{json_out}");
+    assert!(json_out.contains("\"design_front\":"), "{json_out}");
+    assert!(
+        json_out.contains("\"missed_by_pareto_lift\":"),
+        "{json_out}"
+    );
+    let (table, _) = run_ok(&["fig8", "--full", "--fast"]);
+    assert!(table.contains("true 3-D front"), "{table}");
+}
+
+#[test]
 fn bad_workload_weights_are_usage_errors() {
     for spec in ["crypt:x", "crypt:0", "crypt:-1", "crypt:inf"] {
         let args: Vec<String> = ["explore", "--workload", spec]

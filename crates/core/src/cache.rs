@@ -25,22 +25,31 @@
 //!
 //! # On-disk format
 //!
-//! One plain-text file, `ttadse-cache.v2`, under the chosen cache
+//! One plain-text file, `ttadse-cache.v3`, under the chosen cache
 //! directory. The first line is a versioned header; each subsequent
 //! line is one entry:
 //!
 //! ```text
-//! ttadse-sweep-cache 2
-//! E <key> F <cycles> <spills> <area-bits> <exec-bits> <wl-cycles>...
+//! ttadse-sweep-cache 3
+//! E <key> F <cycles> <spills> <area-bits> <exec-bits> <wl-cycles>... [T <model-fp> <test-bits>]
 //! E <key> I [<blocked-workload>]
 //! T <key> <testcost-bits>
 //! ```
 //!
 //! `E` lines are sweep evaluations (`F`easible with payload,
 //! `I`nfeasible, optionally recording which suite member failed to
-//! schedule), `T` lines are test-cost lifts. A missing file, a
-//! wrong header, or any malformed line degrades to a clean
-//! re-evaluation — a corrupt cache can cost time, never correctness.
+//! schedule), `T` lines are test-cost lifts of Pareto points. The
+//! optional `T <model-fp> <test-bits>` suffix on a feasible `E` line is
+//! new in v3: a full-lift sweep
+//! ([`crate::explore::LiftMode::Full`]) stores every point's test
+//! total inline, tagged with the test-cost model's fingerprint so a
+//! different model recomputes instead of trusting a stale total. A
+//! legacy `ttadse-cache.v2` file (same line grammar minus the suffix)
+//! is still loaded when no v3 file exists — its evaluations hit under
+//! unchanged content addresses, and the missing per-point test fields
+//! are simply recomputed. A missing file, a wrong header, or any
+//! malformed line degrades to a clean re-evaluation — a corrupt cache
+//! can cost time, never correctness.
 //! [`SweepCache::flush`] merges with whatever is on disk before an
 //! atomic rename, so concurrent sweeps sharing one directory union
 //! their work on a best-effort basis: the rename keeps the file valid
@@ -76,20 +85,34 @@ use std::sync::Mutex;
 use tta_arch::Architecture;
 use tta_workloads::Workload;
 
-/// On-disk format version. Bump it whenever cached results could stop
-/// matching fresh ones: an entry-layout or fingerprint-recipe change,
-/// but also any change to *evaluation semantics* the fingerprints
-/// cannot see — the scheduler, the component netlist generators, the
-/// ATPG/march engines, or the cost formulas. The content address covers
-/// a point's inputs, not the code that evaluates it; this constant is
-/// the version of that code.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// On-disk *file layout* version: the header number and line grammar.
+/// v3 added the optional inline test field on feasible `E` lines; v2
+/// files (the previous layout) are still loaded when no v3 file exists.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
+
+/// *Content-address* version, folded into every entry's key. Bump it
+/// whenever cached results could stop matching fresh ones: a
+/// fingerprint-recipe change, but also any change to *evaluation
+/// semantics* the fingerprints cannot see — the scheduler, the
+/// component netlist generators, the ATPG/march engines, or the cost
+/// formulas. The content address covers a point's inputs, not the code
+/// that evaluates it; this constant is the version of that code. It is
+/// deliberately separate from [`CACHE_FORMAT_VERSION`]: the v3 file
+/// layout changed how entries are *stored*, not what they *mean*, so
+/// v2 entries keep their addresses and stay hittable after an upgrade.
+pub const CACHE_ADDRESS_VERSION: u32 = 2;
 
 /// File name of the cache inside the cache directory (versioned, so a
 /// future format lives alongside instead of tripping over this one).
-pub const CACHE_FILE_NAME: &str = "ttadse-cache.v2";
+pub const CACHE_FILE_NAME: &str = "ttadse-cache.v3";
 
-const HEADER: &str = "ttadse-sweep-cache 2";
+/// File name of the legacy v2 cache, read (never written) when no v3
+/// file exists so an upgraded binary resumes from pre-v3 sweeps.
+pub const LEGACY_CACHE_FILE_NAME: &str = "ttadse-cache.v2";
+
+const HEADER: &str = "ttadse-sweep-cache 3";
+
+const LEGACY_HEADER: &str = "ttadse-sweep-cache 2";
 
 // ---------------------------------------------------------------------
 // Content addressing
@@ -223,6 +246,14 @@ pub enum EvalEntry {
         area_bits: u64,
         /// `f64::to_bits` of the exec-time objective.
         exec_bits: u64,
+        /// Inline test total from a full-lift sweep
+        /// ([`crate::explore::LiftMode::Full`]): the test-cost model's
+        /// fingerprint plus `f64::to_bits` of the total. `None` for
+        /// entries written by Pareto-only sweeps (or upgraded from a v2
+        /// file), where the lift stage keys its totals separately as
+        /// `T` lines. The fingerprint tag means a run with a different
+        /// test model recomputes instead of trusting a stale total.
+        test: Option<(u64, u64)>,
     },
 }
 
@@ -267,9 +298,12 @@ fn stat_sig(path: &Path) -> Option<(u64, std::time::SystemTime)> {
 
 impl SweepCache {
     /// Opens (creating the directory if needed) the cache under `dir`,
-    /// loading whatever valid entries the on-disk file holds. A missing,
-    /// corrupt or version-mismatched file yields an empty cache — never
-    /// an error; only an unusable *directory* is reported.
+    /// loading whatever valid entries the on-disk file holds. When no
+    /// v3 file exists, a legacy `ttadse-cache.v2` file is loaded
+    /// instead (entries keep their content addresses; the first flush
+    /// persists them in the v3 layout). A missing, corrupt or
+    /// version-mismatched file yields an empty cache — never an error;
+    /// only an unusable *directory* is reported.
     ///
     /// # Errors
     ///
@@ -279,9 +313,15 @@ impl SweepCache {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(CACHE_FILE_NAME);
-        let (entries, disk_state) = match load_entries(&path) {
+        let (entries, disk_state) = match load_entries(&path, HEADER) {
             Some(entries) => (entries, stat_sig(&path)),
-            None => (HashMap::new(), None),
+            None => match load_entries(&dir.join(LEGACY_CACHE_FILE_NAME), LEGACY_HEADER) {
+                // Upgrade path: the legacy entries live in memory only
+                // until something is stored and flushed; the v2 file is
+                // left untouched for any older binary still around.
+                Some(entries) => (entries, None),
+                None => (HashMap::new(), None),
+            },
         };
         Ok(SweepCache {
             path,
@@ -340,6 +380,30 @@ impl SweepCache {
                 .get(&(Kind::Eval, key)),
             Some(Entry::Eval(_))
         )
+    }
+
+    /// Whether `key` holds an evaluation that a *full-lift* sweep
+    /// ([`crate::explore::LiftMode::Full`]) can answer without touching
+    /// the component database: an infeasible entry, or a feasible one
+    /// whose inline test total was produced by the test model with
+    /// fingerprint `test_fp`. Counter-free, like
+    /// [`SweepCache::contains_eval`] — used by the pre-warm planning
+    /// pass, where an entry missing its test field still needs its
+    /// component keys annotated.
+    pub fn contains_eval_with_test(&self, key: u64, test_fp: u64) -> bool {
+        match self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .get(&(Kind::Eval, key))
+        {
+            Some(Entry::Eval(EvalEntry::Infeasible { .. })) => true,
+            Some(Entry::Eval(EvalEntry::Feasible {
+                test: Some((fp, _)),
+                ..
+            })) => *fp == test_fp,
+            _ => false,
+        }
     }
 
     /// Whether a test-cost lift for `key` is present, *without* touching
@@ -437,7 +501,7 @@ impl SweepCache {
         // Merge from disk only when another writer has plausibly touched
         // the file since we last read or wrote it.
         if stat_sig(&self.path) != *disk_state {
-            if let Some(disk) = load_entries(&self.path) {
+            if let Some(disk) = load_entries(&self.path, HEADER) {
                 for (k, v) in disk {
                     entries.entry(k).or_insert(v);
                 }
@@ -505,6 +569,7 @@ fn render_line(key: &(Kind, u64), entry: &Entry) -> String {
             spills,
             area_bits,
             exec_bits,
+            test,
         }) => {
             let _ = write!(
                 s,
@@ -514,6 +579,11 @@ fn render_line(key: &(Kind, u64), entry: &Entry) -> String {
             for c in workload_cycles {
                 let _ = write!(s, " {c}");
             }
+            // The `T` sentinel is unambiguous: workload-cycle tokens are
+            // decimal integers and can never equal it.
+            if let Some((fp, bits)) = test {
+                let _ = write!(s, " T {fp:016x} {bits:016x}");
+            }
         }
         Entry::Test(bits) => {
             let _ = write!(s, "T {:016x} {bits:016x}", key.1);
@@ -522,13 +592,16 @@ fn render_line(key: &(Kind, u64), entry: &Entry) -> String {
     s
 }
 
-/// Parses the cache file at `path`. Returns `None` (≙ empty cache) for
-/// a missing file, a bad header, or *any* malformed line — a cache that
-/// cannot be trusted in full is not trusted at all.
-fn load_entries(path: &Path) -> Option<HashMap<(Kind, u64), Entry>> {
+/// Parses the cache file at `path`, expecting `header` on its first
+/// line (the v3 header, or the legacy v2 one on the upgrade path — the
+/// line grammar below is a superset of v2's, so one parser serves
+/// both). Returns `None` (≙ empty cache) for a missing file, a bad
+/// header, or *any* malformed line — a cache that cannot be trusted in
+/// full is not trusted at all.
+fn load_entries(path: &Path, header: &str) -> Option<HashMap<(Kind, u64), Entry>> {
     let text = fs::read_to_string(path).ok()?;
     let mut lines = text.lines();
-    if lines.next() != Some(HEADER) {
+    if lines.next() != Some(header) {
         return None;
     }
     let mut map = HashMap::new();
@@ -566,15 +639,31 @@ fn parse_line(line: &str) -> Option<((Kind, u64), Entry)> {
                 let spills = parts.next()?.parse().ok()?;
                 let area_bits = u64::from_str_radix(parts.next()?, 16).ok()?;
                 let exec_bits = u64::from_str_radix(parts.next()?, 16).ok()?;
-                let workload_cycles: Option<Vec<u64>> = parts.map(|p| p.parse().ok()).collect();
+                // Workload cycles run until the optional `T` sentinel
+                // opening the inline test pair (fingerprint + bits).
+                let mut workload_cycles = Vec::new();
+                let mut test = None;
+                for p in parts.by_ref() {
+                    if p == "T" {
+                        let fp = u64::from_str_radix(parts.next()?, 16).ok()?;
+                        let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+                        if parts.next().is_some() {
+                            return None;
+                        }
+                        test = Some((fp, bits));
+                        break;
+                    }
+                    workload_cycles.push(p.parse().ok()?);
+                }
                 Some((
                     (Kind::Eval, key),
                     Entry::Eval(EvalEntry::Feasible {
                         cycles,
-                        workload_cycles: workload_cycles?,
+                        workload_cycles,
                         spills,
                         area_bits,
                         exec_bits,
+                        test,
                     }),
                 ))
             }
@@ -609,6 +698,18 @@ mod tests {
             spills: 3,
             area_bits: 4000.5f64.to_bits(),
             exec_bits: 77.25f64.to_bits(),
+            test: None,
+        }
+    }
+
+    fn sample_feasible_with_test() -> EvalEntry {
+        EvalEntry::Feasible {
+            cycles: 1234,
+            workload_cycles: vec![1000, 234],
+            spills: 3,
+            area_bits: 4000.5f64.to_bits(),
+            exec_bits: 77.25f64.to_bits(),
+            test: Some((0xdead_beef, 512.25f64.to_bits())),
         }
     }
 
@@ -632,6 +733,105 @@ mod tests {
         assert_eq!(reloaded.lookup_eval(44), None);
         assert_eq!(reloaded.hits(), 3);
         assert_eq!(reloaded.misses(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inline_test_field_roundtrips_and_gates_contains() {
+        let dir = tmpdir("inline-test");
+        let cache = SweepCache::open(&dir).unwrap();
+        cache.store_eval(1, sample_feasible_with_test());
+        cache.store_eval(2, sample_feasible());
+        cache.store_eval(3, EvalEntry::Infeasible { blocked: None });
+        cache.flush().unwrap();
+
+        let reloaded = SweepCache::open(&dir).unwrap();
+        assert_eq!(reloaded.lookup_eval(1), Some(sample_feasible_with_test()));
+        assert_eq!(reloaded.lookup_eval(2), Some(sample_feasible()));
+        // A full-lift sweep can answer entry 1 only with the matching
+        // model, entry 3 always (nothing to lift), entry 2 never.
+        assert!(reloaded.contains_eval_with_test(1, 0xdead_beef));
+        assert!(!reloaded.contains_eval_with_test(1, 0xbad));
+        assert!(!reloaded.contains_eval_with_test(2, 0xdead_beef));
+        assert!(reloaded.contains_eval_with_test(3, 0xdead_beef));
+        assert!(!reloaded.contains_eval_with_test(4, 0xdead_beef));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v2_file_loads_when_no_v3_exists() {
+        let dir = tmpdir("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        // A v2 file as the previous release wrote it: v2 header, no
+        // inline test suffix, standalone T lines for lifted fronts.
+        fs::write(
+            dir.join(LEGACY_CACHE_FILE_NAME),
+            format!(
+                "{LEGACY_HEADER}\n\
+                 E 000000000000002a F 1234 3 {:016x} {:016x} 1000 234\n\
+                 E 000000000000002b I 1\n\
+                 T 000000000000002a {:016x}\n",
+                4000.5f64.to_bits(),
+                77.25f64.to_bits(),
+                99.75f64.to_bits(),
+            ),
+        )
+        .unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup_eval(0x2a), Some(sample_feasible()));
+        assert_eq!(cache.lookup_test(0x2a), Some(99.75));
+        // The upgraded entries have no inline test field yet.
+        assert!(!cache.contains_eval_with_test(0x2a, 7));
+        // A store + flush persists everything in the v3 layout; the v2
+        // file is left for older binaries.
+        cache.store_eval(0x2c, sample_feasible_with_test());
+        cache.flush().unwrap();
+        assert!(dir.join(CACHE_FILE_NAME).exists());
+        assert!(dir.join(LEGACY_CACHE_FILE_NAME).exists());
+        let reloaded = SweepCache::open(&dir).unwrap();
+        assert_eq!(reloaded.len(), 4);
+        assert_eq!(reloaded.lookup_eval(0x2a), Some(sample_feasible()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v3_file_wins_over_a_legacy_one() {
+        let dir = tmpdir("v3-wins");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(LEGACY_CACHE_FILE_NAME),
+            format!("{LEGACY_HEADER}\nE 0000000000000001 I\n"),
+        )
+        .unwrap();
+        fs::write(
+            dir.join(CACHE_FILE_NAME),
+            format!("{HEADER}\nE 0000000000000002 I\n"),
+        )
+        .unwrap();
+        let cache = SweepCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.lookup_eval(2),
+            Some(EvalEntry::Infeasible { blocked: None })
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_to_an_unwritable_target_reports_the_error() {
+        let dir = tmpdir("unwritable");
+        let cache = SweepCache::open(&dir).unwrap();
+        // Make the cache *file* path unwritable even for root: a
+        // directory sits where the rename must land.
+        fs::create_dir_all(cache.path()).unwrap();
+        cache.store_eval(1, EvalEntry::Infeasible { blocked: None });
+        assert!(cache.flush().is_err(), "rename onto a directory fails");
+        // The entries are still served from memory.
+        assert_eq!(
+            cache.lookup_eval(1),
+            Some(EvalEntry::Infeasible { blocked: None })
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -108,7 +108,7 @@ use tta_workloads::{WeightedWorkload, Workload};
 use crate::backannotate::ComponentDb;
 use crate::cache::{
     arch_fingerprint, workload_fingerprint, EvalEntry, Fingerprint, SweepCache,
-    CACHE_FORMAT_VERSION,
+    CACHE_ADDRESS_VERSION,
 };
 use crate::models::{
     keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
@@ -261,8 +261,10 @@ impl EvaluatedArch {
             .expect("every evaluated point has an exec-time axis")
     }
 
-    /// eq. (14) test cost — present exactly for Pareto points (the paper
-    /// evaluates test cost on the Pareto set only).
+    /// The test-cost axis. Under [`LiftMode::ParetoOnly`] it is present
+    /// exactly for Pareto points (the paper evaluates test cost on the
+    /// Pareto set only); under [`LiftMode::Full`] every evaluated point
+    /// carries it.
     pub fn test_cost(&self) -> Option<f64> {
         self.objectives.get(Objective::TestCost)
     }
@@ -275,6 +277,70 @@ impl EvaluatedArch {
             .project(&[Objective::Area, Objective::ExecTime, Objective::TestCost])
             .map(|v| v.values().to_vec())
     }
+}
+
+/// When (and for which points) the test axis joins the objective
+/// space.
+///
+/// The paper lifts test cost *after* Pareto reduction: "only the
+/// architectures that correspond to the Pareto points in the design
+/// space are evaluated in terms of testing". That is cheap — the front
+/// is small — but it can *miss* true 3-D trade-offs: a point dominated
+/// in (area, time) whose test cost undercuts all of its dominators is
+/// Pareto-optimal in 3-D, yet the post-hoc lift never sees it.
+/// [`LiftMode::Full`] promotes the test axis to a first-class sweep
+/// objective instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LiftMode {
+    /// The paper's flow (the default): sweep on (area, time), reduce to
+    /// the 2-D front, then lift only the front points with the test
+    /// axis. Bit-identical — results and cache entries — to the
+    /// pre-lift-mode engine.
+    #[default]
+    ParetoOnly,
+    /// Full 3-D co-exploration: every feasible point is costed on the
+    /// test axis during evaluation, the streaming front is maintained
+    /// in (area, time, test), and per-point test totals are persisted
+    /// inline in the sweep cache (format v3).
+    Full,
+}
+
+impl LiftMode {
+    /// Short machine-readable label (`pareto` / `full`), used by CLI
+    /// flags and structured output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LiftMode::ParetoOnly => "pareto",
+            LiftMode::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for LiftMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened to the persistent sweep cache during a run — recorded
+/// on every [`ExploreResult`] so a sweep that silently lost its
+/// persistence (read-only directory, full disk) is distinguishable
+/// from one that saved it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache was attached ([`Exploration::cache`] never called).
+    NotAttached,
+    /// A cache was attached but bypassed: every installed cost model
+    /// declined to fingerprint itself, so no entry could be
+    /// content-addressed. Always safe — just no persistence.
+    Bypassed,
+    /// The cache was consulted and every flush succeeded.
+    Flushed,
+    /// At least one flush failed (the payload is the first error). The
+    /// sweep results are complete and correct — evaluation never
+    /// depends on persistence — but some or all fresh entries were not
+    /// written back, so the next run will re-evaluate them.
+    FlushFailed(String),
 }
 
 /// Failure modes of [`Exploration::try_run`].
@@ -336,11 +402,16 @@ pub struct ExploreResult {
     /// Every feasible evaluated point, in evaluation order (enumeration
     /// order for the default [`Exhaustive`] strategy).
     pub evaluated: Vec<EvaluatedArch>,
-    /// Indices (into `evaluated`) of the Pareto front. The front is
-    /// computed on the 2-D (area, time) sweep axes — Figure 2 — and its
-    /// members are then lifted with the test axis — Figure 8. Lifting
-    /// preserves non-domination, so these are also exactly the
-    /// N-dimensional Pareto points of the lifted vectors.
+    /// Indices (into `evaluated`) of the Pareto front.
+    ///
+    /// Under [`LiftMode::ParetoOnly`] the front is computed on the 2-D
+    /// (area, time) sweep axes — Figure 2 — and its members are then
+    /// lifted with the test axis — Figure 8. Lifting preserves
+    /// non-domination, so these are also exactly the N-dimensional
+    /// Pareto points of the lifted vectors. Under [`LiftMode::Full`]
+    /// this is the true 3-D (area, time, test) front, which contains
+    /// every design-front point plus any trade-off the post-hoc lift
+    /// misses (see [`ExploreResult::design_front`]).
     pub pareto: Vec<usize>,
     /// Architectures visited but infeasible for the workload suite
     /// (unschedulable, or outside the component model's domain).
@@ -358,6 +429,11 @@ pub struct ExploreResult {
     pub blocked: Vec<usize>,
     /// Which strategy searched the space, under what budget and seed.
     pub search: SearchInfo,
+    /// When the test axis joined the objective space.
+    pub lift: LiftMode,
+    /// Whether the attached persistent cache (if any) saved its
+    /// entries; see [`CacheStatus`].
+    pub cache_status: CacheStatus,
 }
 
 /// Per-workload slice of an exploration — one row of
@@ -459,8 +535,36 @@ impl ExploreResult {
             .collect()
     }
 
+    /// Indices of the 2-D *design* front: the Pareto front of the
+    /// (area, time) sweep axes alone — exactly the points the paper's
+    /// post-hoc lift evaluates for test cost. Under
+    /// [`LiftMode::ParetoOnly`] this equals [`ExploreResult::pareto`];
+    /// under [`LiftMode::Full`] the difference `pareto ∖ design_front`
+    /// is precisely the set of true 3-D trade-offs the Pareto-only
+    /// lift misses.
+    ///
+    /// One caveat on the converse containment: the 2-D front keeps
+    /// *every* exactly coordinate-tied point, but in 3-D a tied point
+    /// with the cheaper test cost strictly dominates its twin. A
+    /// design-front point can therefore be absent from the full 3-D
+    /// front exactly when another point ties it in both (area, time)
+    /// and beats it on test — possible in principle with custom cost
+    /// models that quantise coarsely, though not observed with the
+    /// annotated defaults.
+    pub fn design_front(&self) -> Vec<usize> {
+        let pts2d: Vec<Vec<f64>> = self
+            .evaluated
+            .iter()
+            .map(|e| vec![e.area(), e.exec_time()])
+            .collect();
+        pareto_front(&pts2d)
+    }
+
     /// Projection property (Figure 8 caption): the lifted points
     /// projected onto (area, time) are exactly the Figure 2 front.
+    /// Always true under [`LiftMode::ParetoOnly`]; under
+    /// [`LiftMode::Full`] it holds exactly when the full 3-D sweep
+    /// found nothing the post-hoc lift misses.
     pub fn projection_holds(&self) -> bool {
         let pts2d: Vec<Vec<f64>> = self
             .pareto_points()
@@ -502,6 +606,7 @@ pub struct Exploration<'db> {
     strategy: Option<Box<dyn SearchStrategy>>,
     budget: Option<usize>,
     seed: Option<u64>,
+    lift: LiftMode,
 }
 
 /// The engine materialises and evaluates batches in chunks of this many
@@ -532,6 +637,7 @@ impl<'db> Exploration<'db> {
             strategy: None,
             budget: None,
             seed: None,
+            lift: LiftMode::default(),
         }
     }
 
@@ -629,10 +735,22 @@ impl<'db> Exploration<'db> {
     ///
     /// Caching silently disables itself when any installed cost model
     /// returns `None` from its `fingerprint()` method (the result could
-    /// not be content-addressed). Flush failures are swallowed — a
-    /// read-only cache directory costs persistence, never the sweep.
+    /// not be content-addressed). Flush failures never abort the sweep
+    /// — a read-only cache directory costs persistence, not results —
+    /// but they are reported through
+    /// [`ExploreResult::cache_status`] instead of being swallowed.
     pub fn cache(mut self, cache: &'db SweepCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Chooses when the test axis joins the objective space (default
+    /// [`LiftMode::ParetoOnly`], the paper's post-hoc lift, which is
+    /// bit-identical to the pre-lift-mode engine).
+    /// [`LiftMode::Full`] costs *every* feasible point on the test
+    /// axis and maintains the true 3-D front.
+    pub fn lift(mut self, mode: LiftMode) -> Self {
+        self.lift = mode;
         self
     }
 
@@ -756,10 +874,11 @@ impl<'db> Exploration<'db> {
                 .u64(self.budget.map_or(u64::MAX, |b| b as u64))
                 .u64(seed),
         };
+        let test_fp = test.fingerprint();
         let eval_cache = self.cache.and_then(|cache| {
             let base = Fingerprint::new()
                 .str("eval")
-                .u64(u64::from(CACHE_FORMAT_VERSION))
+                .u64(u64::from(CACHE_ADDRESS_VERSION))
                 .u64(area.fingerprint()?)
                 .u64(timing.fingerprint()?)
                 .u64(db.fingerprint())
@@ -775,11 +894,23 @@ impl<'db> Exploration<'db> {
                 });
             Some((cache, salted(base).finish()))
         });
+        // A full lift stores per-point test totals *inline* in the eval
+        // entries, tagged with the test model's fingerprint — an
+        // unfingerprintable test model therefore bypasses the eval
+        // cache entirely in that mode (the totals could not be
+        // validated). The eval content address itself is deliberately
+        // unchanged, so both lift modes (and pre-v3 sweeps) share their
+        // scheduling work.
+        let eval_cache = match self.lift {
+            LiftMode::ParetoOnly => eval_cache,
+            LiftMode::Full => eval_cache.filter(|_| test_fp.is_some()),
+        };
+        let full_test_fp = test_fp.unwrap_or(0);
         let test_cache = self.cache.and_then(|cache| {
             let base = Fingerprint::new()
                 .str("test")
-                .u64(u64::from(CACHE_FORMAT_VERSION))
-                .u64(test.fingerprint()?)
+                .u64(u64::from(CACHE_ADDRESS_VERSION))
+                .u64(test_fp?)
                 .u64(db.fingerprint());
             Some((cache, salted(base).finish()))
         });
@@ -807,6 +938,10 @@ impl<'db> Exploration<'db> {
         let mut archive = ParetoArchive::new();
         let mut infeasible = 0usize;
         let mut rounds = 0usize;
+        let lift = self.lift;
+        // First flush failure, if any — reported via CacheStatus, never
+        // allowed to abort the sweep.
+        let mut flush_error: Option<String> = None;
 
         loop {
             let remaining = budget.saturating_sub(seen.len());
@@ -865,7 +1000,16 @@ impl<'db> Exploration<'db> {
                     let mut keys: Vec<_> = archs
                         .iter()
                         .filter(|arch| match &eval_cache {
-                            Some((cache, base)) => !cache.contains_eval(point_key(*base, arch)),
+                            // A full lift reads the database for the
+                            // test axis too, so an entry missing its
+                            // inline test total still needs warm keys.
+                            Some((cache, base)) => match lift {
+                                LiftMode::ParetoOnly => {
+                                    !cache.contains_eval(point_key(*base, arch))
+                                }
+                                LiftMode::Full => !cache
+                                    .contains_eval_with_test(point_key(*base, arch), full_test_fp),
+                            },
                             None => true,
                         })
                         .filter_map(keys_of)
@@ -885,8 +1029,16 @@ impl<'db> Exploration<'db> {
                 // interrupted run resumes from the last completed
                 // chunk.
                 let evaluations: Vec<PointOutcome> = match &eval_cache {
-                    None => par_map(&archs, threads, |_, arch| {
-                        evaluate_point(arch, workloads, weights, &*area, &*timing, db)
+                    None => par_map(&archs, threads, |_, arch| match lift {
+                        LiftMode::ParetoOnly => {
+                            evaluate_point(arch, workloads, weights, &*area, &*timing, db)
+                        }
+                        LiftMode::Full => {
+                            match evaluate_point(arch, workloads, weights, &*area, &*timing, db) {
+                                Ok(e) => finish_full(e, test.test_cost(arch, db).total),
+                                Err(why) => Err(why),
+                            }
+                        }
                     }),
                     Some((cache, base)) => {
                         let out = par_map(&archs, threads, |_, arch| {
@@ -895,17 +1047,76 @@ impl<'db> Exploration<'db> {
                             // (corrupt or hash-colliding) rehydrates to
                             // None and is re-evaluated — a bad cache may
                             // cost time, never correctness or a panic.
-                            if let Some(outcome) = cache
-                                .lookup_eval(key)
-                                .and_then(|entry| rehydrate(arch, workloads.len(), weights, entry))
-                            {
-                                return outcome;
+                            match lift {
+                                LiftMode::ParetoOnly => {
+                                    if let Some(outcome) =
+                                        cache.lookup_eval(key).and_then(|entry| {
+                                            rehydrate(arch, workloads.len(), weights, entry)
+                                        })
+                                    {
+                                        return outcome;
+                                    }
+                                    let e = evaluate_point(
+                                        arch, workloads, weights, &*area, &*timing, db,
+                                    );
+                                    cache.store_eval(key, dehydrate(&e, None));
+                                    e
+                                }
+                                LiftMode::Full => {
+                                    match cache.lookup_eval(key).and_then(|entry| {
+                                        rehydrate_full(
+                                            arch,
+                                            workloads.len(),
+                                            weights,
+                                            entry,
+                                            full_test_fp,
+                                        )
+                                    }) {
+                                        Some(FullRehydration::Done(outcome)) => return outcome,
+                                        // A v2 entry (or one written by
+                                        // another test model): the
+                                        // scheduling work is reused and
+                                        // only the test total recomputes;
+                                        // the upgraded entry is stored
+                                        // back.
+                                        Some(FullRehydration::NeedsTest(e)) => {
+                                            let total = test.test_cost(arch, db).total;
+                                            cache.store_eval(
+                                                key,
+                                                dehydrate_feasible(
+                                                    &e,
+                                                    Some((full_test_fp, total.to_bits())),
+                                                ),
+                                            );
+                                            return finish_full(e, total);
+                                        }
+                                        None => {}
+                                    }
+                                    match evaluate_point(
+                                        arch, workloads, weights, &*area, &*timing, db,
+                                    ) {
+                                        Err(why) => {
+                                            cache.store_eval(key, dehydrate(&Err(why), None));
+                                            Err(why)
+                                        }
+                                        Ok(e) => {
+                                            let total = test.test_cost(arch, db).total;
+                                            cache.store_eval(
+                                                key,
+                                                dehydrate_feasible(
+                                                    &e,
+                                                    Some((full_test_fp, total.to_bits())),
+                                                ),
+                                            );
+                                            finish_full(e, total)
+                                        }
+                                    }
+                                }
                             }
-                            let e = evaluate_point(arch, workloads, weights, &*area, &*timing, db);
-                            cache.store_eval(key, dehydrate(&e));
-                            e
                         });
-                        let _ = cache.flush();
+                        if let Err(e) = cache.flush() {
+                            flush_error.get_or_insert_with(|| e.to_string());
+                        }
                         out
                     }
                 };
@@ -920,7 +1131,10 @@ impl<'db> Exploration<'db> {
                     match e {
                         Ok(e) => {
                             let id = evaluated.len();
-                            archive.try_insert(id, &[e.area(), e.exec_time()]);
+                            // ParetoOnly points carry [area, time], Full
+                            // points [area, time, test] — the archive
+                            // streams whichever front the mode defines.
+                            archive.try_insert(id, e.objectives.values());
                             observations.push(Observation {
                                 index,
                                 objectives: Some((e.area(), e.exec_time())),
@@ -943,67 +1157,87 @@ impl<'db> Exploration<'db> {
             }
         }
 
-        // The streaming archive *is* the (area, time) Pareto front —
-        // Figure 2. `pareto_front` stays on as the verification oracle.
+        // The streaming archive *is* the mode's Pareto front — the 2-D
+        // (area, time) front of Figure 2 under ParetoOnly, the true 3-D
+        // front under Full. `pareto_front` stays on as the verification
+        // oracle.
         let pareto = archive.ids();
         #[cfg(debug_assertions)]
         {
-            let pts2d: Vec<Vec<f64>> = evaluated
+            let pts: Vec<Vec<f64>> = evaluated
                 .iter()
-                .map(|e| vec![e.area(), e.exec_time()])
+                .map(|e| e.objectives.values().to_vec())
                 .collect();
             debug_assert_eq!(
                 pareto,
-                pareto_front(&pts2d),
+                pareto_front(&pts),
                 "streaming front must match the batch oracle"
             );
         }
 
-        // Stage 3: lift the front with the eq. (14) test axis — Figure 8.
-        // "only the architectures that correspond to the Pareto points in
-        // the design space are evaluated in terms of testing".
-        //
-        // Pre-warm first (parallel, db-backed test model): when the sweep
-        // was answered from the cache, stage 0 warmed nothing, but an
-        // uncached lift still reads the database — without this, parallel
-        // lift workers would each recompute shared ATPG records.
-        if self.parallel && uses_db_defaults {
-            let mut keys: Vec<_> = pareto
-                .iter()
-                .map(|&i| &evaluated[i].architecture)
-                .filter(|arch| match &test_cache {
-                    Some((cache, base)) => !cache.contains_test(point_key(*base, arch)),
-                    None => true,
-                })
-                .filter_map(keys_of)
-                .flatten()
-                .collect();
-            keys.sort_unstable();
-            keys.dedup();
-            keys.retain(|&k| !db.contains(k));
-            par_map(&keys, threads, |_, &key| {
-                db.get(key);
-            });
-        }
-        let costs = par_map(&pareto, threads, |_, &i| {
-            let arch = &evaluated[i].architecture;
-            if let Some((cache, base)) = &test_cache {
-                let key = point_key(*base, arch);
-                if let Some(total) = cache.lookup_test(key) {
+        // Stage 3 (ParetoOnly): lift the front with the test axis —
+        // Figure 8. "only the architectures that correspond to the
+        // Pareto points in the design space are evaluated in terms of
+        // testing". A Full sweep already carries the axis on every
+        // point, so the stage disappears.
+        if lift == LiftMode::ParetoOnly {
+            // Pre-warm first (parallel, db-backed test model): when the
+            // sweep was answered from the cache, stage 0 warmed nothing,
+            // but an uncached lift still reads the database — without
+            // this, parallel lift workers would each recompute shared
+            // ATPG records.
+            if self.parallel && uses_db_defaults {
+                let mut keys: Vec<_> = pareto
+                    .iter()
+                    .map(|&i| &evaluated[i].architecture)
+                    .filter(|arch| match &test_cache {
+                        Some((cache, base)) => !cache.contains_test(point_key(*base, arch)),
+                        None => true,
+                    })
+                    .filter_map(keys_of)
+                    .flatten()
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys.retain(|&k| !db.contains(k));
+                par_map(&keys, threads, |_, &key| {
+                    db.get(key);
+                });
+            }
+            let costs = par_map(&pareto, threads, |_, &i| {
+                let arch = &evaluated[i].architecture;
+                if let Some((cache, base)) = &test_cache {
+                    let key = point_key(*base, arch);
+                    if let Some(total) = cache.lookup_test(key) {
+                        return total;
+                    }
+                    let total = test.test_cost(arch, db).total;
+                    cache.store_test(key, total);
                     return total;
                 }
-                let total = test.test_cost(arch, db).total;
-                cache.store_test(key, total);
-                return total;
+                test.test_cost(arch, db).total
+            });
+            if let Some((cache, _)) = &test_cache {
+                if let Err(e) = cache.flush() {
+                    flush_error.get_or_insert_with(|| e.to_string());
+                }
             }
-            test.test_cost(arch, db).total
-        });
-        if let Some((cache, _)) = &test_cache {
-            let _ = cache.flush();
+            for (&i, total) in pareto.iter().zip(costs) {
+                evaluated[i].objectives.push(Objective::TestCost, total);
+            }
         }
-        for (&i, total) in pareto.iter().zip(costs) {
-            evaluated[i].objectives.push(Objective::TestCost, total);
-        }
+
+        let caching_active =
+            eval_cache.is_some() || (lift == LiftMode::ParetoOnly && test_cache.is_some());
+        let cache_status = if self.cache.is_none() {
+            CacheStatus::NotAttached
+        } else if !caching_active {
+            CacheStatus::Bypassed
+        } else if let Some(msg) = flush_error {
+            CacheStatus::FlushFailed(msg)
+        } else {
+            CacheStatus::Flushed
+        };
 
         Ok(ExploreResult {
             evaluated,
@@ -1020,6 +1254,8 @@ impl<'db> Exploration<'db> {
                 evaluations: seen.len(),
                 rounds,
             },
+            lift,
+            cache_status,
         })
     }
 
@@ -1092,6 +1328,7 @@ fn rehydrate(
             spills,
             area_bits,
             exec_bits,
+            test: _,
         } => {
             if workload_cycles.len() != n_workloads {
                 return None;
@@ -1112,19 +1349,77 @@ fn rehydrate(
     }
 }
 
-/// The cache entry for a fresh evaluation.
-fn dehydrate(e: &PointOutcome) -> EvalEntry {
+/// Outcome of rehydrating a cache entry for a [`LiftMode::Full`]
+/// sweep.
+enum FullRehydration {
+    /// The entry answered completely, test axis included.
+    Done(PointOutcome),
+    /// Feasible, but the inline test total is missing (a v2 or
+    /// Pareto-only entry) or was produced by a different test model:
+    /// the scheduling payload is reusable, the test total is not.
+    NeedsTest(EvaluatedArch),
+}
+
+/// Full-lift rehydration: like [`rehydrate`], but also resolves the
+/// inline test total when it matches the active model's fingerprint.
+fn rehydrate_full(
+    arch: &Architecture,
+    n_workloads: usize,
+    weights: &[f64],
+    entry: EvalEntry,
+    test_fp: u64,
+) -> Option<FullRehydration> {
+    let inline_test = match &entry {
+        EvalEntry::Feasible { test, .. } => *test,
+        EvalEntry::Infeasible { .. } => None,
+    };
+    Some(match rehydrate(arch, n_workloads, weights, entry)? {
+        Err(blocked) => FullRehydration::Done(Err(blocked)),
+        Ok(e) => match inline_test {
+            Some((fp, bits)) if fp == test_fp => {
+                FullRehydration::Done(finish_full(e, f64::from_bits(bits)))
+            }
+            _ => FullRehydration::NeedsTest(e),
+        },
+    })
+}
+
+/// Pushes the test axis onto a feasible 2-D evaluation, turning a
+/// non-finite total into an infeasible point (the same convention as
+/// the area/timing axes: an infinite coordinate would poison the norm
+/// selection downstream). The cache keeps the *feasible* 2-D entry
+/// either way, so a Pareto-only run sharing the cache still sees the
+/// point.
+fn finish_full(mut e: EvaluatedArch, total: f64) -> PointOutcome {
+    if !total.is_finite() {
+        return Err(None);
+    }
+    e.objectives.push(Objective::TestCost, total);
+    Ok(e)
+}
+
+/// The cache entry for a fresh evaluation; `test` carries the inline
+/// `(model fingerprint, total bits)` pair of a full-lift sweep.
+fn dehydrate(e: &PointOutcome, test: Option<(u64, u64)>) -> EvalEntry {
     match e {
         Err(blocked) => EvalEntry::Infeasible {
             blocked: blocked.map(|w| w as u32),
         },
-        Ok(e) => EvalEntry::Feasible {
-            cycles: e.cycles,
-            workload_cycles: e.workload_cycles.clone(),
-            spills: e.spills,
-            area_bits: e.area().to_bits(),
-            exec_bits: e.exec_time().to_bits(),
-        },
+        Ok(e) => dehydrate_feasible(e, test),
+    }
+}
+
+/// The cache entry for a feasible evaluation (2-D payload; the test
+/// axis, if already pushed, is *not* read from the objectives — the
+/// caller passes it explicitly as `test`).
+fn dehydrate_feasible(e: &EvaluatedArch, test: Option<(u64, u64)>) -> EvalEntry {
+    EvalEntry::Feasible {
+        cycles: e.cycles,
+        workload_cycles: e.workload_cycles.clone(),
+        spills: e.spills,
+        area_bits: e.area().to_bits(),
+        exec_bits: e.exec_time().to_bits(),
+        test,
     }
 }
 
@@ -1439,6 +1734,96 @@ mod tests {
             .rf(8, 1, 2)
             .build();
         assert!(model.area(&big, &db) > model.area(&small, &db));
+    }
+
+    #[test]
+    fn full_lift_costs_every_point_and_keeps_the_design_front() {
+        let db = ComponentDb::new();
+        let w = suite::crypt(1);
+        let full = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .lift(LiftMode::Full)
+            .run();
+        assert_eq!(full.lift, LiftMode::Full);
+        for e in &full.evaluated {
+            assert_eq!(
+                e.objectives.axes(),
+                [Objective::Area, Objective::ExecTime, Objective::TestCost]
+            );
+            assert!(e.test_cost().is_some());
+        }
+        // The 3-D front contains the whole 2-D design front.
+        let design = full.design_front();
+        assert!(design.iter().all(|i| full.pareto.contains(i)));
+        // Selection works over the 3-D front.
+        assert!(full.try_select_equal_weights().is_some());
+    }
+
+    #[test]
+    fn cache_status_distinguishes_missing_bypassed_and_flushed() {
+        use crate::cache::SweepCache;
+        let db = ComponentDb::new();
+        let w = suite::crypt(1);
+        let none = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        assert_eq!(none.cache_status, CacheStatus::NotAttached);
+
+        let cache = SweepCache::in_memory();
+        let flushed = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .cache(&cache)
+            .run();
+        assert_eq!(flushed.cache_status, CacheStatus::Flushed);
+
+        // A fully unfingerprintable model stack bypasses caching.
+        struct Opaque;
+        impl crate::models::AreaModel for Opaque {
+            fn area(&self, _: &Architecture, _: &ComponentDb) -> f64 {
+                1.0
+            }
+        }
+        struct OpaqueTime;
+        impl crate::models::TimingModel for OpaqueTime {
+            fn clock_period(&self, _: &Architecture, _: &ComponentDb) -> f64 {
+                1.0
+            }
+        }
+        struct OpaqueTest;
+        impl crate::models::TestCostModel for OpaqueTest {
+            fn test_cost(
+                &self,
+                a: &Architecture,
+                db: &ComponentDb,
+            ) -> crate::testcost::ArchTestCost {
+                crate::testcost::architecture_test_cost(a, db)
+            }
+        }
+        let cache = SweepCache::in_memory();
+        let bypassed = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .models(Opaque, OpaqueTime, OpaqueTest)
+            .cache(&cache)
+            .run();
+        assert_eq!(bypassed.cache_status, CacheStatus::Bypassed);
+        assert!(cache.is_empty(), "nothing may be stored when bypassed");
+
+        // In Full mode an unfingerprintable *test* model alone bypasses
+        // the eval cache too (inline totals could not be validated).
+        let cache = SweepCache::in_memory();
+        let full_bypassed = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .test_cost_model(OpaqueTest)
+            .lift(LiftMode::Full)
+            .cache(&cache)
+            .run();
+        assert_eq!(full_bypassed.cache_status, CacheStatus::Bypassed);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! 3. classical full scan is costed as the baseline — [`fullscan`];
 //! 4. the design space is swept (area from the netlists, execution time
 //!    from the MOVE scheduler), reduced to Pareto points, lifted to N-D
-//!    with the test axis, and the final architecture is selected with a
-//!    weighted norm — [`pareto`], [`norm`], [`explore`].
+//!    with the test axis — post-hoc as in the paper, or as a
+//!    first-class third sweep objective via
+//!    [`explore::LiftMode::Full`] — and the final architecture is
+//!    selected with a weighted norm — [`pareto`], [`norm`],
+//!    [`explore`].
 //!
 //! Each cost axis is a pluggable trait ([`models`]): swap the cell
 //! library, the interconnect constants or the whole test methodology
@@ -87,12 +90,12 @@ pub mod testplan;
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
 pub use explore::{
-    EvaluatedArch, Exploration, ExploreError, ExploreResult, Objective, ObjectiveVector,
-    SearchInfo, WorkloadBreakdown,
+    CacheStatus, EvaluatedArch, Exploration, ExploreError, ExploreResult, LiftMode, Objective,
+    ObjectiveVector, SearchInfo, WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
-    TestCostModel, TimingModel,
+    ScanTestCostModel, TestCostModel, TimingModel,
 };
 pub use norm::{Norm, Weights};
 pub use pareto::{pareto_front, ParetoArchive};

@@ -19,11 +19,14 @@
 //! All model methods take a shared `&ComponentDb`, so one database serves
 //! a whole (possibly parallel) sweep.
 
-use tta_arch::{Architecture, InstructionFormat};
+use tta_arch::{Architecture, FuKind, InstructionFormat};
+use tta_dft::testtime::multi_chain_scan_cycles;
 
 use crate::backannotate::{ComponentDb, ComponentKey};
 use crate::cache::Fingerprint;
-use crate::testcost::{architecture_test_cost, ArchTestCost};
+use crate::testcost::{
+    architecture_test_cost, out_of_model, socket_state_bits, ArchTestCost, ComponentTestCost,
+};
 
 /// The analytical interconnect/control model: the constants the paper
 /// folds into its area and delay numbers, made explicit and configurable.
@@ -240,6 +243,139 @@ impl TestCostModel for Eq14TestCostModel {
     }
 }
 
+/// A DfT-backed alternative test axis: every component (plus its
+/// socket group) is tested through balanced scan chains instead of the
+/// paper's functional transports.
+///
+/// Where [`Eq14TestCostModel`] prices patterns by their *transport
+/// distance* over the move buses (eqs. 11–14), this model prices them
+/// by *scan shifting*: the component's flip-flops and its socket state
+/// are partitioned into [`ScanTestCostModel::chains`] balanced chains
+/// (the partition of [`tta_dft::chains::ChainPlan`], whose lengths
+/// [`ChainPlan::balanced_lengths`](tta_dft::chains::ChainPlan::balanced_lengths)
+/// exposes without a netlist) and each pattern is shifted through the
+/// longest one ([`multi_chain_scan_cycles`]). The trade-off surface it
+/// induces differs from eq. (14)'s — scan cost is blind to the bus
+/// count and port sharing that dominate the functional cost — which is
+/// exactly what makes it useful as a second co-exploration axis
+/// ([`crate::explore::LiftMode::Full`] + `ttadse explore --test-model
+/// scan`).
+///
+/// LD/ST, PC and the Immediate unit stay excluded from the comparative
+/// total, as in the paper's methodology, so the two models' totals
+/// cover the same component set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanTestCostModel {
+    /// Number of balanced scan chains per component (the paper's
+    /// single-chain assumption is `chains = 1`, the default).
+    pub chains: usize,
+}
+
+impl ScanTestCostModel {
+    /// The single-chain model the paper's full-scan discussion assumes.
+    pub fn new() -> Self {
+        ScanTestCostModel { chains: 1 }
+    }
+
+    /// A model shifting through `chains` balanced chains per component
+    /// (clamped to at least one).
+    pub fn with_chains(chains: usize) -> Self {
+        ScanTestCostModel {
+            chains: chains.max(1),
+        }
+    }
+
+    /// Scan cost of one component: `np` patterns through the longest of
+    /// the balanced chains covering `ffs` flip-flops. The longest chain
+    /// of a balanced partition ([`tta_dft::chains::ChainPlan`]) has
+    /// `ffs.div_ceil(chains)` flip-flops — exactly what
+    /// [`multi_chain_scan_cycles`] prices, so no per-point partition is
+    /// materialised.
+    fn scan_cycles(&self, np: usize, ffs: usize) -> (usize, f64) {
+        (
+            ffs.div_ceil(self.chains),
+            multi_chain_scan_cycles(np, ffs, self.chains) as f64,
+        )
+    }
+}
+
+impl Default for ScanTestCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestCostModel for ScanTestCostModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("scan-test-cost")
+                .u64(self.chains as u64)
+                .finish(),
+        )
+    }
+
+    fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
+        let Some(w) = key_width(arch) else {
+            return out_of_model();
+        };
+        let mut components = Vec::new();
+        for fu in arch.fus() {
+            let n_inputs = fu.kind.input_ports();
+            let Some(sock_key) = ComponentKey::socket_group(w, n_inputs) else {
+                return out_of_model();
+            };
+            let rec = db.get(ComponentKey::for_fu(fu.kind, w));
+            let sock = db.get(sock_key);
+            let np = rec.np + sock.np;
+            let ffs = rec.ff_total + socket_state_bits(n_inputs);
+            let (nl, cycles) = self.scan_cycles(np, ffs);
+            components.push(ComponentTestCost {
+                name: fu.name.clone(),
+                np,
+                // Patterns arrive through the chain, not the buses.
+                cd: 0,
+                functional_cost: cycles,
+                socket_np: sock.np,
+                nl,
+                fts: 0.0,
+                fault_coverage: rec.adjusted_coverage,
+                excluded: matches!(fu.kind, FuKind::LdSt | FuKind::Pc | FuKind::Immediate),
+            });
+        }
+        for rf in arch.rfs() {
+            let (Some(key), Some(sock_key)) = (
+                ComponentKey::for_rf(rf, w),
+                ComponentKey::socket_group(w, rf.nin()),
+            ) else {
+                return out_of_model();
+            };
+            let rec = db.get(key);
+            let sock = db.get(sock_key);
+            let np = rec.np + sock.np;
+            let ffs = rec.ff_total + socket_state_bits(rf.nin());
+            let (nl, cycles) = self.scan_cycles(np, ffs);
+            components.push(ComponentTestCost {
+                name: rf.name.clone(),
+                np,
+                cd: 0,
+                functional_cost: cycles,
+                socket_np: sock.np,
+                nl,
+                fts: 0.0,
+                fault_coverage: rec.adjusted_coverage,
+                excluded: false,
+            });
+        }
+        let total = components
+            .iter()
+            .filter(|c| !c.excluded)
+            .map(ComponentTestCost::our_approach_cycles)
+            .sum();
+        ArchTestCost { components, total }
+    }
+}
+
 /// Whether `arch` is inside the component model's domain — every
 /// geometry fits the [`ComponentKey`] fields, so [`keys_of`] would
 /// return `Some` (this is its allocation-free mirror). The sweep itself
@@ -335,7 +471,93 @@ mod tests {
         AnnotatedAreaModel::default().area(&arch, &db);
         AnnotatedTimingModel::default().clock_period(&arch, &db);
         Eq14TestCostModel.test_cost(&arch, &db);
+        ScanTestCostModel::default().test_cost(&arch, &db);
         assert_eq!(db.len(), before, "models touched an unwarmed key");
+    }
+
+    fn arch8_buses(buses: usize) -> Architecture {
+        TemplateBuilder::new(format!("b{buses}"), 8, buses)
+            .fu(FuKind::Alu)
+            .fu(FuKind::LdSt)
+            .fu(FuKind::Pc)
+            .fu(FuKind::Immediate)
+            .rf(8, 1, 2)
+            .build()
+    }
+
+    #[test]
+    fn scan_model_is_bus_blind_where_eq14_is_not() {
+        let db = ComponentDb::new();
+        let narrow = arch8_buses(1);
+        let wide = arch8_buses(4);
+        // eq. (14) prices transports: fewer buses cost more.
+        let eq14 = Eq14TestCostModel;
+        assert!(eq14.test_cost(&narrow, &db).total > eq14.test_cost(&wide, &db).total);
+        // The scan model shifts through chains and never sees the buses
+        // — that orthogonality is what makes it a distinct test axis.
+        let scan = ScanTestCostModel::new();
+        assert_eq!(
+            scan.test_cost(&narrow, &db).total,
+            scan.test_cost(&wide, &db).total
+        );
+        assert!(scan.test_cost(&wide, &db).total > 0.0);
+    }
+
+    #[test]
+    fn more_scan_chains_cost_fewer_cycles() {
+        let db = ComponentDb::new();
+        let arch = arch8();
+        let one = ScanTestCostModel::new().test_cost(&arch, &db).total;
+        let four = ScanTestCostModel::with_chains(4)
+            .test_cost(&arch, &db)
+            .total;
+        assert!(four < one, "{four} !< {one}");
+        // The chain count is part of the cache identity.
+        assert_ne!(
+            ScanTestCostModel::new().fingerprint(),
+            ScanTestCostModel::with_chains(4).fingerprint()
+        );
+        assert_ne!(
+            ScanTestCostModel::new().fingerprint(),
+            Eq14TestCostModel.fingerprint(),
+            "the two test models must never share cache entries"
+        );
+        // Zero chains clamps instead of dividing by zero.
+        assert_eq!(ScanTestCostModel::with_chains(0).chains, 1);
+    }
+
+    #[test]
+    fn scan_model_excludes_the_same_singletons_as_eq14() {
+        let db = ComponentDb::new();
+        let arch = arch8();
+        let cost = ScanTestCostModel::new().test_cost(&arch, &db);
+        let excluded: Vec<&str> = cost
+            .components
+            .iter()
+            .filter(|c| c.excluded)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(excluded.len(), 3, "LD/ST, PC, IMM: {excluded:?}");
+        let included: f64 = cost
+            .components
+            .iter()
+            .filter(|c| !c.excluded)
+            .map(|c| c.our_approach_cycles())
+            .sum();
+        assert_eq!(cost.total, included);
+    }
+
+    #[test]
+    fn scan_model_rejects_out_of_model_geometries() {
+        let db = ComponentDb::new();
+        let bad = TemplateBuilder::new("wide", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Pc)
+            .rf(70_000, 1, 2)
+            .build();
+        let cost = ScanTestCostModel::new().test_cost(&bad, &db);
+        assert!(cost.total.is_infinite());
+        assert!(cost.components.is_empty());
     }
 
     #[test]

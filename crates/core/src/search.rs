@@ -223,8 +223,18 @@ impl SearchStrategy for RandomSample {
 }
 
 /// `k` distinct values from `0..n`, in draw order, deterministically.
+///
+/// # Panics
+///
+/// Panics when `k > n` — there are not `k` distinct values to draw. A
+/// real assert, not a `debug_assert`: in a release build a violation
+/// would otherwise loop forever in the rejection-sampling branch
+/// (every draw is a duplicate once all `n` values are out).
 fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
-    debug_assert!(k <= n);
+    assert!(
+        k <= n,
+        "sample_distinct: cannot draw {k} distinct values from 0..{n}"
+    );
     if k * 2 <= n {
         // Sparse: rejection sampling — O(k) memory, no index vector.
         let mut chosen = HashSet::with_capacity(k);
@@ -426,6 +436,36 @@ mod tests {
         let s = sample_distinct(&mut rng, 10, 9);
         assert_eq!(s.len(), 9);
         assert_eq!(s.iter().collect::<HashSet<_>>().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn oversized_sample_panics_instead_of_spinning() {
+        // k > n used to be a debug_assert only: a release build would
+        // hang in rejection sampling. Now it fails loudly everywhere.
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_distinct(&mut rng, 4, 5);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// `RandomSample` with a budget covering the whole space
+        /// degenerates to the exhaustive index set — for any seed and
+        /// any amount of budget slack.
+        #[test]
+        fn full_budget_random_equals_exhaustive(seed in 0u64..1000, slack in 0usize..40) {
+            let space = TemplateSpace::paper_default();
+            let (obs, front, seen) = (Vec::new(), Vec::new(), HashSet::new());
+            let random = RandomSample.next_batch(&SearchContext::new(
+                &space, seed, 0, space.len() + slack, &obs, &front, &seen,
+            ));
+            let mut exhaustive = Exhaustive;
+            let full = exhaustive.next_batch(&SearchContext::new(
+                &space, seed, 0, usize::MAX, &obs, &front, &seen,
+            ));
+            proptest::prop_assert_eq!(random, full);
+        }
     }
 
     #[test]

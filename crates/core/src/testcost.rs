@@ -122,8 +122,9 @@ pub fn socket_state_bits(n_input_ports: usize) -> usize {
 /// An infinite test cost marking an architecture outside the component
 /// model's domain (the same convention as the area/timing models: the
 /// sweep and any selection drop such points instead of trusting a
-/// silently truncated key).
-fn out_of_model() -> ArchTestCost {
+/// silently truncated key). Shared with the scan-based model in
+/// [`crate::models`].
+pub(crate) fn out_of_model() -> ArchTestCost {
     ArchTestCost {
         components: Vec::new(),
         total: f64::INFINITY,

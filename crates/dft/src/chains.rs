@@ -19,6 +19,22 @@ pub struct ChainPlan {
 }
 
 impl ChainPlan {
+    /// Per-chain lengths of a balanced partition of `n_ffs` flip-flops
+    /// into `k` chains (longest first; round-off spread across the
+    /// first chains). This is the netlist-free core of
+    /// [`ChainPlan::balanced`], usable by cost models that know a
+    /// component's flip-flop *count* without rebuilding its netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn balanced_lengths(n_ffs: usize, k: usize) -> Vec<usize> {
+        assert!(k >= 1, "at least one chain");
+        let base = n_ffs / k;
+        let extra = n_ffs % k;
+        (0..k).map(|c| base + usize::from(c < extra)).collect()
+    }
+
     /// Balanced partition of `nl`'s flip-flops into `k` chains
     /// (declaration order, round-off spread across the first chains).
     ///
@@ -26,17 +42,12 @@ impl ChainPlan {
     ///
     /// Panics if `k` is zero.
     pub fn balanced(nl: &Netlist, k: usize) -> Self {
-        assert!(k >= 1, "at least one chain");
         let names: Vec<String> = nl.dffs().iter().map(|ff| ff.name().to_string()).collect();
-        let n = names.len();
-        let base = n / k;
-        let extra = n % k;
-        let mut chains = Vec::with_capacity(k);
         let mut it = names.into_iter();
-        for c in 0..k {
-            let len = base + usize::from(c < extra);
-            chains.push(it.by_ref().take(len).collect());
-        }
+        let chains = Self::balanced_lengths(it.len(), k)
+            .into_iter()
+            .map(|len| it.by_ref().take(len).collect())
+            .collect();
         ChainPlan { chains }
     }
 
@@ -80,6 +91,21 @@ mod tests {
             assert_eq!(sum, total, "k={k}");
             assert!(plan.imbalance() <= 1, "k={k}: {}", plan.imbalance());
         }
+    }
+
+    #[test]
+    fn balanced_lengths_match_the_netlist_partition() {
+        let alu = components::alu(8);
+        for k in [1usize, 2, 3, 5] {
+            let plan = ChainPlan::balanced(&alu.netlist, k);
+            let lengths: Vec<usize> = plan.chains.iter().map(Vec::len).collect();
+            assert_eq!(
+                lengths,
+                ChainPlan::balanced_lengths(alu.netlist.dff_count(), k)
+            );
+        }
+        assert_eq!(ChainPlan::balanced_lengths(7, 3), vec![3, 2, 2]);
+        assert_eq!(ChainPlan::balanced_lengths(0, 2), vec![0, 0]);
     }
 
     #[test]
