@@ -712,6 +712,30 @@ pub struct SuiteComparisonRow {
     /// Points each member was the first to make infeasible, in
     /// [`SuiteComparisonRow::members`] order.
     pub blocked: Vec<usize>,
+    /// Per-member simulated-minus-modeled trace-cycle delta on the
+    /// selected architecture, in [`SuiteComparisonRow::members`] order;
+    /// `None` when nothing was selected or the member does not schedule
+    /// there. Zero by the simulator's acceptance property — a non-zero
+    /// value flags scheduler/model drift.
+    pub cycle_deltas: Vec<Option<i64>>,
+}
+
+/// Executes one scheduled trace of `w` on `arch` and returns simulated
+/// minus scheduled cycles (`None` when the workload does not schedule
+/// or lower there).
+fn simulated_delta(arch: &Architecture, w: &suite::Workload) -> Option<i64> {
+    let schedule = tta_movec::schedule::Scheduler::new(arch).run(&w.dfg).ok()?;
+    let program = tta_sim::lower(arch, &w.dfg, &schedule, &w.inputs, &w.mem).ok()?;
+    let options = tta_sim::SimOptions {
+        allow_register_overflow: true,
+        ..Default::default()
+    };
+    let trace = tta_sim::Simulator::new(arch)
+        .options(options)
+        .run(&program)
+        .ok()?;
+    let executed = i64::try_from(trace.cycles).ok()?;
+    Some(executed - i64::from(schedule.cycles))
 }
 
 /// How the Figure 9 weighted-norm selection moves across workload
@@ -764,6 +788,14 @@ pub fn compare_suites(
             flush_failure.get_or_insert_with(|| msg.clone());
         }
         let selected = result.try_select_equal_weights().cloned();
+        let cycle_deltas = members
+            .iter()
+            .map(|m| {
+                selected
+                    .as_ref()
+                    .and_then(|s| simulated_delta(&s.architecture, &m.workload))
+            })
+            .collect();
         rows.push(SuiteComparisonRow {
             suite: name.clone(),
             members: members
@@ -774,6 +806,7 @@ pub fn compare_suites(
             infeasible: result.infeasible,
             blocked: result.blocked.clone(),
             selected,
+            cycle_deltas,
         });
     }
     Ok(SuiteComparison {
@@ -799,12 +832,21 @@ impl fmt::Display for SuiteComparison {
             "exec time",
             "test cost",
             "feasible",
+            "sim-model Δcycles",
         ]);
         for r in &self.rows {
             let members = r
                 .members
                 .iter()
                 .map(|(n, w)| format!("{n}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            // Per-member executed-minus-modeled cycles on the selected
+            // machine: all zeros while scheduler and simulator agree.
+            let deltas = r
+                .cycle_deltas
+                .iter()
+                .map(|d| d.map_or("-".into(), |v| v.to_string()))
                 .collect::<Vec<_>>()
                 .join(" ");
             match &r.selected {
@@ -816,6 +858,7 @@ impl fmt::Display for SuiteComparison {
                     format!("{:.0}", e.exec_time()),
                     e.test_cost().map_or("-".into(), |c| format!("{c:.0}")),
                     format!("{}/{}", r.feasible, r.feasible + r.infeasible),
+                    deltas,
                 ]),
                 None => t.row([
                     r.suite.clone(),
@@ -825,6 +868,7 @@ impl fmt::Display for SuiteComparison {
                     "-".into(),
                     "-".into(),
                     format!("0/{}", r.infeasible),
+                    deltas,
                 ]),
             }
         }
@@ -967,6 +1011,15 @@ mod tests {
             cmp.rows[1].infeasible
         );
         assert!(cmp.to_string().contains("dsp"));
+        // Every member executes on its suite's selected machine (a
+        // selected point is feasible for the whole suite), and the
+        // simulator reproduces the analytic model exactly.
+        for row in &cmp.rows {
+            assert_eq!(row.cycle_deltas.len(), row.members.len());
+            for (delta, (member, _)) in row.cycle_deltas.iter().zip(&row.members) {
+                assert_eq!(*delta, Some(0), "{}: {member} drifted", row.suite);
+            }
+        }
     }
 
     #[test]

@@ -2,16 +2,21 @@
 //! regenerations, and `cache` management.
 
 use std::io::Write;
+use std::path::PathBuf;
 
 use tta_arch::template::TemplateSpace;
+use tta_arch::Architecture;
 use tta_bench::{
     compare_suites, fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale,
 };
 use tta_core::cache::SweepCache;
-use tta_core::explore::{CacheStatus, Exploration, ExploreResult, LiftMode};
+use tta_core::explore::{CacheStatus, CycleSource, Exploration, ExploreResult, LiftMode};
 use tta_core::models::{InterconnectModel, ScanTestCostModel};
 use tta_core::report::TextTable;
 use tta_core::ComponentDb;
+use tta_movec::schedule::Scheduler;
+use tta_sim::{SimOptions, Simulator, Trace};
+use tta_workloads::Workload;
 use tta_workloads::{SuiteParams, SuiteRegistry, WeightedWorkload};
 
 use crate::json;
@@ -179,6 +184,16 @@ impl TestModel {
     }
 }
 
+fn parse_cycle_source(s: &str) -> Result<CycleSource, CliError> {
+    match s {
+        "model" => Ok(CycleSource::Model),
+        "simulate" => Ok(CycleSource::Simulate),
+        other => Err(CliError::usage(format!(
+            "unknown --cycles {other:?} (expected model or simulate)"
+        ))),
+    }
+}
+
 fn parse_lift(s: &str) -> Result<LiftMode, CliError> {
     match s {
         "pareto" => Ok(LiftMode::ParetoOnly),
@@ -203,6 +218,7 @@ struct ExploreOpts {
     seed: Option<u64>,
     lift: LiftMode,
     test_model: TestModel,
+    cycle_source: CycleSource,
 }
 
 fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
@@ -220,6 +236,7 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
         seed: None,
         lift: LiftMode::default(),
         test_model: TestModel::default(),
+        cycle_source: CycleSource::default(),
     };
     let mut cursor = ArgCursor::new(args);
     while let Some(arg) = cursor.next() {
@@ -241,6 +258,7 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
             "--seed" => o.seed = Some(cursor.parse_for("--seed")?),
             "--lift" => o.lift = parse_lift(&cursor.value_for("--lift")?)?,
             "--test-model" => o.test_model = TestModel::parse(&cursor.value_for("--test-model")?)?,
+            "--cycles" => o.cycle_source = parse_cycle_source(&cursor.value_for("--cycles")?)?,
             "--bus-area" => o.interconnect.bus_area_per_bit = cursor.parse_for("--bus-area")?,
             "--bus-delay" => o.interconnect.bus_delay_penalty = cursor.parse_for("--bus-delay")?,
             "--control-area" => {
@@ -445,6 +463,10 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         .with_db(&db)
         .interconnect(o.interconnect)
         .lift(o.lift)
+        // `--cycles` is deliberately NOT echoed in any output format:
+        // CI `cmp`s a model run against a simulate run to assert the
+        // simulator reproduces the analytic model byte-identically.
+        .cycle_source(o.cycle_source)
         .parallel(o.parallel);
     if o.test_model == TestModel::Scan {
         e = e.test_cost_model(ScanTestCostModel::default());
@@ -1021,6 +1043,313 @@ pub fn table1_cmd(
 }
 
 // ---------------------------------------------------------------------
+// sim / asm
+// ---------------------------------------------------------------------
+
+/// `--arch` selector for `ttadse sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimArch {
+    /// The maximal point of the scale's template space — the one
+    /// machine guaranteed to schedule every registered workload.
+    Max,
+    /// The paper's published Figure 9 machine.
+    Figure9,
+}
+
+fn parse_sim_arch(s: &str) -> Result<SimArch, CliError> {
+    match s {
+        "max" => Ok(SimArch::Max),
+        "figure9" => Ok(SimArch::Figure9),
+        other => Err(CliError::usage(format!(
+            "unknown --arch {other:?} (expected max or figure9)"
+        ))),
+    }
+}
+
+fn sim_arch(choice: SimArch, scale: Scale) -> Architecture {
+    match choice {
+        SimArch::Figure9 => Architecture::figure9(),
+        SimArch::Max => {
+            let space = scale.space();
+            space.point(space.len() - 1)
+        }
+    }
+}
+
+/// The per-cycle move log as table rows / JSON objects.
+fn render_trace_table(trace: &Trace, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut t = TextTable::new(["cycle", "instr", "moves"]);
+    for step in &trace.steps {
+        let moves = step
+            .moves
+            .iter()
+            .map(|m| format!("{} -> {} = {}", m.src, m.dst, m.value))
+            .collect::<Vec<_>>()
+            .join("; ");
+        t.row([step.cycle.to_string(), step.instr.to_string(), moves]);
+    }
+    writeln!(out, "{t}")?;
+    Ok(())
+}
+
+fn trace_json(trace: &Trace) -> String {
+    json::array(trace.steps.iter().map(|step| {
+        json::object([
+            ("cycle", json::int(step.cycle)),
+            ("instr", json::int(step.instr as u64)),
+            (
+                "moves",
+                json::array(step.moves.iter().map(|m| {
+                    json::object([
+                        ("src", json::string(&m.src.to_string())),
+                        ("dst", json::string(&m.dst.to_string())),
+                        ("value", json::int(m.value)),
+                    ])
+                })),
+            ),
+        ])
+    }))
+}
+
+/// `ttadse sim`: execute a registered workload (or an assembled
+/// program) on the cycle-accurate simulator and report executed vs
+/// modeled cycles. A workload run exits non-zero when the simulator
+/// disagrees with the analytic model, so it doubles as a drift check.
+pub fn sim_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let mut common = CommonOpts::default();
+    let mut workload: Option<String> = None;
+    let mut program: Option<PathBuf> = None;
+    let mut arch_choice: Option<SimArch> = None;
+    let mut trace_flag = false;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--workload" => workload = Some(cursor.value_for("--workload")?),
+            "--program" => program = Some(PathBuf::from(cursor.value_for("--program")?)),
+            "--arch" => arch_choice = Some(parse_sim_arch(&cursor.value_for("--arch")?)?),
+            "--trace" => trace_flag = true,
+            other => return Err(unknown_flag("sim", other)),
+        }
+    }
+    common.validate()?;
+    match (workload, program) {
+        (Some(name), None) => sim_workload(&name, arch_choice, trace_flag, &common, out, err),
+        (None, Some(path)) => sim_program(&path, arch_choice, trace_flag, &common, out, err),
+        _ => Err(CliError::usage(
+            "ttadse sim needs exactly one of --workload NAME or --program FILE",
+        )),
+    }
+}
+
+fn sim_workload(
+    name: &str,
+    arch_choice: Option<SimArch>,
+    trace_flag: bool,
+    common: &CommonOpts,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let scale = scale_of(common);
+    let registry = SuiteRegistry::standard();
+    let w: Workload = registry.build(name, &scale.suite_params()).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown workload {name:?} (expected {})",
+            registry.workload_names().join(", ")
+        ))
+    })?;
+    let arch = sim_arch(arch_choice.unwrap_or(SimArch::Max), scale);
+    writeln!(err, "simulating {} on {}...", w.name, arch.name)?;
+    let schedule = Scheduler::new(&arch).run(&w.dfg).map_err(|e| {
+        CliError::runtime(format!(
+            "{} does not schedule on {}: {e}",
+            w.name, arch.name
+        ))
+    })?;
+    let prog = tta_sim::lower(&arch, &w.dfg, &schedule, &w.inputs, &w.mem)
+        .map_err(|e| CliError::runtime(format!("lowering failed: {e}")))?;
+    let options = SimOptions {
+        allow_register_overflow: true, // lowered spills may exceed hw registers
+        ..Default::default()
+    };
+    let trace = Simulator::new(&arch)
+        .options(options)
+        .run(&prog)
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+    let golden = {
+        let mut mem = w.mem.clone();
+        w.dfg.eval(&w.inputs, &mut mem)
+    };
+    let scheduled = u64::from(schedule.cycles);
+    let delta = trace.cycles as i64 - scheduled as i64;
+    let outputs_match = trace.outputs == golden;
+    match common.format {
+        Format::Table => {
+            writeln!(out, "workload {} on {}", w.name, arch.name)?;
+            writeln!(out, "scheduled cycles (model):   {scheduled}")?;
+            writeln!(out, "executed cycles (simulate): {}", trace.cycles)?;
+            writeln!(out, "delta (simulate - model):   {delta}")?;
+            writeln!(
+                out,
+                "outputs match golden: {}",
+                if outputs_match { "yes" } else { "NO" }
+            )?;
+            if trace_flag {
+                render_trace_table(&trace, out)?;
+            }
+        }
+        Format::Json => {
+            let mut fields = vec![
+                ("command", json::string("sim")),
+                ("workload", json::string(&w.name)),
+                ("architecture", json::string(&arch.name)),
+                ("scheduled_cycles", json::int(scheduled)),
+                ("executed_cycles", json::int(trace.cycles)),
+                ("delta", delta.to_string()),
+                ("outputs_match", json::boolean(outputs_match)),
+                (
+                    "outputs",
+                    json::array(trace.outputs.iter().map(|&v| json::int(v))),
+                ),
+            ];
+            if trace_flag {
+                fields.push(("trace", trace_json(&trace)));
+            }
+            writeln!(out, "{}", json::object(fields))?;
+        }
+        Format::Csv => {
+            writeln!(
+                out,
+                "workload,architecture,scheduled_cycles,executed_cycles,delta,outputs_match"
+            )?;
+            writeln!(
+                out,
+                "{},{},{scheduled},{},{delta},{}",
+                w.name,
+                arch.name,
+                trace.cycles,
+                u8::from(outputs_match),
+            )?;
+        }
+    }
+    if delta != 0 || !outputs_match {
+        return Err(CliError::runtime(format!(
+            "simulator disagrees with the analytic model on {} / {} \
+             (delta {delta}, outputs match: {outputs_match})",
+            w.name, arch.name
+        )));
+    }
+    Ok(())
+}
+
+fn sim_program(
+    path: &std::path::Path,
+    arch_choice: Option<SimArch>,
+    trace_flag: bool,
+    common: &CommonOpts,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+    let prog = tta_asm::assemble(&text)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))?;
+    // Hand-written programs run under the strict rules: declaring more
+    // registers than the machine has is an error, not a spill.
+    let arch = sim_arch(arch_choice.unwrap_or(SimArch::Figure9), scale_of(common));
+    writeln!(err, "simulating {} on {}...", path.display(), arch.name)?;
+    let trace = Simulator::new(&arch)
+        .run(&prog)
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+    let outputs: Vec<(String, u64)> = prog
+        .outputs
+        .iter()
+        .zip(&trace.outputs)
+        .map(|(loc, &v)| (format!("{}[{}]", loc.rf, loc.reg), v))
+        .collect();
+    match common.format {
+        Format::Table => {
+            writeln!(out, "program {} on {}", path.display(), arch.name)?;
+            writeln!(out, "executed cycles: {}", trace.cycles)?;
+            for (loc, v) in &outputs {
+                writeln!(out, "  {loc} = {v}")?;
+            }
+            if trace_flag {
+                render_trace_table(&trace, out)?;
+            }
+        }
+        Format::Json => {
+            let mut fields = vec![
+                ("command", json::string("sim")),
+                ("program", json::string(&path.display().to_string())),
+                ("architecture", json::string(&arch.name)),
+                ("executed_cycles", json::int(trace.cycles)),
+                (
+                    "outputs",
+                    json::array(outputs.iter().map(|(loc, v)| {
+                        json::object([("location", json::string(loc)), ("value", json::int(*v))])
+                    })),
+                ),
+            ];
+            if trace_flag {
+                fields.push(("trace", trace_json(&trace)));
+            }
+            writeln!(out, "{}", json::object(fields))?;
+        }
+        Format::Csv => {
+            writeln!(out, "location,value")?;
+            for (loc, v) in &outputs {
+                writeln!(out, "{loc},{v}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ttadse asm FILE [--check]`: assemble FILE and print its canonical
+/// disassembly; `--check` fails unless FILE already is canonical (so CI
+/// can `cmp`-assert byte-identity without a rewrite).
+pub fn asm_cmd(args: &[String], out: &mut dyn Write, _err: &mut dyn Write) -> Result<(), CliError> {
+    let mut file: Option<PathBuf> = None;
+    let mut check = false;
+    for arg in ArgCursor::new(args) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(PathBuf::from(other));
+            }
+            other => return Err(unknown_flag("asm", other)),
+        }
+    }
+    let Some(path) = file else {
+        return Err(CliError::usage("ttadse asm needs a program file"));
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+    let program = tta_asm::assemble(&text)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))?;
+    let canonical = tta_asm::disassemble(&program);
+    // The assembler's round-trip invariant, kept hot on every CLI use.
+    let reparsed = tta_asm::assemble(&canonical)
+        .map_err(|e| CliError::runtime(format!("round-trip failure: {e}")))?;
+    if reparsed != program {
+        return Err(CliError::runtime(
+            "round-trip failure: canonical text decodes differently",
+        ));
+    }
+    if check && text != canonical {
+        return Err(CliError::runtime(format!(
+            "{} is not in canonical form (pipe `ttadse asm` output back to rewrite it)",
+            path.display()
+        )));
+    }
+    write!(out, "{canonical}")?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // workloads
 // ---------------------------------------------------------------------
 
@@ -1219,6 +1548,20 @@ fn workloads_compare(
                                 })),
                             ),
                             (
+                                "cycle_deltas",
+                                json::array(r.members.iter().zip(&r.cycle_deltas).map(
+                                    |((n, _), d)| {
+                                        json::object([
+                                            ("workload", json::string(n)),
+                                            (
+                                                "delta",
+                                                d.map_or_else(|| "null".into(), |v| v.to_string()),
+                                            ),
+                                        ])
+                                    },
+                                )),
+                            ),
+                            (
                                 "selected",
                                 r.selected
                                     .as_ref()
@@ -1233,13 +1576,21 @@ fn workloads_compare(
         Format::Csv => {
             writeln!(
                 out,
-                "suite,selected,area,exec_time,test_cost,feasible,infeasible"
+                "suite,selected,area,exec_time,test_cost,feasible,infeasible,cycle_deltas"
             )?;
             for r in &cmp.rows {
+                // Per-member sim-minus-model deltas, ';'-joined in
+                // members order (blank when a member did not execute).
+                let deltas = r
+                    .cycle_deltas
+                    .iter()
+                    .map(|d| d.map_or(String::new(), |v| v.to_string()))
+                    .collect::<Vec<_>>()
+                    .join(";");
                 match &r.selected {
                     Some(e) => writeln!(
                         out,
-                        "{},{},{},{},{},{},{}",
+                        "{},{},{},{},{},{},{},{deltas}",
                         r.suite,
                         e.architecture.name,
                         e.area(),
@@ -1248,7 +1599,7 @@ fn workloads_compare(
                         r.feasible,
                         r.infeasible,
                     )?,
-                    None => writeln!(out, "{},,,,,0,{}", r.suite, r.infeasible)?,
+                    None => writeln!(out, "{},,,,,0,{},{deltas}", r.suite, r.infeasible)?,
                 }
             }
         }

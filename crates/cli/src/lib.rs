@@ -83,6 +83,8 @@ USAGE:
 SUBCOMMANDS:
     explore   Run one exploration sweep end to end
     workloads List workloads/suites, or `compare` selections across suites
+    sim       Execute a workload or program on the cycle-accurate simulator
+    asm       Canonicalise a move-program file (assemble + disassemble)
     fig2      Figure 2: (area, exec time) solution space + Pareto front
     fig6      Figure 6: identical FUs, different test cost
     fig7      Figure 7: VLIW ASIP test access and test order
@@ -112,6 +114,9 @@ EXPLORE FLAGS:
                            axis as a third objective (true 3-D front)
     --test-model NAME      eq14 (default): the paper's functional test cost;
                            scan: DfT scan-chain partitioning + shift time
+    --cycles SOURCE        model (default): the scheduler's analytic cycle
+                           count; simulate: execute every scheduled point on
+                           the simulator (identical results, slower)
     --parallel / --serial  Sweep on worker threads (default) or one
     --threads N            Pin the worker count
     --bus-area X           Interconnect model: bus area per bit [GE]
@@ -126,6 +131,18 @@ WORKLOADS FLAGS:
     list                   List registered workloads and suites (default)
     compare                Sweep once per suite; show how selection moves
     --suites LIST          Suites to compare (default paper,dsp,control)
+
+SIM FLAGS:
+    --workload NAME        Execute one registered workload end to end and
+                           check executed cycles/outputs against the model
+    --program FILE         Assemble FILE and execute it instead
+    --arch NAME            max (default for --workload) | figure9 (default
+                           for --program)
+    --trace                Include the per-cycle move trace in the output
+
+ASM FLAGS:
+    FILE                   Program to assemble; canonical text on stdout
+    --check                Fail unless FILE is already in canonical form
 
 TABLE1 FLAGS:
     --figure9              Cost the paper's published architecture directly
@@ -148,6 +165,8 @@ pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
     match cmd.as_str() {
         "explore" => commands::explore(rest, out, err),
         "workloads" => commands::workloads_cmd(rest, out, err),
+        "sim" => commands::sim_cmd(rest, out, err),
+        "asm" => commands::asm_cmd(rest, out, err),
         "fig2" => commands::fig2_cmd(rest, out, err),
         "fig6" => commands::fig6_cmd(rest, out, err),
         "fig7" => commands::fig7_cmd(rest, out, err),
@@ -258,5 +277,68 @@ mod tests {
     fn cache_subcommand_requires_dir() {
         let e = run_capture(&["cache", "stats"]).unwrap_err();
         assert_eq!(e.exit_code, 2);
+    }
+
+    #[test]
+    fn sim_executes_crypt_to_the_model() {
+        let (out, _) = run_capture(&["sim", "--workload", "crypt", "--fast"]).unwrap();
+        assert!(out.contains("delta (simulate - model):   0"), "{out}");
+        assert!(out.contains("outputs match golden: yes"), "{out}");
+        let (json_out, _) =
+            run_capture(&["sim", "--workload", "crypt", "--fast", "--format", "json"]).unwrap();
+        assert!(json_out.contains("\"delta\":0"), "{json_out}");
+        assert!(json_out.contains("\"outputs_match\":true"), "{json_out}");
+    }
+
+    #[test]
+    fn sim_needs_exactly_one_input() {
+        let e = run_capture(&["sim"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+        let e = run_capture(&["sim", "--workload", "crypt", "--program", "x.tta"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+    }
+
+    #[test]
+    fn asm_canonicalises_and_checks() {
+        let dir = std::env::temp_dir().join(format!("ttadse-asm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.tta");
+        std::fs::write(
+            &path,
+            "; demo\n.width 16\n.rf rf1 4 = 1 2 0 0\n.out rf1[2]\n\
+             rf1[0] -> alu0.o, rf1[1] -> alu0.add\n-\nalu0.r -> rf1[2]\n",
+        )
+        .unwrap();
+        let (canon, _) = run_capture(&["asm", path.to_str().unwrap()]).unwrap();
+        // The comment is stripped, so the original is not canonical...
+        let e = run_capture(&["asm", path.to_str().unwrap(), "--check"]).unwrap_err();
+        assert_eq!(e.exit_code, 1);
+        // ...but the canonical text is a byte-exact fixed point.
+        let canon_path = dir.join("canon.tta");
+        std::fs::write(&canon_path, &canon).unwrap();
+        let (twice, _) = run_capture(&["asm", canon_path.to_str().unwrap(), "--check"]).unwrap();
+        assert_eq!(twice, canon);
+        // And the canonical program executes on the default machine.
+        let (out, _) = run_capture(&["sim", "--program", canon_path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("rf1[2] = 3"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explore_simulate_output_is_byte_identical_to_model() {
+        let base = [
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "crypt",
+            "--format",
+            "json",
+        ];
+        let (model, _) = run_capture(&base).unwrap();
+        let mut sim_args = base.to_vec();
+        sim_args.extend(["--cycles", "simulate"]);
+        let (sim, _) = run_capture(&sim_args).unwrap();
+        assert_eq!(model, sim, "--cycles simulate must not change any byte");
     }
 }

@@ -322,6 +322,45 @@ impl std::fmt::Display for LiftMode {
     }
 }
 
+/// Where a point's cycle counts come from.
+///
+/// The default, [`CycleSource::Model`], is the scheduler's analytic
+/// count — bit-identical (objectives, front, cache addresses) to the
+/// engine before this knob existed. [`CycleSource::Simulate`] lowers
+/// every scheduled workload to an executable move program and runs it
+/// on the `tta_sim` interpreter, using the *executed* cycle count
+/// instead. The two agree exactly when the analytic model is honest
+/// (the repo's headline property test), so `Simulate` is the
+/// slow-but-falsifiable cross-check: any scheduler/model drift shows
+/// up as a changed objective. Simulated sweeps fold the source into
+/// the sweep-cache content address, so the two kinds of entries never
+/// mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CycleSource {
+    /// Analytic cycle counts from the movec scheduler (the default).
+    #[default]
+    Model,
+    /// Executed cycle counts from cycle-accurate simulation.
+    Simulate,
+}
+
+impl CycleSource {
+    /// Short machine-readable label (`model` / `simulate`), used by
+    /// CLI flags and structured output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleSource::Model => "model",
+            CycleSource::Simulate => "simulate",
+        }
+    }
+}
+
+impl std::fmt::Display for CycleSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What happened to the persistent sweep cache during a run — recorded
 /// on every [`ExploreResult`] so a sweep that silently lost its
 /// persistence (read-only directory, full disk) is distinguishable
@@ -607,6 +646,7 @@ pub struct Exploration<'db> {
     budget: Option<usize>,
     seed: Option<u64>,
     lift: LiftMode,
+    cycle_source: CycleSource,
 }
 
 /// The engine materialises and evaluates batches in chunks of this many
@@ -638,6 +678,7 @@ impl<'db> Exploration<'db> {
             budget: None,
             seed: None,
             lift: LiftMode::default(),
+            cycle_source: CycleSource::default(),
         }
     }
 
@@ -751,6 +792,17 @@ impl<'db> Exploration<'db> {
     /// axis and maintains the true 3-D front.
     pub fn lift(mut self, mode: LiftMode) -> Self {
         self.lift = mode;
+        self
+    }
+
+    /// Chooses where cycle counts come from (default
+    /// [`CycleSource::Model`], the analytic scheduler count,
+    /// bit-identical to the engine without the knob).
+    /// [`CycleSource::Simulate`] executes every scheduled workload on
+    /// the cycle-accurate simulator instead — slower, but it turns any
+    /// scheduler/model drift into a visible objective change.
+    pub fn cycle_source(mut self, source: CycleSource) -> Self {
+        self.cycle_source = source;
         self
     }
 
@@ -892,6 +944,14 @@ impl<'db> Exploration<'db> {
                 .fold(base, |f, (w, &weight)| {
                     f.u64(workload_fingerprint(w)).f64(weight)
                 });
+            // Simulated cycle counts are a different observable (they
+            // *should* equal the model, but proving that is the point),
+            // so they get their own address family. `Model` leaves the
+            // address untouched — bit-identical to pre-knob sweeps.
+            let base = match self.cycle_source {
+                CycleSource::Model => base,
+                CycleSource::Simulate => base.str("cycles").str("simulate"),
+            };
             Some((cache, salted(base).finish()))
         });
         // A full lift stores per-point test totals *inline* in the eval
@@ -939,6 +999,7 @@ impl<'db> Exploration<'db> {
         let mut infeasible = 0usize;
         let mut rounds = 0usize;
         let lift = self.lift;
+        let cycle_source = self.cycle_source;
         // First flush failure, if any — reported via CacheStatus, never
         // allowed to abort the sweep.
         let mut flush_error: Option<String> = None;
@@ -1030,11 +1091,25 @@ impl<'db> Exploration<'db> {
                 // chunk.
                 let evaluations: Vec<PointOutcome> = match &eval_cache {
                     None => par_map(&archs, threads, |_, arch| match lift {
-                        LiftMode::ParetoOnly => {
-                            evaluate_point(arch, workloads, weights, &*area, &*timing, db)
-                        }
+                        LiftMode::ParetoOnly => evaluate_point(
+                            arch,
+                            workloads,
+                            weights,
+                            &*area,
+                            &*timing,
+                            db,
+                            cycle_source,
+                        ),
                         LiftMode::Full => {
-                            match evaluate_point(arch, workloads, weights, &*area, &*timing, db) {
+                            match evaluate_point(
+                                arch,
+                                workloads,
+                                weights,
+                                &*area,
+                                &*timing,
+                                db,
+                                cycle_source,
+                            ) {
                                 Ok(e) => finish_full(e, test.test_cost(arch, db).total),
                                 Err(why) => Err(why),
                             }
@@ -1057,7 +1132,13 @@ impl<'db> Exploration<'db> {
                                         return outcome;
                                     }
                                     let e = evaluate_point(
-                                        arch, workloads, weights, &*area, &*timing, db,
+                                        arch,
+                                        workloads,
+                                        weights,
+                                        &*area,
+                                        &*timing,
+                                        db,
+                                        cycle_source,
                                     );
                                     cache.store_eval(key, dehydrate(&e, None));
                                     e
@@ -1093,7 +1174,13 @@ impl<'db> Exploration<'db> {
                                         None => {}
                                     }
                                     match evaluate_point(
-                                        arch, workloads, weights, &*area, &*timing, db,
+                                        arch,
+                                        workloads,
+                                        weights,
+                                        &*area,
+                                        &*timing,
+                                        db,
+                                        cycle_source,
                                     ) {
                                         Err(why) => {
                                             cache.store_eval(key, dehydrate(&Err(why), None));
@@ -1436,12 +1523,20 @@ fn evaluate_point(
     area_model: &dyn AreaModel,
     timing_model: &dyn TimingModel,
     db: &ComponentDb,
+    cycle_source: CycleSource,
 ) -> PointOutcome {
     let mut workload_cycles = Vec::with_capacity(workloads.len());
     let mut spills = 0u32;
     for (i, w) in workloads.iter().enumerate() {
         let schedule = Scheduler::new(arch).run(&w.dfg).map_err(|_| Some(i))?;
-        workload_cycles.push(w.application_cycles(schedule.cycles));
+        let trace_cycles = match cycle_source {
+            CycleSource::Model => schedule.cycles,
+            // Execute the lowered program and trust the machine, not
+            // the model. A program that cannot lower or run is as
+            // infeasible as one that cannot schedule.
+            CycleSource::Simulate => executed_cycles(arch, w, &schedule).ok_or(Some(i))?,
+        };
+        workload_cycles.push(w.application_cycles(trace_cycles));
         spills += schedule.spills;
     }
     let cycles: u64 = workload_cycles.iter().sum();
@@ -1466,6 +1561,25 @@ fn evaluate_point(
             (Objective::ExecTime, exec_time),
         ]),
     })
+}
+
+/// One workload's executed (simulated) trace cycle count on `arch`,
+/// or `None` when the lowered program cannot run there.
+fn executed_cycles(
+    arch: &Architecture,
+    w: &Workload,
+    schedule: &tta_movec::schedule::Schedule,
+) -> Option<u32> {
+    let program = tta_sim::lower(arch, &w.dfg, schedule, &w.inputs, &w.mem).ok()?;
+    let options = tta_sim::SimOptions {
+        allow_register_overflow: true,
+        ..Default::default()
+    };
+    let trace = tta_sim::Simulator::new(arch)
+        .options(options)
+        .run(&program)
+        .ok()?;
+    u32::try_from(trace.cycles).ok()
 }
 
 #[cfg(test)]
@@ -1824,6 +1938,84 @@ mod tests {
             .run();
         assert_eq!(full_bypassed.cache_status, CacheStatus::Bypassed);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn simulated_cycles_reproduce_the_model_bit_identically() {
+        // The analytic model is honest (the sim crate's property test),
+        // so swapping the cycle source must not move a single bit of
+        // the objectives, front or selection.
+        let db = ComponentDb::new();
+        let reg = tta_workloads::SuiteRegistry::standard();
+        let members = reg
+            .instantiate("paper", &tta_workloads::SuiteParams::fast())
+            .unwrap();
+        let model = Exploration::over(TemplateSpace::fast_default())
+            .suite(&members)
+            .with_db(&db)
+            .run();
+        let sim = Exploration::over(TemplateSpace::fast_default())
+            .suite(&members)
+            .with_db(&db)
+            .cycle_source(CycleSource::Simulate)
+            .run();
+        assert_eq!(model.evaluated.len(), sim.evaluated.len());
+        assert_eq!(model.pareto, sim.pareto);
+        for (m, s) in model.evaluated.iter().zip(&sim.evaluated) {
+            assert_eq!(m.cycles, s.cycles);
+            assert_eq!(m.workload_cycles, s.workload_cycles);
+            assert_eq!(
+                m.objectives.values().to_vec(),
+                s.objectives.values().to_vec()
+            );
+        }
+        assert_eq!(
+            model.select_equal_weights().architecture.name,
+            sim.select_equal_weights().architecture.name
+        );
+    }
+
+    #[test]
+    fn cycle_source_separates_cache_addresses() {
+        use crate::cache::SweepCache;
+        let db = ComponentDb::new();
+        let w = suite::crypt(1);
+        let cache = SweepCache::in_memory();
+        let model = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .cache(&cache)
+            .run();
+        let after_model = cache.len();
+        assert!(after_model > 0);
+        // A simulated sweep must not answer from (or collide with) the
+        // model sweep's entries: same results, disjoint addresses.
+        let sim = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .cache(&cache)
+            .cycle_source(CycleSource::Simulate)
+            .run();
+        // Eval addresses must be disjoint: the simulated sweep cannot
+        // answer from the model sweep's entries, so it stores one fresh
+        // eval entry per point. (Test-lift entries *are* shared — the
+        // test axis does not depend on the cycle source.)
+        let after_sim = cache.len();
+        assert_eq!(
+            after_sim,
+            after_model + sim.evaluated.len() + sim.infeasible,
+            "one fresh eval entry per simulated point"
+        );
+        assert_eq!(model.pareto, sim.pareto);
+        // Warm re-runs of each source stay bit-identical to cold ones.
+        let model2 = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(&db)
+            .cache(&cache)
+            .run();
+        assert_eq!(cache.len(), after_sim, "warm model run added entries");
+        assert_eq!(model.pareto, model2.pareto);
+        assert_eq!(model.evaluated.len(), model2.evaluated.len());
     }
 
     #[test]

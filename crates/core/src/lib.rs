@@ -90,8 +90,8 @@ pub mod testplan;
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
 pub use explore::{
-    CacheStatus, EvaluatedArch, Exploration, ExploreError, ExploreResult, LiftMode, Objective,
-    ObjectiveVector, SearchInfo, WorkloadBreakdown,
+    CacheStatus, CycleSource, EvaluatedArch, Exploration, ExploreError, ExploreResult, LiftMode,
+    Objective, ObjectiveVector, SearchInfo, WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,

@@ -57,6 +57,20 @@ pub struct Move {
     pub value: ValueId,
 }
 
+/// Which DFG node a trigger move fires: the binding an executable
+/// lowering (`tta_sim`) needs to attach an opcode to each trigger.
+/// Trigger cycles are unique per FU (relation 5), so `(fu, trigger)`
+/// identifies the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Index of the DFG node executed.
+    pub node: usize,
+    /// Index of the executing FU in `arch.fus()`.
+    pub fu: usize,
+    /// The trigger cycle.
+    pub trigger: u32,
+}
+
 /// Scheduling failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -91,6 +105,8 @@ pub struct Schedule {
     pub makespan: u32,
     /// All scheduled moves.
     pub moves: Vec<Move>,
+    /// Node → FU → trigger-cycle bindings, in scheduling order.
+    pub ops: Vec<ScheduledOp>,
     /// Register-file overflow events.
     pub spills: u32,
     /// Per-FU operation transports (for timing-relation validation).
@@ -228,6 +244,7 @@ struct State<'a> {
     resident: Vec<u32>,
     is_output: Vec<bool>,
     moves: Vec<Move>,
+    ops: Vec<ScheduledOp>,
     transports: HashMap<usize, Vec<OpTransport>>,
     spills: u32,
     makespan: u32,
@@ -296,6 +313,7 @@ impl<'a> State<'a> {
                 v
             },
             moves: Vec::new(),
+            ops: Vec::new(),
             transports: HashMap::new(),
             spills: 0,
             makespan: 0,
@@ -438,6 +456,11 @@ impl<'a> State<'a> {
         let lat = self.fu_state[fu].kind.latency();
         let r = c_t + lat;
         self.fu_state[fu].last_trigger = Some(c_t);
+        self.ops.push(ScheduledOp {
+            node: i,
+            fu,
+            trigger: c_t,
+        });
 
         // Result move into an RF (when the value is used or is a live-out).
         let needs_result =
@@ -582,6 +605,7 @@ impl<'a> State<'a> {
             cycles: makespan + self.spills * SPILL_PENALTY_CYCLES,
             makespan,
             moves: self.moves,
+            ops: self.ops,
             spills: self.spills,
             transports: self.transports,
         }

@@ -12,6 +12,9 @@
 //! * [`arch`] — the TTA machine template and transport-timing model,
 //! * [`movec`] — the MOVE-style IR and transport scheduler,
 //! * [`workloads`] — crypt(3) and friends,
+//! * [`sim`] — the cycle-accurate move-program simulator and the
+//!   schedule → program lowering,
+//! * [`asm`] — the move-program text assembler / disassembler,
 //! * [`explore`] — the paper's contribution: pluggable cost models
 //!   (`models`), the composable `Exploration` pipeline with serial or
 //!   parallel sweeps, Pareto reduction and weighted-norm selection.
@@ -32,9 +35,11 @@
 //! ```
 
 pub use tta_arch as arch;
+pub use tta_asm as asm;
 pub use tta_atpg as atpg;
 pub use tta_core as explore;
 pub use tta_dft as dft;
 pub use tta_movec as movec;
 pub use tta_netlist as netlist;
+pub use tta_sim as sim;
 pub use tta_workloads as workloads;
