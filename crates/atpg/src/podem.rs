@@ -4,6 +4,21 @@
 //! forward simulation, objective selection (activate, then propagate via
 //! the D-frontier), backtrace to an unassigned input, and chronological
 //! backtracking with a configurable limit.
+//!
+//! Two standard accelerations keep hard faults cheap without changing
+//! any Test/Untestable verdict:
+//!
+//! * **X-path pruning** — when the D-frontier is alive but no path of
+//!   X-valued nets connects any frontier gate to an observe point, the
+//!   fault effect can never reach an output under the current partial
+//!   assignment (binary nets are monotone in PODEM), so the engine
+//!   backtracks immediately instead of exhausting the doomed subtree.
+//!   Pruned subtrees contain no tests, so the first test found — and
+//!   therefore the generated cube — is identical to the unpruned search;
+//!   only faults that previously hit the backtrack limit can now resolve.
+//! * **Scratch reuse** — the per-net value array, frontier list and
+//!   X-path visit marks live on the engine and are reused across
+//!   decisions and faults; the inner loop performs no heap allocation.
 
 use tta_netlist::netlist::NetDriver;
 use tta_netlist::{GateId, GateKind, NetId, Netlist};
@@ -35,7 +50,17 @@ pub struct Podem<'a> {
     depth: Vec<u32>,
     /// Per-net minimum distance to an observe point (usize::MAX if none).
     obs_dist: Vec<u32>,
+    /// Per-net reader gates (for the X-path forward reachability walk).
+    readers: Vec<Vec<GateId>>,
+    /// Per-net observe-point flag of the view.
+    is_observe: Vec<bool>,
     backtrack_limit: u32,
+    // ---- scratch, reused across decisions and faults ----
+    values: Vec<V5>,
+    frontier: Vec<GateId>,
+    xpath_mark: Vec<u64>,
+    xpath_epoch: u64,
+    xpath_stack: Vec<NetId>,
 }
 
 impl<'a> Podem<'a> {
@@ -49,8 +74,10 @@ impl<'a> Podem<'a> {
         // Reverse BFS from observe points through gate edges.
         let mut obs_dist = vec![u32::MAX; nl.net_count()];
         let mut queue: Vec<NetId> = Vec::new();
+        let mut is_observe = vec![false; nl.net_count()];
         for net in view.observes() {
             obs_dist[net.index()] = 0;
+            is_observe[net.index()] = true;
             queue.push(*net);
         }
         let mut head = 0;
@@ -67,30 +94,47 @@ impl<'a> Podem<'a> {
                 }
             }
         }
+        // Forward adjacency: the gates reading each net.
+        let fanout = nl.fanout_table();
+        let mut readers: Vec<Vec<GateId>> = vec![Vec::new(); nl.net_count()];
+        for (ni, pins) in fanout.gate_pins.iter().enumerate() {
+            for &(gid, _) in pins {
+                if readers[ni].last() != Some(&gid) {
+                    readers[ni].push(gid);
+                }
+            }
+        }
         Podem {
             nl,
             view,
             input_of_net,
             depth,
             obs_dist,
+            readers,
+            is_observe,
             backtrack_limit,
+            values: vec![V5::X; nl.net_count()],
+            frontier: Vec::new(),
+            xpath_mark: vec![0; nl.net_count()],
+            xpath_epoch: 0,
+            xpath_stack: Vec::new(),
         }
     }
 
     /// Attempts to generate a test for `fault`.
-    pub fn generate(&self, fault: Fault) -> PodemOutcome {
+    pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
         let mut assignment: Vec<V3> = vec![V3::X; self.view.inputs().len()];
         // Decision stack: (input index, second value tried?).
         let mut stack: Vec<(usize, bool)> = Vec::new();
         let mut backtracks = 0u32;
 
         loop {
-            let values = self.imply(&assignment, fault);
-            if self.detected(&values) {
+            self.imply(&assignment, fault);
+            if self.detected() {
                 return PodemOutcome::Test(assignment);
             }
-            let objective = self.objective(&values, fault);
-            let decision = objective.and_then(|(net, val)| self.backtrace(net, val, &values));
+            let objective = self.objective(fault);
+            let decision = objective.and_then(|(net, val)| self.backtrace(net, val));
             match decision {
                 Some((input, val)) => {
                     assignment[input] = V3::from_bool(val);
@@ -122,16 +166,18 @@ impl<'a> Podem<'a> {
     }
 
     /// Forward 5-valued implication of the current assignment with the
-    /// fault injected. Returns a value per net.
+    /// fault injected. Fills (and returns a view of) the engine's per-net
+    /// value scratch.
     ///
     /// Values are kept in the *classic* five-valued domain
     /// {0, 1, X, D, D̄}: a line whose good or faulty half is unknown is
     /// collapsed to X. The coarser algebra is monotone in the partial PI
     /// assignment, which is exactly what makes PODEM's conflict pruning
-    /// (activation impossible / D-frontier empty) safe and the search
-    /// complete.
-    pub fn imply(&self, assignment: &[V3], fault: Fault) -> Vec<V5> {
-        let mut values = vec![V5::X; self.nl.net_count()];
+    /// (activation impossible / D-frontier empty / no X-path) safe and
+    /// the search complete.
+    pub fn imply(&mut self, assignment: &[V3], fault: Fault) -> &[V5] {
+        self.values.fill(V5::X);
+        self.frontier.clear();
         // Sources.
         for (i, net) in self.nl.nets().iter().enumerate() {
             let v = match net.driver() {
@@ -149,14 +195,17 @@ impl<'a> Podem<'a> {
                 NetDriver::Const1 => V5::ONE,
                 NetDriver::Gate(_) | NetDriver::Floating => continue,
             };
-            values[i] = self.inject(NetId::from_index(i), v, fault);
+            self.values[i] = inject(NetId::from_index(i), v, fault);
         }
-        // Gates in topological order.
+        // Gates in topological order. The D-frontier (fault effect on an
+        // input, output not fully determined) falls out of the same pass:
+        // every input's final value is known by the time its reader is
+        // evaluated, so the check here matches a post-hoc scan exactly.
         let mut ins = [V5::X; 3];
         for &gid in self.nl.topo_order() {
             let gate = self.nl.gate(gid);
             for (k, inp) in gate.inputs().iter().enumerate() {
-                ins[k] = values[inp.index()];
+                ins[k] = self.values[inp.index()];
             }
             // A stuck pin corrupts only this gate's view of the input.
             if let FaultSite::GatePin(fg, pin) = fault.site {
@@ -168,37 +217,31 @@ impl<'a> Podem<'a> {
                     });
                 }
             }
-            let out = V5::eval_gate(gate.kind(), &ins[..gate.inputs().len()]);
-            values[gate.output().index()] = self.inject(gate.output(), out, fault);
+            let n_ins = gate.inputs().len();
+            let out = V5::eval_gate(gate.kind(), &ins[..n_ins]);
+            let out = inject(gate.output(), out, fault);
+            self.values[gate.output().index()] = out;
+            if !(out.good.is_binary() && out.faulty.is_binary())
+                && ins[..n_ins].iter().any(|v| v.is_fault_effect())
+            {
+                self.frontier.push(gid);
+            }
         }
-        values
-    }
-
-    /// Applies a stem fault to a freshly computed net value, collapsing
-    /// half-known values to X (classic 5-valued domain).
-    fn inject(&self, net: NetId, v: V5, fault: Fault) -> V5 {
-        let v = match fault.site {
-            FaultSite::Net(fnet) if fnet == net => V5 {
-                good: v.good,
-                faulty: V3::from_bool(fault.stuck),
-            },
-            _ => v,
-        };
-        canon(v)
+        &self.values
     }
 
     /// Has the fault effect reached an observe point?
-    fn detected(&self, values: &[V5]) -> bool {
+    fn detected(&self) -> bool {
         self.view
             .observes()
             .iter()
-            .any(|net| values[net.index()].is_fault_effect())
+            .any(|net| self.values[net.index()].is_fault_effect())
     }
 
     /// Picks the next objective `(net, value)`, or `None` on a conflict.
-    fn objective(&self, values: &[V5], fault: Fault) -> Option<(NetId, V3)> {
+    fn objective(&mut self, fault: Fault) -> Option<(NetId, V3)> {
         let fnet = fault.net(self.nl);
-        let line = values[fnet.index()].good;
+        let line = self.values[fnet.index()].good;
         // 1. Activation.
         if line == V3::X {
             return Some((fnet, V3::from_bool(!fault.stuck)));
@@ -208,49 +251,66 @@ impl<'a> Podem<'a> {
         }
         // 2. Propagation: try D-frontier gates nearest-to-observe first;
         // a single blocked gate is not a conflict — only an exhausted
-        // frontier is (the monotone-safe PODEM prune).
-        let mut frontier = self.d_frontier(values, fault);
-        frontier.sort_by_key(|&gid| self.obs_dist[self.nl.gate(gid).output().index()]);
-        frontier
-            .into_iter()
-            .find_map(|gid| self.propagation_objective(gid, values))
-    }
-
-    /// All gates with a fault effect on an input and X on the output.
-    fn d_frontier(&self, values: &[V5], fault: Fault) -> Vec<GateId> {
-        let mut frontier = Vec::new();
-        for &gid in self.nl.topo_order() {
-            let gate = self.nl.gate(gid);
-            let out = values[gate.output().index()];
-            if out.good.is_binary() && out.faulty.is_binary() {
-                continue; // fully determined; effect either passed or died
-            }
-            let mut has_effect = false;
-            for (pin, inp) in gate.inputs().iter().enumerate() {
-                let mut v = values[inp.index()];
-                if let FaultSite::GatePin(fg, fpin) = fault.site {
-                    if fg == gid && fpin as usize == pin {
-                        v = V5 {
-                            good: v.good,
-                            faulty: V3::from_bool(fault.stuck),
-                        };
-                    }
-                }
-                if v.is_fault_effect() {
-                    has_effect = true;
-                    break;
-                }
-            }
-            if has_effect {
-                frontier.push(gid);
+        // frontier (or a frontier with no X-path to an observe point) is.
+        // The frontier itself was collected during `imply`.
+        if self.frontier.is_empty() {
+            return None;
+        }
+        if !self.x_path_exists() {
+            return None; // effect is boxed in: every route is binary
+        }
+        let Podem {
+            frontier,
+            obs_dist,
+            nl,
+            ..
+        } = self;
+        frontier.sort_by_key(|&gid| obs_dist[nl.gate(gid).output().index()]);
+        for i in 0..self.frontier.len() {
+            let gid = self.frontier[i];
+            if let Some(obj) = self.propagation_objective(gid) {
+                return Some(obj);
             }
         }
-        frontier
+        None
+    }
+
+    /// Is there a path of X-valued nets from any D-frontier gate output
+    /// to an observe point? If not, the effect can never be observed
+    /// under the current assignment: binary nets stay binary as more
+    /// inputs are assigned (the 5-valued algebra is monotone), and a net
+    /// can only come to carry D/D̄ later if it is X now.
+    fn x_path_exists(&mut self) -> bool {
+        self.xpath_epoch += 1;
+        let epoch = self.xpath_epoch;
+        self.xpath_stack.clear();
+        for i in 0..self.frontier.len() {
+            let out = self.nl.gate(self.frontier[i]).output();
+            if self.values[out.index()] == V5::X && self.xpath_mark[out.index()] != epoch {
+                self.xpath_mark[out.index()] = epoch;
+                self.xpath_stack.push(out);
+            }
+        }
+        while let Some(net) = self.xpath_stack.pop() {
+            if self.is_observe[net.index()] {
+                return true;
+            }
+            for k in 0..self.readers[net.index()].len() {
+                let gid = self.readers[net.index()][k];
+                let out = self.nl.gate(gid).output();
+                if self.values[out.index()] == V5::X && self.xpath_mark[out.index()] != epoch {
+                    self.xpath_mark[out.index()] = epoch;
+                    self.xpath_stack.push(out);
+                }
+            }
+        }
+        false
     }
 
     /// Objective that pushes the fault effect through `gid`: set an
     /// X-valued side input to the gate's non-controlling value.
-    fn propagation_objective(&self, gid: GateId, values: &[V5]) -> Option<(NetId, V3)> {
+    fn propagation_objective(&self, gid: GateId) -> Option<(NetId, V3)> {
+        let values = &self.values;
         let gate = self.nl.gate(gid);
         let kind = gate.kind();
         let side_x = |skip_effect: bool| -> Option<NetId> {
@@ -315,7 +375,8 @@ impl<'a> Podem<'a> {
     }
 
     /// Walks an objective back to an unassigned view input.
-    fn backtrace(&self, mut net: NetId, mut val: V3, values: &[V5]) -> Option<(usize, bool)> {
+    fn backtrace(&self, mut net: NetId, mut val: V3) -> Option<(usize, bool)> {
+        let values = &self.values;
         loop {
             debug_assert!(val.is_binary());
             let idx = self.input_of_net[net.index()];
@@ -332,12 +393,15 @@ impl<'a> Podem<'a> {
             };
             let gate = self.nl.gate(gid);
             let kind = gate.kind();
-            let x_inputs: Vec<NetId> = gate
-                .inputs()
-                .iter()
-                .filter(|n| values[n.index()].good == V3::X)
-                .copied()
-                .collect();
+            let mut x_buf = [NetId::from_index(0); 3];
+            let mut n_x = 0usize;
+            for &inp in gate.inputs() {
+                if values[inp.index()].good == V3::X {
+                    x_buf[n_x] = inp;
+                    n_x += 1;
+                }
+            }
+            let x_inputs = &x_buf[..n_x];
             if x_inputs.is_empty() {
                 return None;
             }
@@ -420,6 +484,19 @@ impl<'a> Podem<'a> {
     }
 }
 
+/// Applies a stem fault to a freshly computed net value, collapsing
+/// half-known values to X (classic 5-valued domain).
+fn inject(net: NetId, v: V5, fault: Fault) -> V5 {
+    let v = match fault.site {
+        FaultSite::Net(fnet) if fnet == net => V5 {
+            good: v.good,
+            faulty: V3::from_bool(fault.stuck),
+        },
+        _ => v,
+    };
+    canon(v)
+}
+
 /// Collapses a value with any unknown half to full X, staying in the
 /// classic {0, 1, X, D, D̄} domain.
 fn canon(v: V5) -> V5 {
@@ -440,7 +517,7 @@ mod tests {
 
     fn check_podem_pattern(nl: Netlist, fault: Fault) {
         let view = CombView::full_scan(&nl);
-        let podem = Podem::new(&nl, &view, 10_000);
+        let mut podem = Podem::new(&nl, &view, 10_000);
         let outcome = podem.generate(fault);
         let PodemOutcome::Test(cube) = outcome else {
             panic!("expected a test for {fault}, got {outcome:?}");
@@ -495,7 +572,7 @@ mod tests {
         let nl = b.finish();
         let g1out = nl.gates()[0].output();
         let view = CombView::full_scan(&nl);
-        let podem = Podem::new(&nl, &view, 10_000);
+        let mut podem = Podem::new(&nl, &view, 10_000);
         assert_eq!(podem.generate(Fault::sa0(g1out)), PodemOutcome::Untestable);
     }
 
@@ -547,5 +624,28 @@ mod tests {
             stuck: true,
         };
         check_podem_pattern(nl, fault);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_faults() {
+        // Running a second fault on the same engine must give the same
+        // outcome as a fresh engine (scratch fully re-initialised).
+        let mut b = NetlistBuilder::new("pair");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.and2(a, c);
+        let y = b.or2(a, g1);
+        b.output("y", y);
+        let nl = b.finish();
+        let g1out = nl.gates()[0].output();
+        let view = CombView::full_scan(&nl);
+        let mut shared = Podem::new(&nl, &view, 10_000);
+        let first = shared.generate(Fault::sa1(g1out));
+        let second = shared.generate(Fault::sa0(g1out));
+        let mut fresh = Podem::new(&nl, &view, 10_000);
+        assert_eq!(fresh.generate(Fault::sa1(g1out)), first);
+        let mut fresh = Podem::new(&nl, &view, 10_000);
+        assert_eq!(fresh.generate(Fault::sa0(g1out)), second);
+        assert_eq!(second, PodemOutcome::Untestable);
     }
 }

@@ -152,12 +152,19 @@ impl V5 {
     }
 
     /// Evaluates a gate in the D-calculus (componentwise on the pair).
+    ///
+    /// Allocation-free: this sits in the innermost implication loop of
+    /// PODEM, so the component halves are split into stack buffers.
     pub fn eval_gate(kind: GateKind, ins: &[V5]) -> V5 {
-        let goods: Vec<V3> = ins.iter().map(|v| v.good).collect();
-        let faults: Vec<V3> = ins.iter().map(|v| v.faulty).collect();
+        let mut goods = [V3::X; 3];
+        let mut faults = [V3::X; 3];
+        for (i, v) in ins.iter().enumerate() {
+            goods[i] = v.good;
+            faults[i] = v.faulty;
+        }
         V5 {
-            good: V3::eval_gate(kind, &goods),
-            faulty: V3::eval_gate(kind, &faults),
+            good: V3::eval_gate(kind, &goods[..ins.len()]),
+            faulty: V3::eval_gate(kind, &faults[..ins.len()]),
         }
     }
 }

@@ -123,7 +123,7 @@ proptest! {
         let nl = random_circuit(seed, 5, 16);
         let view = CombView::full_scan(&nl);
         let universe = FaultUniverse::enumerate(&nl);
-        let podem = Podem::new(&nl, &view, 2_000);
+        let mut podem = Podem::new(&nl, &view, 2_000);
         let mut fs = FaultSimulator::new(nl.clone());
         for fault in universe.faults().iter().take(30) {
             match podem.generate(*fault) {
@@ -149,7 +149,7 @@ proptest! {
         let nl = random_circuit(seed, 4, 12);
         let view = CombView::full_scan(&nl);
         let universe = FaultUniverse::enumerate(&nl);
-        let podem = Podem::new(&nl, &view, 50_000);
+        let mut podem = Podem::new(&nl, &view, 50_000);
         let mut fs = FaultSimulator::new(nl.clone());
         let n = view.inputs().len();
         // 64 deterministic pseudo-random patterns.

@@ -1,0 +1,51 @@
+//! Scratch vs delta evaluation engines on the fast-space crypt sweep,
+//! plus the Gray-code (neighbour) walk order. The two engines are
+//! bit-identical (asserted in `crates/core/tests/delta.rs`); this bench
+//! quantifies what the per-component memo arena and the batched cache
+//! prefetch buy in wall-clock. `src/bin/bench_dse.rs` distils the same
+//! comparison into the committed `BENCH_dse.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tta_arch::template::TemplateSpace;
+use tta_core::explore::{EvalMode, Exploration};
+use tta_core::ComponentDb;
+use tta_workloads::suite;
+
+fn bench_dse_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse_delta");
+    group.sample_size(10);
+    let workload = suite::crypt(1);
+    // Share one database so the component annotations amortise; warm it
+    // once up front so the first timed iteration is not an outlier.
+    let db = ComponentDb::new();
+    Exploration::over(TemplateSpace::fast_default())
+        .workload(&workload)
+        .with_db(&db)
+        .run();
+    let sweep = |mode: EvalMode, neighbour: bool| {
+        let e = Exploration::over(TemplateSpace::fast_default())
+            .workload(&workload)
+            .with_db(&db)
+            .eval_mode(mode);
+        let result = if neighbour {
+            e.strategy(tta_core::search::Exhaustive::neighbour()).run()
+        } else {
+            e.run()
+        };
+        result.pareto.len()
+    };
+    group.bench_function("fast_space_crypt1_scratch", |b| {
+        b.iter(|| black_box(sweep(EvalMode::Scratch, false)));
+    });
+    group.bench_function("fast_space_crypt1_delta", |b| {
+        b.iter(|| black_box(sweep(EvalMode::Delta, false)));
+    });
+    group.bench_function("fast_space_crypt1_delta_neighbour", |b| {
+        b.iter(|| black_box(sweep(EvalMode::Delta, true)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse_delta);
+criterion_main!(benches);

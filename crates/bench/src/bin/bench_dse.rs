@@ -1,0 +1,188 @@
+//! Distils the scratch-vs-delta sweep comparison into the flat JSON
+//! committed as `BENCH_dse.json` (the committed perf trajectory; see
+//! `docs/PERF.md` for how to read it).
+//!
+//! A plain binary rather than a criterion bench so CI can run it and
+//! soft-check wall-clock against the committed numbers:
+//!
+//! ```text
+//! cargo run --release -p tta-bench --bin bench_dse -- --space fast
+//! cargo run --release -p tta-bench --bin bench_dse -- --date 2026-08-08 > BENCH_dse.json
+//! ```
+//!
+//! Both engines produce bit-identical results (asserted in
+//! `crates/core/tests/delta.rs`); only the wall-clock differs. Every
+//! sweep here is cold-cache by construction (no `SweepCache` attached)
+//! but shares one warmed `ComponentDb`, as a real campaign would.
+
+use std::time::Instant;
+
+use tta_arch::template::TemplateSpace;
+use tta_core::explore::{EvalMode, Exploration};
+use tta_core::ComponentDb;
+use tta_workloads::suite;
+
+struct SweepRow {
+    space: &'static str,
+    points: usize,
+    front: usize,
+    scratch_s: f64,
+    delta_s: f64,
+}
+
+/// Best-of-`iters` wall-clock for one cold sweep in `mode`.
+fn time_sweep(
+    space: &TemplateSpace,
+    db: &ComponentDb,
+    mode: EvalMode,
+    iters: usize,
+) -> (f64, usize) {
+    let workload = suite::crypt(1);
+    let mut best = f64::INFINITY;
+    let mut front = 0;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let result = Exploration::over(space.clone())
+            .workload(&workload)
+            .with_db(db)
+            .eval_mode(mode)
+            .run();
+        best = best.min(start.elapsed().as_secs_f64());
+        front = result.pareto.len();
+    }
+    (best, front)
+}
+
+fn measure(
+    space: &'static str,
+    template: TemplateSpace,
+    db: &ComponentDb,
+    iters: usize,
+) -> SweepRow {
+    eprintln!("sweeping {space} space ({} points)...", template.len());
+    // One untimed pass so the lazily-annotated database is warm before
+    // either engine is measured (matters for --iters 1).
+    time_sweep(&template, db, EvalMode::Scratch, 1);
+    let (scratch_s, front) = time_sweep(&template, db, EvalMode::Scratch, iters);
+    let (delta_s, delta_front) = time_sweep(&template, db, EvalMode::Delta, iters);
+    assert_eq!(front, delta_front, "the engines must agree on the front");
+    SweepRow {
+        space,
+        points: template.len(),
+        front,
+        scratch_s,
+        delta_s,
+    }
+}
+
+/// The headline trajectory number: one cold paper-scale fig2-style
+/// sweep, annotation database and all, per engine. This is what the
+/// `< 1 s` CI soft-check guards.
+fn time_cold(mode: EvalMode, iters: usize) -> f64 {
+    let workload = suite::crypt(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let db = ComponentDb::new();
+        Exploration::over(TemplateSpace::paper_default())
+            .workload(&workload)
+            .with_db(&db)
+            .eval_mode(mode)
+            .run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut date = String::from("unknown");
+    let mut space_filter: Option<String> = None;
+    let mut iters = 3usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--date" => date = it.next().expect("--date needs a value").clone(),
+            "--space" => space_filter = Some(it.next().expect("--space needs a value").clone()),
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters needs a number")
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (expected --date, --space or --iters)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // One shared database covers both widths (records are keyed by
+    // component width); warm it with the cheap space first so neither
+    // timed sweep pays for annotation.
+    let db = ComponentDb::new();
+    let keep = |name: &str| space_filter.as_deref().is_none_or(|f| f == name);
+    let mut rows = Vec::new();
+    if keep("fast") {
+        rows.push(measure("fast", TemplateSpace::fast_default(), &db, iters));
+    }
+    if keep("paper") {
+        rows.push(measure("paper", TemplateSpace::paper_default(), &db, iters));
+    }
+    if rows.is_empty() {
+        eprintln!("--space matched nothing (expected fast or paper)");
+        std::process::exit(2);
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"dse\",");
+    println!("  \"date\": \"{date}\",");
+    println!(
+        "  \"command\": \"cargo run --release -p tta-bench --bin bench_dse -- --date {date}\","
+    );
+    println!(
+        "  \"note\": \"best-of-{iters} wall-clock per engine, release profile, single machine \
+         run, cold sweep cache, shared warmed ComponentDb. scratch re-derives every per-component \
+         cost from the annotation database at each point; delta memoizes them in the \
+         fingerprint-guarded arena (bit-identical results, asserted in tests and CI). At the \
+         paper's space sizes the ratio is ~1: per-point cost is scheduler-dominated and the \
+         ComponentDb already caches annotations behind its own lock, so swapping that lock for \
+         the arena's is in the noise. The historical speedup lives upstream (annotation-side \
+         ATPG batching took the cold paper sweep from tens of seconds to under one, the `cold` \
+         row below); delta earns its keep as the differential-tested memo layer with O(1) \
+         guarded invalidation, and these rows exist to catch either engine regressing.\","
+    );
+    println!("  \"sweeps\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"space\": \"{}\", \"points\": {}, \"front\": {}, \"scratch_s\": {:.4}, \
+             \"delta_s\": {:.4}, \"delta_over_scratch\": {:.3} }}{comma}",
+            r.space,
+            r.points,
+            r.front,
+            r.scratch_s,
+            r.delta_s,
+            r.delta_s / r.scratch_s
+        );
+    }
+    println!("  ],");
+    if keep("paper") {
+        // Cold end-to-end: the annotation database (real ATPG + march
+        // runs) is rebuilt inside the timed region, as `ttadse fig2`
+        // pays it. This is the committed trajectory headline.
+        eprintln!("cold paper sweeps (database rebuilt per run)...");
+        let cold_scratch = time_cold(EvalMode::Scratch, iters);
+        let cold_delta = time_cold(EvalMode::Delta, iters);
+        println!("  \"cold\": {{");
+        println!(
+            "    \"space\": \"paper\", \"includes_annotation\": true, \
+             \"scratch_s\": {cold_scratch:.3}, \"delta_s\": {cold_delta:.3}"
+        );
+        println!("  }}");
+    } else {
+        println!("  \"cold\": null");
+    }
+    println!("}}");
+}

@@ -23,7 +23,9 @@ use tta_arch::vliw::VliwTemplate;
 use tta_arch::{Architecture, BusId, FuInstance, FuKind};
 use tta_core::backannotate::{ComponentDb, ComponentKey};
 use tta_core::cache::SweepCache;
-use tta_core::explore::{CacheStatus, EvaluatedArch, Exploration, ExploreResult, LiftMode};
+use tta_core::explore::{
+    CacheStatus, EvalMode, EvaluatedArch, Exploration, ExploreResult, LiftMode,
+};
 use tta_core::fullscan::FullScanDb;
 use tta_core::report::TextTable;
 use tta_core::testcost::{architecture_test_cost, ftfu_ratio};
@@ -89,6 +91,7 @@ pub struct Experiments<'c> {
     pub scale: Scale,
     db: ComponentDb,
     cache: Option<&'c SweepCache>,
+    eval_mode: EvalMode,
     result: Option<ExploreResult>,
     full_result: Option<ExploreResult>,
 }
@@ -100,6 +103,7 @@ impl Experiments<'static> {
             scale,
             db: ComponentDb::new(),
             cache: None,
+            eval_mode: EvalMode::default(),
             result: None,
             full_result: None,
         }
@@ -115,9 +119,18 @@ impl<'c> Experiments<'c> {
             scale,
             db: ComponentDb::new(),
             cache: Some(cache),
+            eval_mode: EvalMode::default(),
             result: None,
             full_result: None,
         }
+    }
+
+    /// Selects the evaluation engine (`--eval`): memoized delta by
+    /// default, or scratch as the reference oracle. Bit-identical
+    /// either way — CI `cmp`s the two.
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
     }
 
     fn run_exploration(&self, lift: LiftMode) -> ExploreResult {
@@ -126,6 +139,7 @@ impl<'c> Experiments<'c> {
             .workload(&workload)
             .with_db(&self.db)
             .lift(lift)
+            .eval_mode(self.eval_mode)
             .parallel(true);
         if let Some(cache) = self.cache {
             e = e.cache(cache);

@@ -107,12 +107,16 @@ fn scale_label(scale: Scale) -> &'static str {
 }
 
 /// Builds the figure experiment context, wired to the cache when one is
-/// configured.
-fn experiments<'c>(scale: Scale, cache: &'c Option<SweepCache>) -> Experiments<'c> {
+/// configured. `--eval` is deliberately NOT echoed in any output
+/// format: CI `cmp`s a delta run against a scratch run to assert the
+/// memoized engine reproduces the oracle byte-identically.
+fn experiments<'c>(common: &CommonOpts, cache: &'c Option<SweepCache>) -> Experiments<'c> {
+    let scale = scale_of(common);
     match cache {
         Some(c) => Experiments::with_cache(scale, c),
         None => Experiments::new(scale),
     }
+    .eval_mode(common.eval)
 }
 
 /// JSON object for one Pareto-front member, including its per-workload
@@ -140,6 +144,7 @@ fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
 enum Strategy {
     #[default]
     Exhaustive,
+    Neighbour,
     Random,
     HillClimb,
 }
@@ -148,10 +153,11 @@ impl Strategy {
     fn parse(s: &str) -> Result<Strategy, CliError> {
         match s {
             "exhaustive" => Ok(Strategy::Exhaustive),
+            "neighbour" => Ok(Strategy::Neighbour),
             "random" => Ok(Strategy::Random),
             "hillclimb" => Ok(Strategy::HillClimb),
             other => Err(CliError::usage(format!(
-                "unknown --strategy {other:?} (expected exhaustive, random or hillclimb)"
+                "unknown --strategy {other:?} (expected exhaustive, neighbour, random or hillclimb)"
             ))),
         }
     }
@@ -463,16 +469,19 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         .with_db(&db)
         .interconnect(o.interconnect)
         .lift(o.lift)
-        // `--cycles` is deliberately NOT echoed in any output format:
-        // CI `cmp`s a model run against a simulate run to assert the
-        // simulator reproduces the analytic model byte-identically.
+        // `--cycles` and `--eval` are deliberately NOT echoed in any
+        // output format: CI `cmp`s a model run against a simulate run
+        // (and a delta run against a scratch run) to assert each engine
+        // reproduces its oracle byte-identically.
         .cycle_source(o.cycle_source)
+        .eval_mode(o.common.eval)
         .parallel(o.parallel);
     if o.test_model == TestModel::Scan {
         e = e.test_cost_model(ScanTestCostModel::default());
     }
     e = match o.strategy {
         Strategy::Exhaustive => e.strategy(tta_core::search::Exhaustive),
+        Strategy::Neighbour => e.strategy(tta_core::search::Exhaustive::neighbour()),
         Strategy::Random => e.strategy(tta_core::search::RandomSample),
         Strategy::HillClimb => e.strategy(tta_core::search::HillClimb::default()),
     };
@@ -679,7 +688,7 @@ pub fn fig2_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
     let scale = scale_of(&common);
     writeln!(err, "running Figure 2 at {} scale...", scale_label(scale))?;
     let cache = open_cache(&common, err)?;
-    let mut exp = experiments(scale, &cache);
+    let mut exp = experiments(&common, &cache);
     let fig = fig2(&mut exp);
     match common.format {
         Format::Table => writeln!(out, "{fig}")?,
@@ -725,9 +734,8 @@ pub fn fig2_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
 /// `ttadse fig6`: identical FUs, different test cost.
 pub fn fig6_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
     let common = parse_common_only("fig6", args)?;
-    let scale = scale_of(&common);
     let cache = open_cache(&common, err)?;
-    let mut exp = experiments(scale, &cache);
+    let mut exp = experiments(&common, &cache);
     let fig = fig6(&mut exp);
     match common.format {
         Format::Table => writeln!(out, "{fig}")?,
@@ -825,7 +833,7 @@ pub fn fig8_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
     let scale = scale_of(&common);
     writeln!(err, "running Figure 8 at {} scale...", scale_label(scale))?;
     let cache = open_cache(&common, err)?;
-    let mut exp = experiments(scale, &cache);
+    let mut exp = experiments(&common, &cache);
     if full {
         return fig8_full_render(&mut exp, &common, out, err, &cache);
     }
@@ -918,7 +926,7 @@ pub fn fig9_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Re
     let scale = scale_of(&common);
     writeln!(err, "running Figure 9 at {} scale...", scale_label(scale))?;
     let cache = open_cache(&common, err)?;
-    let mut exp = experiments(scale, &cache);
+    let mut exp = experiments(&common, &cache);
     let fig = fig9(&mut exp);
     match common.format {
         Format::Table => writeln!(out, "{fig}")?,
@@ -972,7 +980,7 @@ pub fn table1_cmd(
     common.validate()?;
     let scale = scale_of(&common);
     let cache = open_cache(&common, err)?;
-    let mut exp = experiments(scale, &cache);
+    let mut exp = experiments(&common, &cache);
     let table = if figure9 {
         table1_for(&mut exp, tta_arch::Architecture::figure9())
     } else {

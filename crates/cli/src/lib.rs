@@ -99,6 +99,8 @@ COMMON FLAGS:
     --format FORMAT        table (default) | json | csv
     --cache-dir DIR        Persistent sweep cache; re-runs skip cached points
     --resume               Require --cache-dir; continue an interrupted sweep
+    --eval ENGINE          delta (default): memoized per-component evaluation;
+                           scratch: the reference oracle (identical results)
 
 EXPLORE FLAGS:
     --workload LIST        Comma-separated `name[:weight]` items; see
@@ -106,7 +108,8 @@ EXPLORE FLAGS:
     --suite NAME           A named weighted suite (paper | dsp | control | all)
     --space NAME           paper | fast | tiny
     --rounds N             Crypt Feistel rounds per trace
-    --strategy NAME        exhaustive (default) | random | hillclimb
+    --strategy NAME        exhaustive (default) | neighbour (exhaustive in
+                           Gray-code order) | random | hillclimb
     --budget N             Evaluate at most N template points
     --seed S               Seed for random/hillclimb (deterministic per seed)
     --lift MODE            pareto (default): lift test cost onto the 2-D front
@@ -340,5 +343,31 @@ mod tests {
         sim_args.extend(["--cycles", "simulate"]);
         let (sim, _) = run_capture(&sim_args).unwrap();
         assert_eq!(model, sim, "--cycles simulate must not change any byte");
+    }
+
+    #[test]
+    fn explore_scratch_output_is_byte_identical_to_delta() {
+        let base = [
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "crypt",
+            "--format",
+            "json",
+        ];
+        let (delta, _) = run_capture(&base).unwrap();
+        let mut scratch_args = base.to_vec();
+        scratch_args.extend(["--eval", "scratch"]);
+        let (scratch, _) = run_capture(&scratch_args).unwrap();
+        assert_eq!(delta, scratch, "--eval scratch must not change any byte");
+        // Gray-code visit order must not change the reported front or
+        // objective bytes either (JSON output is order-canonicalised by
+        // area, not visit order).
+        let mut gray_args = base.to_vec();
+        gray_args.extend(["--strategy", "neighbour"]);
+        let (gray, _) = run_capture(&gray_args).unwrap();
+        let strip = |s: &str| s.replace("exhaustive-neighbour", "exhaustive");
+        assert_eq!(strip(&gray), strip(&delta));
     }
 }

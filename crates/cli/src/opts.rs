@@ -7,6 +7,8 @@
 
 use std::path::PathBuf;
 
+use tta_core::explore::EvalMode;
+
 use crate::CliError;
 
 /// Structured output selector (`--format`).
@@ -48,6 +50,19 @@ pub struct CommonOpts {
     /// `--cache-dir`); evaluation then picks up where the last
     /// interrupted run stopped.
     pub resume: bool,
+    /// `--eval`: per-point evaluation engine (memoized `delta` by
+    /// default, or `scratch` as the reference oracle).
+    pub eval: EvalMode,
+}
+
+fn parse_eval(s: &str) -> Result<EvalMode, CliError> {
+    match s {
+        "scratch" => Ok(EvalMode::Scratch),
+        "delta" => Ok(EvalMode::Delta),
+        other => Err(CliError::usage(format!(
+            "unknown --eval {other:?} (expected scratch or delta)"
+        ))),
+    }
 }
 
 /// A cursor over raw CLI arguments with flag/value helpers.
@@ -95,6 +110,7 @@ impl CommonOpts {
             "--format" => self.format = Format::parse(&cursor.value_for("--format")?)?,
             "--cache-dir" => self.cache_dir = Some(PathBuf::from(cursor.value_for("--cache-dir")?)),
             "--resume" => self.resume = true,
+            "--eval" => self.eval = parse_eval(&cursor.value_for("--eval")?)?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -136,6 +152,8 @@ mod tests {
             "--cache-dir",
             "/tmp/c",
             "--resume",
+            "--eval",
+            "scratch",
         ]);
         let mut cursor = ArgCursor::new(&args);
         let mut opts = CommonOpts::default();
@@ -148,7 +166,14 @@ mod tests {
             opts.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/c"))
         );
+        assert_eq!(opts.eval, EvalMode::Scratch);
         assert!(opts.validate().is_ok());
+    }
+
+    #[test]
+    fn eval_defaults_to_delta_and_rejects_typos() {
+        assert_eq!(CommonOpts::default().eval, EvalMode::Delta);
+        assert!(parse_eval("detla").is_err());
     }
 
     #[test]

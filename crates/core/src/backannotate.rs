@@ -136,6 +136,25 @@ pub struct ComponentRecord {
     pub nconn: usize,
 }
 
+/// Crate-internal abstraction over *where component records come from*:
+/// the database itself, or the delta evaluator's memo arena in front of
+/// it ([`crate::delta::DeltaEvaluator`]). The default cost models fold
+/// their sums through this trait, so the scratch and delta evaluation
+/// paths run the exact same float code — bit-identity between them holds
+/// by construction, not by careful reimplementation.
+pub(crate) trait RecordSource {
+    /// The record for `key`, computing or memoizing as the source sees
+    /// fit. Must return the same record a direct [`ComponentDb::get`]
+    /// would.
+    fn record(&self, key: ComponentKey) -> Arc<ComponentRecord>;
+}
+
+impl RecordSource for ComponentDb {
+    fn record(&self, key: ComponentKey) -> Arc<ComponentRecord> {
+        self.get(key)
+    }
+}
+
 /// The lazy component database.
 ///
 /// March-tested register files use [`MarchAlgorithm::march_cminus`] by
@@ -159,10 +178,13 @@ impl Default for ComponentDb {
 }
 
 impl ComponentDb {
-    /// Database with default ATPG settings and March C−.
+    /// Database with the sweep-profile ATPG settings
+    /// ([`AtpgConfig::sweep`] — same test sets as the default profile on
+    /// the paper's components, an order of magnitude faster to annotate)
+    /// and March C−.
     pub fn new() -> Self {
         ComponentDb {
-            atpg: Atpg::new(AtpgConfig::default()),
+            atpg: Atpg::new(AtpgConfig::sweep()),
             march: MarchAlgorithm::march_cminus(),
             cache: RwLock::new(HashMap::new()),
         }

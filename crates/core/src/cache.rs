@@ -288,6 +288,11 @@ pub struct SweepCache {
     disk_state: Mutex<Option<(u64, std::time::SystemTime)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Counted *lookup operations* (lock acquisitions for reading), as
+    /// opposed to the per-key hit/miss tallies: a batched lookup of 64
+    /// keys is 1 read but 64 hit/miss counts. Regression guard for the
+    /// sweep loop's access pattern — see [`SweepCache::reads`].
+    reads: AtomicU64,
 }
 
 /// Quick-check signature of the file at `path`.
@@ -330,6 +335,7 @@ impl SweepCache {
             disk_state: Mutex::new(disk_state),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
         })
     }
 
@@ -344,6 +350,7 @@ impl SweepCache {
             disk_state: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -353,8 +360,10 @@ impl SweepCache {
         &self.path
     }
 
-    /// Looks up a sweep evaluation. Hit/miss counters are updated.
+    /// Looks up a sweep evaluation. Hit/miss counters are updated, and
+    /// the operation counts as one read.
     pub fn lookup_eval(&self, key: u64) -> Option<EvalEntry> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let found = match self
             .entries
             .lock()
@@ -366,6 +375,34 @@ impl SweepCache {
         };
         self.count(found.is_some());
         found
+    }
+
+    /// Looks up a whole batch of sweep evaluations under **one** lock
+    /// acquisition — the sweep engine prefetches each planned chunk
+    /// this way instead of probing the cache once per point inside the
+    /// hot loop. Per-key hit/miss counters are updated exactly as `n`
+    /// individual [`SweepCache::lookup_eval`] calls would, but the
+    /// whole batch counts as a single read
+    /// ([`SweepCache::reads`]).
+    pub fn lookup_eval_batch(&self, keys: &[u64]) -> Vec<Option<EvalEntry>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let entries = self.entries.lock().expect("cache lock");
+        let mut hits = 0u64;
+        let out: Vec<Option<EvalEntry>> = keys
+            .iter()
+            .map(|&key| match entries.get(&(Kind::Eval, key)) {
+                Some(Entry::Eval(e)) => {
+                    hits += 1;
+                    Some(e.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        drop(entries);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
+        out
     }
 
     /// Whether an evaluation for `key` is present, *without* touching
@@ -429,8 +466,9 @@ impl SweepCache {
         self.dirty.store(true, Ordering::Release);
     }
 
-    /// Looks up a lifted test-cost total (exact bit pattern).
+    /// Looks up a lifted test-cost total (exact bit pattern). One read.
     pub fn lookup_test(&self, key: u64) -> Option<f64> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let found = match self
             .entries
             .lock()
@@ -469,6 +507,18 @@ impl SweepCache {
     /// Lookups that required a fresh evaluation.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Read *operations* since the cache was opened: each
+    /// [`SweepCache::lookup_eval`] / [`SweepCache::lookup_test`] call
+    /// is one read, and each [`SweepCache::lookup_eval_batch`] call is
+    /// one read regardless of batch size. The sweep engine performs one
+    /// batched read per planned chunk plus one per lifted front point —
+    /// a regression test pins that access pattern, because an
+    /// accidental return to per-point probing multiplies lock traffic
+    /// by the chunk size without changing any result.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Number of entries currently held (evaluations + test lifts).

@@ -1,0 +1,367 @@
+//! Incremental (delta) point evaluation with a memoized component arena.
+//!
+//! A design-space sweep evaluates thousands of points whose cost is a
+//! fold over *per-component* contributions — and neighbouring points
+//! share almost all of their components (a Gray-walk neighbour order,
+//! [`tta_arch::template::TemplateSpace::neighbour_order`], changes
+//! exactly one template knob per step). [`DeltaEvaluator`] exploits
+//! that: every [`crate::ComponentRecord`] it touches is memoized in a
+//! flat arena keyed by [`ComponentKey`], so moving to a neighbouring
+//! point re-costs only the changed component instead of re-fetching the
+//! whole architecture from the (locked, hashed) [`ComponentDb`].
+//!
+//! **Correctness before speed.** The delta path does *not* maintain
+//! running ±deltas of the float objectives — f64 addition is not
+//! associative, and the headline guarantee of the engine is that
+//! `EvalMode::Delta` is **bit-identical** to `EvalMode::Scratch`.
+//! Instead, the arena sits behind the exact same fold code the scratch
+//! models run ([`crate::backannotate`]'s crate-internal record-source
+//! abstraction): both paths execute the same float operations in the
+//! same order on the same records, so bit-identity holds by
+//! construction. The differential property tests in
+//! `crates/core/tests/delta.rs` enforce it bit-for-bit anyway.
+//!
+//! **Staleness.** The arena is guarded by the database fingerprint
+//! ([`crate::ComponentDb::fingerprint`]): records annotated under one
+//! engine configuration (ATPG profile, march algorithm) must never be
+//! served for another. Every top-level evaluation validates the guard
+//! once and evicts the whole arena on mismatch — see
+//! [`DeltaEvaluator::prime`] for the test hook that proves this.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use tta_arch::Architecture;
+
+use crate::backannotate::{ComponentDb, ComponentKey, ComponentRecord, RecordSource};
+use crate::models::{
+    annotated_area, annotated_clock_period, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel,
+    Eq14TestCostModel, InterconnectModel, TestCostModel, TimingModel,
+};
+use crate::testcost::{test_cost_from, ArchTestCost};
+
+/// The memoizing record store: a flat arena of [`ComponentRecord`]s
+/// keyed by [`ComponentKey`], guarded by the fingerprint of the
+/// database that produced them.
+#[derive(Debug, Default)]
+struct MemoArena {
+    /// [`ComponentDb::fingerprint`] of the database the slots were
+    /// filled from; `None` until the first record lands. A mismatch on
+    /// validation evicts every slot.
+    guard: Option<u64>,
+    /// Key → slot position.
+    index: HashMap<ComponentKey, usize>,
+    /// The records themselves, in insertion order.
+    slots: Vec<Arc<ComponentRecord>>,
+}
+
+/// Incremental evaluator for the three default cost axes (area, clock
+/// period, eq.-14 test cost), memoizing per-component records in a flat
+/// arena so neighbouring points only pay for their *changed* components.
+///
+/// Shared by the `EvalMode::Delta` model wrappers of one
+/// [`crate::explore::Exploration`] run; safe to share across sweep
+/// threads (`&self` everywhere, arena behind a [`RwLock`]).
+///
+/// Produces bit-identical results to the scratch models
+/// ([`AnnotatedAreaModel`], [`AnnotatedTimingModel`],
+/// [`Eq14TestCostModel`]) — see the module docs for why that holds by
+/// construction.
+#[derive(Debug)]
+pub struct DeltaEvaluator {
+    interconnect: InterconnectModel,
+    arena: RwLock<MemoArena>,
+}
+
+impl DeltaEvaluator {
+    /// An evaluator with an empty arena, folding interconnect costs with
+    /// the given constants (must match the scratch models it stands in
+    /// for — [`crate::explore::Exploration`] guarantees this when it
+    /// wires the delta path).
+    pub fn new(interconnect: InterconnectModel) -> Self {
+        DeltaEvaluator {
+            interconnect,
+            arena: RwLock::new(MemoArena::default()),
+        }
+    }
+
+    /// Area of `arch` — bit-identical to
+    /// [`AnnotatedAreaModel::area`](crate::models::AreaModel::area) with
+    /// the same interconnect constants.
+    pub fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        let src = self.source(db);
+        annotated_area(arch, &self.interconnect, &src)
+    }
+
+    /// Clock period of `arch` — bit-identical to
+    /// [`AnnotatedTimingModel::clock_period`](crate::models::TimingModel::clock_period).
+    pub fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        let src = self.source(db);
+        annotated_clock_period(arch, &self.interconnect, &src)
+    }
+
+    /// eq.-(14) test cost of `arch` — bit-identical to
+    /// [`crate::architecture_test_cost`].
+    pub fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
+        let src = self.source(db);
+        test_cost_from(arch, &src)
+    }
+
+    /// Number of distinct component records currently memoized.
+    pub fn len(&self) -> usize {
+        self.arena.read().expect("arena lock").slots.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memoized record for `key`, if any — a peek that never
+    /// validates the guard or touches the database. Test hook: together
+    /// with [`DeltaEvaluator::prime`] it proves both that memoized
+    /// records are actually *served* (a primed record shows up in
+    /// results) and that eviction actually *happens* (the record is gone
+    /// after a guard mismatch).
+    pub fn cached(&self, key: ComponentKey) -> Option<Arc<ComponentRecord>> {
+        let arena = self.arena.read().expect("arena lock");
+        arena.index.get(&key).map(|&i| Arc::clone(&arena.slots[i]))
+    }
+
+    /// Installs `record` for `key` as if it had been fetched from a
+    /// database whose [`ComponentDb::fingerprint`] is `db_fingerprint`,
+    /// replacing any existing slot for the key (and evicting the arena
+    /// first when the guard disagrees).
+    ///
+    /// This is a *test hook*: the memo-invalidation suite primes the
+    /// arena with a deliberately wrong record and asserts that it is
+    /// served while the guard matches (memoization is real) and never
+    /// served once the database changes (invalidation is real).
+    pub fn prime(&self, db_fingerprint: u64, key: ComponentKey, record: ComponentRecord) {
+        let mut arena = self.arena.write().expect("arena lock");
+        if arena.guard != Some(db_fingerprint) {
+            arena.index.clear();
+            arena.slots.clear();
+            arena.guard = Some(db_fingerprint);
+        }
+        let record = Arc::new(record);
+        match arena.index.get(&key) {
+            Some(&i) => arena.slots[i] = record,
+            None => {
+                let i = arena.slots.len();
+                arena.slots.push(record);
+                arena.index.insert(key, i);
+            }
+        }
+    }
+
+    /// A record source over (arena, db) with the guard validated for
+    /// `db` — called once per top-level evaluation, so the (cheap but
+    /// not free) database fingerprint is paid per *point*, not per
+    /// component.
+    fn source<'a>(&'a self, db: &'a ComponentDb) -> MemoSource<'a> {
+        let fp = db.fingerprint();
+        {
+            let arena = self.arena.read().expect("arena lock");
+            if arena.guard == Some(fp) {
+                return MemoSource { eval: self, db };
+            }
+        }
+        let mut arena = self.arena.write().expect("arena lock");
+        if arena.guard != Some(fp) {
+            arena.index.clear();
+            arena.slots.clear();
+            arena.guard = Some(fp);
+        }
+        drop(arena);
+        MemoSource { eval: self, db }
+    }
+
+    /// Arena-then-database record fetch, filling the arena on miss.
+    fn memoized(&self, db: &ComponentDb, key: ComponentKey) -> Arc<ComponentRecord> {
+        {
+            let arena = self.arena.read().expect("arena lock");
+            if let Some(&i) = arena.index.get(&key) {
+                return Arc::clone(&arena.slots[i]);
+            }
+        }
+        let record = db.get(key);
+        let mut arena = self.arena.write().expect("arena lock");
+        match arena.index.get(&key) {
+            // Another thread filled the slot between our locks: serve
+            // its record so every caller sees one consistent value.
+            Some(&i) => Arc::clone(&arena.slots[i]),
+            None => {
+                let i = arena.slots.len();
+                arena.slots.push(Arc::clone(&record));
+                arena.index.insert(key, i);
+                record
+            }
+        }
+    }
+}
+
+/// The [`RecordSource`] view of a [`DeltaEvaluator`] + [`ComponentDb`]
+/// pair, with the guard already validated.
+struct MemoSource<'a> {
+    eval: &'a DeltaEvaluator,
+    db: &'a ComponentDb,
+}
+
+impl RecordSource for MemoSource<'_> {
+    fn record(&self, key: ComponentKey) -> Arc<ComponentRecord> {
+        self.eval.memoized(self.db, key)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model wrappers: the default models, routed through one shared
+// evaluator. Their cache fingerprints delegate to the scratch models
+// they stand in for, so sweep-cache addresses are identical across
+// EvalMode — a delta run reads and extends a scratch run's cache file
+// byte-for-byte (and vice versa).
+// ---------------------------------------------------------------------
+
+/// [`AnnotatedAreaModel`] semantics through a shared [`DeltaEvaluator`].
+pub(crate) struct DeltaAreaModel {
+    inner: AnnotatedAreaModel,
+    eval: Arc<DeltaEvaluator>,
+}
+
+impl DeltaAreaModel {
+    pub(crate) fn new(interconnect: InterconnectModel, eval: Arc<DeltaEvaluator>) -> Self {
+        DeltaAreaModel {
+            inner: AnnotatedAreaModel::new(interconnect),
+            eval,
+        }
+    }
+}
+
+impl AreaModel for DeltaAreaModel {
+    fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        self.eval.area(arch, db)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
+/// [`AnnotatedTimingModel`] semantics through a shared
+/// [`DeltaEvaluator`].
+pub(crate) struct DeltaTimingModel {
+    inner: AnnotatedTimingModel,
+    eval: Arc<DeltaEvaluator>,
+}
+
+impl DeltaTimingModel {
+    pub(crate) fn new(interconnect: InterconnectModel, eval: Arc<DeltaEvaluator>) -> Self {
+        DeltaTimingModel {
+            inner: AnnotatedTimingModel::new(interconnect),
+            eval,
+        }
+    }
+}
+
+impl TimingModel for DeltaTimingModel {
+    fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
+        self.eval.clock_period(arch, db)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
+/// [`Eq14TestCostModel`] semantics through a shared [`DeltaEvaluator`].
+pub(crate) struct DeltaTestCostModel {
+    inner: Eq14TestCostModel,
+    eval: Arc<DeltaEvaluator>,
+}
+
+impl DeltaTestCostModel {
+    pub(crate) fn new(eval: Arc<DeltaEvaluator>) -> Self {
+        DeltaTestCostModel {
+            inner: Eq14TestCostModel,
+            eval,
+        }
+    }
+}
+
+impl TestCostModel for DeltaTestCostModel {
+    fn test_cost(&self, arch: &Architecture, db: &ComponentDb) -> ArchTestCost {
+        self.eval.test_cost(arch, db)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_arch::template::TemplateSpace;
+
+    fn to_bits(cost: &ArchTestCost) -> (u64, Vec<u64>) {
+        (
+            cost.total.to_bits(),
+            cost.components
+                .iter()
+                .map(|c| c.our_approach_cycles().to_bits())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn delta_matches_scratch_bit_for_bit() {
+        let db = ComponentDb::new();
+        let ic = InterconnectModel::paper();
+        let eval = DeltaEvaluator::new(ic);
+        let area = AnnotatedAreaModel::new(ic);
+        let timing = AnnotatedTimingModel::new(ic);
+        // Twice over the space: cold arena, then warm.
+        for pass in 0..2 {
+            for arch in TemplateSpace::fast_default().enumerate() {
+                assert_eq!(
+                    eval.area(&arch, &db).to_bits(),
+                    area.area(&arch, &db).to_bits(),
+                    "area, pass {pass}, {}",
+                    arch.name
+                );
+                assert_eq!(
+                    eval.clock_period(&arch, &db).to_bits(),
+                    timing.clock_period(&arch, &db).to_bits(),
+                    "clock, pass {pass}, {}",
+                    arch.name
+                );
+                assert_eq!(
+                    to_bits(&eval.test_cost(&arch, &db)),
+                    to_bits(&Eq14TestCostModel.test_cost(&arch, &db)),
+                    "test cost, pass {pass}, {}",
+                    arch.name
+                );
+            }
+        }
+        assert!(!eval.is_empty(), "the sweep must have memoized records");
+        assert_eq!(eval.len(), db.len(), "arena mirrors the touched keys");
+    }
+
+    #[test]
+    fn wrappers_keep_scratch_fingerprints() {
+        let ic = InterconnectModel::paper();
+        let eval = Arc::new(DeltaEvaluator::new(ic));
+        assert_eq!(
+            DeltaAreaModel::new(ic, Arc::clone(&eval)).fingerprint(),
+            AnnotatedAreaModel::new(ic).fingerprint()
+        );
+        assert_eq!(
+            DeltaTimingModel::new(ic, Arc::clone(&eval)).fingerprint(),
+            AnnotatedTimingModel::new(ic).fingerprint()
+        );
+        assert_eq!(
+            DeltaTestCostModel::new(eval).fingerprint(),
+            Eq14TestCostModel.fingerprint()
+        );
+    }
+}

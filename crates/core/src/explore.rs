@@ -99,6 +99,7 @@
 //! ```
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use tta_arch::template::TemplateSpace;
 use tta_arch::Architecture;
@@ -110,6 +111,7 @@ use crate::cache::{
     arch_fingerprint, workload_fingerprint, EvalEntry, Fingerprint, SweepCache,
     CACHE_ADDRESS_VERSION,
 };
+use crate::delta::{DeltaAreaModel, DeltaEvaluator, DeltaTestCostModel, DeltaTimingModel};
 use crate::models::{
     keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
     InterconnectModel, TestCostModel, TimingModel,
@@ -117,7 +119,7 @@ use crate::models::{
 use crate::norm::{select, Norm, Weights};
 use crate::parallel::{default_threads, par_map};
 use crate::pareto::{pareto_front, ParetoArchive};
-use crate::search::{Exhaustive, Observation, SearchContext, SearchStrategy};
+use crate::search::{Exhaustive, Observation, SearchContext, SearchStrategy, WalkOrder};
 
 // ---------------------------------------------------------------------
 // Objectives
@@ -356,6 +358,48 @@ impl CycleSource {
 }
 
 impl std::fmt::Display for CycleSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the *default* cost models evaluate a point.
+///
+/// [`EvalMode::Delta`] (the default) routes the three default models
+/// through one shared [`crate::delta::DeltaEvaluator`]: per-component
+/// records are memoized in a flat arena keyed by
+/// [`crate::ComponentKey`], so a point re-costs only the components the
+/// previous points have not already touched. Results are
+/// **bit-identical** to [`EvalMode::Scratch`] — same objectives, same
+/// front, same cache addresses (the delta wrappers fingerprint as the
+/// scratch models they stand in for) — because both modes run the same
+/// fold code over the same records; only the record-fetch path differs.
+///
+/// Custom models installed via [`Exploration::models`] and friends are
+/// never wrapped: the mode only governs the defaults, so a custom
+/// model's semantics (and its cache identity) are exactly what its
+/// author wrote in either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalMode {
+    /// Every point evaluated from scratch against the [`ComponentDb`].
+    Scratch,
+    /// Per-component memoization through the delta evaluator (default).
+    #[default]
+    Delta,
+}
+
+impl EvalMode {
+    /// Short machine-readable label (`scratch` / `delta`), used by CLI
+    /// flags and structured output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvalMode::Scratch => "scratch",
+            EvalMode::Delta => "delta",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -647,6 +691,7 @@ pub struct Exploration<'db> {
     seed: Option<u64>,
     lift: LiftMode,
     cycle_source: CycleSource,
+    eval_mode: EvalMode,
 }
 
 /// The engine materialises and evaluates batches in chunks of this many
@@ -679,6 +724,7 @@ impl<'db> Exploration<'db> {
             seed: None,
             lift: LiftMode::default(),
             cycle_source: CycleSource::default(),
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -803,6 +849,15 @@ impl<'db> Exploration<'db> {
     /// scheduler/model drift into a visible objective change.
     pub fn cycle_source(mut self, source: CycleSource) -> Self {
         self.cycle_source = source;
+        self
+    }
+
+    /// Chooses how the *default* cost models evaluate a point (default
+    /// [`EvalMode::Delta`], the memoizing incremental path). Results
+    /// are bit-identical between the modes — this knob trades lock/hash
+    /// traffic, never output. See [`EvalMode`].
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
         self
     }
 
@@ -1037,6 +1092,16 @@ impl<'db> Exploration<'db> {
             if fresh.is_empty() {
                 break;
             }
+            // A strategy may ask for its batches to be *evaluated* in
+            // neighbour (Gray-walk) order: consecutive points then
+            // differ in one template knob, which maximises reuse in the
+            // delta evaluator's memo arena. The re-sort happens after
+            // budget truncation, so it changes when a point is
+            // evaluated, never whether — and per-point cache addresses
+            // are visit-order independent.
+            if strategy.walk_order() == WalkOrder::Neighbour {
+                fresh.sort_by_key(|&i| space.neighbour_rank(i));
+            }
             rounds += 1;
             // Materialise at most one chunk of architectures at a time
             // (indices are cheap, built points are not), so even the
@@ -1116,19 +1181,27 @@ impl<'db> Exploration<'db> {
                         }
                     }),
                     Some((cache, base)) => {
-                        let out = par_map(&archs, threads, |_, arch| {
-                            let key = point_key(*base, arch);
+                        // Struct-of-arrays chunk layout: `archs`, `keys`
+                        // and `prefetched` are parallel columns indexed
+                        // by the chunk position `k`. The cache is read
+                        // ONCE per chunk (one lock acquisition for the
+                        // whole batch) instead of once per point inside
+                        // the hot loop; only stores stay per-point,
+                        // since they happen on misses alone.
+                        let keys: Vec<u64> =
+                            archs.iter().map(|arch| point_key(*base, arch)).collect();
+                        let prefetched = cache.lookup_eval_batch(&keys);
+                        let out = par_map(&archs, threads, |k, arch| {
+                            let key = keys[k];
                             // A cache entry inconsistent with this suite
                             // (corrupt or hash-colliding) rehydrates to
                             // None and is re-evaluated — a bad cache may
                             // cost time, never correctness or a panic.
                             match lift {
                                 LiftMode::ParetoOnly => {
-                                    if let Some(outcome) =
-                                        cache.lookup_eval(key).and_then(|entry| {
-                                            rehydrate(arch, workloads.len(), weights, entry)
-                                        })
-                                    {
+                                    if let Some(outcome) = prefetched[k].clone().and_then(|entry| {
+                                        rehydrate(arch, workloads.len(), weights, entry)
+                                    }) {
                                         return outcome;
                                     }
                                     let e = evaluate_point(
@@ -1144,7 +1217,7 @@ impl<'db> Exploration<'db> {
                                     e
                                 }
                                 LiftMode::Full => {
-                                    match cache.lookup_eval(key).and_then(|entry| {
+                                    match prefetched[k].clone().and_then(|entry| {
                                         rehydrate_full(
                                             arch,
                                             workloads.len(),
@@ -1347,7 +1420,10 @@ impl<'db> Exploration<'db> {
     }
 
     /// Resolves the installed or default models (defaults parameterised
-    /// by the configured [`InterconnectModel`]).
+    /// by the configured [`InterconnectModel`]). Under
+    /// [`EvalMode::Delta`] the default slots get the delta wrappers,
+    /// all sharing one memo arena for the run; custom models are never
+    /// wrapped (and unfingerprintable ones therefore never memoize).
     fn resolve_models(
         &mut self,
     ) -> (
@@ -1356,17 +1432,33 @@ impl<'db> Exploration<'db> {
         Box<dyn TestCostModel>,
     ) {
         let ic = self.interconnect;
-        (
-            self.area
-                .take()
-                .unwrap_or_else(|| Box::new(AnnotatedAreaModel::new(ic))),
-            self.timing
-                .take()
-                .unwrap_or_else(|| Box::new(AnnotatedTimingModel::new(ic))),
-            self.test
-                .take()
-                .unwrap_or_else(|| Box::new(Eq14TestCostModel)),
-        )
+        match self.eval_mode {
+            EvalMode::Scratch => (
+                self.area
+                    .take()
+                    .unwrap_or_else(|| Box::new(AnnotatedAreaModel::new(ic))),
+                self.timing
+                    .take()
+                    .unwrap_or_else(|| Box::new(AnnotatedTimingModel::new(ic))),
+                self.test
+                    .take()
+                    .unwrap_or_else(|| Box::new(Eq14TestCostModel)),
+            ),
+            EvalMode::Delta => {
+                let eval = Arc::new(DeltaEvaluator::new(ic));
+                (
+                    self.area
+                        .take()
+                        .unwrap_or_else(|| Box::new(DeltaAreaModel::new(ic, Arc::clone(&eval)))),
+                    self.timing
+                        .take()
+                        .unwrap_or_else(|| Box::new(DeltaTimingModel::new(ic, Arc::clone(&eval)))),
+                    self.test
+                        .take()
+                        .unwrap_or_else(|| Box::new(DeltaTestCostModel::new(eval))),
+                )
+            }
+        }
     }
 }
 

@@ -75,6 +75,7 @@ mod workloads_guide {
 
 pub mod backannotate;
 pub mod cache;
+pub mod delta;
 pub mod explore;
 pub mod fullscan;
 pub mod models;
@@ -89,9 +90,10 @@ pub mod testplan;
 
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
+pub use delta::DeltaEvaluator;
 pub use explore::{
-    CacheStatus, CycleSource, EvaluatedArch, Exploration, ExploreError, ExploreResult, LiftMode,
-    Objective, ObjectiveVector, SearchInfo, WorkloadBreakdown,
+    CacheStatus, CycleSource, EvalMode, EvaluatedArch, Exploration, ExploreError, ExploreResult,
+    LiftMode, Objective, ObjectiveVector, SearchInfo, WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
@@ -100,6 +102,6 @@ pub use models::{
 pub use norm::{Norm, Weights};
 pub use pareto::{pareto_front, ParetoArchive};
 pub use rfmem::{RfImplementationComparison, RfMemSpec};
-pub use search::{Exhaustive, HillClimb, RandomSample, SearchStrategy};
+pub use search::{Exhaustive, HillClimb, NeighbourExhaustive, RandomSample, SearchStrategy};
 pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use testplan::{TestPhase, TestPlan};

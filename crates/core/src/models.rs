@@ -22,7 +22,7 @@
 use tta_arch::{Architecture, FuKind, InstructionFormat};
 use tta_dft::testtime::multi_chain_scan_cycles;
 
-use crate::backannotate::{ComponentDb, ComponentKey};
+use crate::backannotate::{ComponentDb, ComponentKey, RecordSource};
 use crate::cache::Fingerprint;
 use crate::testcost::{
     architecture_test_cost, out_of_model, socket_state_bits, ArchTestCost, ComponentTestCost,
@@ -158,32 +158,43 @@ impl AreaModel for AnnotatedAreaModel {
     }
 
     fn area(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
-        let Some(w) = key_width(arch) else {
+        annotated_area(arch, &self.interconnect, db)
+    }
+}
+
+/// The [`AnnotatedAreaModel`] fold over an arbitrary [`RecordSource`] —
+/// the one float code path shared by the scratch model above and the
+/// memoizing [`crate::delta::DeltaEvaluator`], so the two are
+/// bit-identical by construction.
+pub(crate) fn annotated_area(
+    arch: &Architecture,
+    interconnect: &InterconnectModel,
+    src: &dyn RecordSource,
+) -> f64 {
+    let Some(w) = key_width(arch) else {
+        return f64::INFINITY;
+    };
+    let mut area = 0.0;
+    for fu in arch.fus() {
+        area += src.record(ComponentKey::for_fu(fu.kind, w)).area;
+        let Some(sock) = ComponentKey::socket_group(w, fu.kind.input_ports()) else {
             return f64::INFINITY;
         };
-        let mut area = 0.0;
-        for fu in arch.fus() {
-            area += db.get(ComponentKey::for_fu(fu.kind, w)).area;
-            let Some(sock) = ComponentKey::socket_group(w, fu.kind.input_ports()) else {
-                return f64::INFINITY;
-            };
-            area += db.get(sock).area;
-        }
-        for rf in arch.rfs() {
-            let (Some(key), Some(sock)) = (
-                ComponentKey::for_rf(rf, w),
-                ComponentKey::socket_group(w, rf.nin()),
-            ) else {
-                return f64::INFINITY;
-            };
-            area += db.get(key).area;
-            area += db.get(sock).area;
-        }
-        let control = f64::from(InstructionFormat::of(arch).width())
-            * self.interconnect.control_area_per_instr_bit;
-        area + control
-            + arch.bus_count() as f64 * arch.width as f64 * self.interconnect.bus_area_per_bit
+        area += src.record(sock).area;
     }
+    for rf in arch.rfs() {
+        let (Some(key), Some(sock)) = (
+            ComponentKey::for_rf(rf, w),
+            ComponentKey::socket_group(w, rf.nin()),
+        ) else {
+            return f64::INFINITY;
+        };
+        area += src.record(key).area;
+        area += src.record(sock).area;
+    }
+    let control =
+        f64::from(InstructionFormat::of(arch).width()) * interconnect.control_area_per_instr_bit;
+    area + control + arch.bus_count() as f64 * arch.width as f64 * interconnect.bus_area_per_bit
 }
 
 /// The default timing model: slowest back-annotated component critical
@@ -212,21 +223,32 @@ impl TimingModel for AnnotatedTimingModel {
     }
 
     fn clock_period(&self, arch: &Architecture, db: &ComponentDb) -> f64 {
-        let Some(w) = key_width(arch) else {
+        annotated_clock_period(arch, &self.interconnect, db)
+    }
+}
+
+/// The [`AnnotatedTimingModel`] fold over an arbitrary [`RecordSource`]
+/// — shared with [`crate::delta::DeltaEvaluator`] like
+/// [`annotated_area`].
+pub(crate) fn annotated_clock_period(
+    arch: &Architecture,
+    interconnect: &InterconnectModel,
+    src: &dyn RecordSource,
+) -> f64 {
+    let Some(w) = key_width(arch) else {
+        return f64::INFINITY;
+    };
+    let mut worst: f64 = 0.0;
+    for fu in arch.fus() {
+        worst = worst.max(src.record(ComponentKey::for_fu(fu.kind, w)).critical_path);
+    }
+    for rf in arch.rfs() {
+        let Some(key) = ComponentKey::for_rf(rf, w) else {
             return f64::INFINITY;
         };
-        let mut worst: f64 = 0.0;
-        for fu in arch.fus() {
-            worst = worst.max(db.get(ComponentKey::for_fu(fu.kind, w)).critical_path);
-        }
-        for rf in arch.rfs() {
-            let Some(key) = ComponentKey::for_rf(rf, w) else {
-                return f64::INFINITY;
-            };
-            worst = worst.max(db.get(key).critical_path);
-        }
-        worst + arch.bus_count() as f64 * self.interconnect.bus_delay_penalty
+        worst = worst.max(src.record(key).critical_path);
     }
+    worst + arch.bus_count() as f64 * interconnect.bus_delay_penalty
 }
 
 /// The default test-cost model: the paper's eq. (14) total.

@@ -9,10 +9,15 @@
 //! feeds the observations back so guided strategies can steer toward
 //! the current front.
 //!
-//! Three strategies ship:
+//! Four strategies ship:
 //!
 //! * [`Exhaustive`] — every point, in enumeration order. The default;
 //!   bit-identical results and cache keys to the classic sweep.
+//! * [`NeighbourExhaustive`] ([`Exhaustive::neighbour`]) — every point,
+//!   in the Gray-walk neighbour order
+//!   ([`TemplateSpace::neighbour_order`]): consecutive points differ in
+//!   one knob, maximising reuse in the delta evaluator's memo arena.
+//!   Same point set and per-point cache keys as [`Exhaustive`].
 //! * [`RandomSample`] — a seeded uniform sample of at most `budget`
 //!   distinct points. Deterministic per seed.
 //! * [`HillClimb`] — an evolutionary loop: start from a random
@@ -155,6 +160,29 @@ pub trait SearchStrategy {
 
     /// The next batch of point indices to evaluate. Empty ⇒ done.
     fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize>;
+
+    /// The order in which the engine should *evaluate* each planned
+    /// batch. [`WalkOrder::Enumeration`] (the default) evaluates in
+    /// proposal order; [`WalkOrder::Neighbour`] re-sorts every batch by
+    /// [`TemplateSpace::neighbour_rank`] so consecutive evaluations
+    /// differ in one template knob. The order changes *when* a point is
+    /// evaluated, never *whether* — budget truncation happens before the
+    /// re-sort — and per-point cache keys are order-independent.
+    fn walk_order(&self) -> WalkOrder {
+        WalkOrder::Enumeration
+    }
+}
+
+/// How a strategy asks the engine to order each batch's evaluations —
+/// see [`SearchStrategy::walk_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalkOrder {
+    /// Evaluate in the order the strategy proposed.
+    #[default]
+    Enumeration,
+    /// Re-sort each batch into the Gray-walk neighbour order of the
+    /// space ([`TemplateSpace::neighbour_order`]).
+    Neighbour,
 }
 
 // ---------------------------------------------------------------------
@@ -166,6 +194,14 @@ pub trait SearchStrategy {
 /// engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Exhaustive;
+
+impl Exhaustive {
+    /// The same full sweep, evaluated in Gray-walk neighbour order —
+    /// see [`NeighbourExhaustive`].
+    pub fn neighbour() -> NeighbourExhaustive {
+        NeighbourExhaustive
+    }
+}
 
 impl SearchStrategy for Exhaustive {
     fn name(&self) -> &'static str {
@@ -181,6 +217,36 @@ impl SearchStrategy for Exhaustive {
             return Vec::new();
         }
         (0..ctx.space().len()).collect()
+    }
+}
+
+/// The full sweep in neighbour (Gray-walk) order: every point exactly
+/// once, with consecutive evaluations differing in exactly one template
+/// knob ([`TemplateSpace::neighbour_order`]). The point *set* is that of
+/// [`Exhaustive`], so the cache salt is `None` too: per-point cache
+/// addresses depend only on the architecture, never on visit order, and
+/// a neighbour-order sweep produces a byte-identical cache file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighbourExhaustive;
+
+impl SearchStrategy for NeighbourExhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive-neighbour"
+    }
+
+    fn cache_salt(&self) -> Option<u64> {
+        None
+    }
+
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize> {
+        if ctx.round() > 0 {
+            return Vec::new();
+        }
+        ctx.space().neighbour_order().collect()
+    }
+
+    fn walk_order(&self) -> WalkOrder {
+        WalkOrder::Neighbour
     }
 }
 
@@ -405,6 +471,25 @@ mod tests {
         let done = s.next_batch(&ctx(&space, 0, 1, usize::MAX, &obs, &front, &seen));
         assert!(done.is_empty());
         assert!(s.cache_salt().is_none());
+    }
+
+    #[test]
+    fn neighbour_exhaustive_proposes_the_gray_permutation() {
+        let (space, obs, front, seen) = ctx_parts();
+        let mut s = Exhaustive::neighbour();
+        let batch = s.next_batch(&ctx(&space, 0, 0, usize::MAX, &obs, &front, &seen));
+        assert_eq!(batch, space.neighbour_order().collect::<Vec<_>>());
+        let mut sorted = batch;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..space.len()).collect::<Vec<_>>());
+        assert!(
+            s.cache_salt().is_none(),
+            "same cache namespace as Exhaustive"
+        );
+        assert_eq!(s.walk_order(), WalkOrder::Neighbour);
+        assert_eq!(Exhaustive.walk_order(), WalkOrder::Enumeration);
+        let done = s.next_batch(&ctx(&space, 0, 1, usize::MAX, &obs, &front, &seen));
+        assert!(done.is_empty());
     }
 
     #[test]

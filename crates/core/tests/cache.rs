@@ -282,6 +282,36 @@ fn unfingerprintable_model_bypasses_the_eval_cache() {
 }
 
 #[test]
+fn cold_sweep_reads_the_cache_once_per_chunk_not_per_point() {
+    // Regression guard for the batched-prefetch path: the sweep loop
+    // must issue ONE cache read per 64-point chunk (plus one per front
+    // point for the test-cost lift), never one per point.
+    let dir = tmpdir("reads");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let space = TemplateSpace::fast_default();
+    let points = space.len();
+    let w = suite::crypt(1);
+    let result = Exploration::over(space)
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .run();
+    let chunks = points.div_ceil(64) as u64;
+    let lifts = result.pareto.len() as u64;
+    assert_eq!(
+        cache.reads(),
+        chunks + lifts,
+        "expected one batched read per chunk ({chunks}) plus one lift \
+         probe per front point ({lifts}), for {points} points"
+    );
+    assert!(
+        cache.reads() < points as u64,
+        "reads must not scale per-point"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cross_space_points_share_entries() {
     // tiny() is a subset of fast_default(): a fast-space sweep must
     // pre-populate every tiny-space point.

@@ -1,0 +1,353 @@
+//! Differential tests of the incremental (delta) evaluation engine.
+//!
+//! The headline guarantee of [`tta_core::explore::EvalMode`]: `Delta`
+//! is **bit-identical** to `Scratch` — objectives, Pareto front,
+//! blocked accounting, cache addresses, even the flushed cache file —
+//! across spaces, strategies, seeds, lift modes, cycle sources and test
+//! models. These tests enforce it on exact `f64` bit patterns, plus the
+//! memo-arena staleness guarantees: a primed (deliberately wrong)
+//! record is served while the database fingerprint matches, and never
+//! survives a fingerprint change.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tta_arch::template::TemplateSpace;
+use tta_arch::Architecture;
+use tta_atpg::AtpgConfig;
+use tta_core::explore::{CycleSource, EvalMode, Exploration, ExploreResult, LiftMode};
+use tta_core::models::{AnnotatedAreaModel, AreaModel, InterconnectModel, ScanTestCostModel};
+use tta_core::search::{Exhaustive, HillClimb, RandomSample};
+use tta_core::{ComponentDb, ComponentKey, DeltaEvaluator, SweepCache};
+use tta_dft::march::MarchAlgorithm;
+use tta_workloads::suite;
+
+/// One shared annotation database so the many sweeps below pay for the
+/// 8-bit component library once.
+fn db() -> &'static ComponentDb {
+    static DB: OnceLock<ComponentDb> = OnceLock::new();
+    DB.get_or_init(ComponentDb::new)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ttadse-delta-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bit-exact comparison of two exploration results, including the front
+/// and the per-workload feasibility blame.
+fn assert_bit_identical(a: &ExploreResult, b: &ExploreResult) {
+    assert_eq!(a.evaluated.len(), b.evaluated.len());
+    assert_eq!(a.infeasible, b.infeasible);
+    assert_eq!(a.pareto, b.pareto);
+    assert_eq!(a.blocked, b.blocked);
+    for (x, y) in a.evaluated.iter().zip(&b.evaluated) {
+        assert_eq!(x.architecture.name, y.architecture.name);
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.workload_cycles, y.workload_cycles);
+        assert_eq!(x.spills, y.spills);
+        assert_eq!(x.objectives.axes(), y.objectives.axes());
+        let xb: Vec<u64> = x.objectives.values().iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.objectives.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "objective bits differ for {}", x.architecture.name);
+    }
+}
+
+/// Builds the sweep both ways and checks bit-identity.
+fn assert_modes_agree(build: impl Fn(EvalMode) -> Exploration<'static>) {
+    let scratch = build(EvalMode::Scratch).run();
+    let delta = build(EvalMode::Delta).run();
+    assert_bit_identical(&scratch, &delta);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Delta == scratch, bit for bit, over random strategies, seeds,
+    /// budgets, lift modes and threading.
+    #[test]
+    fn delta_equals_scratch_across_strategies(
+        strategy in 0usize..4,
+        seed in 0u64..1000,
+        budget in 4usize..24,
+        full_lift in proptest::bool::ANY,
+        parallel in proptest::bool::ANY,
+    ) {
+        let build = move |mode: EvalMode| {
+            let w = suite::crypt(1);
+            let lift = if full_lift { LiftMode::Full } else { LiftMode::ParetoOnly };
+            let e = Exploration::over(TemplateSpace::fast_default())
+                .workload(&w)
+                .with_db(db())
+                .lift(lift)
+                .parallel(parallel)
+                .eval_mode(mode)
+                .seed(seed);
+            match strategy {
+                0 => e.strategy(Exhaustive),
+                1 => e.strategy(Exhaustive::neighbour()),
+                2 => e.strategy(RandomSample).budget(budget),
+                _ => e.strategy(HillClimb::default()).budget(budget),
+            }
+        };
+        let scratch = build(EvalMode::Scratch).run();
+        let delta = build(EvalMode::Delta).run();
+        assert_bit_identical(&scratch, &delta);
+    }
+}
+
+#[test]
+fn delta_equals_scratch_on_weighted_suites_and_simulated_cycles() {
+    let a = suite::crypt(1);
+    let b = suite::checksum32();
+    assert_modes_agree(|mode| {
+        Exploration::over(TemplateSpace::tiny())
+            .workload_weighted(&a, 2.5)
+            .workload_weighted(&b, 0.5)
+            .with_db(db())
+            .cycle_source(CycleSource::Simulate)
+            .eval_mode(mode)
+    });
+}
+
+#[test]
+fn delta_equals_scratch_under_a_custom_test_model() {
+    // ScanTestCostModel is a *custom* model slot: the delta path must
+    // leave it untouched (only defaults are wrapped) and still match
+    // scratch bit-for-bit on the remaining default axes.
+    assert_modes_agree(|mode| {
+        let w = suite::crypt(1);
+        Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(db())
+            .test_cost_model(ScanTestCostModel::with_chains(2))
+            .lift(LiftMode::Full)
+            .eval_mode(mode)
+    });
+}
+
+/// The two modes share one cache namespace: same addresses, same
+/// entries, byte-identical flushed files — and a warm delta run answers
+/// entirely from a scratch run's cache (and vice versa).
+#[test]
+fn delta_and_scratch_share_byte_identical_cache_files() {
+    let w = suite::crypt(1);
+    let run = |mode: EvalMode, cache: &SweepCache| {
+        Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(db())
+            .cache(cache)
+            .eval_mode(mode)
+            .run()
+    };
+    let dir_s = tmpdir("scratch");
+    let dir_d = tmpdir("delta");
+    let cache_s = SweepCache::open(&dir_s).expect("temp dir is writable");
+    let cache_d = SweepCache::open(&dir_d).expect("temp dir is writable");
+    let scratch = run(EvalMode::Scratch, &cache_s);
+    let delta = run(EvalMode::Delta, &cache_d);
+    assert_bit_identical(&scratch, &delta);
+    let file_s = fs::read(cache_s.path()).expect("scratch cache flushed");
+    let file_d = fs::read(cache_d.path()).expect("delta cache flushed");
+    assert_eq!(file_s, file_d, "cache files must be byte-identical");
+
+    // Cross-warm: delta over the scratch-written cache hits everything.
+    let warm = SweepCache::open(&dir_s).expect("reopen");
+    let replay = run(EvalMode::Delta, &warm);
+    assert_eq!(warm.misses(), 0, "warm delta run must not evaluate");
+    assert!(warm.hits() > 0);
+    assert_bit_identical(&scratch, &replay);
+    let _ = fs::remove_dir_all(&dir_s);
+    let _ = fs::remove_dir_all(&dir_d);
+}
+
+/// An interrupted (budgeted) delta run resumed over the same cache
+/// finishes bit-identical to an uninterrupted scratch sweep.
+#[test]
+fn resumed_delta_run_matches_uninterrupted_scratch() {
+    let w = suite::crypt(1);
+    let dir = tmpdir("resume");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let space = TemplateSpace::fast_default();
+    let half = space.len() / 2;
+    Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .eval_mode(EvalMode::Delta)
+        .budget(half)
+        .run();
+    let resumed = Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .eval_mode(EvalMode::Delta)
+        .run();
+    let oracle = Exploration::over(space)
+        .workload(&w)
+        .with_db(db())
+        .eval_mode(EvalMode::Scratch)
+        .run();
+    assert_bit_identical(&resumed, &oracle);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Neighbour-order evaluation visits the same points with the same
+/// per-point results and writes a byte-identical cache file — only the
+/// visit order (and hence result indices) differs.
+#[test]
+fn neighbour_walk_matches_enumeration_order_point_for_point() {
+    let w = suite::crypt(1);
+    let run = |neighbour: bool, cache: &SweepCache| {
+        let e = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(db())
+            .cache(cache);
+        if neighbour {
+            e.strategy(Exhaustive::neighbour()).run()
+        } else {
+            e.strategy(Exhaustive).run()
+        }
+    };
+    let dir_e = tmpdir("enum-order");
+    let dir_n = tmpdir("gray-order");
+    let cache_e = SweepCache::open(&dir_e).expect("temp dir is writable");
+    let cache_n = SweepCache::open(&dir_n).expect("temp dir is writable");
+    let plain = run(false, &cache_e);
+    let gray = run(true, &cache_n);
+
+    assert_eq!(plain.evaluated.len(), gray.evaluated.len());
+    assert_eq!(plain.infeasible, gray.infeasible);
+    // Same per-point bits, matched by architecture name.
+    let by_name = |r: &ExploreResult| {
+        let mut v: Vec<(String, Vec<u64>)> = r
+            .evaluated
+            .iter()
+            .map(|e| {
+                (
+                    e.architecture.name.clone(),
+                    e.objectives.values().iter().map(|x| x.to_bits()).collect(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(by_name(&plain), by_name(&gray));
+    // Same front, as a set of architectures.
+    let front_names = |r: &ExploreResult| {
+        let mut v: Vec<String> = r
+            .pareto
+            .iter()
+            .map(|&i| r.evaluated[i].architecture.name.clone())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(front_names(&plain), front_names(&gray));
+    // Same cache namespace (salt None) ⇒ byte-identical files.
+    assert_eq!(
+        fs::read(cache_e.path()).expect("flushed"),
+        fs::read(cache_n.path()).expect("flushed"),
+        "visit order must not leak into cache addresses"
+    );
+    let _ = fs::remove_dir_all(&dir_e);
+    let _ = fs::remove_dir_all(&dir_n);
+}
+
+/// Memoization is real: a deliberately wrong record primed under the
+/// *matching* database fingerprint is served instead of the database's
+/// own record.
+#[test]
+fn primed_record_is_served_while_the_guard_matches() {
+    let db = ComponentDb::new();
+    let ic = InterconnectModel::paper();
+    let eval = DeltaEvaluator::new(ic);
+    let arch = TemplateSpace::tiny().point(0);
+    let honest = eval.area(&arch, &db);
+    assert_eq!(
+        honest.to_bits(),
+        AnnotatedAreaModel::new(ic).area(&arch, &db).to_bits()
+    );
+
+    let key = ComponentKey::Alu(8);
+    let mut poisoned = (*db.get(key)).clone();
+    poisoned.area += 1_000_000.0;
+    eval.prime(db.fingerprint(), key, poisoned);
+    let skewed = eval.area(&arch, &db);
+    assert!(
+        skewed > honest + 500_000.0,
+        "the primed record must be served: {skewed} vs {honest}"
+    );
+}
+
+/// Invalidation is real: the same poison never survives a database
+/// fingerprint change — the arena is evicted wholesale and the result
+/// is bit-identical to a scratch evaluation against the new database.
+#[test]
+fn stale_arena_is_evicted_on_a_database_fingerprint_change() {
+    let db_sweep = ComponentDb::new();
+    // Different ATPG profile ⇒ different engine fingerprint.
+    let db_deep = ComponentDb::with_engines(AtpgConfig::default(), MarchAlgorithm::march_cminus());
+    assert_ne!(db_sweep.fingerprint(), db_deep.fingerprint());
+
+    let ic = InterconnectModel::paper();
+    let eval = DeltaEvaluator::new(ic);
+    let arch = TemplateSpace::tiny().point(0);
+    let key = ComponentKey::Alu(8);
+    let mut poisoned = (*db_sweep.get(key)).clone();
+    poisoned.area += 1_000_000.0;
+    eval.prime(db_sweep.fingerprint(), key, poisoned);
+    assert!(eval.cached(key).is_some(), "poison installed");
+
+    // Evaluating against the *other* database must evict the arena and
+    // never serve the stale record.
+    let fresh = eval.area(&arch, &db_deep);
+    assert_eq!(
+        fresh.to_bits(),
+        AnnotatedAreaModel::new(ic).area(&arch, &db_deep).to_bits(),
+        "stale cached entry must not survive the guard change"
+    );
+    let survivor = eval.cached(key).expect("re-memoized from db_deep");
+    assert_eq!(survivor.area.to_bits(), db_deep.get(key).area.to_bits());
+}
+
+/// Custom (even unfingerprintable) models are never wrapped by the
+/// delta path: under `EvalMode::Delta` they are called exactly as often
+/// as under `Scratch`, with no memoization in between.
+#[test]
+fn custom_models_bypass_the_delta_path() {
+    static CALLS: AtomicUsize = AtomicUsize::new(0);
+    struct CountingArea;
+    impl AreaModel for CountingArea {
+        fn area(&self, _: &Architecture, _: &ComponentDb) -> f64 {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            42.0
+        }
+        // No fingerprint() override: unfingerprintable on purpose.
+    }
+    let w = suite::crypt(1);
+    let run = |mode: EvalMode| {
+        Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .with_db(db())
+            .area_model(CountingArea)
+            .eval_mode(mode)
+            .run()
+    };
+    let before = CALLS.load(Ordering::Relaxed);
+    let scratch = run(EvalMode::Scratch);
+    let scratch_calls = CALLS.load(Ordering::Relaxed) - before;
+    let delta = run(EvalMode::Delta);
+    let delta_calls = CALLS.load(Ordering::Relaxed) - before - scratch_calls;
+    assert_eq!(
+        scratch_calls, delta_calls,
+        "a custom model must be consulted identically in both modes"
+    );
+    assert!(delta_calls > 0);
+    assert_bit_identical(&scratch, &delta);
+}

@@ -309,7 +309,119 @@ impl TemplateSpace {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The point index visited at position `rank` of the *neighbour
+    /// order*: a reflected mixed-radix Gray walk over
+    /// [`TemplateSpace::knob_radices`]. Consecutive ranks differ in
+    /// exactly one knob digit, and that digit moves by exactly ±1 — so a
+    /// sweep in this order changes one architectural parameter per step,
+    /// which is what makes incremental (delta) evaluation profitable.
+    ///
+    /// The walk is a permutation of `0..len()`: every point is visited
+    /// exactly once ([`TemplateSpace::neighbour_rank`] is the inverse).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank >= self.len()`.
+    pub fn neighbour_index(&self, rank: usize) -> usize {
+        assert!(
+            rank < self.len(),
+            "walk rank {rank} out of bounds for a {}-point space",
+            self.len()
+        );
+        let radices = self.knob_radices();
+        // Plain mixed-radix digits of the rank, most significant first.
+        let mut plain = [0usize; 6];
+        let mut rest = rank;
+        for (d, &radix) in plain.iter_mut().zip(&radices).rev() {
+            *d = rest % radix;
+            rest /= radix;
+        }
+        // Reflected mixed-radix Gray construction: digit `i` scans
+        // upwards on even passes and downwards on odd ones, where the
+        // pass count is the mixed-radix *value* of the more-significant
+        // plain digits (not their sum — those differ once an even radix
+        // sits between two digits). Each carry then flips the scan
+        // direction of exactly the digits it resets, so consecutive
+        // ranks differ in one digit, by ±1.
+        let mut gray = [0usize; 6];
+        let mut passes = 0usize;
+        for i in 0..6 {
+            gray[i] = if passes.is_multiple_of(2) {
+                plain[i]
+            } else {
+                radices[i] - 1 - plain[i]
+            };
+            passes = passes * radices[i] + plain[i];
+        }
+        self.index_of(gray)
+    }
+
+    /// The walk position at which [`TemplateSpace::neighbour_index`]
+    /// visits `index` — the inverse permutation. Search strategies use it
+    /// to re-order an arbitrary batch of points into neighbour order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn neighbour_rank(&self, index: usize) -> usize {
+        let radices = self.knob_radices();
+        let gray = self.coords(index);
+        // Undo the reflection: the pass count deciding digit `i` is the
+        // value of the already-recovered plain digits `0..i`, which is
+        // exactly the running rank.
+        let mut rank = 0usize;
+        for i in 0..6 {
+            let plain = if rank.is_multiple_of(2) {
+                gray[i]
+            } else {
+                radices[i] - 1 - gray[i]
+            };
+            rank = rank * radices[i] + plain;
+        }
+        rank
+    }
+
+    /// Iterates the point indices of the space in neighbour (Gray-walk)
+    /// order — see [`TemplateSpace::neighbour_index`]. The iterator is
+    /// [`ExactSizeIterator`] and yields each index exactly once.
+    pub fn neighbour_order(&self) -> NeighbourOrder<'_> {
+        NeighbourOrder {
+            space: self,
+            next: 0,
+            end: self.len(),
+        }
+    }
 }
+
+/// Iterator over point indices in neighbour (Gray-walk) order, returned
+/// by [`TemplateSpace::neighbour_order`].
+#[derive(Debug, Clone)]
+pub struct NeighbourOrder<'a> {
+    space: &'a TemplateSpace,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for NeighbourOrder<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.end {
+            return None;
+        }
+        let index = self.space.neighbour_index(self.next);
+        self.next += 1;
+        Some(index)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.end - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for NeighbourOrder<'_> {}
 
 /// Lazy iterator over a [`TemplateSpace`], returned by
 /// [`TemplateSpace::points`]. Yields architectures in enumeration order
@@ -415,6 +527,38 @@ mod tests {
             .rf(4, 1, 1)
             .build();
         assert_eq!(crate::timing::transport_cycles(&b.fus[0]), 3);
+    }
+
+    #[test]
+    fn neighbour_order_is_a_permutation() {
+        for space in [
+            TemplateSpace::paper_default(),
+            TemplateSpace::fast_default(),
+            TemplateSpace::tiny(),
+        ] {
+            let walk: Vec<usize> = space.neighbour_order().collect();
+            assert_eq!(space.neighbour_order().len(), space.len());
+            let mut sorted = walk.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..space.len()).collect::<Vec<_>>());
+            for (rank, &index) in walk.iter().enumerate() {
+                assert_eq!(space.neighbour_rank(index), rank, "inverse at {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbour_order_steps_one_knob_by_one() {
+        let space = TemplateSpace::paper_default();
+        let walk: Vec<usize> = space.neighbour_order().collect();
+        for pair in walk.windows(2) {
+            let a = space.coords(pair[0]);
+            let b = space.coords(pair[1]);
+            let diffs: Vec<usize> = (0..6).filter(|&k| a[k] != b[k]).collect();
+            assert_eq!(diffs.len(), 1, "{a:?} -> {b:?}");
+            let k = diffs[0];
+            assert_eq!(a[k].abs_diff(b[k]), 1, "knob {k}: {a:?} -> {b:?}");
+        }
     }
 
     #[test]
