@@ -58,5 +58,63 @@ fn bench_front_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pareto, bench_front_construction);
+/// The archive's insert-time dominance check at scale: 10⁵ streamed
+/// candidates against a deliberately *large* standing front (1 000
+/// mutually non-dominating members), where almost every offer is a
+/// rejection. Without the cached-dominator early exit each rejection
+/// re-scans the front until it happens to hit a dominator; with it,
+/// consecutive rejections sharing a dominator cost O(1). The random
+/// cloud keeps a tiny front and measures the mixed accept/reject path
+/// for contrast.
+fn bench_archive_100k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive100k");
+    group.sample_size(10);
+    const FRONT: usize = 1_000;
+    const OFFERS: usize = 100_000;
+    // A staircase front: (i, FRONT - i) is mutually non-dominating.
+    let front: Vec<Vec<f64>> = (0..FRONT)
+        .map(|i| vec![i as f64, (FRONT - i) as f64])
+        .collect();
+    // Dominated candidates sweeping the staircase region by region —
+    // the walk-order streaming shape where one member rejects runs of
+    // consecutive offers (a Gray walk changes one knob at a time, so
+    // neighbouring evaluations land near the same front member).
+    let mut rng = StdRng::seed_from_u64(7);
+    let dominated: Vec<Vec<f64>> = (0..OFFERS)
+        .map(|offer| {
+            let i = (offer * FRONT / OFFERS) as f64;
+            vec![i + 1.0 + rng.random::<f64>(), (FRONT as f64 - i) + 1.0]
+        })
+        .collect();
+    group.bench_function("dominated_stream", |b| {
+        b.iter(|| {
+            let mut archive = ParetoArchive::new();
+            for (i, p) in front.iter().enumerate() {
+                archive.try_insert(i, p);
+            }
+            for (i, p) in dominated.iter().enumerate() {
+                archive.try_insert(FRONT + i, p);
+            }
+            black_box(archive.len())
+        })
+    });
+    let cloud = clouds(OFFERS, 2);
+    group.bench_function("random_stream", |b| {
+        b.iter(|| {
+            let mut archive = ParetoArchive::new();
+            for (i, p) in cloud.iter().enumerate() {
+                archive.try_insert(i, p);
+            }
+            black_box(archive.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pareto,
+    bench_front_construction,
+    bench_archive_100k
+);
 criterion_main!(benches);

@@ -15,11 +15,16 @@
 //! sweep here is cold-cache by construction (no `SweepCache` attached)
 //! but shares one warmed `ComponentDb`, as a real campaign would.
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use tta_arch::template::TemplateSpace;
 use tta_core::explore::{EvalMode, Exploration};
-use tta_core::ComponentDb;
+use tta_core::models::{
+    AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
+    TestCostModel, TimingModel,
+};
+use tta_core::{CarriedFolds, ComponentDb, DeltaEvaluator};
 use tta_workloads::suite;
 
 struct SweepRow {
@@ -28,6 +33,109 @@ struct SweepRow {
     front: usize,
     scratch_s: f64,
     delta_s: f64,
+}
+
+struct FoldRow {
+    space: &'static str,
+    points: usize,
+    walked: usize,
+    scratch_s: f64,
+    delta_s: f64,
+    incremental_s: f64,
+}
+
+/// Times the three-axis cost fold alone — area, clock period, eq. (14)
+/// test total — over a budgeted Gray-walk prefix, with scheduling and
+/// architecture construction excluded equally for every engine:
+/// `scratch` re-derives each component record through the annotation
+/// database at every point, `delta` answers record lookups from the
+/// memo arena but still refolds every point, and `incremental` carries
+/// the previous point's folds and exchanges only the one changed
+/// component ([`CarriedFolds::advance`]). This isolates the per-point
+/// evaluation cost the carried-fold engine optimises; the full-sweep
+/// rows above stay scheduler-dominated by design.
+fn time_fold_axis(
+    space: &'static str,
+    template: TemplateSpace,
+    walked: usize,
+    db: &ComponentDb,
+    iters: usize,
+) -> FoldRow {
+    let walked = walked.min(template.len());
+    eprintln!(
+        "fold axis over {space} space ({walked} of {} points)...",
+        template.len()
+    );
+    let archs: Vec<_> = template
+        .neighbour_order()
+        .take(walked)
+        .map(|i| template.point(i))
+        .collect();
+    let ic = InterconnectModel::paper();
+    let area = AnnotatedAreaModel::new(ic);
+    let timing = AnnotatedTimingModel::new(ic);
+    let eval = DeltaEvaluator::new(ic);
+
+    // Untimed verification pass (it also warms the memo arena): the
+    // three engines must agree on exact bits before clocks compare.
+    let mut carry = CarriedFolds::new(ic);
+    for (rank, arch) in archs.iter().enumerate() {
+        let inc = carry.advance(arch, rank, &eval, db);
+        assert_eq!(inc.area.to_bits(), area.area(arch, db).to_bits());
+        assert_eq!(
+            inc.clock_period.to_bits(),
+            timing.clock_period(arch, db).to_bits()
+        );
+        assert_eq!(
+            inc.test_total.to_bits(),
+            Eq14TestCostModel.test_cost(arch, db).total.to_bits()
+        );
+    }
+
+    let best_of = |f: &mut dyn FnMut() -> f64| {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let scratch_s = best_of(&mut || {
+        archs
+            .iter()
+            .map(|a| {
+                area.area(a, db)
+                    + timing.clock_period(a, db)
+                    + Eq14TestCostModel.test_cost(a, db).total
+            })
+            .sum()
+    });
+    let delta_s = best_of(&mut || {
+        archs
+            .iter()
+            .map(|a| eval.area(a, db) + eval.clock_period(a, db) + eval.test_cost(a, db).total)
+            .sum()
+    });
+    let incremental_s = best_of(&mut || {
+        let mut carry = CarriedFolds::new(ic);
+        archs
+            .iter()
+            .enumerate()
+            .map(|(rank, a)| {
+                let c = carry.advance(a, rank, &eval, db);
+                c.area + c.clock_period + c.test_total
+            })
+            .sum()
+    });
+    FoldRow {
+        space,
+        points: template.len(),
+        walked,
+        scratch_s,
+        delta_s,
+        incremental_s,
+    }
 }
 
 /// Best-of-`iters` wall-clock for one cold sweep in `mode`.
@@ -130,8 +238,41 @@ fn main() {
     if keep("paper") {
         rows.push(measure("paper", TemplateSpace::paper_default(), &db, iters));
     }
-    if rows.is_empty() {
-        eprintln!("--space matched nothing (expected fast or paper)");
+    // Fold-axis rows: per-point cost evaluation alone, scratch vs delta
+    // vs true incremental (carried folds). The huge row is the first
+    // budgeted sweep of the 2^20-point hierarchical space — walking the
+    // whole space is deliberately out of reach; a 4096-point Gray
+    // prefix is what a budgeted campaign actually evaluates.
+    let mut fold_rows = Vec::new();
+    if keep("fast") {
+        fold_rows.push(time_fold_axis(
+            "fast",
+            TemplateSpace::fast_default(),
+            usize::MAX,
+            &db,
+            iters,
+        ));
+    }
+    if keep("paper") {
+        fold_rows.push(time_fold_axis(
+            "paper",
+            TemplateSpace::paper_default(),
+            usize::MAX,
+            &db,
+            iters,
+        ));
+    }
+    if keep("huge") {
+        fold_rows.push(time_fold_axis(
+            "huge",
+            TemplateSpace::huge(),
+            4096,
+            &db,
+            iters,
+        ));
+    }
+    if rows.is_empty() && fold_rows.is_empty() {
+        eprintln!("--space matched nothing (expected fast, paper or huge)");
         std::process::exit(2);
     }
 
@@ -151,7 +292,13 @@ fn main() {
          the arena's is in the noise. The historical speedup lives upstream (annotation-side \
          ATPG batching took the cold paper sweep from tens of seconds to under one, the `cold` \
          row below); delta earns its keep as the differential-tested memo layer with O(1) \
-         guarded invalidation, and these rows exist to catch either engine regressing.\","
+         guarded invalidation, and these rows exist to catch either engine regressing. The \
+         fold_axis rows isolate per-point cost evaluation over a Gray-walk prefix — scratch \
+         refolds every component through the database, delta refolds through the memo arena, \
+         incremental carries the previous point's folds and exchanges the single changed \
+         component (CarriedFolds::advance; bit-identity asserted in an untimed pass) — the \
+         huge row is the budgeted 2^20-point hierarchical-space sweep where the carried fold \
+         pays off.\","
     );
     println!("  \"sweeps\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -165,6 +312,22 @@ fn main() {
             r.scratch_s,
             r.delta_s,
             r.delta_s / r.scratch_s
+        );
+    }
+    println!("  ],");
+    println!("  \"fold_axis\": [");
+    for (i, r) in fold_rows.iter().enumerate() {
+        let comma = if i + 1 < fold_rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"space\": \"{}\", \"points\": {}, \"walked\": {}, \"scratch_s\": {:.6}, \
+             \"delta_s\": {:.6}, \"incremental_s\": {:.6}, \"scratch_over_incremental\": {:.1} }}{comma}",
+            r.space,
+            r.points,
+            r.walked,
+            r.scratch_s,
+            r.delta_s,
+            r.incremental_s,
+            r.scratch_s / r.incremental_s
         );
     }
     println!("  ],");

@@ -294,8 +294,9 @@ fn space_of(o: &ExploreOpts) -> Result<TemplateSpace, CliError> {
         "paper" => Ok(TemplateSpace::paper_default()),
         "fast" => Ok(TemplateSpace::fast_default()),
         "tiny" => Ok(TemplateSpace::tiny()),
+        "huge" => Ok(TemplateSpace::huge()),
         other => Err(CliError::usage(format!(
-            "unknown --space {other:?} (expected paper, fast or tiny)"
+            "unknown --space {other:?} (expected paper, fast, tiny or huge)"
         ))),
     }
 }
@@ -472,7 +473,11 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
         // `--cycles` and `--eval` are deliberately NOT echoed in any
         // output format: CI `cmp`s a model run against a simulate run
         // (and a delta run against a scratch run) to assert each engine
-        // reproduces its oracle byte-identically.
+        // reproduces its oracle byte-identically. The one sanctioned
+        // exception is the `search.delta` fold-carry object (and its
+        // table footer line), present only under the delta engine —
+        // those `cmp`s strip it first. Arena counters stay off stdout
+        // entirely: they depend on thread interleaving.
         .cycle_source(o.cycle_source)
         .eval_mode(o.common.eval)
         .parallel(o.parallel);
@@ -499,6 +504,16 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
     }
     let result = e.run();
     render_explore(&result, o.test_model, o.common.format, out)?;
+    if let Some(d) = &result.delta {
+        // Arena traffic is observability-only (counts vary with thread
+        // interleaving under --parallel), so it goes to stderr with the
+        // cache accounting rather than into the deterministic stdout.
+        writeln!(
+            err,
+            "delta engine: {} fold carries, {} scratch refolds; memo arena {} hits, {} misses, {} evictions",
+            d.fold_carries, d.scratch_fallbacks, d.arena_hits, d.arena_misses, d.arena_evictions
+        )?;
+    }
     warn_cache_status(&result, err)?;
     cache_report(&cache, err)
 }
@@ -564,6 +579,13 @@ fn render_explore(
             if let Some(best) = best {
                 writeln!(out, "selected (equal-weight Euclid): {}", best.architecture)?;
             }
+            if let Some(d) = &result.delta {
+                writeln!(
+                    out,
+                    "delta engine: {} fold carries, {} scratch refolds",
+                    d.fold_carries, d.scratch_fallbacks
+                )?;
+            }
         }
         Format::Json => {
             let mut front = result.pareto_points();
@@ -573,9 +595,8 @@ fn render_explore(
                 ("command", json::string("explore")),
                 ("lift", json::string(result.lift.label())),
                 ("test_model", json::string(test_model.label())),
-                (
-                    "search",
-                    json::object([
+                ("search", {
+                    let mut fields = vec![
                         ("strategy", json::string(&s.strategy)),
                         (
                             "budget",
@@ -585,8 +606,22 @@ fn render_explore(
                         ("seed", s.seed.map_or_else(|| "null".into(), json::int)),
                         ("space_points", json::int(s.space_len as u64)),
                         ("evaluations", json::int(s.evaluations as u64)),
-                    ]),
-                ),
+                    ];
+                    // Fold-carry accounting for the incremental engine —
+                    // deterministic per run (it is computed in a serial
+                    // pre-pass), absent under `--eval scratch`. The
+                    // scratch-vs-delta byte-identity checks strip it.
+                    if let Some(d) = &result.delta {
+                        fields.push((
+                            "delta",
+                            json::object([
+                                ("fold_carries", json::int(d.fold_carries)),
+                                ("scratch_fallbacks", json::int(d.scratch_fallbacks)),
+                            ]),
+                        ));
+                    }
+                    json::object(fields)
+                }),
                 (
                     "workloads",
                     json::array(result.workload_breakdown().iter().map(|b| {

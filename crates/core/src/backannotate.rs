@@ -14,7 +14,7 @@
 //! read-mostly database.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use tta_arch::{FuKind, RfInstance};
 use tta_atpg::{Atpg, AtpgConfig};
@@ -169,6 +169,11 @@ pub struct ComponentDb {
     atpg: Atpg,
     march: MarchAlgorithm,
     cache: RwLock<HashMap<ComponentKey, Arc<ComponentRecord>>>,
+    /// Memoized [`ComponentDb::fingerprint`]: the engines are fixed at
+    /// construction, and the incremental engine validates the
+    /// fingerprint once per evaluated point — formatting the engine
+    /// configs on every check would dominate a carried fold.
+    fingerprint: OnceLock<u64>,
 }
 
 impl Default for ComponentDb {
@@ -187,6 +192,7 @@ impl ComponentDb {
             atpg: Atpg::new(AtpgConfig::sweep()),
             march: MarchAlgorithm::march_cminus(),
             cache: RwLock::new(HashMap::new()),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -196,6 +202,7 @@ impl ComponentDb {
             atpg: Atpg::new(atpg_config),
             march,
             cache: RwLock::new(HashMap::new()),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -211,11 +218,13 @@ impl ComponentDb {
     /// records themselves are excluded: they are a pure function of the
     /// engines and the key.
     pub fn fingerprint(&self) -> u64 {
-        crate::cache::Fingerprint::new()
-            .str("component-db")
-            .str(&format!("{:?}", self.atpg))
-            .str(&format!("{:?}", self.march))
-            .finish()
+        *self.fingerprint.get_or_init(|| {
+            crate::cache::Fingerprint::new()
+                .str("component-db")
+                .str(&format!("{:?}", self.atpg))
+                .str(&format!("{:?}", self.march))
+                .finish()
+        })
     }
 
     /// Fetches (computing and caching on first use) the record for `key`.

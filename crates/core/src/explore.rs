@@ -111,7 +111,10 @@ use crate::cache::{
     arch_fingerprint, workload_fingerprint, EvalEntry, Fingerprint, SweepCache,
     CACHE_ADDRESS_VERSION,
 };
-use crate::delta::{DeltaAreaModel, DeltaEvaluator, DeltaTestCostModel, DeltaTimingModel};
+use crate::delta::{
+    CarriedFolds, DeltaAreaModel, DeltaEvaluator, DeltaStats, DeltaTestCostModel, DeltaTimingModel,
+    PointCosts,
+};
 use crate::models::{
     keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
     InterconnectModel, TestCostModel, TimingModel,
@@ -517,6 +520,15 @@ pub struct ExploreResult {
     /// Whether the attached persistent cache (if any) saved its
     /// entries; see [`CacheStatus`].
     pub cache_status: CacheStatus,
+    /// Incremental-engine counters ([`DeltaStats`]): `Some` exactly
+    /// when the sweep ran under [`EvalMode::Delta`]. Fold carries are
+    /// non-zero only for strategies that request the Gray-code
+    /// neighbour walk with all three default cost models in effect;
+    /// arena counters cover every memoized record fetch. The counters
+    /// are observability, never part of the bit-identity contract —
+    /// a parallel sweep may count arena traffic differently from a
+    /// serial one while producing identical objectives.
+    pub delta: Option<DeltaStats>,
 }
 
 /// Per-workload slice of an exploration — one row of
@@ -948,7 +960,11 @@ impl<'db> Exploration<'db> {
         // pre-warm when at least one default (db-backed) model is in
         // effect.
         let uses_db_defaults = self.area.is_none() || self.timing.is_none() || self.test.is_none();
-        let (area, timing, test) = self.resolve_models();
+        // The carried-fold fast path substitutes *all three* axes at
+        // once, so it engages only when every model slot is a default.
+        let all_defaults = self.area.is_none() && self.timing.is_none() && self.test.is_none();
+        let interconnect = self.interconnect;
+        let (area, timing, test, delta_eval) = self.resolve_models();
         let owned_db;
         let db: &ComponentDb = match self.db {
             Some(db) => db,
@@ -964,6 +980,19 @@ impl<'db> Exploration<'db> {
         let strategy_salt = strategy.cache_salt();
         let budget = self.budget.unwrap_or(usize::MAX);
         let seed = self.seed.unwrap_or(0);
+        // True incremental evaluation: under the delta engine, default
+        // models and a strategy that asks for the Gray-code neighbour
+        // walk, a serial pre-pass advances per-point cost folds by
+        // retracting/applying only the one changed component — O(1)
+        // arithmetic per walk step instead of a full refold. Results
+        // are bit-identical to the scratch models (CarriedFolds'
+        // contract); everything else falls back to per-point folds.
+        let mut carry: Option<(CarriedFolds, Arc<DeltaEvaluator>)> = match &delta_eval {
+            Some(eval) if all_defaults && strategy.walk_order() == WalkOrder::Neighbour => {
+                Some((CarriedFolds::new(interconnect), Arc::clone(eval)))
+            }
+            _ => None,
+        };
 
         // Content-address bases for the persistent cache: everything
         // that determines a point's result except the point itself.
@@ -1149,19 +1178,55 @@ impl<'db> Exploration<'db> {
                     });
                 }
 
+                // Stage ½ (serial): advance the carried folds across
+                // the chunk, one Gray-walk step per cache-missing
+                // point. The pre-pass is serial by construction (the
+                // carry is a running accumulator), but it only performs
+                // O(1) retract/apply arithmetic per step — the
+                // expensive work (scheduling) stays parallel below.
+                // Answered-from-cache points skip their walk step, so
+                // they reset the carry instead of advancing it.
+                let staged: Vec<Option<PointCosts>> = match carry.as_mut() {
+                    None => vec![None; archs.len()],
+                    Some((carry, eval)) => index_chunk
+                        .iter()
+                        .zip(&archs)
+                        .map(|(&index, arch)| {
+                            let cached = match &eval_cache {
+                                Some((cache, base)) => match lift {
+                                    LiftMode::ParetoOnly => {
+                                        cache.contains_eval(point_key(*base, arch))
+                                    }
+                                    LiftMode::Full => cache.contains_eval_with_test(
+                                        point_key(*base, arch),
+                                        full_test_fp,
+                                    ),
+                                },
+                                None => false,
+                            };
+                            if cached {
+                                carry.reset();
+                                None
+                            } else {
+                                Some(carry.advance(arch, space.neighbour_rank(index), eval, db))
+                            }
+                        })
+                        .collect(),
+                };
+                let staged = &staged;
+
                 // Stage 1: evaluate the chunk on the full workload
                 // suite — answering from the cache where possible and
                 // persisting fresh results chunk by chunk, so an
                 // interrupted run resumes from the last completed
                 // chunk.
                 let evaluations: Vec<PointOutcome> = match &eval_cache {
-                    None => par_map(&archs, threads, |_, arch| match lift {
+                    None => par_map(&archs, threads, |k, arch| match lift {
                         LiftMode::ParetoOnly => evaluate_point(
                             arch,
                             workloads,
                             weights,
-                            &*area,
-                            &*timing,
+                            axis_source(staged[k], &*area, &*timing),
                             db,
                             cycle_source,
                         ),
@@ -1170,12 +1235,17 @@ impl<'db> Exploration<'db> {
                                 arch,
                                 workloads,
                                 weights,
-                                &*area,
-                                &*timing,
+                                axis_source(staged[k], &*area, &*timing),
                                 db,
                                 cycle_source,
                             ) {
-                                Ok(e) => finish_full(e, test.test_cost(arch, db).total),
+                                Ok(e) => {
+                                    let total = match staged[k] {
+                                        Some(s) => s.test_total,
+                                        None => test.test_cost(arch, db).total,
+                                    };
+                                    finish_full(e, total)
+                                }
                                 Err(why) => Err(why),
                             }
                         }
@@ -1208,8 +1278,7 @@ impl<'db> Exploration<'db> {
                                         arch,
                                         workloads,
                                         weights,
-                                        &*area,
-                                        &*timing,
+                                        axis_source(staged[k], &*area, &*timing),
                                         db,
                                         cycle_source,
                                     );
@@ -1234,7 +1303,10 @@ impl<'db> Exploration<'db> {
                                         // the upgraded entry is stored
                                         // back.
                                         Some(FullRehydration::NeedsTest(e)) => {
-                                            let total = test.test_cost(arch, db).total;
+                                            let total = match staged[k] {
+                                                Some(s) => s.test_total,
+                                                None => test.test_cost(arch, db).total,
+                                            };
                                             cache.store_eval(
                                                 key,
                                                 dehydrate_feasible(
@@ -1250,8 +1322,7 @@ impl<'db> Exploration<'db> {
                                         arch,
                                         workloads,
                                         weights,
-                                        &*area,
-                                        &*timing,
+                                        axis_source(staged[k], &*area, &*timing),
                                         db,
                                         cycle_source,
                                     ) {
@@ -1260,7 +1331,10 @@ impl<'db> Exploration<'db> {
                                             Err(why)
                                         }
                                         Ok(e) => {
-                                            let total = test.test_cost(arch, db).total;
+                                            let total = match staged[k] {
+                                                Some(s) => s.test_total,
+                                                None => test.test_cost(arch, db).total,
+                                            };
                                             cache.store_eval(
                                                 key,
                                                 dehydrate_feasible(
@@ -1387,6 +1461,19 @@ impl<'db> Exploration<'db> {
             }
         }
 
+        let delta = delta_eval.map(|eval| {
+            let (fold_carries, scratch_fallbacks) =
+                carry.as_ref().map_or((0, 0), |(c, _)| c.stats());
+            let (arena_hits, arena_misses, arena_evictions) = eval.arena_counters();
+            DeltaStats {
+                fold_carries,
+                scratch_fallbacks,
+                arena_hits,
+                arena_misses,
+                arena_evictions,
+            }
+        });
+
         let caching_active =
             eval_cache.is_some() || (lift == LiftMode::ParetoOnly && test_cache.is_some());
         let cache_status = if self.cache.is_none() {
@@ -1416,6 +1503,7 @@ impl<'db> Exploration<'db> {
             },
             lift,
             cache_status,
+            delta,
         })
     }
 
@@ -1424,13 +1512,7 @@ impl<'db> Exploration<'db> {
     /// [`EvalMode::Delta`] the default slots get the delta wrappers,
     /// all sharing one memo arena for the run; custom models are never
     /// wrapped (and unfingerprintable ones therefore never memoize).
-    fn resolve_models(
-        &mut self,
-    ) -> (
-        Box<dyn AreaModel>,
-        Box<dyn TimingModel>,
-        Box<dyn TestCostModel>,
-    ) {
+    fn resolve_models(&mut self) -> ResolvedModels {
         let ic = self.interconnect;
         match self.eval_mode {
             EvalMode::Scratch => (
@@ -1443,6 +1525,7 @@ impl<'db> Exploration<'db> {
                 self.test
                     .take()
                     .unwrap_or_else(|| Box::new(Eq14TestCostModel)),
+                None,
             ),
             EvalMode::Delta => {
                 let eval = Arc::new(DeltaEvaluator::new(ic));
@@ -1455,12 +1538,22 @@ impl<'db> Exploration<'db> {
                         .unwrap_or_else(|| Box::new(DeltaTimingModel::new(ic, Arc::clone(&eval)))),
                     self.test
                         .take()
-                        .unwrap_or_else(|| Box::new(DeltaTestCostModel::new(eval))),
+                        .unwrap_or_else(|| Box::new(DeltaTestCostModel::new(Arc::clone(&eval)))),
+                    Some(eval),
                 )
             }
         }
     }
 }
+
+/// The three resolved model slots plus the shared memo arena (present
+/// only under [`EvalMode::Delta`] with default slots to wrap).
+type ResolvedModels = (
+    Box<dyn AreaModel>,
+    Box<dyn TimingModel>,
+    Box<dyn TestCostModel>,
+    Option<Arc<DeltaEvaluator>>,
+);
 
 /// One sweep evaluation: a feasible point, or why the point dropped
 /// (`Err(Some(i))` = suite member `i` failed to schedule first,
@@ -1602,6 +1695,31 @@ fn dehydrate_feasible(e: &EvaluatedArch, test: Option<(u64, u64)>) -> EvalEntry 
     }
 }
 
+/// Where a point's area and clock-period axes come from: the cost
+/// models (scratch or delta fold, both O(components) per point), or an
+/// already-advanced carried fold (the O(1) incremental path). The two
+/// sources are bit-identical by [`CarriedFolds`]' contract.
+#[derive(Clone, Copy)]
+enum AxisSource<'a> {
+    /// Fold the axes through the installed models.
+    Models(&'a dyn AreaModel, &'a dyn TimingModel),
+    /// Use the carried fold's pre-computed axes.
+    Carried(PointCosts),
+}
+
+/// Picks the axis source for one chunk position: the staged carried
+/// fold when the serial pre-pass produced one, the models otherwise.
+fn axis_source<'a>(
+    staged: Option<PointCosts>,
+    area: &'a dyn AreaModel,
+    timing: &'a dyn TimingModel,
+) -> AxisSource<'a> {
+    match staged {
+        Some(costs) => AxisSource::Carried(costs),
+        None => AxisSource::Models(area, timing),
+    }
+}
+
 /// Evaluates one architecture on a workload suite (area + throughput
 /// only; the test axis is lifted later, on front points). Infeasibility
 /// is entirely the models’ verdict: a non-finite area or clock period
@@ -1612,8 +1730,7 @@ fn evaluate_point(
     arch: &Architecture,
     workloads: &[Workload],
     weights: &[f64],
-    area_model: &dyn AreaModel,
-    timing_model: &dyn TimingModel,
+    axes: AxisSource<'_>,
     db: &ComponentDb,
     cycle_source: CycleSource,
 ) -> PointOutcome {
@@ -1633,8 +1750,13 @@ fn evaluate_point(
     }
     let cycles: u64 = workload_cycles.iter().sum();
     let weighted_cycles = weighted_sum(&workload_cycles, weights);
-    let area = area_model.area(arch, db);
-    let clock = timing_model.clock_period(arch, db);
+    let (area, clock) = match axes {
+        AxisSource::Models(area_model, timing_model) => (
+            area_model.area(arch, db),
+            timing_model.clock_period(arch, db),
+        ),
+        AxisSource::Carried(costs) => (costs.area, costs.clock_period),
+    };
     // Exec time must be finite too: a finite-but-extreme weight can
     // overflow the weighted aggregate, and an infinite axis would turn
     // the norm selection into NaN comparisons downstream.
@@ -1698,6 +1820,48 @@ mod tests {
             result.axes(),
             [Objective::Area, Objective::ExecTime, Objective::TestCost]
         );
+    }
+
+    #[test]
+    fn neighbour_walk_carries_folds_and_reports_stats() {
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let walked = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .strategy(crate::search::Exhaustive::neighbour())
+            .run();
+        let stats = walked.delta.as_ref().expect("delta engine reports stats");
+        // A full neighbour walk carries almost every step (fallbacks
+        // happen only at the walk start and out-of-model resets).
+        assert!(stats.fold_carries > 0, "{stats:?}");
+        assert_eq!(
+            stats.fold_carries + stats.scratch_fallbacks,
+            walked.search.evaluations as u64,
+            "every visited point advances the carry exactly once: {stats:?}"
+        );
+        // Enumeration order never requests the walk: stats exist, the
+        // carry never engages.
+        let plain = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .run();
+        let plain_stats = plain.delta.as_ref().expect("delta is the default mode");
+        assert_eq!(plain_stats.fold_carries, 0, "{plain_stats:?}");
+        // Scratch mode has no delta engine at all.
+        let scratch = Exploration::over(TemplateSpace::fast_default())
+            .workload(&w)
+            .with_db(&db)
+            .strategy(crate::search::Exhaustive::neighbour())
+            .eval_mode(EvalMode::Scratch)
+            .run();
+        assert!(scratch.delta.is_none());
+        // And the three runs agree bit-for-bit.
+        for (a, b) in walked.evaluated.iter().zip(&scratch.evaluated) {
+            assert_eq!(a.architecture.name, b.architecture.name);
+            assert_eq!(a.objectives, b.objectives);
+        }
+        assert_eq!(walked.pareto, scratch.pareto);
     }
 
     #[test]

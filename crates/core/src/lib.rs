@@ -90,7 +90,7 @@ pub mod testplan;
 
 pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
-pub use delta::DeltaEvaluator;
+pub use delta::{CarriedFolds, DeltaEvaluator, DeltaStats, PointCosts};
 pub use explore::{
     CacheStatus, CycleSource, EvalMode, EvaluatedArch, Exploration, ExploreError, ExploreResult,
     LiftMode, Objective, ObjectiveVector, SearchInfo, WorkloadBreakdown,

@@ -118,6 +118,15 @@ pub fn is_pareto_set(points: &[Vec<f64>], kept: &[usize]) -> bool {
 pub struct ParetoArchive {
     entries: Vec<(usize, Vec<f64>)>,
     offered: usize,
+    /// Position (into `entries`) of the member that rejected the most
+    /// recent dominated candidate. Streamed candidates arrive in walk
+    /// or enumeration order, so consecutive rejections overwhelmingly
+    /// share a dominator — probing it first turns the common rejection
+    /// from an O(front) scan into O(1). Pure caching: which member
+    /// rejects a candidate never changes the outcome, so the front is
+    /// bit-identical with or without the hint. Invalidated on accept
+    /// (eviction may shift positions).
+    last_dominator: Option<usize>,
 }
 
 impl ParetoArchive {
@@ -130,13 +139,27 @@ impl ParetoArchive {
     /// (evicting any members it dominates), `false` when an existing
     /// member dominates it. Duplicate coordinate vectors all survive,
     /// like [`pareto_front`].
+    ///
+    /// Rejection cost: O(1) when the previous rejection's dominator
+    /// also dominates this candidate (the streaming hot path — see
+    /// `last_dominator`), O(front) otherwise. Acceptance stays
+    /// O(front) — it must, to evict everything the newcomer dominates.
     pub fn try_insert(&mut self, id: usize, point: &[f64]) -> bool {
         self.offered += 1;
-        if self.entries.iter().any(|(_, q)| dominates(q, point)) {
+        if let Some(d) = self.last_dominator {
+            if let Some((_, q)) = self.entries.get(d) {
+                if dominates(q, point) {
+                    return false;
+                }
+            }
+        }
+        if let Some(d) = self.entries.iter().position(|(_, q)| dominates(q, point)) {
+            self.last_dominator = Some(d);
             return false;
         }
         self.entries.retain(|(_, q)| !dominates(point, q));
         self.entries.push((id, point.to_vec()));
+        self.last_dominator = None;
         true
     }
 
@@ -283,6 +306,38 @@ mod tests {
         assert_eq!(archive.ids(), pareto_front(&pts));
         assert_eq!(archive.offered(), pts.len());
         assert!(archive.contains(3) && !archive.contains(2));
+    }
+
+    #[test]
+    fn cached_dominator_survives_eviction_reshuffles() {
+        // Stress the last_dominator hint across every state change:
+        // repeated rejections by the same member, rejection by a
+        // *different* member (cache miss → rescan), and an accept that
+        // evicts members and shifts positions. The verdicts must match
+        // a hint-free archive exactly.
+        let offers: Vec<Vec<f64>> = vec![
+            vec![5.0, 5.0],   // accept
+            vec![50.0, 50.0], // rejected by (5,5) — cache primed
+            vec![51.0, 50.0], // rejected, cache hit
+            vec![52.0, 50.0], // rejected, cache hit
+            vec![1.0, 9.0],   // accept (cache cleared)
+            vec![2.0, 9.5],   // rejected by (1,9), not by cached slot
+            vec![0.5, 0.5],   // accept: evicts BOTH members
+            vec![3.0, 3.0],   // rejected by the survivor at position 0
+            vec![0.5, 0.5],   // duplicate of the survivor: accepted
+        ];
+        let mut archive = ParetoArchive::new();
+        let verdicts: Vec<bool> = offers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| archive.try_insert(i, p))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![true, false, false, false, true, false, true, false, true]
+        );
+        assert_eq!(archive.ids(), pareto_front(&offers));
+        assert_eq!(archive.offered(), offers.len());
     }
 
     #[test]

@@ -216,7 +216,11 @@ impl SearchStrategy for Exhaustive {
         if ctx.round() > 0 {
             return Vec::new();
         }
-        (0..ctx.space().len()).collect()
+        // Propose no more than the budget can evaluate: a budgeted run
+        // over a 10⁷-point space must allocate O(budget), not O(space).
+        // The evaluated prefix is identical either way — the engine
+        // truncates at the budget — so results are unchanged.
+        (0..ctx.space().len()).take(ctx.remaining()).collect()
     }
 }
 
@@ -242,7 +246,14 @@ impl SearchStrategy for NeighbourExhaustive {
         if ctx.round() > 0 {
             return Vec::new();
         }
-        ctx.space().neighbour_order().collect()
+        // Budget-bounded like [`Exhaustive`]: a budgeted run proposes
+        // exactly the first `remaining` steps of the Gray walk — a
+        // contiguous rank prefix, so the engine's carried folds take
+        // the O(1) path on every step after the first.
+        ctx.space()
+            .neighbour_order()
+            .take(ctx.remaining())
+            .collect()
     }
 
     fn walk_order(&self) -> WalkOrder {
@@ -288,7 +299,19 @@ impl SearchStrategy for RandomSample {
     }
 }
 
-/// `k` distinct values from `0..n`, in draw order, deterministically.
+/// Above this space size the dense branch of [`sample_distinct`] stops
+/// materialising a full `0..n` index vector (10⁷ indices = 80 MB) and
+/// samples the *complement* instead. Historical spaces (paper: 396
+/// points) sit far below the limit, so their seeded draws are
+/// bit-identical to every earlier release.
+const DENSE_MATERIALISE_LIMIT: usize = 1 << 20;
+
+/// `k` distinct values from `0..n`, deterministically per seed: in draw
+/// order for the sparse and small-dense branches, ascending for the
+/// huge-dense branch (`k·2 > n` and `n > DENSE_MATERIALISE_LIMIT`,
+/// which samples the excluded complement instead of shuffling an O(n)
+/// index vector). Memory is O(k) + O(n−k) — never O(n) beyond the
+/// returned sample itself.
 ///
 /// # Panics
 ///
@@ -312,8 +335,9 @@ fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
             }
         }
         out
-    } else {
-        // Dense: partial Fisher–Yates over the full index range.
+    } else if n <= DENSE_MATERIALISE_LIMIT {
+        // Dense but small: partial Fisher–Yates over the full index
+        // range — kept bit-identical for the historical spaces.
         let mut indices: Vec<usize> = (0..n).collect();
         for i in 0..k {
             let j = i + rng.random_range(0..(n - i) as u64) as usize;
@@ -321,6 +345,16 @@ fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
         }
         indices.truncate(k);
         indices
+    } else {
+        // Dense *and* huge: the excluded set is the sparse side —
+        // rejection-sample the n−k indices to drop, emit the rest
+        // ascending. O(n) time (one pass), O(n−k) extra memory.
+        let drop = n - k;
+        let mut excluded = HashSet::with_capacity(drop);
+        while excluded.len() < drop {
+            excluded.insert(rng.random_range(0..n as u64) as usize);
+        }
+        (0..n).filter(|i| !excluded.contains(i)).collect()
     }
 }
 
@@ -551,6 +585,80 @@ mod tests {
             ));
             proptest::prop_assert_eq!(random, full);
         }
+    }
+
+    /// A 10⁷-point space (10 values on seven knobs): big enough that
+    /// any O(|space|) allocation in a planner would dominate the test's
+    /// memory and time budget.
+    fn ten_million_points() -> TemplateSpace {
+        let space = TemplateSpace {
+            width: 8,
+            buses: (1..=10).collect(),
+            clusters: (1..=10).collect(),
+            alus: (1..=10).collect(),
+            cmps: (1..=10).collect(),
+            muls: (0..10).collect(),
+            imms: (1..=10).collect(),
+            pipes: vec![1],
+            rf_banks: vec![1],
+            rf_sets: (0..10).map(|k| vec![(4 + k, 1, 2)]).collect(),
+        };
+        assert_eq!(space.len(), 10_000_000);
+        space
+    }
+
+    #[test]
+    fn budgeted_batches_stay_small_on_a_ten_million_point_space() {
+        // Regression: Exhaustive/NeighbourExhaustive used to collect
+        // the whole index range per batch and RandomSample's dense
+        // branch shuffled a full O(n) vector — a budgeted sweep of a
+        // 10⁷-point space allocated 80 MB before evaluating a single
+        // point. Every strategy must now propose O(budget) indices.
+        let space = ten_million_points();
+        let (obs, front, seen) = (Vec::new(), Vec::new(), HashSet::new());
+        let budget = 512;
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(Exhaustive),
+            Box::new(Exhaustive::neighbour()),
+            Box::new(RandomSample),
+            Box::new(HillClimb::default()),
+        ];
+        for mut s in strategies {
+            let batch = s.next_batch(&ctx(&space, 11, 0, budget, &obs, &front, &seen));
+            assert!(
+                batch.len() <= budget,
+                "{} proposed {} indices for a budget of {budget}",
+                s.name(),
+                batch.len()
+            );
+            assert!(!batch.is_empty(), "{} proposed nothing", s.name());
+            assert!(batch.iter().all(|&i| i < space.len()));
+            let distinct: HashSet<_> = batch.iter().collect();
+            assert_eq!(distinct.len(), batch.len(), "{}", s.name());
+        }
+        // The budgeted Gray prefix is exactly ranks 0..budget, so the
+        // engine's carried folds see a contiguous walk.
+        let prefix =
+            Exhaustive::neighbour().next_batch(&ctx(&space, 0, 0, budget, &obs, &front, &seen));
+        assert_eq!(
+            prefix,
+            space.neighbour_order().take(budget).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn huge_dense_sampling_avoids_the_index_vector() {
+        // k·2 > n above DENSE_MATERIALISE_LIMIT: the complement branch.
+        let n = DENSE_MATERIALISE_LIMIT + 10;
+        let k = n - 3;
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_distinct(&mut rng, n, k);
+        assert_eq!(s.len(), k);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "ascending and distinct");
+        assert!(s.iter().all(|&i| i < n));
+        // Deterministic per seed.
+        let mut rng2 = StdRng::seed_from_u64(5);
+        assert_eq!(s, sample_distinct(&mut rng2, n, k));
     }
 
     #[test]

@@ -20,7 +20,9 @@ use tta_arch::Architecture;
 use tta_atpg::AtpgConfig;
 use tta_core::explore::{CycleSource, EvalMode, Exploration, ExploreResult, LiftMode};
 use tta_core::models::{AnnotatedAreaModel, AreaModel, InterconnectModel, ScanTestCostModel};
-use tta_core::search::{Exhaustive, HillClimb, RandomSample};
+use tta_core::search::{
+    Exhaustive, HillClimb, RandomSample, SearchContext, SearchStrategy, WalkOrder,
+};
 use tta_core::{ComponentDb, ComponentKey, DeltaEvaluator, SweepCache};
 use tta_dft::march::MarchAlgorithm;
 use tta_workloads::suite;
@@ -30,6 +32,26 @@ use tta_workloads::suite;
 fn db() -> &'static ComponentDb {
     static DB: OnceLock<ComponentDb> = OnceLock::new();
     DB.get_or_init(ComponentDb::new)
+}
+
+/// A small *hierarchical* space: every PR-8 knob class (interconnect
+/// clustering, per-FU pipelining, RF banking) takes more than one value,
+/// so the carried-fold retract/apply pairs see cluster-, pipe- and
+/// bank-dependent component keys — 64 points, cheap enough to sweep
+/// exhaustively against the oracle.
+fn hier_space() -> TemplateSpace {
+    TemplateSpace {
+        width: 8,
+        buses: vec![1, 2],
+        clusters: vec![1, 2],
+        alus: vec![1, 2],
+        cmps: vec![1],
+        muls: vec![0, 1],
+        imms: vec![1],
+        pipes: vec![1, 2],
+        rf_banks: vec![1, 2],
+        rf_sets: vec![vec![(8, 1, 2)]],
+    }
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -350,4 +372,166 @@ fn custom_models_bypass_the_delta_path() {
     );
     assert!(delta_calls > 0);
     assert_bit_identical(&scratch, &delta);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PR-8: delta == scratch, bit for bit, over the *hierarchical*
+    /// space — clusters, per-FU pipelining and RF banking all vary, so
+    /// the carried-fold retract/apply pairs touch every new knob class —
+    /// across strategies, seeds, budgets, lift modes, threading and the
+    /// scan test model.
+    #[test]
+    fn delta_equals_scratch_on_the_hierarchical_space(
+        strategy in 0usize..4,
+        seed in 0u64..1000,
+        budget in 4usize..16,
+        full_lift in proptest::bool::ANY,
+        parallel in proptest::bool::ANY,
+        scan in proptest::bool::ANY,
+    ) {
+        let build = move |mode: EvalMode| {
+            let w = suite::checksum32();
+            let lift = if full_lift { LiftMode::Full } else { LiftMode::ParetoOnly };
+            let mut e = Exploration::over(hier_space())
+                .workload(&w)
+                .with_db(db())
+                .lift(lift)
+                .parallel(parallel)
+                .eval_mode(mode)
+                .seed(seed);
+            if scan {
+                e = e.test_cost_model(ScanTestCostModel::with_chains(2));
+            }
+            match strategy {
+                0 => e.strategy(Exhaustive),
+                1 => e.strategy(Exhaustive::neighbour()),
+                2 => e.strategy(RandomSample).budget(budget),
+                _ => e.strategy(HillClimb::default()).budget(budget),
+            }
+        };
+        let scratch = build(EvalMode::Scratch).run();
+        let delta = build(EvalMode::Delta).run();
+        assert_bit_identical(&scratch, &delta);
+    }
+}
+
+/// A budget-interrupted Gray-code walk over the hierarchical space,
+/// resumed over the same cache, finishes bit-identical to an
+/// uninterrupted scratch sweep — cache hits reset the carry instead of
+/// advancing a stale one.
+#[test]
+fn budget_interrupted_neighbour_walk_resumes_bit_identically() {
+    let w = suite::checksum32();
+    let dir = tmpdir("hier-resume");
+    let cache = SweepCache::open(&dir).expect("temp dir is writable");
+    let space = hier_space();
+    let half = space.len() / 2;
+    Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .eval_mode(EvalMode::Delta)
+        .strategy(Exhaustive::neighbour())
+        .budget(half)
+        .run();
+    let resumed = Exploration::over(space.clone())
+        .workload(&w)
+        .with_db(db())
+        .cache(&cache)
+        .eval_mode(EvalMode::Delta)
+        .strategy(Exhaustive::neighbour())
+        .run();
+    let oracle = Exploration::over(space)
+        .workload(&w)
+        .with_db(db())
+        .eval_mode(EvalMode::Scratch)
+        .strategy(Exhaustive::neighbour())
+        .run();
+    assert_bit_identical(&resumed, &oracle);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A deliberately *discontinuous* neighbour-order strategy: it asks for
+/// Gray-walk evaluation order but proposes a rank gap — the shape a
+/// budget-truncated, re-sorted batch leaves behind. The carried-fold
+/// engine must refold from scratch at the gap rather than advance a
+/// stale carry, and stay bit-identical to the oracle.
+#[derive(Clone)]
+struct GappedNeighbourWalk {
+    proposed: bool,
+}
+
+impl SearchStrategy for GappedNeighbourWalk {
+    fn name(&self) -> &'static str {
+        "gapped-neighbour"
+    }
+    fn cache_salt(&self) -> Option<u64> {
+        Some(0x6a70)
+    }
+    fn next_batch(&mut self, ctx: &SearchContext<'_>) -> Vec<usize> {
+        if self.proposed {
+            return Vec::new();
+        }
+        self.proposed = true;
+        // Two contiguous Gray-rank runs with a hole between them.
+        [0usize, 1, 2, 10, 11, 12]
+            .into_iter()
+            .map(|rank| ctx.space().neighbour_index(rank))
+            .collect()
+    }
+    fn walk_order(&self) -> WalkOrder {
+        WalkOrder::Neighbour
+    }
+}
+
+#[test]
+fn walk_discontinuity_falls_back_to_a_scratch_refold() {
+    let w = suite::checksum32();
+    let run = |mode: EvalMode| {
+        Exploration::over(TemplateSpace::huge())
+            .workload(&w)
+            .with_db(db())
+            .eval_mode(mode)
+            .strategy(GappedNeighbourWalk { proposed: false })
+            .run()
+    };
+    let delta = run(EvalMode::Delta);
+    let scratch = run(EvalMode::Scratch);
+    assert_bit_identical(&scratch, &delta);
+    let stats = delta.delta.expect("delta mode reports stats");
+    assert_eq!(
+        stats.scratch_fallbacks, 2,
+        "rank 0 (no predecessor) and the gap at rank 10 must refold"
+    );
+    assert_eq!(stats.fold_carries, 4, "the contiguous steps must carry");
+    assert!(scratch.delta.is_none(), "scratch mode reports no stats");
+}
+
+/// The PR-8 headline path end to end: a seeded, budgeted Gray-code walk
+/// over the 2^20-point hierarchical space. The proposal is a contiguous
+/// rank prefix, so the carried-fold engine must take the O(1) carry on
+/// every step after the first — and agree with the scratch oracle bit
+/// for bit.
+#[test]
+fn budgeted_huge_space_walk_is_bit_identical_and_carries_every_step() {
+    let w = suite::checksum32();
+    let run = |mode: EvalMode| {
+        Exploration::over(TemplateSpace::huge())
+            .workload(&w)
+            .with_db(db())
+            .eval_mode(mode)
+            .strategy(Exhaustive::neighbour())
+            .budget(256)
+            .seed(7)
+            .run()
+    };
+    let delta = run(EvalMode::Delta);
+    let scratch = run(EvalMode::Scratch);
+    assert_bit_identical(&scratch, &delta);
+    assert_eq!(delta.search.evaluations, 256);
+    let stats = delta.delta.expect("delta stats");
+    assert_eq!(stats.fold_carries, 255);
+    assert_eq!(stats.scratch_fallbacks, 1);
 }

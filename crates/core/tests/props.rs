@@ -190,10 +190,13 @@ fn tiny_space(buses: Vec<usize>, alus: Vec<usize>, regs: usize) -> TemplateSpace
     TemplateSpace {
         width: 4,
         buses,
+        clusters: vec![1],
         alus,
         cmps: vec![1],
         muls: vec![0],
         imms: vec![1],
+        pipes: vec![1],
+        rf_banks: vec![1],
         rf_sets: vec![vec![(regs, 1, 2)]],
     }
 }

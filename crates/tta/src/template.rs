@@ -107,13 +107,37 @@ impl TemplateBuilder {
     }
 }
 
+/// Number of template knobs — the length of [`TemplateSpace::knob_radices`],
+/// [`TemplateSpace::coords`] and [`TemplateSpace::index_of`] arrays.
+pub const KNOBS: usize = 9;
+
 /// Bounds of the enumerated design space.
+///
+/// Three knobs are *hierarchical* (introduced for the million-point
+/// `huge` preset) and default to the single value `1`, which reproduces
+/// the historical flat space exactly — same enumeration order, same
+/// point labels:
+///
+/// - `clusters` multiplies the interconnect: a point with `b` buses and
+///   `c` clusters builds a machine with `b·c` buses (modelled as `c`
+///   clusters of `b` buses each; the round-robin socket assignment
+///   spreads ports across all of them).
+/// - `pipes` is a per-FU pipelining depth, modelled as independently
+///   socketed replicas of every *compute* FU (ALU/CMP/MUL) — the
+///   annotation tables have no pipeline-depth axis, so depth `p` costs
+///   `p` units of area/test and buys `p` issue slots.
+/// - `rf_banks` splits every register file of the chosen RF set into
+///   `k` banks of `⌈regs/k⌉` registers (min 2) with the same port
+///   geometry per bank.
 #[derive(Debug, Clone)]
 pub struct TemplateSpace {
     /// Datapath width (the paper uses 16).
     pub width: usize,
-    /// Bus counts to try.
+    /// Per-cluster bus counts to try.
     pub buses: Vec<usize>,
+    /// Interconnect cluster counts to try (≥ 1; total buses = buses ×
+    /// clusters).
+    pub clusters: Vec<usize>,
     /// ALU counts to try (≥ 1).
     pub alus: Vec<usize>,
     /// CMP counts to try.
@@ -122,6 +146,11 @@ pub struct TemplateSpace {
     pub muls: Vec<usize>,
     /// Immediate-unit counts to try (≥ 1).
     pub imms: Vec<usize>,
+    /// Per-FU pipelining depths to try (≥ 1; modelled as compute-FU
+    /// replication).
+    pub pipes: Vec<usize>,
+    /// Register-file bank counts to try (≥ 1).
+    pub rf_banks: Vec<usize>,
     /// Register-file geometries `(regs, nin, nout)` per RF; each entry is
     /// a complete RF set for the machine.
     pub rf_sets: Vec<Vec<(usize, usize, usize)>>,
@@ -134,10 +163,13 @@ impl TemplateSpace {
         TemplateSpace {
             width: 16,
             buses: vec![1, 2, 3, 4],
+            clusters: vec![1],
             alus: vec![1, 2, 3],
             cmps: vec![1, 2],
             muls: vec![0, 1],
             imms: vec![1],
+            pipes: vec![1],
+            rf_banks: vec![1],
             rf_sets: vec![
                 vec![(8, 1, 2)],
                 vec![(8, 1, 2), (12, 1, 2)],
@@ -154,10 +186,13 @@ impl TemplateSpace {
         TemplateSpace {
             width: 8,
             buses: vec![1, 2, 3],
+            clusters: vec![1],
             alus: vec![1, 2],
             cmps: vec![1],
             muls: vec![0, 1],
             imms: vec![1],
+            pipes: vec![1],
+            rf_banks: vec![1],
             rf_sets: vec![vec![(8, 1, 2)], vec![(4, 1, 1)]],
         }
     }
@@ -167,11 +202,42 @@ impl TemplateSpace {
         TemplateSpace {
             width: 8,
             buses: vec![1, 2],
+            clusters: vec![1],
             alus: vec![1],
             cmps: vec![1],
             muls: vec![0],
             imms: vec![1],
+            pipes: vec![1],
+            rf_banks: vec![1],
             rf_sets: vec![vec![(8, 1, 2)]],
+        }
+    }
+
+    /// The hierarchical million-point space: every flat knob of
+    /// [`TemplateSpace::fast_default`] widened, plus the three
+    /// hierarchical knobs (interconnect clustering, per-FU pipelining
+    /// depth, RF banking). Exactly `2^20 = 1_048_576` points — far too
+    /// large to sweep exhaustively, which is the point: this is the
+    /// space where budgeted strategies and the incremental (carried
+    /// fold) evaluator earn their keep.
+    pub fn huge() -> Self {
+        let mut rf_sets = Vec::new();
+        for regs in [4usize, 8, 16, 32] {
+            for (nin, nout) in [(1usize, 1usize), (1, 2), (2, 2), (2, 3)] {
+                rf_sets.push(vec![(regs, nin, nout)]);
+            }
+        }
+        TemplateSpace {
+            width: 8,
+            buses: vec![1, 2, 3, 4],
+            clusters: vec![1, 2, 3, 4],
+            alus: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            cmps: vec![1, 2, 3, 4],
+            muls: vec![0, 1, 2, 3],
+            imms: vec![1, 2],
+            pipes: vec![1, 2, 3, 4],
+            rf_banks: vec![1, 2, 3, 4],
+            rf_sets,
         }
     }
 
@@ -199,16 +265,22 @@ impl TemplateSpace {
     }
 
     /// The number of choices per template knob, in index order (most
-    /// significant first): buses, ALUs, CMPs, MULs, immediates, RF sets.
-    /// A point index is the mixed-radix number over these radices —
-    /// search strategies mutate the digits to move through the space.
-    pub fn knob_radices(&self) -> [usize; 6] {
+    /// significant first): buses, clusters, ALUs, CMPs, MULs,
+    /// immediates, pipes, RF banks, RF sets. A point index is the
+    /// mixed-radix number over these radices — search strategies mutate
+    /// the digits to move through the space. The hierarchical knobs sit
+    /// where a radix of 1 leaves the historical flat enumeration order
+    /// (and every point index) unchanged.
+    pub fn knob_radices(&self) -> [usize; KNOBS] {
         [
             self.buses.len(),
+            self.clusters.len(),
             self.alus.len(),
             self.cmps.len(),
             self.muls.len(),
             self.imms.len(),
+            self.pipes.len(),
+            self.rf_banks.len(),
             self.rf_sets.len(),
         ]
     }
@@ -219,7 +291,7 @@ impl TemplateSpace {
     /// # Panics
     ///
     /// Panics when `index >= self.len()`.
-    pub fn coords(&self, index: usize) -> [usize; 6] {
+    pub fn coords(&self, index: usize) -> [usize; KNOBS] {
         assert!(
             index < self.len(),
             "point index {index} out of bounds for a {}-point space",
@@ -227,7 +299,7 @@ impl TemplateSpace {
         );
         let radices = self.knob_radices();
         let mut rest = index;
-        let mut digits = [0usize; 6];
+        let mut digits = [0usize; KNOBS];
         for (d, &radix) in digits.iter_mut().zip(&radices).rev() {
             *d = rest % radix;
             rest /= radix;
@@ -241,7 +313,7 @@ impl TemplateSpace {
     /// # Panics
     ///
     /// Panics when any digit is outside its knob's radix.
-    pub fn index_of(&self, coords: [usize; 6]) -> usize {
+    pub fn index_of(&self, coords: [usize; KNOBS]) -> usize {
         let radices = self.knob_radices();
         let mut index = 0usize;
         for (i, (&d, &radix)) in coords.iter().zip(&radices).enumerate() {
@@ -258,16 +330,22 @@ impl TemplateSpace {
     ///
     /// Panics when `index >= self.len()`.
     pub fn point(&self, index: usize) -> Architecture {
-        let [bi, ai, ci, mi, ii, ri] = self.coords(index);
-        let (nb, na, nc, nm, ni) = (
+        let [bi, cli, ai, ci, mi, ii, pi, ki, ri] = self.coords(index);
+        let (nb, ncl, na, nc, nm, ni, np, nk) = (
             self.buses[bi],
+            self.clusters[cli],
             self.alus[ai],
             self.cmps[ci],
             self.muls[mi],
             self.imms[ii],
+            self.pipes[pi],
+            self.rf_banks[ki],
         );
         let rfset = &self.rf_sets[ri];
-        let label = format!(
+        // Historical flat label; the hierarchical knobs append suffixes
+        // only when non-default, so every pre-existing preset keeps its
+        // exact point names (and with them its cache keys and goldens).
+        let mut label = format!(
             "b{nb}a{na}c{nc}m{nm}i{ni}r{}",
             rfset
                 .iter()
@@ -275,14 +353,23 @@ impl TemplateSpace {
                 .collect::<Vec<_>>()
                 .join("_")
         );
-        let mut b = TemplateBuilder::new(label, self.width, nb);
-        for _ in 0..na {
+        if ncl > 1 {
+            label.push_str(&format!("x{ncl}"));
+        }
+        if np > 1 {
+            label.push_str(&format!("p{np}"));
+        }
+        if nk > 1 {
+            label.push_str(&format!("k{nk}"));
+        }
+        let mut b = TemplateBuilder::new(label, self.width, nb * ncl);
+        for _ in 0..na * np {
             b = b.fu(FuKind::Alu);
         }
-        for _ in 0..nc {
+        for _ in 0..nc * np {
             b = b.fu(FuKind::Cmp);
         }
-        for _ in 0..nm {
+        for _ in 0..nm * np {
             b = b.fu(FuKind::Mul);
         }
         for _ in 0..ni {
@@ -290,19 +377,16 @@ impl TemplateSpace {
         }
         b = b.fu(FuKind::LdSt).fu(FuKind::Pc);
         for &(regs, nin, nout) in rfset {
-            b = b.rf(regs, nin, nout);
+            for _ in 0..nk {
+                b = b.rf(regs.div_ceil(nk).max(2), nin, nout);
+            }
         }
         b.build()
     }
 
     /// Size of the enumerated space.
     pub fn len(&self) -> usize {
-        self.buses.len()
-            * self.alus.len()
-            * self.cmps.len()
-            * self.muls.len()
-            * self.imms.len()
-            * self.rf_sets.len()
+        self.knob_radices().iter().product()
     }
 
     /// Whether the space is empty.
@@ -331,7 +415,7 @@ impl TemplateSpace {
         );
         let radices = self.knob_radices();
         // Plain mixed-radix digits of the rank, most significant first.
-        let mut plain = [0usize; 6];
+        let mut plain = [0usize; KNOBS];
         let mut rest = rank;
         for (d, &radix) in plain.iter_mut().zip(&radices).rev() {
             *d = rest % radix;
@@ -344,9 +428,9 @@ impl TemplateSpace {
         // sits between two digits). Each carry then flips the scan
         // direction of exactly the digits it resets, so consecutive
         // ranks differ in one digit, by ±1.
-        let mut gray = [0usize; 6];
+        let mut gray = [0usize; KNOBS];
         let mut passes = 0usize;
-        for i in 0..6 {
+        for i in 0..KNOBS {
             gray[i] = if passes.is_multiple_of(2) {
                 plain[i]
             } else {
@@ -371,7 +455,7 @@ impl TemplateSpace {
         // value of the already-recovered plain digits `0..i`, which is
         // exactly the running rank.
         let mut rank = 0usize;
-        for i in 0..6 {
+        for i in 0..KNOBS {
             let plain = if rank.is_multiple_of(2) {
                 gray[i]
             } else {
@@ -554,10 +638,73 @@ mod tests {
         for pair in walk.windows(2) {
             let a = space.coords(pair[0]);
             let b = space.coords(pair[1]);
-            let diffs: Vec<usize> = (0..6).filter(|&k| a[k] != b[k]).collect();
+            let diffs: Vec<usize> = (0..KNOBS).filter(|&k| a[k] != b[k]).collect();
             assert_eq!(diffs.len(), 1, "{a:?} -> {b:?}");
             let k = diffs[0];
             assert_eq!(a[k].abs_diff(b[k]), 1, "knob {k}: {a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn huge_space_reaches_a_million_points() {
+        let space = TemplateSpace::huge();
+        assert_eq!(space.len(), 1 << 20);
+        assert!(space.len() >= 1_000_000);
+    }
+
+    #[test]
+    fn hierarchical_knobs_shape_the_architecture() {
+        let mut space = TemplateSpace::tiny();
+        space.clusters = vec![3];
+        space.pipes = vec![2];
+        space.rf_banks = vec![2];
+        // tiny: buses [1,2], 1 ALU, 1 CMP, 0 MUL, 1 IMM, rf (8,1,2).
+        let arch = space.point(0);
+        assert_eq!(arch.buses, 3, "clusters multiply the 1-bus count");
+        let alus = arch.fus.iter().filter(|f| f.kind == FuKind::Alu).count();
+        assert_eq!(alus, 2, "pipe depth replicates compute FUs");
+        assert_eq!(arch.rfs.len(), 2, "banking splits each RF");
+        assert!(arch.rfs.iter().all(|r| r.regs == 4), "8 regs over 2 banks");
+        assert_eq!(arch.name, "b1a1c1m0i1r8.1.2x3p2k2");
+        assert_eq!(arch.validate(), Ok(()));
+    }
+
+    #[test]
+    fn default_hierarchical_knobs_keep_flat_labels() {
+        // The 9-knob refactor must not rename any historical point.
+        let space = TemplateSpace::paper_default();
+        assert_eq!(space.point(0).name, "b1a1c1m0i1r8.1.2");
+        assert!(space.points().all(|a| !a.name.contains(['x', 'p', 'k'])));
+    }
+
+    #[test]
+    fn huge_space_random_points_validate() {
+        let space = TemplateSpace::huge();
+        // A deterministic stride through the million points, including
+        // both ends; full enumeration would be too slow for a unit test.
+        let stride = space.len() / 97;
+        for i in (0..space.len()).step_by(stride).chain([space.len() - 1]) {
+            let arch = space.point(i);
+            assert_eq!(arch.validate(), Ok(()), "{}", arch.name);
+            assert_eq!(space.index_of(space.coords(i)), i);
+            assert_eq!(
+                space.neighbour_index(space.neighbour_rank(i)),
+                i,
+                "walk inverse at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_space_walk_prefix_steps_one_knob_by_one() {
+        let space = TemplateSpace::huge();
+        let walk: Vec<usize> = space.neighbour_order().take(2048).collect();
+        for pair in walk.windows(2) {
+            let a = space.coords(pair[0]);
+            let b = space.coords(pair[1]);
+            let diffs: Vec<usize> = (0..KNOBS).filter(|&k| a[k] != b[k]).collect();
+            assert_eq!(diffs.len(), 1, "{a:?} -> {b:?}");
+            assert_eq!(a[diffs[0]].abs_diff(b[diffs[0]]), 1);
         }
     }
 

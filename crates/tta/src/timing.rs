@@ -148,10 +148,19 @@ pub fn validate_relations(ops: &[OpTransport]) -> Result<(), RelationViolation> 
 /// With all three ports on distinct buses the floor is 3 cycles; every
 /// port pair forced onto the same bus serialises one more transport.
 pub fn transport_cycles(fu: &FuInstance) -> u32 {
-    let buses = fu.port_buses();
-    let distinct = distinct_count(&buses);
+    // Shared-bus conflicts (ports − distinct buses) computed directly
+    // on the at-most-three port buses: this sits on the per-point
+    // test-cost fold of every sweep engine, where materialising the
+    // bus list ([`FuInstance::port_buses`]) is measurable.
+    let (t, r) = (fu.trigger_bus, fu.result_bus);
+    let conflicts = if fu.kind == FuKind::Immediate {
+        u32::from(t == r)
+    } else {
+        let o = fu.operand_bus;
+        u32::from(t == o) + u32::from(r == o || r == t)
+    };
     let base = 3 + fu.kind.latency().saturating_sub(1);
-    base + (buses.len() as u32 - distinct)
+    base + conflicts
 }
 
 /// Minimum write→read cycle distance for a register-file access pair,
@@ -163,16 +172,6 @@ pub fn rf_transport_cycles(write_bus: BusId, read_bus: BusId) -> u32 {
     } else {
         3
     }
-}
-
-fn distinct_count(buses: &[BusId]) -> u32 {
-    let mut seen: Vec<BusId> = Vec::with_capacity(buses.len());
-    for b in buses {
-        if !seen.contains(b) {
-            seen.push(*b);
-        }
-    }
-    seen.len() as u32
 }
 
 /// Builds the canonical minimum-latency transport for one operation of

@@ -101,16 +101,22 @@ proptest! {
         muls0 in proptest::bool::ANY,
         nrfsets in 1usize..3,
         regs in 2usize..17,
+        npipes in 1usize..3,
+        nbanks in 1usize..3,
     ) {
         // A randomised bounded space; knob vectors of varying lengths
-        // exercise every mixed-radix digit.
+        // exercise every mixed-radix digit, including the hierarchical
+        // ones (clusters/pipes/banks).
         let space = TemplateSpace {
             width: 8,
             buses: (1..=nbuses).collect(),
+            clusters: (1..=2).collect(),
             alus: (1..=nalus).collect(),
             cmps: (1..=ncmps).collect(),
             muls: if muls0 { vec![0] } else { vec![0, 1] },
             imms: vec![1],
+            pipes: (1..=npipes).collect(),
+            rf_banks: (1..=nbanks).collect(),
             rf_sets: (0..nrfsets).map(|k| vec![(regs + k, 1, 2)]).collect(),
         };
         // points() yields exactly len() architectures…
