@@ -4,20 +4,19 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use tta_arch::template::TemplateSpace;
 use tta_arch::Architecture;
 use tta_bench::{
     compare_suites, fig2, fig6, fig7, fig8, fig9, table1, table1_for, Experiments, Scale,
 };
 use tta_core::cache::SweepCache;
-use tta_core::explore::{CacheStatus, CycleSource, Exploration, ExploreResult, LiftMode};
-use tta_core::models::{InterconnectModel, ScanTestCostModel};
 use tta_core::report::TextTable;
-use tta_core::ComponentDb;
 use tta_movec::schedule::Scheduler;
+use tta_serve::client::run_remote;
+use tta_serve::exec::{self, front_point_json};
+use tta_serve::server::{install_signal_handlers, Server};
+use tta_serve::spec::{cycles_parse, lift_parse, JobSpec, Strategy, TestModel};
 use tta_sim::{SimOptions, Simulator, Trace};
-use tta_workloads::Workload;
-use tta_workloads::{SuiteParams, SuiteRegistry, WeightedWorkload};
+use tta_workloads::{SuiteRegistry, Workload};
 
 use crate::json;
 use crate::opts::{unknown_flag, ArgCursor, CommonOpts, Format};
@@ -72,16 +71,7 @@ fn warn_flush_failure(msg: &str, err: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Warns on stderr when a sweep completed but could not persist its
-/// cache entries.
-fn warn_cache_status(result: &ExploreResult, err: &mut dyn Write) -> Result<(), CliError> {
-    if let CacheStatus::FlushFailed(msg) = &result.cache_status {
-        warn_flush_failure(msg, err)?;
-    }
-    Ok(())
-}
-
-/// [`warn_cache_status`] for the figure-harness context: covers every
+/// The flush warning for the figure-harness context: covers every
 /// exploration the `Experiments` ran (fig2/fig8/fig9/table1 and the
 /// `--full` comparison all sweep through it).
 fn warn_experiments_cache(exp: &Experiments, err: &mut dyn Write) -> Result<(), CliError> {
@@ -119,391 +109,96 @@ fn experiments<'c>(common: &CommonOpts, cache: &'c Option<SweepCache>) -> Experi
     .eval_mode(common.eval)
 }
 
-/// JSON object for one Pareto-front member, including its per-workload
-/// cycle breakdown (in the result's `workloads` order).
-fn front_point_json(e: &tta_core::explore::EvaluatedArch) -> String {
-    json::object([
-        ("architecture", json::string(&e.architecture.name)),
-        ("area", json::number(e.area())),
-        ("exec_time", json::number(e.exec_time())),
-        ("test_cost", json::opt_number(e.test_cost())),
-        ("cycles", json::int(e.cycles)),
-        (
-            "workload_cycles",
-            json::array(e.workload_cycles.iter().map(|&c| json::int(c))),
-        ),
-    ])
-}
-
 // ---------------------------------------------------------------------
-// explore
+// explore & serve
 // ---------------------------------------------------------------------
-
-/// `--strategy` selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum Strategy {
-    #[default]
-    Exhaustive,
-    Neighbour,
-    Random,
-    HillClimb,
-}
-
-impl Strategy {
-    fn parse(s: &str) -> Result<Strategy, CliError> {
-        match s {
-            "exhaustive" => Ok(Strategy::Exhaustive),
-            "neighbour" => Ok(Strategy::Neighbour),
-            "random" => Ok(Strategy::Random),
-            "hillclimb" => Ok(Strategy::HillClimb),
-            other => Err(CliError::usage(format!(
-                "unknown --strategy {other:?} (expected exhaustive, neighbour, random or hillclimb)"
-            ))),
-        }
-    }
-}
-
-/// `--test-model` selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum TestModel {
-    #[default]
-    Eq14,
-    Scan,
-}
-
-impl TestModel {
-    fn parse(s: &str) -> Result<TestModel, CliError> {
-        match s {
-            "eq14" => Ok(TestModel::Eq14),
-            "scan" => Ok(TestModel::Scan),
-            other => Err(CliError::usage(format!(
-                "unknown --test-model {other:?} (expected eq14 or scan)"
-            ))),
-        }
-    }
-
-    fn label(self) -> &'static str {
-        match self {
-            TestModel::Eq14 => "eq14",
-            TestModel::Scan => "scan",
-        }
-    }
-}
-
-fn parse_cycle_source(s: &str) -> Result<CycleSource, CliError> {
-    match s {
-        "model" => Ok(CycleSource::Model),
-        "simulate" => Ok(CycleSource::Simulate),
-        other => Err(CliError::usage(format!(
-            "unknown --cycles {other:?} (expected model or simulate)"
-        ))),
-    }
-}
-
-fn parse_lift(s: &str) -> Result<LiftMode, CliError> {
-    match s {
-        "pareto" => Ok(LiftMode::ParetoOnly),
-        "full" => Ok(LiftMode::Full),
-        other => Err(CliError::usage(format!(
-            "unknown --lift {other:?} (expected pareto or full)"
-        ))),
-    }
-}
 
 struct ExploreOpts {
     common: CommonOpts,
-    space: Option<String>,
-    workloads: Vec<String>,
-    suite: Option<String>,
-    rounds: Option<usize>,
-    parallel: bool,
-    threads: Option<usize>,
-    interconnect: InterconnectModel,
-    strategy: Strategy,
-    budget: Option<usize>,
-    seed: Option<u64>,
-    lift: LiftMode,
-    test_model: TestModel,
-    cycle_source: CycleSource,
+    spec: JobSpec,
+    remote: Option<String>,
 }
 
+/// Builds a [`JobSpec`] from `ttadse explore` flags. The spec is the
+/// same object `--remote` posts to the daemon, so every knob parsed
+/// here round-trips the wire unchanged.
 fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
-    let mut o = ExploreOpts {
-        common: CommonOpts::default(),
-        space: None,
-        workloads: Vec::new(),
-        suite: None,
-        rounds: None,
-        parallel: true,
-        threads: None,
-        interconnect: InterconnectModel::paper(),
-        strategy: Strategy::default(),
-        budget: None,
-        seed: None,
-        lift: LiftMode::default(),
-        test_model: TestModel::default(),
-        cycle_source: CycleSource::default(),
-    };
+    let mut common = CommonOpts::default();
+    let mut spec = JobSpec::default();
+    let mut remote = None;
     let mut cursor = ArgCursor::new(args);
     while let Some(arg) = cursor.next() {
-        if o.common.consume(&arg, &mut cursor)? {
+        if common.consume(&arg, &mut cursor)? {
             continue;
         }
         match arg.as_str() {
-            "--space" => o.space = Some(cursor.value_for("--space")?),
-            "--workload" => o
+            "--space" => spec.space = Some(cursor.value_for("--space")?),
+            "--workload" => spec
                 .workloads
                 .extend(cursor.value_for("--workload")?.split(',').map(String::from)),
-            "--suite" => o.suite = Some(cursor.value_for("--suite")?),
-            "--rounds" => o.rounds = Some(cursor.parse_for("--rounds")?),
-            "--parallel" => o.parallel = true,
-            "--serial" => o.parallel = false,
-            "--threads" => o.threads = Some(cursor.parse_for("--threads")?),
-            "--strategy" => o.strategy = Strategy::parse(&cursor.value_for("--strategy")?)?,
-            "--budget" => o.budget = Some(cursor.parse_for("--budget")?),
-            "--seed" => o.seed = Some(cursor.parse_for("--seed")?),
-            "--lift" => o.lift = parse_lift(&cursor.value_for("--lift")?)?,
-            "--test-model" => o.test_model = TestModel::parse(&cursor.value_for("--test-model")?)?,
-            "--cycles" => o.cycle_source = parse_cycle_source(&cursor.value_for("--cycles")?)?,
-            "--bus-area" => o.interconnect.bus_area_per_bit = cursor.parse_for("--bus-area")?,
-            "--bus-delay" => o.interconnect.bus_delay_penalty = cursor.parse_for("--bus-delay")?,
-            "--control-area" => {
-                o.interconnect.control_area_per_instr_bit = cursor.parse_for("--control-area")?
+            "--suite" => spec.suite = Some(cursor.value_for("--suite")?),
+            "--rounds" => spec.rounds = Some(cursor.parse_for("--rounds")?),
+            "--parallel" => spec.parallel = true,
+            "--serial" => spec.parallel = false,
+            "--threads" => spec.threads = Some(cursor.parse_for("--threads")?),
+            "--strategy" => {
+                spec.strategy =
+                    Strategy::parse(&cursor.value_for("--strategy")?).map_err(flag_err)?;
             }
+            "--budget" => spec.budget = Some(cursor.parse_for("--budget")?),
+            "--seed" => spec.seed = Some(cursor.parse_for("--seed")?),
+            "--lift" => spec.lift = lift_parse(&cursor.value_for("--lift")?).map_err(flag_err)?,
+            "--test-model" => {
+                spec.test_model =
+                    TestModel::parse(&cursor.value_for("--test-model")?).map_err(flag_err)?;
+            }
+            "--cycles" => {
+                spec.cycles = cycles_parse(&cursor.value_for("--cycles")?).map_err(flag_err)?;
+            }
+            "--bus-area" => spec.bus_area = Some(cursor.parse_for("--bus-area")?),
+            "--bus-delay" => spec.bus_delay = Some(cursor.parse_for("--bus-delay")?),
+            "--control-area" => spec.control_area = Some(cursor.parse_for("--control-area")?),
+            "--remote" => remote = Some(cursor.value_for("--remote")?),
+            "--priority" => spec.priority = cursor.parse_for("--priority")?,
             other => return Err(unknown_flag("explore", other)),
         }
     }
-    o.common.validate()?;
-    if o.budget == Some(0) {
-        return Err(CliError::usage(
-            "--budget must be at least 1 (0 would evaluate nothing)",
-        ));
-    }
-    Ok(o)
+    common.validate()?;
+    spec.fast = common.fast;
+    spec.eval = common.eval;
+    spec.format = common.format;
+    spec.validate().map_err(flag_err)?;
+    Ok(ExploreOpts {
+        common,
+        spec,
+        remote,
+    })
 }
 
-fn space_of(o: &ExploreOpts) -> Result<TemplateSpace, CliError> {
-    // `--fast` is the scale shorthand the figure subcommands use; let it
-    // pick the space here too, but an explicit `--space` always wins.
-    let name = match &o.space {
-        Some(name) => name.as_str(),
-        None if o.common.fast => "fast",
-        None => "paper",
-    };
-    match name {
-        "paper" => Ok(TemplateSpace::paper_default()),
-        "fast" => Ok(TemplateSpace::fast_default()),
-        "tiny" => Ok(TemplateSpace::tiny()),
-        "huge" => Ok(TemplateSpace::huge()),
-        other => Err(CliError::usage(format!(
-            "unknown --space {other:?} (expected paper, fast, tiny or huge)"
-        ))),
-    }
+/// Maps a spec-layer usage message onto the CLI's exit-code-2 error.
+fn flag_err(message: String) -> CliError {
+    CliError::usage(message)
 }
 
-/// Workload sizing for a scale, with `--rounds` overriding the crypt
-/// trace length.
-fn suite_params(o: &ExploreOpts, paper_scale: bool) -> SuiteParams {
-    let mut params = if paper_scale {
-        SuiteParams::paper()
-    } else {
-        SuiteParams::fast()
-    };
-    if let Some(rounds) = o.rounds {
-        params.crypt_rounds = rounds;
-    }
-    params
-}
-
-/// Splits a `--workload` item `name[:weight]` into its parts.
-fn parse_workload_spec(spec: &str) -> Result<(&str, f64), CliError> {
-    let (name, weight) = match spec.split_once(':') {
-        None => (spec, 1.0),
-        Some((name, raw)) => {
-            let weight: f64 = raw.parse().map_err(|_| {
-                CliError::usage(format!(
-                    "workload weight {raw:?} in {spec:?} does not parse"
-                ))
-            })?;
-            (name, weight)
-        }
-    };
-    if !weight.is_finite() || weight <= 0.0 {
-        return Err(CliError::usage(format!(
-            "workload weight in {spec:?} must be finite and > 0"
-        )));
-    }
-    Ok((name, weight))
-}
-
-/// Resolves `--suite` and every `--workload name[:weight]` item against
-/// the standard registry. The candidate lists in error messages are
-/// derived from the registry, so a newly registered workload can never
-/// drift out of the help text.
-/// Registry names of the members of `suite_name`, when it names a
-/// registered suite.
-fn suite_member_names<'r>(registry: &'r SuiteRegistry, suite_name: &str) -> Option<Vec<&'r str>> {
-    registry
-        .suites()
-        .iter()
-        .find(|s| s.name == suite_name)
-        .map(|s| s.members.iter().map(|(n, _)| n.as_str()).collect())
-}
-
-fn workloads_of(
-    registry: &SuiteRegistry,
-    o: &ExploreOpts,
-    paper_scale: bool,
-) -> Result<Vec<WeightedWorkload>, CliError> {
-    let params = suite_params(o, paper_scale);
-    let mut out: Vec<WeightedWorkload> = Vec::new();
-    if let Some(name) = &o.suite {
-        out.extend(registry.instantiate(name, &params).ok_or_else(|| {
-            CliError::usage(format!(
-                "unknown --suite {name:?} (expected {})",
-                registry.suite_names().join(", ")
-            ))
-        })?);
-    }
-    // Repeats of the same *explicit* workload are rejected — as is an
-    // explicit workload that a requested suite already includes: the
-    // user almost certainly meant one weight, and silently compounding
-    // (`fft:2 fft:3` acting as a single heavier member, or `--suite dsp
-    // --workload fft:2` scheduling fft twice) mis-scales the exec-time
-    // axis with no diagnostic. Scaling a *suite* in --workload position
-    // stays multiplicative per member by design — `dsp:2` means "the
-    // dsp suite, every member twice as heavy" — and is documented in
-    // the README. `in_suite` is pre-scanned so the rejection is
-    // order-independent (`--workload fft --workload dsp` fails too).
-    let mut in_suite: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
-    let suite_specs = o.suite.iter().map(|s| s.as_str()).chain(
-        o.workloads
-            .iter()
-            .filter_map(|spec| parse_workload_spec(spec).ok().map(|(n, _)| n)),
-    );
-    for suite_name in suite_specs {
-        if let Some(members) = suite_member_names(registry, suite_name) {
-            for member in members {
-                in_suite.entry(member).or_insert(suite_name);
-            }
-        }
-    }
-    let mut explicit_seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
-    for spec in &o.workloads {
-        let (name, weight) = parse_workload_spec(spec)?;
-        if let Some(w) = registry.build(name, &params) {
-            if !explicit_seen.insert(name) {
-                return Err(CliError::usage(format!(
-                    "workload {name:?} appears more than once in --workload; \
-                     give it a single name:weight spec instead of repeating it"
-                )));
-            }
-            if let Some(suite) = in_suite.get(name) {
-                return Err(CliError::usage(format!(
-                    "workload {name:?} is already included by suite {suite:?}; \
-                     scale the suite ({suite}:W) or list its members explicitly \
-                     instead of adding the workload twice"
-                )));
-            }
-            out.push(WeightedWorkload {
-                workload: w,
-                weight,
-            });
-        } else if let Some(members) = registry.instantiate(name, &params) {
-            // A suite name in --workload position (e.g. the historical
-            // `--workload all`); a `:weight` scales every member. A
-            // *repeated* suite name would duplicate every member with
-            // compounding weights — rejected like a repeated workload.
-            if !explicit_seen.insert(name) {
-                return Err(CliError::usage(format!(
-                    "suite {name:?} appears more than once in --workload; \
-                     give it a single name:weight spec instead of repeating it"
-                )));
-            }
-            if o.suite.as_deref() == Some(name) {
-                return Err(CliError::usage(format!(
-                    "suite {name:?} was already requested via --suite; \
-                     scaling it again in --workload would double every member"
-                )));
-            }
-            out.extend(members.into_iter().map(|mut m| {
-                m.weight *= weight;
-                m
-            }));
-        } else {
-            return Err(CliError::usage(format!(
-                "unknown workload {name:?} (expected a workload: {}; or a suite: {})",
-                registry.workload_names().join(", "),
-                registry.suite_names().join(", ")
-            )));
-        }
-    }
-    if out.is_empty() {
-        // The historical default: the paper's application.
-        out.extend(
-            registry
-                .instantiate("paper", &params)
-                .expect("the standard registry has a `paper` suite"),
-        );
-    }
-    Ok(out)
-}
-
-/// `ttadse explore`: one full sweep with every knob exposed.
+/// `ttadse explore`: one full sweep with every knob exposed — run
+/// locally, or streamed from a `ttadse serve` daemon with `--remote`
+/// (byte-identical stdout either way: both paths render through
+/// `tta_serve::exec`).
 pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
     let o = parse_explore(args)?;
-    let space = space_of(&o)?;
-    let paper_scale = space.width == 16;
-    let registry = SuiteRegistry::standard();
-    let workloads = workloads_of(&registry, &o, paper_scale)?;
+    if let Some(url) = &o.remote {
+        return explore_remote(url, &o, out, err);
+    }
+    let job = exec::prepare(&o.spec).map_err(flag_err)?;
     let cache = open_cache(&o.common, err)?;
-    let space_points = space.len();
     writeln!(
         err,
-        "exploring {space_points} template points x {} workload(s)...",
-        workloads.len()
+        "exploring {} template points x {} workload(s)...",
+        job.space_points(),
+        job.workload_count()
     )?;
-
-    let db = ComponentDb::new();
-    let mut e = Exploration::over(space)
-        .suite(&workloads)
-        .with_db(&db)
-        .interconnect(o.interconnect)
-        .lift(o.lift)
-        // `--cycles` and `--eval` are deliberately NOT echoed in any
-        // output format: CI `cmp`s a model run against a simulate run
-        // (and a delta run against a scratch run) to assert each engine
-        // reproduces its oracle byte-identically. The one sanctioned
-        // exception is the `search.delta` fold-carry object (and its
-        // table footer line), present only under the delta engine —
-        // those `cmp`s strip it first. Arena counters stay off stdout
-        // entirely: they depend on thread interleaving.
-        .cycle_source(o.cycle_source)
-        .eval_mode(o.common.eval)
-        .parallel(o.parallel);
-    if o.test_model == TestModel::Scan {
-        e = e.test_cost_model(ScanTestCostModel::default());
-    }
-    e = match o.strategy {
-        Strategy::Exhaustive => e.strategy(tta_core::search::Exhaustive),
-        Strategy::Neighbour => e.strategy(tta_core::search::Exhaustive::neighbour()),
-        Strategy::Random => e.strategy(tta_core::search::RandomSample),
-        Strategy::HillClimb => e.strategy(tta_core::search::HillClimb::default()),
-    };
-    if let Some(b) = o.budget {
-        e = e.budget(b);
-    }
-    if let Some(s) = o.seed {
-        e = e.seed(s);
-    }
-    if let Some(n) = o.threads {
-        e = e.threads(n);
-    }
-    if let Some(c) = &cache {
-        e = e.cache(c);
-    }
-    let result = e.run();
-    render_explore(&result, o.test_model, o.common.format, out)?;
+    let result = job.run(cache.as_ref(), None, None, None);
+    out.write_all(result.output.as_bytes())?;
     if let Some(d) = &result.delta {
         // Arena traffic is observability-only (counts vary with thread
         // interleaving under --parallel), so it goes to stderr with the
@@ -514,191 +209,89 @@ pub fn explore(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Res
             d.fold_carries, d.scratch_fallbacks, d.arena_hits, d.arena_misses, d.arena_evictions
         )?;
     }
-    warn_cache_status(&result, err)?;
+    if let Some(msg) = &result.flush_failure {
+        warn_flush_failure(msg, err)?;
+    }
     cache_report(&cache, err)
 }
 
-fn render_explore(
-    result: &ExploreResult,
-    test_model: TestModel,
-    format: Format,
+/// The `--remote` path: post the spec, stream progress to stderr, and
+/// emit the daemon's rendered document verbatim on stdout.
+fn explore_remote(
+    url: &str,
+    o: &ExploreOpts,
     out: &mut dyn Write,
+    err: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let s = &result.search;
-    match format {
-        Format::Table => {
-            writeln!(
-                out,
-                "strategy {}: visited {} of {} template points{}{}",
-                s.strategy,
-                s.evaluations,
-                s.space_len,
-                s.budget.map_or(String::new(), |b| format!(" (budget {b})")),
-                s.seed.map_or(String::new(), |v| format!(" (seed {v})")),
-            )?;
-            if result.lift == LiftMode::Full {
-                writeln!(
-                    out,
-                    "lift full: test axis ({}) swept as a third objective; \
-                     the front below is the true 3-D front",
-                    test_model.label()
-                )?;
-            }
-            writeln!(
-                out,
-                "explored {} feasible points ({} infeasible) over [{}]; {} on the Pareto front",
-                result.evaluated.len(),
-                result.infeasible,
-                result.workloads.join(", "),
-                result.pareto.len()
-            )?;
-            let mut t = TextTable::new(["architecture", "area [GE]", "exec time", "test cost"]);
-            let mut front = result.pareto_points();
-            front.sort_by(|a, b| a.area().total_cmp(&b.area()));
-            for e in front {
-                t.row([
-                    e.architecture.name.clone(),
-                    format!("{:.0}", e.area()),
-                    format!("{:.0}", e.exec_time()),
-                    e.test_cost().map_or("-".into(), |c| format!("{c:.0}")),
-                ]);
-            }
-            writeln!(out, "{t}")?;
-            writeln!(out, "per-workload breakdown:")?;
-            let mut b = TextTable::new(["workload", "weight", "blocked", "cycles@selected"]);
-            for row in result.workload_breakdown() {
-                b.row([
-                    row.name.to_string(),
-                    format!("{}", row.weight),
-                    row.blocked.to_string(),
-                    row.selected_cycles.map_or("-".into(), |c| c.to_string()),
-                ]);
-            }
-            writeln!(out, "{b}")?;
-            let best = result.try_select_equal_weights();
-            if let Some(best) = best {
-                writeln!(out, "selected (equal-weight Euclid): {}", best.architecture)?;
-            }
-            if let Some(d) = &result.delta {
-                writeln!(
-                    out,
-                    "delta engine: {} fold carries, {} scratch refolds",
-                    d.fold_carries, d.scratch_fallbacks
-                )?;
-            }
-        }
-        Format::Json => {
-            let mut front = result.pareto_points();
-            front.sort_by(|a, b| a.area().total_cmp(&b.area()));
-            let selected = result.try_select_equal_weights();
-            let doc = json::object([
-                ("command", json::string("explore")),
-                ("lift", json::string(result.lift.label())),
-                ("test_model", json::string(test_model.label())),
-                ("search", {
-                    let mut fields = vec![
-                        ("strategy", json::string(&s.strategy)),
-                        (
-                            "budget",
-                            s.budget
-                                .map_or_else(|| "null".into(), |b| json::int(b as u64)),
-                        ),
-                        ("seed", s.seed.map_or_else(|| "null".into(), json::int)),
-                        ("space_points", json::int(s.space_len as u64)),
-                        ("evaluations", json::int(s.evaluations as u64)),
-                    ];
-                    // Fold-carry accounting for the incremental engine —
-                    // deterministic per run (it is computed in a serial
-                    // pre-pass), absent under `--eval scratch`. The
-                    // scratch-vs-delta byte-identity checks strip it.
-                    if let Some(d) = &result.delta {
-                        fields.push((
-                            "delta",
-                            json::object([
-                                ("fold_carries", json::int(d.fold_carries)),
-                                ("scratch_fallbacks", json::int(d.scratch_fallbacks)),
-                            ]),
-                        ));
-                    }
-                    json::object(fields)
-                }),
-                (
-                    "workloads",
-                    json::array(result.workload_breakdown().iter().map(|b| {
-                        json::object([
-                            ("name", json::string(b.name)),
-                            ("weight", json::number(b.weight)),
-                            ("blocked", json::int(b.blocked as u64)),
-                            (
-                                "selected_cycles",
-                                b.selected_cycles.map_or_else(|| "null".into(), json::int),
-                            ),
-                        ])
-                    })),
-                ),
-                ("evaluated", json::int(result.evaluated.len() as u64)),
-                ("infeasible", json::int(result.infeasible as u64)),
-                (
-                    "front",
-                    json::array(front.iter().map(|e| front_point_json(e))),
-                ),
-                (
-                    "selected",
-                    selected.map_or_else(|| "null".into(), front_point_json),
-                ),
-            ]);
-            writeln!(out, "{doc}")?;
-        }
-        Format::Csv => {
-            // Strategy metadata rides along as a comment line, so a
-            // sampled front in a results directory is never mistaken
-            // for an exhaustive one.
-            writeln!(
-                out,
-                "# strategy={} budget={} seed={} space_points={} evaluations={} lift={} test_model={}",
-                s.strategy,
-                s.budget.map_or("none".into(), |b| b.to_string()),
-                s.seed.map_or("none".into(), |v| v.to_string()),
-                s.space_len,
-                s.evaluations,
-                result.lift.label(),
-                test_model.label(),
-            )?;
-            for b in result.workload_breakdown() {
-                writeln!(
-                    out,
-                    "# workload={} weight={} blocked={}",
-                    b.name, b.weight, b.blocked
-                )?;
-            }
-            write!(
-                out,
-                "architecture,area,exec_time,cycles,spills,on_front,test_cost"
-            )?;
-            for name in &result.workloads {
-                write!(out, ",cycles:{name}")?;
-            }
-            writeln!(out)?;
-            for (i, e) in result.evaluated.iter().enumerate() {
-                write!(
-                    out,
-                    "{},{},{},{},{},{},{}",
-                    e.architecture.name,
-                    e.area(),
-                    e.exec_time(),
-                    e.cycles,
-                    e.spills,
-                    u8::from(result.is_on_front(i)),
-                    e.test_cost().map_or(String::new(), |c| c.to_string()),
-                )?;
-                for c in &e.workload_cycles {
-                    write!(out, ",{c}")?;
-                }
-                writeln!(out)?;
-            }
-        }
+    if o.common.cache_dir.is_some() || o.common.resume {
+        return Err(CliError::usage(
+            "--cache-dir/--resume are local options; with --remote the daemon owns the warm cache",
+        ));
+    }
+    let summary = run_remote(url, &o.spec, out, err).map_err(CliError::runtime)?;
+    writeln!(
+        err,
+        "remote job {}: {} evaluations, {} on the front, cache {}",
+        summary.job, summary.evaluations, summary.front, summary.cache
+    )?;
+    if let Some(msg) = &summary.flush_failure {
+        warn_flush_failure(msg, err)?;
+    }
+    if summary.cancelled {
+        writeln!(
+            err,
+            "remote job {} was cancelled server-side; the output above is the partial render",
+            summary.job
+        )?;
     }
     Ok(())
+}
+
+/// `ttadse serve`: the sweep daemon. Serves until SIGTERM/SIGINT or
+/// `POST /shutdown`, then drains jobs, flushes the warm cache and
+/// exits 0.
+pub fn serve_cmd(
+    args: &[String],
+    _out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut workers = 2usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        match arg.as_str() {
+            "--addr" => addr = cursor.value_for("--addr")?,
+            "--workers" => workers = cursor.parse_for("--workers")?,
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(cursor.value_for("--cache-dir")?));
+            }
+            other => return Err(unknown_flag("serve", other)),
+        }
+    }
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+    let cache = match &cache_dir {
+        Some(dir) => SweepCache::open(dir).map_err(|e| {
+            CliError::runtime(format!("cannot open cache dir {}: {e}", dir.display()))
+        })?,
+        None => SweepCache::in_memory(),
+    };
+    install_signal_handlers();
+    let server = Server::bind(&addr, workers, cache)
+        .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+    let bound = server.local_addr()?;
+    writeln!(
+        err,
+        "ttadse serve: listening on {bound} ({workers} workers, cache: {})",
+        cache_dir
+            .as_deref()
+            .map_or_else(|| "in-memory".into(), |d| d.display().to_string())
+    )?;
+    server
+        .run()
+        .map_err(|e| CliError::runtime(format!("serve failed: {e}")))
 }
 
 // ---------------------------------------------------------------------

@@ -22,8 +22,12 @@
 use std::io::Write;
 
 mod commands;
-pub mod json;
 pub mod opts;
+
+// The deterministic JSON renderer moved into `tta_serve` (the daemon
+// needs it for byte-stable wire documents); re-exported so existing
+// `ttadse_cli::json` users keep compiling.
+pub use tta_serve::json;
 
 /// A CLI failure: what to print and which exit code to use.
 #[derive(Debug)]
@@ -82,6 +86,7 @@ USAGE:
 
 SUBCOMMANDS:
     explore   Run one exploration sweep end to end
+    serve     Run the sweep daemon (`explore --remote URL` submits to it)
     workloads List workloads/suites, or `compare` selections across suites
     sim       Execute a workload or program on the cycle-accurate simulator
     asm       Canonicalise a move-program file (assemble + disassemble)
@@ -127,6 +132,17 @@ EXPLORE FLAGS:
     --bus-area X           Interconnect model: bus area per bit [GE]
     --bus-delay X          Interconnect model: clock penalty per bus
     --control-area X       Interconnect model: area per instruction bit [GE]
+    --remote URL           Submit the sweep to a `ttadse serve` daemon and
+                           stream it; stdout is byte-identical to a local run
+    --priority N           Daemon queue priority (higher runs first; only
+                           meaningful with --remote)
+
+SERVE FLAGS:
+    --addr HOST:PORT       Listen address (default 127.0.0.1:7878; port 0
+                           picks an ephemeral port, reported on stderr)
+    --workers N            Concurrent sweep jobs (default 2)
+    --cache-dir DIR        Persistent warm cache shared by every job
+                           (default: in-memory for the daemon's lifetime)
 
 FIG8 FLAGS:
     --full                 Co-explore the test axis (3-D sweep) and report the
@@ -172,6 +188,7 @@ pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
     };
     match cmd.as_str() {
         "explore" => commands::explore(rest, out, err),
+        "serve" => commands::serve_cmd(rest, out, err),
         "workloads" => commands::workloads_cmd(rest, out, err),
         "sim" => commands::sim_cmd(rest, out, err),
         "asm" => commands::asm_cmd(rest, out, err),

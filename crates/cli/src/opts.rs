@@ -11,30 +11,13 @@ use tta_core::explore::EvalMode;
 
 use crate::CliError;
 
-/// Structured output selector (`--format`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Format {
-    /// Human-readable tables (the default).
-    #[default]
-    Table,
-    /// One JSON document on stdout, byte-identical for identical
-    /// results.
-    Json,
-    /// Comma-separated rows with a header line.
-    Csv,
-}
+// The `--format` selector now lives with the job spec (the daemon
+// accepts the same values over the wire); the CLI re-exports it so the
+// subcommands keep their `opts::Format` spelling.
+pub use tta_serve::spec::Format;
 
-impl Format {
-    fn parse(s: &str) -> Result<Format, CliError> {
-        match s {
-            "table" => Ok(Format::Table),
-            "json" => Ok(Format::Json),
-            "csv" => Ok(Format::Csv),
-            other => Err(CliError::usage(format!(
-                "unknown --format {other:?} (expected table, json or csv)"
-            ))),
-        }
-    }
+fn parse_format(s: &str) -> Result<Format, CliError> {
+    Format::parse(s).map_err(|e| CliError::usage(format!("--format: {e}")))
 }
 
 /// Options every sweep-running subcommand understands.
@@ -107,7 +90,7 @@ impl CommonOpts {
         match arg {
             "--fast" => self.fast = true,
             "--paper" => self.fast = false,
-            "--format" => self.format = Format::parse(&cursor.value_for("--format")?)?,
+            "--format" => self.format = parse_format(&cursor.value_for("--format")?)?,
             "--cache-dir" => self.cache_dir = Some(PathBuf::from(cursor.value_for("--cache-dir")?)),
             "--resume" => self.resume = true,
             "--eval" => self.eval = parse_eval(&cursor.value_for("--eval")?)?,
@@ -187,6 +170,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_format() {
-        assert!(Format::parse("yaml").is_err());
+        let e = parse_format("yaml").unwrap_err();
+        assert_eq!(e.exit_code, 2);
+        assert!(e.message.contains("--format"));
     }
 }

@@ -80,7 +80,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tta_arch::Architecture;
 use tta_workloads::Workload;
@@ -274,12 +274,35 @@ enum Kind {
 // The cache
 // ---------------------------------------------------------------------
 
+/// Number of independent lock shards the in-memory map is split over.
+/// Entries are assigned by the low bits of their content address —
+/// FNV-1a output, so the low nibble is uniformly distributed — which
+/// lets concurrent sweeps (the serve daemon runs many jobs against one
+/// process-wide cache) proceed without serialising on a single mutex.
+const SHARDS: usize = 16;
+
+/// Shard index of a content address (kind-independent: `E` and `T`
+/// entries for the same point land in the same shard, which keeps a
+/// point's full record under one lock).
+fn shard_of(key: u64) -> usize {
+    (key & (SHARDS as u64 - 1)) as usize
+}
+
 /// A persistent, thread-safe evaluation cache (see the [module
 /// docs](self) for the design and the on-disk format).
+///
+/// The in-memory map is split over 16 lock shards keyed by
+/// the low bits of the content address, so concurrent jobs sharing one
+/// warm cache contend only when their chunks touch the same shard. All
+/// shard locks are *poison-tolerant*: a panicking evaluation thread
+/// (the serve daemon isolates worker panics with `catch_unwind`) never
+/// renders the shared cache unusable — the map data is always in a
+/// consistent state when a lock is released, because no cache method
+/// leaves an entry half-written.
 #[derive(Debug)]
 pub struct SweepCache {
     path: PathBuf,
-    entries: Mutex<HashMap<(Kind, u64), Entry>>,
+    shards: [Mutex<HashMap<(Kind, u64), Entry>>; SHARDS],
     dirty: std::sync::atomic::AtomicBool,
     /// `(len, mtime)` of the on-disk file as of the last load or flush —
     /// an rsync-style quick check so chunked flushes skip re-parsing a
@@ -328,9 +351,14 @@ impl SweepCache {
                 None => (HashMap::new(), None),
             },
         };
+        let mut shards: [HashMap<(Kind, u64), Entry>; SHARDS] =
+            std::array::from_fn(|_| HashMap::new());
+        for (k, v) in entries {
+            shards[shard_of(k.1)].insert(k, v);
+        }
         Ok(SweepCache {
             path,
-            entries: Mutex::new(entries),
+            shards: shards.map(Mutex::new),
             dirty: std::sync::atomic::AtomicBool::new(false),
             disk_state: Mutex::new(disk_state),
             hits: AtomicU64::new(0),
@@ -345,13 +373,30 @@ impl SweepCache {
     pub fn in_memory() -> SweepCache {
         SweepCache {
             path: PathBuf::new(),
-            entries: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             dirty: std::sync::atomic::AtomicBool::new(false),
             disk_state: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             reads: AtomicU64::new(0),
         }
+    }
+
+    /// Locks shard `i`, shrugging off poison: the map data protected by
+    /// a shard lock is never left half-written (every cache method
+    /// completes its single map operation before anything that can
+    /// panic), so a poisoned guard's contents are safe to keep serving.
+    /// Without this, one panicking job in a long-lived daemon would
+    /// permanently wedge every later job on `PoisonError`.
+    fn shard(&self, i: usize) -> MutexGuard<'_, HashMap<(Kind, u64), Entry>> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Locks the shard owning `key`.
+    fn shard_for(&self, key: u64) -> MutexGuard<'_, HashMap<(Kind, u64), Entry>> {
+        self.shard(shard_of(key))
     }
 
     /// The on-disk file this cache persists to (empty for
@@ -364,12 +409,7 @@ impl SweepCache {
     /// the operation counts as one read.
     pub fn lookup_eval(&self, key: u64) -> Option<EvalEntry> {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let found = match self
-            .entries
-            .lock()
-            .expect("cache lock")
-            .get(&(Kind::Eval, key))
-        {
+        let found = match self.shard_for(key).get(&(Kind::Eval, key)) {
             Some(Entry::Eval(e)) => Some(e.clone()),
             _ => None,
         };
@@ -377,28 +417,35 @@ impl SweepCache {
         found
     }
 
-    /// Looks up a whole batch of sweep evaluations under **one** lock
-    /// acquisition — the sweep engine prefetches each planned chunk
-    /// this way instead of probing the cache once per point inside the
-    /// hot loop. Per-key hit/miss counters are updated exactly as `n`
-    /// individual [`SweepCache::lookup_eval`] calls would, but the
-    /// whole batch counts as a single read
-    /// ([`SweepCache::reads`]).
+    /// Looks up a whole batch of sweep evaluations, acquiring each
+    /// *touched shard's* lock exactly once — the sweep engine
+    /// prefetches each planned chunk this way instead of probing the
+    /// cache once per point inside the hot loop. Per-key hit/miss
+    /// counters are updated exactly as `n` individual
+    /// [`SweepCache::lookup_eval`] calls would, but the whole batch
+    /// counts as a single read ([`SweepCache::reads`]).
     pub fn lookup_eval_batch(&self, keys: &[u64]) -> Vec<Option<EvalEntry>> {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let entries = self.entries.lock().expect("cache lock");
+        // Group key positions per shard so each shard lock is taken at
+        // most once per batch, then answered in input order.
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (pos, &key) in keys.iter().enumerate() {
+            by_shard[shard_of(key)].push(pos);
+        }
+        let mut out: Vec<Option<EvalEntry>> = vec![None; keys.len()];
         let mut hits = 0u64;
-        let out: Vec<Option<EvalEntry>> = keys
-            .iter()
-            .map(|&key| match entries.get(&(Kind::Eval, key)) {
-                Some(Entry::Eval(e)) => {
+        for (i, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard = self.shard(i);
+            for &pos in positions {
+                if let Some(Entry::Eval(e)) = shard.get(&(Kind::Eval, keys[pos])) {
                     hits += 1;
-                    Some(e.clone())
+                    out[pos] = Some(e.clone());
                 }
-                _ => None,
-            })
-            .collect();
-        drop(entries);
+            }
+        }
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses
             .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
@@ -411,10 +458,7 @@ impl SweepCache {
     /// lookup.
     pub fn contains_eval(&self, key: u64) -> bool {
         matches!(
-            self.entries
-                .lock()
-                .expect("cache lock")
-                .get(&(Kind::Eval, key)),
+            self.shard_for(key).get(&(Kind::Eval, key)),
             Some(Entry::Eval(_))
         )
     }
@@ -428,12 +472,7 @@ impl SweepCache {
     /// pass, where an entry missing its test field still needs its
     /// component keys annotated.
     pub fn contains_eval_with_test(&self, key: u64, test_fp: u64) -> bool {
-        match self
-            .entries
-            .lock()
-            .expect("cache lock")
-            .get(&(Kind::Eval, key))
-        {
+        match self.shard_for(key).get(&(Kind::Eval, key)) {
             Some(Entry::Eval(EvalEntry::Infeasible { .. })) => true,
             Some(Entry::Eval(EvalEntry::Feasible {
                 test: Some((fp, _)),
@@ -448,10 +487,7 @@ impl SweepCache {
     /// [`SweepCache::contains_eval`].
     pub fn contains_test(&self, key: u64) -> bool {
         matches!(
-            self.entries
-                .lock()
-                .expect("cache lock")
-                .get(&(Kind::Test, key)),
+            self.shard_for(key).get(&(Kind::Test, key)),
             Some(Entry::Test(_))
         )
     }
@@ -459,9 +495,7 @@ impl SweepCache {
     /// Stores a sweep evaluation (in memory; [`SweepCache::flush`]
     /// persists).
     pub fn store_eval(&self, key: u64, entry: EvalEntry) {
-        self.entries
-            .lock()
-            .expect("cache lock")
+        self.shard_for(key)
             .insert((Kind::Eval, key), Entry::Eval(entry));
         self.dirty.store(true, Ordering::Release);
     }
@@ -469,12 +503,7 @@ impl SweepCache {
     /// Looks up a lifted test-cost total (exact bit pattern). One read.
     pub fn lookup_test(&self, key: u64) -> Option<f64> {
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let found = match self
-            .entries
-            .lock()
-            .expect("cache lock")
-            .get(&(Kind::Test, key))
-        {
+        let found = match self.shard_for(key).get(&(Kind::Test, key)) {
             Some(Entry::Test(bits)) => Some(f64::from_bits(*bits)),
             _ => None,
         };
@@ -484,9 +513,7 @@ impl SweepCache {
 
     /// Stores a lifted test-cost total.
     pub fn store_test(&self, key: u64, total: f64) {
-        self.entries
-            .lock()
-            .expect("cache lock")
+        self.shard_for(key)
             .insert((Kind::Test, key), Entry::Test(total.to_bits()));
         self.dirty.store(true, Ordering::Release);
     }
@@ -522,8 +549,10 @@ impl SweepCache {
     }
 
     /// Number of entries currently held (evaluations + test lifts).
+    /// Shards are counted one at a time, so the total is a consistent
+    /// snapshot only when no writer is concurrently storing.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        (0..SHARDS).map(|i| self.shard(i).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -546,18 +575,29 @@ impl SweepCache {
         if self.path.as_os_str().is_empty() || !self.dirty.load(Ordering::Acquire) {
             return Ok(());
         }
-        let mut entries = self.entries.lock().expect("cache lock");
-        let mut disk_state = self.disk_state.lock().expect("cache lock");
+        // All shard locks are taken in index order (every whole-cache
+        // operation uses this order, so two concurrent flushes cannot
+        // deadlock) and held for the duration: the flushed file is a
+        // consistent snapshot even while other jobs keep storing.
+        let mut shards: Vec<MutexGuard<'_, HashMap<(Kind, u64), Entry>>> =
+            (0..SHARDS).map(|i| self.shard(i)).collect();
+        let mut disk_state = self
+            .disk_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         // Merge from disk only when another writer has plausibly touched
         // the file since we last read or wrote it.
         if stat_sig(&self.path) != *disk_state {
             if let Some(disk) = load_entries(&self.path, HEADER) {
                 for (k, v) in disk {
-                    entries.entry(k).or_insert(v);
+                    shards[shard_of(k.1)].entry(k).or_insert(v);
                 }
             }
         }
-        let mut lines: Vec<String> = entries.iter().map(|(k, v)| render_line(k, v)).collect();
+        let mut lines: Vec<String> = shards
+            .iter()
+            .flat_map(|shard| shard.iter().map(|(k, v)| render_line(k, v)))
+            .collect();
         // Deterministic file contents: sort lines, not hash order.
         lines.sort_unstable();
         let mut body = String::with_capacity(lines.len() * 48 + HEADER.len() + 1);
@@ -590,9 +630,14 @@ impl SweepCache {
     /// Returns the underlying [`io::Error`] when the cache file exists
     /// but cannot be removed.
     pub fn invalidate(&self) -> io::Result<()> {
-        self.entries.lock().expect("cache lock").clear();
+        for i in 0..SHARDS {
+            self.shard(i).clear();
+        }
         self.dirty.store(false, Ordering::Release);
-        *self.disk_state.lock().expect("cache lock") = None;
+        *self
+            .disk_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
         if !self.path.as_os_str().is_empty() && self.path.exists() {
             fs::remove_file(&self.path)?;
         }
@@ -961,6 +1006,52 @@ mod tests {
         assert!(cache.is_empty());
         assert!(!cache.path().exists());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_lookup_spans_shards_in_one_read() {
+        let cache = SweepCache::in_memory();
+        // Keys 0..64 cover every shard four times over.
+        for k in 0..64u64 {
+            cache.store_eval(k, EvalEntry::Infeasible { blocked: None });
+        }
+        let keys: Vec<u64> = (0..128u64).rev().collect();
+        let out = cache.lookup_eval_batch(&keys);
+        assert_eq!(
+            cache.reads(),
+            1,
+            "one batch is one read, however many shards"
+        );
+        for (pos, &key) in keys.iter().enumerate() {
+            assert_eq!(out[pos].is_some(), key < 64, "answers stay in input order");
+        }
+        assert_eq!(cache.hits(), 64);
+        assert_eq!(cache.misses(), 64);
+    }
+
+    #[test]
+    fn concurrent_writers_over_shared_shards_lose_nothing() {
+        let cache = SweepCache::in_memory();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for k in 0..256u64 {
+                        // Overlapping key ranges: every thread stores the
+                        // same 256 keys (same values), racing per shard.
+                        cache.store_eval(k, EvalEntry::Infeasible { blocked: None });
+                        cache.store_test(k.wrapping_mul(0x9E37_79B9), 1.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 512);
+        for k in 0..256u64 {
+            assert_eq!(
+                cache.lookup_eval(k),
+                Some(EvalEntry::Infeasible { blocked: None })
+            );
+        }
     }
 
     #[test]

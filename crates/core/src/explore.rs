@@ -98,7 +98,7 @@
 //! assert!(wider > area);
 //! ```
 
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use tta_arch::template::TemplateSpace;
@@ -122,7 +122,9 @@ use crate::models::{
 use crate::norm::{select, Norm, Weights};
 use crate::parallel::{default_threads, par_map};
 use crate::pareto::{pareto_front, ParetoArchive};
-use crate::search::{Exhaustive, Observation, SearchContext, SearchStrategy, WalkOrder};
+use crate::search::{
+    Exhaustive, Observation, SearchCheckpoint, SearchState, SearchStrategy, WalkOrder,
+};
 
 // ---------------------------------------------------------------------
 // Objectives
@@ -429,6 +431,66 @@ pub enum CacheStatus {
     FlushFailed(String),
 }
 
+/// Cooperative cancellation handle for a running exploration.
+///
+/// Clone the token, hand one copy to [`Exploration::cancel_token`] and
+/// keep the other; calling [`CancelToken::cancel`] (from any thread)
+/// makes the sweep stop at its next cancellation point — between
+/// evaluation chunks, or before the next strategy round — rather than
+/// running its in-flight batch to completion. A cancelled run still
+/// returns a complete, internally consistent [`ExploreResult`] over
+/// whatever it evaluated, with [`ExploreResult::cancelled`] set and a
+/// [`SearchCheckpoint`] a later run can resume from
+/// ([`Exploration::resume_search`]).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Requests cancellation. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// The boxed observer callback installed via [`Exploration::progress`].
+type ProgressObserver<'db> = Box<dyn FnMut(&SweepProgress) + 'db>;
+
+/// A live snapshot of a running sweep, delivered to the observer
+/// installed via [`Exploration::progress`] after every evaluated chunk.
+///
+/// Everything here is observability: the callback can stream it to a
+/// client, log it, or use it to decide to [`CancelToken::cancel`] —
+/// none of it feeds back into evaluation, so installing an observer
+/// never changes a single result bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepProgress {
+    /// Strategy rounds started so far.
+    pub round: usize,
+    /// Points evaluated so far (feasible + infeasible).
+    pub visited: usize,
+    /// Feasible points so far.
+    pub feasible: usize,
+    /// Infeasible points so far.
+    pub infeasible: usize,
+    /// Current size of the streaming Pareto front.
+    pub front: usize,
+    /// Total number of points in the template space.
+    pub space_len: usize,
+    /// Incremental-engine counters at this instant (`Some` under
+    /// [`EvalMode::Delta`]); see [`ExploreResult::delta`].
+    pub delta: Option<DeltaStats>,
+}
+
 /// Failure modes of [`Exploration::try_run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExploreError {
@@ -529,6 +591,17 @@ pub struct ExploreResult {
     /// a parallel sweep may count arena traffic differently from a
     /// serial one while producing identical objectives.
     pub delta: Option<DeltaStats>,
+    /// Whether the run stopped at a cancellation point
+    /// ([`Exploration::cancel_token`]) before the strategy was done.
+    /// Everything else on the result covers exactly what *was*
+    /// evaluated; renderers treat a cancelled result like any other.
+    pub cancelled: bool,
+    /// A resumable trajectory snapshot — `Some` exactly when the run
+    /// was cancelled. Feed it to [`Exploration::resume_search`] to
+    /// continue: with a warm cache the visited prefix replays without
+    /// re-scheduling, and stateless strategies finish bit-identically
+    /// to an uninterrupted run.
+    pub checkpoint: Option<SearchCheckpoint>,
 }
 
 /// Per-workload slice of an exploration — one row of
@@ -704,6 +777,9 @@ pub struct Exploration<'db> {
     lift: LiftMode,
     cycle_source: CycleSource,
     eval_mode: EvalMode,
+    cancel: Option<CancelToken>,
+    progress: Option<ProgressObserver<'db>>,
+    resume_from: Option<SearchCheckpoint>,
 }
 
 /// The engine materialises and evaluates batches in chunks of this many
@@ -711,8 +787,11 @@ pub struct Exploration<'db> {
 /// (even the exhaustive whole-space batch streams through bounded
 /// memory), and with a cache attached each chunk is persisted as it
 /// completes, so an interrupted paper-scale run resumes from the last
-/// completed chunk rather than from scratch.
-const CACHE_FLUSH_CHUNK: usize = 64;
+/// completed chunk rather than from scratch. The chunk boundary is also
+/// the engine's cancellation and progress-reporting grain: a cancelled
+/// run ([`Exploration::cancel_token`]) stops at most this many points
+/// after the request.
+pub const CACHE_FLUSH_CHUNK: usize = 64;
 
 impl<'db> Exploration<'db> {
     /// Starts a pipeline over `space` with the paper's default models
@@ -737,6 +816,9 @@ impl<'db> Exploration<'db> {
             lift: LiftMode::default(),
             cycle_source: CycleSource::default(),
             eval_mode: EvalMode::default(),
+            cancel: None,
+            progress: None,
+            resume_from: None,
         }
     }
 
@@ -917,6 +999,41 @@ impl<'db> Exploration<'db> {
         self
     }
 
+    /// Installs a cooperative cancellation token (see [`CancelToken`]):
+    /// cancelling it stops the sweep at the next chunk boundary — at
+    /// most [`CACHE_FLUSH_CHUNK`] points late — instead of running the
+    /// in-flight batch to completion. The cancelled run still returns a
+    /// consistent partial [`ExploreResult`] carrying a
+    /// [`SearchCheckpoint`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Installs a progress observer, called after every evaluated chunk
+    /// with a [`SweepProgress`] snapshot (live front size, visit
+    /// counts, incremental-engine counters). Pure observability: the
+    /// callback cannot change any result bit — though it may share a
+    /// [`CancelToken`] with the run and cancel it.
+    pub fn progress(mut self, observer: impl FnMut(&SweepProgress) + 'db) -> Self {
+        self.progress = Some(Box::new(observer));
+        self
+    }
+
+    /// Re-seeds the run from a cancelled run's
+    /// [`ExploreResult::checkpoint`]. The checkpointed indices replay
+    /// through the normal evaluation pipeline *before* the strategy
+    /// plans anything — with a warm [`SweepCache`] the replay is pure
+    /// cache hits — and the strategy then continues with those points
+    /// already seen. For the stateless strategies (exhaustive,
+    /// neighbour, random) the resumed result is bit-identical to an
+    /// uninterrupted run; see [`SearchCheckpoint`] for the `HillClimb`
+    /// caveat.
+    pub fn resume_search(mut self, checkpoint: SearchCheckpoint) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
+
     fn thread_count(&self) -> usize {
         if !self.parallel {
             return 1;
@@ -1077,19 +1194,35 @@ impl<'db> Exploration<'db> {
         let mut evaluated: Vec<EvaluatedArch> = Vec::new();
         let mut blocked: Vec<usize> = vec![0; workloads.len()];
         let mut eval_space_index: Vec<usize> = Vec::new();
-        let mut observations: Vec<Observation> = Vec::new();
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut state = SearchState::new();
         let mut archive = ParetoArchive::new();
         let mut infeasible = 0usize;
-        let mut rounds = 0usize;
         let lift = self.lift;
         let cycle_source = self.cycle_source;
+        let cancel = self.cancel.take();
+        let mut progress = self.progress.take();
+        // A checkpointed trajectory replays its visited indices through
+        // the normal pipeline before the strategy plans anything: with a
+        // warm cache the replay is pure hits, the observation log and
+        // archive are rebuilt exactly, and the strategy then continues
+        // from round 0 with the replayed points already claimed.
+        let mut replay: Option<Vec<usize>> = self.resume_from.take().map(|cp| cp.indices());
         // First flush failure, if any — reported via CacheStatus, never
         // allowed to abort the sweep.
         let mut flush_error: Option<String> = None;
+        let mut was_cancelled = false;
+        // Points replayed from a checkpoint are budget-free: the
+        // interrupted run already paid for them, and charging them again
+        // would make a resumed budgeted sweep propose fewer fresh points
+        // than the uninterrupted run it must match bit-for-bit.
+        let mut replayed = 0usize;
 
-        loop {
-            let remaining = budget.saturating_sub(seen.len());
+        'search: loop {
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                was_cancelled = true;
+                break;
+            }
+            let remaining = budget.saturating_sub(state.visited().saturating_sub(replayed));
             if remaining == 0 {
                 break;
             }
@@ -1098,27 +1231,36 @@ impl<'db> Exploration<'db> {
                 .iter()
                 .map(|&id| eval_space_index[id])
                 .collect();
-            let ctx = SearchContext::new(
-                space,
-                seed,
-                rounds,
-                remaining,
-                &observations,
-                &front_spaces,
-                &seen,
-            );
-            let batch = strategy.next_batch(&ctx);
+            let replaying = replay.is_some();
+            let batch = match replay.take() {
+                // The replay batch bypasses the strategy and spends no
+                // round: once it is evaluated, the strategy plans from
+                // round 0 exactly as in an uninterrupted run.
+                Some(batch) => batch,
+                None => {
+                    let ctx = state.context(space, seed, remaining, &front_spaces);
+                    strategy.next_batch(&ctx)
+                }
+            };
             // Keep only in-range, never-seen proposals, within budget.
             let mut fresh: Vec<usize> = Vec::new();
             for i in batch {
-                if i < space_len && seen.insert(i) {
+                if i < space_len && state.claim(i) {
                     fresh.push(i);
                     if fresh.len() == remaining {
                         break;
                     }
                 }
             }
+            if replaying {
+                replayed += fresh.len();
+            }
             if fresh.is_empty() {
+                if replaying {
+                    // An empty (or fully filtered) replay must not end
+                    // the search — the strategy has not planned yet.
+                    continue;
+                }
                 break;
             }
             // A strategy may ask for its batches to be *evaluated* in
@@ -1131,13 +1273,23 @@ impl<'db> Exploration<'db> {
             if strategy.walk_order() == WalkOrder::Neighbour {
                 fresh.sort_by_key(|&i| space.neighbour_rank(i));
             }
-            rounds += 1;
+            if !replaying {
+                state.begin_round();
+            }
             // Materialise at most one chunk of architectures at a time
             // (indices are cheap, built points are not), so even the
             // exhaustive strategy's whole-space batch streams through
             // bounded memory instead of re-creating the old
             // `enumerate()` vector.
             for index_chunk in fresh.chunks(CACHE_FLUSH_CHUNK) {
+                // The cooperative cancellation point: a cancel request
+                // lands between chunks, so a cancelled run stops at
+                // most one chunk after the request — never after the
+                // whole in-flight batch.
+                if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    was_cancelled = true;
+                    break 'search;
+                }
                 let archs: Vec<Architecture> =
                     index_chunk.iter().map(|&i| space.point(i)).collect();
 
@@ -1369,7 +1521,7 @@ impl<'db> Exploration<'db> {
                             // points [area, time, test] — the archive
                             // streams whichever front the mode defines.
                             archive.try_insert(id, e.objectives.values());
-                            observations.push(Observation {
+                            state.record(Observation {
                                 index,
                                 objectives: Some((e.area(), e.exec_time())),
                             });
@@ -1381,14 +1533,30 @@ impl<'db> Exploration<'db> {
                             if let Some(w) = why {
                                 blocked[w] += 1;
                             }
-                            observations.push(Observation {
+                            state.record(Observation {
                                 index,
                                 objectives: None,
                             });
                         }
                     }
                 }
+
+                // Per-chunk progress: live telemetry for streaming
+                // clients. Observability only — the snapshot is built
+                // from state the chunk already produced.
+                if let Some(observer) = progress.as_mut() {
+                    observer(&SweepProgress {
+                        round: state.round(),
+                        visited: state.observations().len(),
+                        feasible: evaluated.len(),
+                        infeasible,
+                        front: archive.len(),
+                        space_len,
+                        delta: delta_snapshot(&delta_eval, &carry),
+                    });
+                }
             }
+            state.finish_round();
         }
 
         // The streaming archive *is* the mode's Pareto front — the 2-D
@@ -1461,18 +1629,7 @@ impl<'db> Exploration<'db> {
             }
         }
 
-        let delta = delta_eval.map(|eval| {
-            let (fold_carries, scratch_fallbacks) =
-                carry.as_ref().map_or((0, 0), |(c, _)| c.stats());
-            let (arena_hits, arena_misses, arena_evictions) = eval.arena_counters();
-            DeltaStats {
-                fold_carries,
-                scratch_fallbacks,
-                arena_hits,
-                arena_misses,
-                arena_evictions,
-            }
-        });
+        let delta = delta_snapshot(&delta_eval, &carry);
 
         let caching_active =
             eval_cache.is_some() || (lift == LiftMode::ParetoOnly && test_cache.is_some());
@@ -1498,12 +1655,14 @@ impl<'db> Exploration<'db> {
                 budget: self.budget,
                 seed: self.seed,
                 space_len,
-                evaluations: seen.len(),
-                rounds,
+                evaluations: state.observations().len(),
+                rounds: state.round(),
             },
             lift,
             cache_status,
             delta,
+            cancelled: was_cancelled,
+            checkpoint: was_cancelled.then(|| state.checkpoint()),
         })
     }
 
@@ -1544,6 +1703,27 @@ impl<'db> Exploration<'db> {
             }
         }
     }
+}
+
+/// The incremental-engine counters at one instant of a run: `Some`
+/// exactly under [`EvalMode::Delta`]; carried-fold counts when the
+/// carry engaged, zeros otherwise. Shared by the per-chunk
+/// [`SweepProgress`] snapshots and the final [`ExploreResult::delta`].
+fn delta_snapshot(
+    delta_eval: &Option<Arc<DeltaEvaluator>>,
+    carry: &Option<(CarriedFolds, Arc<DeltaEvaluator>)>,
+) -> Option<DeltaStats> {
+    delta_eval.as_ref().map(|eval| {
+        let (fold_carries, scratch_fallbacks) = carry.as_ref().map_or((0, 0), |(c, _)| c.stats());
+        let (arena_hits, arena_misses, arena_evictions) = eval.arena_counters();
+        DeltaStats {
+            fold_carries,
+            scratch_fallbacks,
+            arena_hits,
+            arena_misses,
+            arena_evictions,
+        }
+    })
 }
 
 /// The three resolved model slots plus the shared memo arena (present
@@ -2272,6 +2452,133 @@ mod tests {
         assert_eq!(cache.len(), after_sim, "warm model run added entries");
         assert_eq!(model.pareto, model2.pareto);
         assert_eq!(model.evaluated.len(), model2.evaluated.len());
+    }
+
+    #[test]
+    fn pre_cancelled_run_evaluates_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = Exploration::over(TemplateSpace::fast_default())
+            .workload(&suite::crypt(1))
+            .cancel_token(token)
+            .run();
+        assert!(result.cancelled);
+        assert_eq!(result.search.evaluations, 0);
+        assert!(result.evaluated.is_empty());
+        let cp = result
+            .checkpoint
+            .expect("cancelled runs carry a checkpoint");
+        assert!(cp.observations.is_empty());
+    }
+
+    #[test]
+    fn cancellation_stops_within_one_chunk_of_the_request() {
+        // Regression (PR 9): the batch loop used to have no cancellation
+        // check between chunks — cancelling a huge-space job only took
+        // effect after the entire in-flight batch. Cancel from the first
+        // progress callback; the run must stop before a second chunk.
+        let token = CancelToken::new();
+        let cancel = token.clone();
+        let result = Exploration::over(TemplateSpace::huge())
+            .workload(&suite::crypt(1))
+            .strategy(crate::search::Exhaustive::neighbour())
+            .cancel_token(token)
+            .progress(move |_| cancel.cancel())
+            .run();
+        assert!(result.cancelled);
+        assert!(result.search.evaluations >= 1);
+        assert!(
+            result.search.evaluations <= CACHE_FLUSH_CHUNK,
+            "cancelled after the first chunk must stop before the second: {}",
+            result.search.evaluations
+        );
+        let cp = result.checkpoint.expect("checkpoint");
+        assert_eq!(cp.observations.len(), result.search.evaluations);
+    }
+
+    #[test]
+    fn progress_streams_every_chunk_without_changing_results() {
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let spec = || {
+            Exploration::over(TemplateSpace::huge())
+                .workload(&w)
+                .with_db(&db)
+                .strategy(crate::search::Exhaustive::neighbour())
+                .budget(160)
+        };
+        let plain = spec().run();
+        let snaps: Arc<std::sync::Mutex<Vec<SweepProgress>>> = Arc::default();
+        let sink = Arc::clone(&snaps);
+        let observed = spec()
+            .progress(move |p| sink.lock().unwrap().push(p.clone()))
+            .run();
+        let snaps = snaps.lock().unwrap();
+        // One snapshot per chunk, monotone, ending at the final tally.
+        assert_eq!(snaps.len(), 160usize.div_ceil(CACHE_FLUSH_CHUNK));
+        assert!(snaps.windows(2).all(|w| w[0].visited < w[1].visited));
+        let last = snaps.last().unwrap();
+        assert_eq!(last.visited, observed.search.evaluations);
+        assert_eq!(last.feasible, observed.evaluated.len());
+        assert_eq!(last.infeasible, observed.infeasible);
+        assert_eq!(last.space_len, TemplateSpace::huge().len());
+        // The result's stats are snapshotted after the lift stage, which
+        // keeps using the memo arena — so the last chunk's snapshot
+        // agrees on the fold counters and lower-bounds the arena ones.
+        let (snap, fin) = (last.delta.unwrap(), observed.delta.unwrap());
+        assert_eq!(snap.fold_carries, fin.fold_carries);
+        assert_eq!(snap.scratch_fallbacks, fin.scratch_fallbacks);
+        assert!(snap.arena_hits <= fin.arena_hits);
+        // Observability only: the observer changes no result bit.
+        assert_eq!(observed.pareto, plain.pareto);
+        for (a, b) in observed.evaluated.iter().zip(&plain.evaluated) {
+            assert_eq!(a.objectives, b.objectives);
+        }
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted_bit_for_bit() {
+        use crate::cache::SweepCache;
+        let w = suite::crypt(1);
+        let db = ComponentDb::new();
+        let spec = || {
+            Exploration::over(TemplateSpace::huge())
+                .workload(&w)
+                .with_db(&db)
+                .strategy(crate::search::Exhaustive::neighbour())
+                .budget(160)
+        };
+        let full = spec().run();
+        // Interrupt a caching run after its first chunk…
+        let token = CancelToken::new();
+        let cancel = token.clone();
+        let cache = SweepCache::in_memory();
+        let partial = spec()
+            .cache(&cache)
+            .cancel_token(token)
+            .progress(move |_| cancel.cancel())
+            .run();
+        assert!(partial.cancelled);
+        let cp = partial.checkpoint.expect("checkpoint");
+        assert!(!cp.observations.is_empty());
+        assert!(cp.observations.len() < 160);
+        // …and resume it: the warm cache answers the replayed prefix
+        // and the final result is bit-identical to the uninterrupted
+        // run.
+        let before_resume = cache.misses();
+        let resumed = spec().cache(&cache).resume_search(cp).run();
+        assert!(!resumed.cancelled);
+        assert!(resumed.checkpoint.is_none());
+        assert_eq!(resumed.evaluated.len(), full.evaluated.len());
+        for (a, b) in resumed.evaluated.iter().zip(&full.evaluated) {
+            assert_eq!(a.architecture.name, b.architecture.name);
+            assert_eq!(a.objectives, b.objectives);
+        }
+        assert_eq!(resumed.pareto, full.pareto);
+        assert_eq!(resumed.search.evaluations, full.search.evaluations);
+        assert_eq!(resumed.search.rounds, full.search.rounds);
+        // The replayed prefix was answered from the warm cache.
+        assert!(cache.misses() - before_resume < 160);
     }
 
     #[test]

@@ -92,8 +92,9 @@ pub use backannotate::{ComponentDb, ComponentKey, ComponentRecord};
 pub use cache::SweepCache;
 pub use delta::{CarriedFolds, DeltaEvaluator, DeltaStats, PointCosts};
 pub use explore::{
-    CacheStatus, CycleSource, EvalMode, EvaluatedArch, Exploration, ExploreError, ExploreResult,
-    LiftMode, Objective, ObjectiveVector, SearchInfo, WorkloadBreakdown,
+    CacheStatus, CancelToken, CycleSource, EvalMode, EvaluatedArch, Exploration, ExploreError,
+    ExploreResult, LiftMode, Objective, ObjectiveVector, SearchInfo, SweepProgress,
+    WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
@@ -102,6 +103,9 @@ pub use models::{
 pub use norm::{Norm, Weights};
 pub use pareto::{pareto_front, ParetoArchive};
 pub use rfmem::{RfImplementationComparison, RfMemSpec};
-pub use search::{Exhaustive, HillClimb, NeighbourExhaustive, RandomSample, SearchStrategy};
+pub use search::{
+    Exhaustive, HillClimb, NeighbourExhaustive, RandomSample, SearchCheckpoint, SearchState,
+    SearchStrategy,
+};
 pub use testcost::{architecture_test_cost, ArchTestCost, ComponentTestCost};
 pub use testplan::{TestPhase, TestPlan};

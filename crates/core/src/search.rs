@@ -62,6 +62,129 @@ pub struct Observation {
     pub objectives: Option<(f64, f64)>,
 }
 
+/// A resumable snapshot of a search trajectory: which points were
+/// visited (in evaluation order, with their observed objectives) and
+/// how many strategy rounds had *completed* when the snapshot was
+/// taken.
+///
+/// Produced by a cancelled [`crate::explore::Exploration`] run
+/// ([`crate::explore::ExploreResult::checkpoint`]) and consumed by
+/// [`crate::explore::Exploration::resume_search`]: the resumed run
+/// replays the checkpointed indices through the normal evaluation
+/// pipeline first (a warm [`crate::cache::SweepCache`] answers them
+/// without re-scheduling), then hands control back to the strategy —
+/// so for the stateless strategies ([`Exhaustive`],
+/// [`NeighbourExhaustive`], [`RandomSample`]) a resumed run's final
+/// result is bit-identical to an uninterrupted one. [`HillClimb`]
+/// keeps private RNG state a checkpoint cannot capture: a resumed
+/// climb is still deterministic and never re-evaluates visited points,
+/// but its continuation trajectory may differ from the uninterrupted
+/// run's.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchCheckpoint {
+    /// Strategy rounds whose batches were fully evaluated.
+    pub round: usize,
+    /// Every evaluation up to the snapshot, in evaluation order.
+    pub observations: Vec<Observation>,
+}
+
+impl SearchCheckpoint {
+    /// The visited space indices, in evaluation order — exactly what a
+    /// resumed run replays.
+    pub fn indices(&self) -> Vec<usize> {
+        self.observations.iter().map(|o| o.index).collect()
+    }
+}
+
+/// The engine-owned mutable search trajectory: the round counter, the
+/// set of visited indices and the observation log that
+/// [`SearchContext`] borrows. Extracted from the exploration loop's
+/// locals so a running sweep can be snapshotted
+/// ([`SearchState::checkpoint`]) and a later run re-seeded from the
+/// snapshot — the mechanism behind both daemon job resume and CLI
+/// `--resume`.
+#[derive(Debug, Default)]
+pub struct SearchState {
+    round: usize,
+    completed_rounds: usize,
+    seen: HashSet<usize>,
+    observations: Vec<Observation>,
+}
+
+impl SearchState {
+    /// A fresh trajectory: nothing visited, round 0.
+    pub fn new() -> Self {
+        SearchState::default()
+    }
+
+    /// Rounds started so far (what [`SearchContext::round`] reports).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Marks the start of a strategy round.
+    pub fn begin_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// Marks the current round's batch as fully evaluated.
+    pub fn finish_round(&mut self) {
+        self.completed_rounds = self.round;
+    }
+
+    /// Points visited or claimed by an in-flight batch (budget
+    /// accounting: claimed points spend budget even if a cancellation
+    /// arrives before their chunk evaluates).
+    pub fn visited(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Every evaluation so far, in evaluation order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Claims `index` for evaluation; `false` when already claimed.
+    pub fn claim(&mut self, index: usize) -> bool {
+        self.seen.insert(index)
+    }
+
+    /// Appends one evaluation outcome.
+    pub fn record(&mut self, observation: Observation) {
+        self.observations.push(observation);
+    }
+
+    /// Builds the read-only view a strategy plans from.
+    pub fn context<'a>(
+        &'a self,
+        space: &'a TemplateSpace,
+        seed: u64,
+        remaining: usize,
+        front: &'a [usize],
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            space,
+            seed,
+            self.round,
+            remaining,
+            &self.observations,
+            front,
+            &self.seen,
+        )
+    }
+
+    /// Snapshots the trajectory: completed rounds plus the observation
+    /// log. Indices claimed by an interrupted batch but never evaluated
+    /// are deliberately *not* part of the snapshot — a resumed run
+    /// re-proposes and evaluates them normally.
+    pub fn checkpoint(&self) -> SearchCheckpoint {
+        SearchCheckpoint {
+            round: self.completed_rounds,
+            observations: self.observations.clone(),
+        }
+    }
+}
+
 /// Everything a strategy may consult when planning its next batch.
 ///
 /// Built fresh by the engine before each [`SearchStrategy::next_batch`]

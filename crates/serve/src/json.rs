@@ -1,11 +1,14 @@
 //! Minimal deterministic JSON rendering.
 //!
-//! The container has no serde, and the CLI's contract is stronger than
+//! The container has no serde, and the output contract is stronger than
 //! serde's anyway: *byte-identical* output for identical results (the
-//! warm-vs-cold cache acceptance check literally `diff`s two runs). So
-//! values are rendered by hand with a fixed field order, `\u{...}`-free
-//! minimal escaping, and Rust's shortest-roundtrip float formatting
-//! (identical bit pattern ⇒ identical text).
+//! warm-vs-cold cache acceptance check literally `diff`s two runs, and
+//! the serve daemon's remote output must match a local run byte for
+//! byte). So values are rendered by hand with a fixed field order,
+//! `\u{...}`-free minimal escaping, and Rust's shortest-roundtrip float
+//! formatting (identical bit pattern ⇒ identical text). The inverse
+//! direction — parsing job specs off the wire — lives in
+//! [`crate::jsonparse`].
 
 use std::fmt::Write;
 

@@ -1,0 +1,213 @@
+//! The daemon's job scheduler: a poison-tolerant priority queue.
+//!
+//! Ordering is deliberate and total: higher priority first, then
+//! *smaller* budget first (an unbudgeted sweep is treated as infinite —
+//! short interactive jobs slip past long batch sweeps of equal
+//! priority), then FIFO by admission sequence so equal jobs can never
+//! starve or reorder. Workers block on a condvar; [`Queue::close`]
+//! wakes them all for shutdown. Every lock acquisition shrugs off
+//! poisoning — a worker that panics mid-pop must not wedge the queue
+//! for the rest of the daemon's life (the fault-injection suite pins
+//! this).
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Scheduling key for one admitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rank {
+    priority: i64,
+    /// Stored inverted-by-comparison: smaller budgets rank higher.
+    budget: usize,
+    /// Admission sequence; smaller = earlier.
+    seq: u64,
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.budget.cmp(&self.budget))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Admitted<T> {
+    rank: Rank,
+    job: T,
+}
+
+impl<T> PartialEq for Admitted<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+    }
+}
+impl<T> Eq for Admitted<T> {}
+impl<T> PartialOrd for Admitted<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Admitted<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank.cmp(&other.rank)
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Admitted<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking priority queue of admitted jobs.
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Queue<T> {
+    fn default() -> Self {
+        Queue::new()
+    }
+}
+
+impl<T> Queue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Queue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a job. `budget` of `None` schedules as unbounded (last
+    /// among equal priorities). Returns `false` (dropping the job) if
+    /// the queue is closed.
+    pub fn push(&self, job: T, priority: i64, budget: Option<usize>) -> bool {
+        let mut inner = self.lock();
+        if inner.closed {
+            return false;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Admitted {
+            rank: Rank {
+                priority,
+                budget: budget.unwrap_or(usize::MAX),
+                seq,
+            },
+            job,
+        });
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available (returning the best-ranked one)
+    /// or the queue is closed and drained (returning `None` — the
+    /// worker's signal to exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(a) = inner.heap.pop() {
+                return Some(a.job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Takes a job without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock().heap.pop().map(|a| a.job)
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: refuses new jobs and wakes every blocked
+    /// worker. Already-queued jobs still drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn orders_by_priority_then_budget_then_fifo() {
+        let q = Queue::new();
+        q.push("batch", 0, None);
+        q.push("quick", 0, Some(8));
+        q.push("urgent", 5, None);
+        q.push("second-of-equals", 0, Some(8));
+        // seq breaks the tie between the two budget-8 jobs: "quick"
+        // was admitted first.
+        assert_eq!(q.pop(), Some("urgent"));
+        assert_eq!(q.pop(), Some("quick"));
+        assert_eq!(q.pop(), Some("second-of-equals"));
+        assert_eq!(q.pop(), Some("batch"));
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q: Arc<Queue<u32>> = Arc::new(Queue::new());
+        q.push(1, 0, None);
+        q.close();
+        assert!(!q.push(2, 0, None), "closed queue must refuse jobs");
+        assert_eq!(q.pop(), Some(1), "queued work drains after close");
+        assert_eq!(q.pop(), None, "then workers are released");
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_push_and_close() {
+        let q: Arc<Queue<u32>> = Arc::new(Queue::new());
+        let popped: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || q.pop())
+                })
+                .collect();
+            for i in 0..2 {
+                q.push(i, 0, None);
+            }
+            q.close();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let got: Vec<_> = popped.into_iter().flatten().collect();
+        assert_eq!(got.len(), 2, "two jobs served, two workers released");
+    }
+}
