@@ -28,6 +28,8 @@
 //! assert!(result.pattern_count() > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod collapse;
 pub mod fault;
 pub mod faultsim;

@@ -25,6 +25,7 @@ use tta_core::models::{
     TestCostModel, TimingModel,
 };
 use tta_core::{CarriedFolds, ComponentDb, DeltaEvaluator};
+use tta_netlist::{elaborate, timing, IncrementalElaborator};
 use tta_workloads::suite;
 
 struct SweepRow {
@@ -42,6 +43,95 @@ struct FoldRow {
     scratch_s: f64,
     delta_s: f64,
     incremental_s: f64,
+}
+
+struct FidelityRow {
+    space: &'static str,
+    points: usize,
+    walked: usize,
+    table_s: f64,
+    netlist_s: f64,
+    incremental_s: f64,
+}
+
+/// Times the area+clock axes per point under the two fidelities: the
+/// back-annotation `table` fold, a from-scratch gate-level elaboration
+/// (`elaborate` + loaded STA — what `--fidelity netlist` pays on a
+/// cold, non-neighbour walk), and the `IncrementalElaborator` along the
+/// same Gray-walk order, which rewinds to the first differing segment
+/// instead of rebuilding the whole point. An untimed pass first asserts
+/// the incremental netlists dump bit-identically to the from-scratch
+/// ones.
+fn time_fidelity_axis(
+    space: &'static str,
+    template: TemplateSpace,
+    db: &ComponentDb,
+    iters: usize,
+) -> FidelityRow {
+    eprintln!(
+        "fidelity axis over {space} space ({} points)...",
+        template.len()
+    );
+    let archs: Vec<_> = template
+        .neighbour_order()
+        .map(|i| template.point(i))
+        .collect();
+    let ic = InterconnectModel::paper();
+    let area = AnnotatedAreaModel::new(ic);
+    let clock = AnnotatedTimingModel::new(ic);
+
+    // Untimed bit-identity pass (also warms the annotation database on
+    // the table side so neither engine pays for it in the timed loop).
+    let mut inc = IncrementalElaborator::new();
+    for arch in &archs {
+        let walked = inc.advance(arch).expect("incremental elaboration");
+        let fresh = elaborate(arch).expect("scratch elaboration");
+        assert_eq!(walked.dump(), fresh.dump(), "point {}", arch.name);
+        black_box(area.area(arch, db) + clock.clock_period(arch, db));
+    }
+
+    let best_of = |f: &mut dyn FnMut() -> f64| {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let table_s = best_of(&mut || {
+        archs
+            .iter()
+            .map(|a| area.area(a, db) + clock.clock_period(a, db))
+            .sum()
+    });
+    let netlist_s = best_of(&mut || {
+        archs
+            .iter()
+            .map(|a| {
+                let nl = elaborate(a).expect("scratch elaboration");
+                nl.area() + timing::min_clock_period(&nl)
+            })
+            .sum()
+    });
+    let incremental_s = best_of(&mut || {
+        let mut inc = IncrementalElaborator::new();
+        archs
+            .iter()
+            .map(|a| {
+                let nl = inc.advance(a).expect("incremental elaboration");
+                nl.area() + timing::min_clock_period(&nl)
+            })
+            .sum()
+    });
+    FidelityRow {
+        space,
+        points: template.len(),
+        walked: archs.len(),
+        table_s,
+        netlist_s,
+        incremental_s,
+    }
 }
 
 /// Times the three-axis cost fold alone — area, clock period, eq. (14)
@@ -271,7 +361,20 @@ fn main() {
             iters,
         ));
     }
-    if rows.is_empty() && fold_rows.is_empty() {
+    // Fidelity rows: area+clock per point from the annotation tables vs
+    // per-point gate-level elaboration (scratch and incremental). Fast
+    // space only — the netlist axis is meant for front-sized point
+    // counts, not the 2^20 walk.
+    let mut fidelity_rows = Vec::new();
+    if keep("fast") {
+        fidelity_rows.push(time_fidelity_axis(
+            "fast",
+            TemplateSpace::fast_default(),
+            &db,
+            iters,
+        ));
+    }
+    if rows.is_empty() && fold_rows.is_empty() && fidelity_rows.is_empty() {
         eprintln!("--space matched nothing (expected fast, paper or huge)");
         std::process::exit(2);
     }
@@ -298,7 +401,13 @@ fn main() {
          incremental carries the previous point's folds and exchanges the single changed \
          component (CarriedFolds::advance; bit-identity asserted in an untimed pass) — the \
          huge row is the budgeted 2^20-point hierarchical-space sweep where the carried fold \
-         pays off.\","
+         pays off. The fidelity rows time the area+clock axes per point: table folds the \
+         back-annotation constants, netlist elaborates every point to gates from scratch and \
+         runs the loaded STA (what --fidelity netlist pays on a cold non-neighbour walk), \
+         incremental drives the IncrementalElaborator along the Gray walk, rewinding to the \
+         first differing segment (bit-identity to scratch asserted in an untimed pass). The \
+         table fold being orders of magnitude cheaper is the fidelity trade, not a regression; \
+         the CI soft bar watches netlist_over_incremental like the fold rows' 3x bar.\","
     );
     println!("  \"sweeps\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -328,6 +437,22 @@ fn main() {
             r.delta_s,
             r.incremental_s,
             r.scratch_s / r.incremental_s
+        );
+    }
+    println!("  ],");
+    println!("  \"fidelity\": [");
+    for (i, r) in fidelity_rows.iter().enumerate() {
+        let comma = if i + 1 < fidelity_rows.len() { "," } else { "" };
+        println!(
+            "    {{ \"space\": \"{}\", \"points\": {}, \"walked\": {}, \"table_s\": {:.6}, \
+             \"netlist_s\": {:.6}, \"incremental_s\": {:.6}, \"netlist_over_incremental\": {:.1} }}{comma}",
+            r.space,
+            r.points,
+            r.walked,
+            r.table_s,
+            r.netlist_s,
+            r.incremental_s,
+            r.netlist_s / r.incremental_s
         );
     }
     println!("  ],");

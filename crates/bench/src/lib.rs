@@ -16,6 +16,8 @@
 //! paper (different cell library, netlists and ATPG); EXPERIMENTS.md
 //! records the paper-vs-measured comparison and the preserved shape.
 
+#![warn(missing_docs)]
+
 use std::fmt;
 
 use tta_arch::template::TemplateSpace;

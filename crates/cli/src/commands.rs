@@ -14,7 +14,7 @@ use tta_movec::schedule::Scheduler;
 use tta_serve::client::run_remote;
 use tta_serve::exec::{self, front_point_json};
 use tta_serve::server::{install_signal_handlers, Server};
-use tta_serve::spec::{cycles_parse, lift_parse, JobSpec, Strategy, TestModel};
+use tta_serve::spec::{cycles_parse, fidelity_parse, lift_parse, JobSpec, Strategy, TestModel};
 use tta_sim::{SimOptions, Simulator, Trace};
 use tta_workloads::{SuiteRegistry, Workload};
 
@@ -154,6 +154,10 @@ fn parse_explore(args: &[String]) -> Result<ExploreOpts, CliError> {
             }
             "--cycles" => {
                 spec.cycles = cycles_parse(&cursor.value_for("--cycles")?).map_err(flag_err)?;
+            }
+            "--fidelity" => {
+                spec.fidelity =
+                    fidelity_parse(&cursor.value_for("--fidelity")?).map_err(flag_err)?;
             }
             "--bus-area" => spec.bus_area = Some(cursor.parse_for("--bus-area")?),
             "--bus-delay" => spec.bus_delay = Some(cursor.parse_for("--bus-delay")?),
@@ -1244,6 +1248,204 @@ fn workloads_compare(
         warn_flush_failure(msg, err)?;
     }
     cache_report(&cache, err)
+}
+
+// ---------------------------------------------------------------------
+// netlist
+// ---------------------------------------------------------------------
+
+/// Resolves a `--space` name for the netlist subcommand (the explore
+/// path resolves the same names inside `tta_serve::exec`).
+fn netlist_space(name: &str) -> Result<tta_arch::template::TemplateSpace, CliError> {
+    use tta_arch::template::TemplateSpace;
+    match name {
+        "paper" => Ok(TemplateSpace::paper_default()),
+        "fast" => Ok(TemplateSpace::fast_default()),
+        "tiny" => Ok(TemplateSpace::tiny()),
+        "huge" => Ok(TemplateSpace::huge()),
+        other => Err(CliError::usage(format!(
+            "unknown space {other:?} (expected paper, fast, tiny or huge)"
+        ))),
+    }
+}
+
+/// `ttadse netlist`: elaborate one explored template point down to its
+/// gate-level netlist, report loaded STA + fanout statistics, optionally
+/// run the structural lint pass (`--lint`, non-zero exit on findings)
+/// and export structural Verilog (`--verilog PATH`, `-` for stdout).
+///
+/// When the Verilog goes to stdout the summary moves to stderr, so
+/// `ttadse netlist --verilog - | iverilog …`-style pipelines see only
+/// the module text.
+pub fn netlist_cmd(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut common = CommonOpts::default();
+    let mut space_name: Option<String> = None;
+    let mut point = 0usize;
+    let mut clock: Option<f64> = None;
+    let mut verilog: Option<String> = None;
+    let mut lint_flag = false;
+    let mut cursor = ArgCursor::new(args);
+    while let Some(arg) = cursor.next() {
+        if common.consume(&arg, &mut cursor)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--space" => space_name = Some(cursor.value_for("--space")?),
+            "--point" => point = cursor.parse_for("--point")?,
+            "--clock" => clock = Some(cursor.parse_for("--clock")?),
+            "--verilog" => verilog = Some(cursor.value_for("--verilog")?),
+            "--lint" => lint_flag = true,
+            other => return Err(unknown_flag("netlist", other)),
+        }
+    }
+    common.validate()?;
+    let space = match &space_name {
+        Some(name) => netlist_space(name)?,
+        None => scale_of(&common).space(),
+    };
+    if point >= space.len() {
+        return Err(CliError::usage(format!(
+            "--point {point} is out of range (the space has {} points)",
+            space.len()
+        )));
+    }
+    let arch = space.point(point);
+    writeln!(err, "elaborating point {point}: {}...", arch.name)?;
+    let nl = tta_netlist::elaborate(&arch)
+        .map_err(|e| CliError::runtime(format!("elaboration failed: {e}")))?;
+    let stats = tta_netlist::NetlistStats::of(&nl);
+    let report = tta_netlist::timing::sta(
+        &nl,
+        clock.unwrap_or_else(|| tta_netlist::timing::min_clock_period(&nl)),
+    );
+    let load = tta_netlist::timing::load_distribution(&nl);
+    let diagnostics = if lint_flag {
+        tta_netlist::lint(&nl)
+    } else {
+        Vec::new()
+    };
+    // `--verilog -` claims stdout for the module text; the summary then
+    // renders to stderr so both stay machine-readable.
+    let verilog_to_stdout = verilog.as_deref() == Some("-");
+    let summary: &mut dyn Write = if verilog_to_stdout { err } else { out };
+    match common.format {
+        Format::Table => {
+            writeln!(summary, "{stats}")?;
+            writeln!(
+                summary,
+                "loaded STA: min clock {:.2}, worst slack {:+.2} @ clock {:.2}, {} violation(s)",
+                report.critical_path, report.worst_slack, report.clock, report.violations
+            )?;
+            writeln!(
+                summary,
+                "fanout: {} nets, mean {:.2}, max {} (net {})",
+                load.nets,
+                load.mean_fanout(),
+                load.max_fanout,
+                load.max_net,
+            )?;
+            if lint_flag {
+                for d in &diagnostics {
+                    writeln!(summary, "lint: {d}")?;
+                }
+                writeln!(summary, "lint: {} diagnostic(s)", diagnostics.len())?;
+            }
+        }
+        Format::Json => {
+            let mut fields = vec![
+                ("command", json::string("netlist")),
+                ("architecture", json::string(&arch.name)),
+                ("point", json::int(point as u64)),
+                (
+                    "stats",
+                    json::object([
+                        ("inputs", json::int(stats.inputs as u64)),
+                        ("outputs", json::int(stats.outputs as u64)),
+                        ("gates", json::int(stats.gates as u64)),
+                        ("dffs", json::int(stats.dffs as u64)),
+                        ("area", json::number(stats.area)),
+                        ("depth", json::int(u64::from(stats.depth))),
+                    ]),
+                ),
+                (
+                    "sta",
+                    json::object([
+                        ("clock", json::number(report.clock)),
+                        ("min_clock", json::number(report.critical_path)),
+                        ("worst_slack", json::number(report.worst_slack)),
+                        ("violations", json::int(report.violations as u64)),
+                    ]),
+                ),
+                (
+                    "fanout",
+                    json::object([
+                        ("nets", json::int(load.nets as u64)),
+                        ("total_readers", json::int(load.total_readers as u64)),
+                        ("mean", json::number(load.mean_fanout())),
+                        ("max", json::int(load.max_fanout as u64)),
+                    ]),
+                ),
+            ];
+            if lint_flag {
+                fields.push((
+                    "lint",
+                    json::array(diagnostics.iter().map(|d| {
+                        json::object([
+                            ("kind", json::string(d.kind.code())),
+                            ("message", json::string(&d.message)),
+                        ])
+                    })),
+                ));
+            }
+            writeln!(summary, "{}", json::object(fields))?;
+        }
+        Format::Csv => {
+            writeln!(
+                summary,
+                "architecture,inputs,outputs,gates,dffs,area,min_clock,worst_slack,max_fanout,lint_diagnostics"
+            )?;
+            writeln!(
+                summary,
+                "{},{},{},{},{},{},{},{},{},{}",
+                arch.name,
+                stats.inputs,
+                stats.outputs,
+                stats.gates,
+                stats.dffs,
+                stats.area,
+                report.critical_path,
+                report.worst_slack,
+                load.max_fanout,
+                if lint_flag {
+                    diagnostics.len().to_string()
+                } else {
+                    String::new()
+                },
+            )?;
+        }
+    }
+    if let Some(path) = &verilog {
+        let text = tta_netlist::to_verilog(&nl);
+        if verilog_to_stdout {
+            out.write_all(text.as_bytes())?;
+        } else {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            writeln!(err, "wrote {} bytes of Verilog to {path}", text.len())?;
+        }
+    }
+    if lint_flag && !diagnostics.is_empty() {
+        return Err(CliError::runtime(format!(
+            "lint found {} diagnostic(s) in {}",
+            diagnostics.len(),
+            arch.name
+        )));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------

@@ -19,6 +19,8 @@
 //! The six historical `fig*`/`table1_comparison` binaries still exist
 //! as aliases for the corresponding subcommands (see `src/bin/`).
 
+#![warn(missing_docs)]
+
 use std::io::Write;
 
 mod commands;
@@ -90,6 +92,7 @@ SUBCOMMANDS:
     workloads List workloads/suites, or `compare` selections across suites
     sim       Execute a workload or program on the cycle-accurate simulator
     asm       Canonicalise a move-program file (assemble + disassemble)
+    netlist   Elaborate one template point to gates: STA, lint, Verilog
     fig2      Figure 2: (area, exec time) solution space + Pareto front
     fig6      Figure 6: identical FUs, different test cost
     fig7      Figure 7: VLIW ASIP test access and test order
@@ -132,6 +135,9 @@ EXPLORE FLAGS:
     --bus-area X           Interconnect model: bus area per bit [GE]
     --bus-delay X          Interconnect model: clock penalty per bus
     --control-area X       Interconnect model: area per instruction bit [GE]
+    --fidelity MODE        table (default): area/clock from the back-annotated
+                           component tables; netlist: elaborate every explored
+                           point to gates and source both axes from loaded STA
     --remote URL           Submit the sweep to a `ttadse serve` daemon and
                            stream it; stdout is byte-identical to a local run
     --priority N           Daemon queue priority (higher runs first; only
@@ -165,6 +171,16 @@ ASM FLAGS:
     FILE                   Program to assemble; canonical text on stdout
     --check                Fail unless FILE is already in canonical form
 
+NETLIST FLAGS:
+    --space NAME           paper | fast | tiny | huge (default: the scale's)
+    --point I              Template-point index to elaborate (default 0)
+    --clock X              Candidate clock period for the STA slack report
+                           (default: the netlist's own minimum period)
+    --verilog PATH         Export structural Verilog to PATH (`-` = stdout;
+                           the summary then moves to stderr)
+    --lint                 Run the structural lint pass; exit non-zero when
+                           any diagnostic fires
+
 TABLE1 FLAGS:
     --figure9              Cost the paper's published architecture directly
 
@@ -192,6 +208,7 @@ pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
         "workloads" => commands::workloads_cmd(rest, out, err),
         "sim" => commands::sim_cmd(rest, out, err),
         "asm" => commands::asm_cmd(rest, out, err),
+        "netlist" => commands::netlist_cmd(rest, out, err),
         "fig2" => commands::fig2_cmd(rest, out, err),
         "fig6" => commands::fig6_cmd(rest, out, err),
         "fig7" => commands::fig7_cmd(rest, out, err),
@@ -365,6 +382,76 @@ mod tests {
         sim_args.extend(["--cycles", "simulate"]);
         let (sim, _) = run_capture(&sim_args).unwrap();
         assert_eq!(model, sim, "--cycles simulate must not change any byte");
+    }
+
+    #[test]
+    fn netlist_subcommand_elaborates_lints_and_exports() {
+        let (out, errtxt) = run_capture(&["netlist", "--space", "tiny", "--point", "0"]).unwrap();
+        assert!(out.contains("loaded STA"), "{out}");
+        assert!(errtxt.contains("elaborating point 0"), "{errtxt}");
+        // --lint on a shipped point reports zero diagnostics and exits 0.
+        let (out, _) =
+            run_capture(&["netlist", "--space", "tiny", "--point", "0", "--lint"]).unwrap();
+        assert!(out.contains("lint: 0 diagnostic(s)"), "{out}");
+        // JSON carries the stats/sta/fanout objects.
+        let (json_out, _) = run_capture(&[
+            "netlist", "--space", "tiny", "--point", "0", "--lint", "--format", "json",
+        ])
+        .unwrap();
+        assert!(json_out.contains("\"command\":\"netlist\""), "{json_out}");
+        assert!(json_out.contains("\"sta\":{"), "{json_out}");
+        assert!(json_out.contains("\"lint\":[]"), "{json_out}");
+        // --verilog - moves the summary to stderr and emits a module.
+        let (v, summary) = run_capture(&[
+            "netlist",
+            "--space",
+            "tiny",
+            "--point",
+            "0",
+            "--verilog",
+            "-",
+        ])
+        .unwrap();
+        assert!(v.starts_with("// generated by ttadse"), "{v}");
+        assert!(v.contains("module "), "{v}");
+        assert!(v.trim_end().ends_with("endmodule"), "{v}");
+        assert!(summary.contains("loaded STA"), "{summary}");
+        // Out-of-range points are usage errors.
+        let e = run_capture(&["netlist", "--space", "tiny", "--point", "99"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+    }
+
+    #[test]
+    fn explore_fidelity_netlist_runs_and_is_echoed() {
+        let base = [
+            "explore",
+            "--space",
+            "tiny",
+            "--workload",
+            "crypt",
+            "--format",
+            "json",
+        ];
+        let (table_run, _) = run_capture(&base).unwrap();
+        assert!(table_run.contains("\"fidelity\":\"table\""), "{table_run}");
+        let mut args = base.to_vec();
+        args.extend(["--fidelity", "netlist"]);
+        let (netlist_run, _) = run_capture(&args).unwrap();
+        assert!(
+            netlist_run.contains("\"fidelity\":\"netlist\""),
+            "{netlist_run}"
+        );
+        // Serial and parallel netlist-fidelity sweeps render the same bytes.
+        let mut serial_args = args.clone();
+        serial_args.push("--serial");
+        let (serial_run, _) = run_capture(&serial_args).unwrap();
+        let mut parallel_args = args.clone();
+        parallel_args.push("--parallel");
+        let (parallel_run, _) = run_capture(&parallel_args).unwrap();
+        assert_eq!(serial_run, parallel_run);
+        let e = run_capture(&["explore", "--fidelity", "rtl"]).unwrap_err();
+        assert_eq!(e.exit_code, 2);
     }
 
     #[test]

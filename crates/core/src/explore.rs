@@ -117,7 +117,8 @@ use crate::delta::{
 };
 use crate::models::{
     keys_of, AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel,
-    InterconnectModel, TestCostModel, TimingModel,
+    InterconnectModel, NetlistAreaModel, NetlistEvaluator, NetlistTimingModel, TestCostModel,
+    TimingModel,
 };
 use crate::norm::{select, Norm, Weights};
 use crate::parallel::{default_threads, par_map};
@@ -410,6 +411,55 @@ impl std::fmt::Display for EvalMode {
     }
 }
 
+/// Where the area and clock axes of a point come from.
+///
+/// The default, [`FidelityMode::Table`], is the paper's back-annotation
+/// flow: per-*component* records from the [`ComponentDb`], folded with
+/// the analytic interconnect terms — bit-identical (objectives, front,
+/// cache addresses) to the engine before this knob existed.
+/// [`FidelityMode::Netlist`] elaborates every visited point to a full
+/// gate-level netlist ([`tta_netlist::elaborate()`]) — every FU and RF
+/// behind its socket group, buses as OR-merge fabric — and sources the
+/// area axis from the elaborated cell area and the clock axis from the
+/// fanout-loaded static timing analysis ([`tta_netlist::timing::sta`]
+/// tier). Netlist sweeps see structure the table fold cannot: shared
+/// socket fronts, bus fanout load, per-point wiring. They are slower per
+/// point; consecutive Gray-walk neighbours amortise this through
+/// incremental re-elaboration
+/// ([`tta_netlist::IncrementalElaborator`]), the netlist-level mirror of
+/// the table tier's `CarriedFolds`.
+///
+/// The knob only fills *empty* area/timing model slots: custom models
+/// installed via [`Exploration::models`] and friends always win. The
+/// test axis keeps its configured model in both fidelities. Netlist
+/// models fingerprint differently from table ones, so the persistent
+/// sweep cache never mixes entries across fidelities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FidelityMode {
+    /// Back-annotated per-component records (the default).
+    #[default]
+    Table,
+    /// Per-point gate-level netlist elaboration.
+    Netlist,
+}
+
+impl FidelityMode {
+    /// Short machine-readable label (`table` / `netlist`), used by CLI
+    /// flags and structured output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FidelityMode::Table => "table",
+            FidelityMode::Netlist => "netlist",
+        }
+    }
+}
+
+impl std::fmt::Display for FidelityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What happened to the persistent sweep cache during a run — recorded
 /// on every [`ExploreResult`] so a sweep that silently lost its
 /// persistence (read-only directory, full disk) is distinguishable
@@ -579,6 +629,10 @@ pub struct ExploreResult {
     pub search: SearchInfo,
     /// When the test axis joined the objective space.
     pub lift: LiftMode,
+    /// Where the area and clock axes came from ([`FidelityMode`]):
+    /// the back-annotated component tables, or per-point gate-level
+    /// netlist elaboration.
+    pub fidelity: FidelityMode,
     /// Whether the attached persistent cache (if any) saved its
     /// entries; see [`CacheStatus`].
     pub cache_status: CacheStatus,
@@ -777,6 +831,7 @@ pub struct Exploration<'db> {
     lift: LiftMode,
     cycle_source: CycleSource,
     eval_mode: EvalMode,
+    fidelity: FidelityMode,
     cancel: Option<CancelToken>,
     progress: Option<ProgressObserver<'db>>,
     resume_from: Option<SearchCheckpoint>,
@@ -816,6 +871,7 @@ impl<'db> Exploration<'db> {
             lift: LiftMode::default(),
             cycle_source: CycleSource::default(),
             eval_mode: EvalMode::default(),
+            fidelity: FidelityMode::default(),
             cancel: None,
             progress: None,
             resume_from: None,
@@ -955,6 +1011,17 @@ impl<'db> Exploration<'db> {
         self
     }
 
+    /// Chooses where the area and clock axes come from (default
+    /// [`FidelityMode::Table`], the back-annotated per-component fold,
+    /// bit-identical to the engine without the knob).
+    /// [`FidelityMode::Netlist`] elaborates every visited point to a
+    /// gate-level netlist and reads both axes off the elaborated
+    /// design; see [`FidelityMode`].
+    pub fn fidelity(mut self, mode: FidelityMode) -> Self {
+        self.fidelity = mode;
+        self
+    }
+
     /// Evaluates the sweep (and the pre-warm and lift stages) on worker
     /// threads. Results are bit-identical to the serial sweep.
     pub fn parallel(mut self, on: bool) -> Self {
@@ -1072,6 +1139,26 @@ impl<'db> Exploration<'db> {
             .position(|w| !w.is_finite() || *w <= 0.0)
         {
             return Err(ExploreError::InvalidWeight(i));
+        }
+        // Netlist fidelity fills the *empty* area/timing slots with the
+        // elaboration-backed models before anything inspects the slots:
+        // downstream, the slots simply hold custom models (carried folds
+        // disengage, the delta wrappers keep serving the test axis, and
+        // the cache addresses change through the model fingerprints).
+        if self.fidelity == FidelityMode::Netlist {
+            let eval = Arc::new(NetlistEvaluator::new());
+            if self.area.is_none() {
+                self.area = Some(Box::new(NetlistAreaModel::new(
+                    self.interconnect,
+                    Arc::clone(&eval),
+                )));
+            }
+            if self.timing.is_none() {
+                self.timing = Some(Box::new(NetlistTimingModel::new(
+                    self.interconnect,
+                    Arc::clone(&eval),
+                )));
+            }
         }
         // Custom models may never read the annotation database; only
         // pre-warm when at least one default (db-backed) model is in
@@ -1198,6 +1285,7 @@ impl<'db> Exploration<'db> {
         let mut archive = ParetoArchive::new();
         let mut infeasible = 0usize;
         let lift = self.lift;
+        let fidelity = self.fidelity;
         let cycle_source = self.cycle_source;
         let cancel = self.cancel.take();
         let mut progress = self.progress.take();
@@ -1659,6 +1747,7 @@ impl<'db> Exploration<'db> {
                 rounds: state.round(),
             },
             lift,
+            fidelity,
             cache_status,
             delta,
             cancelled: was_cancelled,
@@ -2590,5 +2679,112 @@ mod tests {
         assert_eq!(v.values(), &[10.0, 20.0]);
         assert_eq!(v.project(&[Objective::ExecTime]).unwrap().values(), &[20.0]);
         assert!(v.project(&[Objective::Area, Objective::TestCost]).is_none());
+    }
+
+    #[test]
+    fn netlist_fidelity_sweeps_and_differs_from_table() {
+        let w = suite::crypt(1);
+        let table = Exploration::over(TemplateSpace::tiny()).workload(&w).run();
+        let netlist = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .fidelity(FidelityMode::Netlist)
+            .run();
+        assert_eq!(table.fidelity, FidelityMode::Table);
+        assert_eq!(netlist.fidelity, FidelityMode::Netlist);
+        // Same points are feasible under both fidelities; the exec-time
+        // axis still carries the clock scale, the area axis the gate
+        // count — both finite and positive.
+        assert_eq!(table.evaluated.len(), netlist.evaluated.len());
+        let mut area_differs = false;
+        for (t, n) in table.evaluated.iter().zip(&netlist.evaluated) {
+            assert_eq!(t.architecture.name, n.architecture.name);
+            assert_eq!(t.cycles, n.cycles, "fidelity must not touch scheduling");
+            let area = n.objectives.get(Objective::Area).unwrap();
+            let exec = n.objectives.get(Objective::ExecTime).unwrap();
+            assert!(area.is_finite() && area > 0.0, "{area}");
+            assert!(exec.is_finite() && exec > 0.0, "{exec}");
+            if area != t.objectives.get(Objective::Area).unwrap() {
+                area_differs = true;
+            }
+        }
+        assert!(
+            area_differs,
+            "elaborated area should not coincide with the table figures"
+        );
+        assert!(!netlist.pareto.is_empty());
+        assert!(netlist.projection_holds());
+    }
+
+    #[test]
+    fn netlist_fidelity_parallel_is_bit_identical_to_serial() {
+        let w = suite::crypt(1);
+        let serial = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .fidelity(FidelityMode::Netlist)
+            .parallel(false)
+            .run();
+        let parallel = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .fidelity(FidelityMode::Netlist)
+            .parallel(true)
+            .run();
+        assert_eq!(serial.evaluated.len(), parallel.evaluated.len());
+        for (a, b) in serial.evaluated.iter().zip(&parallel.evaluated) {
+            assert_eq!(a.architecture.name, b.architecture.name);
+            assert_eq!(a.objectives, b.objectives);
+        }
+        assert_eq!(serial.pareto, parallel.pareto);
+    }
+
+    #[test]
+    fn netlist_fidelity_respects_custom_models() {
+        // An installed custom model wins over the fidelity knob: the
+        // knob only fills *empty* slots.
+        #[derive(Debug)]
+        struct FlatArea;
+        impl AreaModel for FlatArea {
+            fn area(&self, _arch: &Architecture, _db: &ComponentDb) -> f64 {
+                42.0
+            }
+        }
+        let w = suite::crypt(1);
+        let result = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .area_model(FlatArea)
+            .fidelity(FidelityMode::Netlist)
+            .run();
+        for e in &result.evaluated {
+            assert_eq!(e.objectives.get(Objective::Area), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn netlist_fidelity_walk_matches_enumeration_order() {
+        // The incremental elaborator reuses netlist segments along the
+        // Gray-code neighbour walk; results must not depend on visit
+        // order.
+        let w = suite::crypt(1);
+        let walked = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .fidelity(FidelityMode::Netlist)
+            .strategy(crate::search::Exhaustive::neighbour())
+            .run();
+        let plain = Exploration::over(TemplateSpace::tiny())
+            .workload(&w)
+            .fidelity(FidelityMode::Netlist)
+            .run();
+        let mut walked: Vec<_> = walked
+            .evaluated
+            .iter()
+            .map(|e| (e.architecture.name.clone(), e.objectives.clone()))
+            .collect();
+        let mut plain: Vec<_> = plain
+            .evaluated
+            .iter()
+            .map(|e| (e.architecture.name.clone(), e.objectives.clone()))
+            .collect();
+        walked.sort_by(|a, b| a.0.cmp(&b.0));
+        plain.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(walked, plain);
     }
 }

@@ -73,6 +73,14 @@ mod workloads_guide {
     #![doc = include_str!("../../../docs/WORKLOADS.md")]
 }
 
+/// The gate-level fidelity guide — elaboration, analysis passes, lint
+/// catalogue, `--fidelity` — compiled as doc-tests so
+/// `docs/FIDELITY.md` can never drift from the API it documents.
+#[cfg(doctest)]
+mod fidelity_guide {
+    #![doc = include_str!("../../../docs/FIDELITY.md")]
+}
+
 pub mod backannotate;
 pub mod cache;
 pub mod delta;
@@ -93,12 +101,13 @@ pub use cache::SweepCache;
 pub use delta::{CarriedFolds, DeltaEvaluator, DeltaStats, PointCosts};
 pub use explore::{
     CacheStatus, CancelToken, CycleSource, EvalMode, EvaluatedArch, Exploration, ExploreError,
-    ExploreResult, LiftMode, Objective, ObjectiveVector, SearchInfo, SweepProgress,
+    ExploreResult, FidelityMode, LiftMode, Objective, ObjectiveVector, SearchInfo, SweepProgress,
     WorkloadBreakdown,
 };
 pub use models::{
     AnnotatedAreaModel, AnnotatedTimingModel, AreaModel, Eq14TestCostModel, InterconnectModel,
-    ScanTestCostModel, TestCostModel, TimingModel,
+    NetlistAreaModel, NetlistEvaluator, NetlistFigures, NetlistTimingModel, ScanTestCostModel,
+    TestCostModel, TimingModel,
 };
 pub use norm::{Norm, Weights};
 pub use pareto::{pareto_front, ParetoArchive};

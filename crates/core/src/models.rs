@@ -417,6 +417,178 @@ pub fn in_model(arch: &Architecture) -> bool {
         })
 }
 
+/// Shared per-sweep elaboration engine behind the netlist-fidelity
+/// models ([`NetlistAreaModel`] / [`NetlistTimingModel`]).
+///
+/// One evaluator serves both axes of one sweep: a point is elaborated to
+/// a full gate-level netlist *once* (through
+/// [`tta_netlist::IncrementalElaborator`], so Gray-walk neighbours reuse
+/// the common component prefix) and its area / loaded-critical-path
+/// figures are memoized in a bounded map keyed by the architecture's
+/// structural fingerprint. The evaluator is `Sync` — a parallel sweep
+/// serialises elaborations behind a mutex, which keeps the incremental
+/// builder sound; results are order-independent because incremental
+/// elaboration is bit-identical to from-scratch elaboration.
+pub struct NetlistEvaluator {
+    inner: std::sync::Mutex<NetlistEvalInner>,
+}
+
+struct NetlistEvalInner {
+    elab: tta_netlist::IncrementalElaborator,
+    memo: std::collections::HashMap<u64, NetlistFigures>,
+    order: std::collections::VecDeque<u64>,
+    elaborations: u64,
+    memo_hits: u64,
+}
+
+/// Raw per-point figures extracted from one elaborated netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetlistFigures {
+    /// Cell area of the elaborated netlist (gates + flip-flops), NAND2
+    /// equivalents. Interconnect/control area is *not* included — the
+    /// models add the same [`InterconnectModel`] terms as the table
+    /// tier, so the two fidelities differ only in the component figures.
+    pub cell_area: f64,
+    /// Loaded critical path ([`tta_netlist::timing::min_clock_period`])
+    /// of the elaborated netlist, normalised gate delays.
+    pub critical_path: f64,
+}
+
+/// Memoized points kept per evaluator; beyond this the oldest entry is
+/// evicted (FIFO). Large enough that a sweep chunk plus the lift stage
+/// never thrashes.
+const NETLIST_MEMO_CAP: usize = 4096;
+
+impl NetlistEvaluator {
+    /// Creates an evaluator with an empty memo.
+    pub fn new() -> Self {
+        NetlistEvaluator {
+            inner: std::sync::Mutex::new(NetlistEvalInner {
+                elab: tta_netlist::IncrementalElaborator::new(),
+                memo: std::collections::HashMap::new(),
+                order: std::collections::VecDeque::new(),
+                elaborations: 0,
+                memo_hits: 0,
+            }),
+        }
+    }
+
+    /// Per-point figures for `arch`, elaborating at most once per
+    /// structurally distinct architecture. `None` when the architecture
+    /// is invalid (the models map that to infeasibility).
+    pub fn figures(&self, arch: &Architecture) -> Option<NetlistFigures> {
+        let key = crate::cache::arch_fingerprint(arch);
+        let mut guard = self.inner.lock().expect("netlist evaluator poisoned");
+        let inner = &mut *guard;
+        if let Some(&f) = inner.memo.get(&key) {
+            inner.memo_hits += 1;
+            return Some(f);
+        }
+        let nl = inner.elab.advance(arch).ok()?;
+        inner.elaborations += 1;
+        let figures = NetlistFigures {
+            cell_area: nl.area(),
+            critical_path: tta_netlist::timing::min_clock_period(&nl),
+        };
+        if inner.order.len() >= NETLIST_MEMO_CAP {
+            if let Some(old) = inner.order.pop_front() {
+                inner.memo.remove(&old);
+            }
+        }
+        inner.memo.insert(key, figures);
+        inner.order.push_back(key);
+        Some(figures)
+    }
+
+    /// `(elaborations, memo hits)` so far — observability for tests and
+    /// benchmarks, never part of any result.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("netlist evaluator poisoned");
+        (inner.elaborations, inner.memo_hits)
+    }
+}
+
+impl Default for NetlistEvaluator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Netlist-fidelity area model: cell area of the per-point elaborated
+/// netlist plus the same interconnect/control terms as
+/// [`AnnotatedAreaModel`]. Installed by the sweep when
+/// `FidelityMode::Netlist` is selected; usable standalone like any
+/// other [`AreaModel`].
+pub struct NetlistAreaModel {
+    /// The interconnect constants (control + bus wiring terms).
+    pub interconnect: InterconnectModel,
+    eval: std::sync::Arc<NetlistEvaluator>,
+}
+
+impl NetlistAreaModel {
+    /// Model sharing `eval` (pass the same evaluator to the timing
+    /// model so each point elaborates once).
+    pub fn new(interconnect: InterconnectModel, eval: std::sync::Arc<NetlistEvaluator>) -> Self {
+        NetlistAreaModel { interconnect, eval }
+    }
+}
+
+impl AreaModel for NetlistAreaModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("netlist-area")
+                .u64(self.interconnect.fingerprint())
+                .finish(),
+        )
+    }
+
+    fn area(&self, arch: &Architecture, _db: &ComponentDb) -> f64 {
+        let Some(figures) = self.eval.figures(arch) else {
+            return f64::INFINITY;
+        };
+        let control = f64::from(InstructionFormat::of(arch).width())
+            * self.interconnect.control_area_per_instr_bit;
+        figures.cell_area
+            + control
+            + arch.bus_count() as f64 * arch.width as f64 * self.interconnect.bus_area_per_bit
+    }
+}
+
+/// Netlist-fidelity timing model: fanout-loaded critical path of the
+/// per-point elaborated netlist ([`tta_netlist::timing::sta`] tier)
+/// plus the same per-bus wire penalty as [`AnnotatedTimingModel`].
+pub struct NetlistTimingModel {
+    /// The interconnect constants (bus delay term).
+    pub interconnect: InterconnectModel,
+    eval: std::sync::Arc<NetlistEvaluator>,
+}
+
+impl NetlistTimingModel {
+    /// Model sharing `eval`; see [`NetlistAreaModel::new`].
+    pub fn new(interconnect: InterconnectModel, eval: std::sync::Arc<NetlistEvaluator>) -> Self {
+        NetlistTimingModel { interconnect, eval }
+    }
+}
+
+impl TimingModel for NetlistTimingModel {
+    fn fingerprint(&self) -> Option<u64> {
+        Some(
+            Fingerprint::new()
+                .str("netlist-timing")
+                .u64(self.interconnect.fingerprint())
+                .finish(),
+        )
+    }
+
+    fn clock_period(&self, arch: &Architecture, _db: &ComponentDb) -> f64 {
+        let Some(figures) = self.eval.figures(arch) else {
+            return f64::INFINITY;
+        };
+        figures.critical_path + arch.bus_count() as f64 * self.interconnect.bus_delay_penalty
+    }
+}
+
 /// Every [`ComponentKey`] needed to evaluate `arch` (area, timing and
 /// test cost), or `None` when the architecture is outside the component
 /// model's domain (checked narrowing — see [`ComponentKey::for_rf`]).
@@ -437,6 +609,7 @@ pub fn keys_of(arch: &Architecture) -> Option<Vec<ComponentKey>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tta_arch::template::TemplateBuilder;
     use tta_arch::FuKind;
 
@@ -612,5 +785,78 @@ mod tests {
         assert!(AnnotatedTimingModel::default()
             .clock_period(&arch, &db)
             .is_infinite());
+    }
+
+    #[test]
+    fn netlist_models_share_one_elaboration_per_point() {
+        let eval = std::sync::Arc::new(NetlistEvaluator::new());
+        let area_m = NetlistAreaModel::new(InterconnectModel::paper(), Arc::clone(&eval));
+        let clk_m = NetlistTimingModel::new(InterconnectModel::paper(), Arc::clone(&eval));
+        let db = ComponentDb::new();
+        let arch = arch8();
+        let area = area_m.area(&arch, &db);
+        let clk = clk_m.clock_period(&arch, &db);
+        assert!(area.is_finite() && area > 0.0, "{area}");
+        assert!(clk.is_finite() && clk > 0.0, "{clk}");
+        // The second axis reused the first axis's elaboration.
+        let (elaborations, hits) = eval.counters();
+        assert_eq!(elaborations, 1);
+        assert_eq!(hits, 1);
+        // Re-querying the same point is a pure memo hit …
+        assert_eq!(area_m.area(&arch, &db), area);
+        assert_eq!(eval.counters().0, 1);
+        // … keyed by structure, not by name.
+        let mut renamed = arch.clone();
+        renamed.name = "other".into();
+        assert_eq!(area_m.area(&renamed, &db), area);
+        assert_eq!(eval.counters().0, 1);
+    }
+
+    #[test]
+    fn netlist_models_exceed_bare_cell_area_and_reject_bad_points() {
+        let eval = std::sync::Arc::new(NetlistEvaluator::new());
+        let arch = arch8();
+        let figures = eval.figures(&arch).expect("arch8 elaborates");
+        let db = ComponentDb::new();
+        // Interconnect and control terms ride on top of the cell area.
+        let area =
+            NetlistAreaModel::new(InterconnectModel::paper(), Arc::clone(&eval)).area(&arch, &db);
+        assert!(area > figures.cell_area, "{area} vs {}", figures.cell_area);
+        let clk = NetlistTimingModel::new(InterconnectModel::paper(), Arc::clone(&eval))
+            .clock_period(&arch, &db);
+        assert!(clk > figures.critical_path);
+        // A point the elaborator rejects is infeasible, not a panic.
+        let bad = TemplateBuilder::new("wide", 8, 2)
+            .fu(FuKind::Alu)
+            .fu(FuKind::Pc)
+            .rf(70_000, 1, 2)
+            .build();
+        assert!(
+            NetlistAreaModel::new(InterconnectModel::paper(), Arc::clone(&eval))
+                .area(&bad, &db)
+                .is_infinite()
+        );
+        assert!(NetlistTimingModel::new(InterconnectModel::paper(), eval)
+            .clock_period(&bad, &db)
+            .is_infinite());
+    }
+
+    #[test]
+    fn netlist_model_fingerprints_are_distinct_from_table_models() {
+        let eval = std::sync::Arc::new(NetlistEvaluator::new());
+        let prints = [
+            AnnotatedAreaModel::default().fingerprint(),
+            AnnotatedTimingModel::default().fingerprint(),
+            NetlistAreaModel::new(InterconnectModel::paper(), Arc::clone(&eval)).fingerprint(),
+            NetlistTimingModel::new(InterconnectModel::paper(), eval).fingerprint(),
+        ];
+        for p in &prints {
+            assert!(p.is_some(), "all four default models are cacheable");
+        }
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "models {i} and {j} collide");
+            }
+        }
     }
 }

@@ -31,6 +31,8 @@
 //! assert_eq!(cycles, 10 * (scanned.chain_length() + 1) + scanned.chain_length());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chains;
 pub mod interconnect;
 pub mod march;

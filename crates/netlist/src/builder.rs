@@ -10,6 +10,61 @@ pub type Word = Vec<NetId>;
 /// Sentinel D connection for feedback flip-flops awaiting `set_dff_d`.
 const PENDING_D: NetId = NetId(u32::MAX);
 
+/// Structural errors detected when finalising a builder.
+///
+/// Returned by [`NetlistBuilder::try_finish`]; [`NetlistBuilder::finish`]
+/// panics with the same message instead, because the shipped component
+/// generators are expected to always produce well-formed logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A flip-flop declared with [`NetlistBuilder::dff_feedback`] was never
+    /// connected with [`NetlistBuilder::set_dff_d`], leaving the
+    /// `PENDING_D` sentinel in place.
+    UnpatchedFeedback {
+        /// Name of the offending flip-flop.
+        flop: String,
+    },
+    /// The combinational gate graph contains a cycle.
+    CombinationalLoop {
+        /// Name of the design being built.
+        design: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnpatchedFeedback { flop } => {
+                write!(f, "feedback flip-flop {flop} never connected")
+            }
+            BuildError::CombinationalLoop { design } => {
+                write!(f, "combinational loop in generated netlist {design}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A snapshot of a builder's extent, taken with [`NetlistBuilder::mark`]
+/// and restored with [`NetlistBuilder::rewind`].
+///
+/// Everything the builder creates is appended to dense vectors, so a mark
+/// is just the set of vector lengths (plus the lazily-created constant
+/// nets). Rewinding truncates back to those lengths, which makes
+/// incremental re-elaboration of a netlist suffix deterministic: after a
+/// rewind, the builder hands out exactly the same ids a fresh build would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuilderMark {
+    nets: usize,
+    gates: usize,
+    dffs: usize,
+    inputs: usize,
+    outputs: usize,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
 /// Builder for [`Netlist`] values.
 ///
 /// The builder hands out [`NetId`]s as logic is created; `finish` computes
@@ -55,6 +110,12 @@ impl NetlistBuilder {
             const0: None,
             const1: None,
         }
+    }
+
+    /// Renames the design without touching its contents (the incremental
+    /// elaborator reuses one builder across differently-named points).
+    pub(crate) fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     fn fresh_net(&mut self, driver: NetDriver, name: Option<String>) -> NetId {
@@ -332,11 +393,39 @@ impl NetlistBuilder {
         (sum, carry)
     }
 
+    /// Ripple-carry adder modulo `2^width`: like [`Self::ripple_add`] but
+    /// the final carry is never materialised, so a consumer that wraps
+    /// (an ALU datapath) does not leave dead carry gates behind.
+    pub fn ripple_add_wrap(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> Word {
+        assert_eq!(a.len(), b.len(), "word width mismatch");
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if i + 1 == a.len() {
+                // Top bit: only the sum is observable.
+                let axb = self.xor2(x, y);
+                sum.push(self.xor2(axb, carry));
+            } else {
+                let (s, c) = self.full_adder(x, y, carry);
+                sum.push(s);
+                carry = c;
+            }
+        }
+        sum
+    }
+
     /// Adder/subtractor: computes `a + b` when `sub == 0` and `a - b`
     /// (two's complement) when `sub == 1`. Returns `(result, carry_out)`.
     pub fn add_sub(&mut self, a: &[NetId], b: &[NetId], sub: NetId) -> (Word, NetId) {
         let b_adj: Word = b.iter().map(|&y| self.xor2(y, sub)).collect();
         self.ripple_add(a, &b_adj, sub)
+    }
+
+    /// Adder/subtractor modulo `2^width` — [`Self::add_sub`] without the
+    /// dead final-carry gates.
+    pub fn add_sub_wrap(&mut self, a: &[NetId], b: &[NetId], sub: NetId) -> Word {
+        let b_adj: Word = b.iter().map(|&y| self.xor2(y, sub)).collect();
+        self.ripple_add_wrap(a, &b_adj, sub)
     }
 
     /// Equality comparator over two words.
@@ -382,9 +471,30 @@ impl NetlistBuilder {
         (out, carry)
     }
 
+    /// Incrementer modulo `2^width`: [`Self::increment`] without the dead
+    /// final-carry gate.
+    pub fn increment_wrap(&mut self, a: &[NetId]) -> Word {
+        let mut carry = self.const1();
+        let mut out = Vec::with_capacity(a.len());
+        for (i, &bit) in a.iter().enumerate() {
+            out.push(self.xor2(bit, carry));
+            if i + 1 != a.len() {
+                carry = self.and2(bit, carry);
+            }
+        }
+        out
+    }
+
     /// One-hot decoder: `sel` (LSB first) to `2^sel.len()` one-hot lines.
     pub fn decoder(&mut self, sel: &[NetId]) -> Word {
-        let n = 1usize << sel.len();
+        self.decoder_n(sel, 1usize << sel.len())
+    }
+
+    /// Truncated one-hot decoder: only the first `n` lines are built, so a
+    /// consumer with fewer than `2^sel.len()` targets (a 12-register file)
+    /// leaves no dead match gates behind.
+    pub fn decoder_n(&mut self, sel: &[NetId], n: usize) -> Word {
+        assert!(n <= 1usize << sel.len(), "decoder line count out of range");
         let sel_n: Word = self.not_word(sel);
         let mut lines = Vec::with_capacity(n);
         for code in 0..n {
@@ -415,6 +525,83 @@ impl NetlistBuilder {
         layer.pop().expect("mux tree reduces to one word")
     }
 
+    /// Takes a snapshot of the builder's current extent.
+    ///
+    /// Pair with [`Self::rewind`] to discard everything created after the
+    /// mark — the incremental elaborator uses this to keep the unchanged
+    /// prefix of a netlist while rebuilding only the suffix.
+    pub fn mark(&self) -> BuilderMark {
+        BuilderMark {
+            nets: self.nets.len(),
+            gates: self.gates.len(),
+            dffs: self.dffs.len(),
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            const0: self.const0,
+            const1: self.const1,
+        }
+    }
+
+    /// Discards every net, gate, flip-flop and port created after `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` does not describe a prefix of this builder (i.e.
+    /// it was taken from a different builder or the builder has already
+    /// been rewound past it).
+    pub fn rewind(&mut self, mark: BuilderMark) {
+        assert!(
+            mark.nets <= self.nets.len()
+                && mark.gates <= self.gates.len()
+                && mark.dffs <= self.dffs.len()
+                && mark.inputs <= self.inputs.len()
+                && mark.outputs <= self.outputs.len(),
+            "rewind mark is not a prefix of this builder"
+        );
+        self.nets.truncate(mark.nets);
+        self.gates.truncate(mark.gates);
+        self.dffs.truncate(mark.dffs);
+        self.inputs.truncate(mark.inputs);
+        self.outputs.truncate(mark.outputs);
+        self.const0 = mark.const0;
+        self.const1 = mark.const1;
+    }
+
+    /// Finalises the current contents into a [`Netlist`] without consuming
+    /// the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a feedback flip-flop was never connected
+    /// or the combinational graph contains a cycle. The builder itself is
+    /// left untouched either way, so an incremental caller can keep
+    /// mutating it.
+    pub fn try_finish(&self) -> Result<Netlist, BuildError> {
+        for ff in &self.dffs {
+            if ff.d == PENDING_D {
+                return Err(BuildError::UnpatchedFeedback {
+                    flop: ff.name.clone(),
+                });
+            }
+        }
+        let mut nl = Netlist {
+            name: self.name.clone(),
+            nets: self.nets.clone(),
+            gates: self.gates.clone(),
+            dffs: self.dffs.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            topo: Vec::new(),
+        };
+        if !nl.compute_topo() {
+            return Err(BuildError::CombinationalLoop {
+                design: nl.name().to_string(),
+            });
+        }
+        debug_assert_eq!(nl.validate(), Ok(()));
+        Ok(nl)
+    }
+
     /// Finalises the netlist.
     ///
     /// # Panics
@@ -422,28 +609,25 @@ impl NetlistBuilder {
     /// Panics if the combinational graph contains a cycle or a feedback
     /// flip-flop was never connected — generators are expected to produce
     /// well-formed logic, so either is a programming error, not an input
-    /// error.
+    /// error. Use [`Self::try_finish`] to get a structured [`BuildError`]
+    /// instead.
     pub fn finish(self) -> Netlist {
-        for ff in &self.dffs {
-            assert_ne!(
-                ff.d, PENDING_D,
-                "feedback flip-flop {} never connected",
-                ff.name
-            );
+        match self.try_finish() {
+            Ok(nl) => nl,
+            Err(e) => panic!("{e}"),
         }
-        let mut nl = Netlist {
-            name: self.name,
-            nets: self.nets,
-            gates: self.gates,
-            dffs: self.dffs,
-            inputs: self.inputs,
-            outputs: self.outputs,
-            topo: Vec::new(),
-        };
-        let ok = nl.compute_topo();
-        assert!(ok, "combinational loop in generated netlist {}", nl.name());
-        debug_assert_eq!(nl.validate(), Ok(()));
-        nl
+    }
+
+    /// The flip-flops declared so far that still await [`Self::set_dff_d`].
+    ///
+    /// The lint engine reports these as `UnpatchedFeedback` diagnostics
+    /// when asked to inspect a builder mid-construction.
+    pub fn pending_feedback(&self) -> Vec<String> {
+        self.dffs
+            .iter()
+            .filter(|ff| ff.d == PENDING_D)
+            .map(|ff| ff.name.clone())
+            .collect()
     }
 }
 
@@ -561,5 +745,65 @@ mod tests {
         let a = b.input_word("a", 4);
         let c = b.input_word("b", 3);
         let _ = b.and_word(&a, &c);
+    }
+
+    #[test]
+    fn unpatched_feedback_is_a_structured_error() {
+        let mut b = NetlistBuilder::new("lonely");
+        let (_q, _ff) = b.dff_feedback("state");
+        assert_eq!(b.pending_feedback(), vec!["state".to_string()]);
+        let err = b.try_finish().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnpatchedFeedback {
+                flop: "state".into()
+            }
+        );
+        assert_eq!(err.to_string(), "feedback flip-flop state never connected");
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback flip-flop state never connected")]
+    fn unpatched_feedback_still_panics_in_finish() {
+        let mut b = NetlistBuilder::new("lonely");
+        let (_q, _ff) = b.dff_feedback("state");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn try_finish_leaves_the_builder_usable() {
+        let mut b = NetlistBuilder::new("keep");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let first = b.try_finish().unwrap();
+        // The builder is still usable: extend it and finish again.
+        let z = b.not(y);
+        b.output("z", z);
+        let second = b.try_finish().unwrap();
+        assert_eq!(first.gate_count() + 1, second.gate_count());
+        assert_eq!(second.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn rewind_restores_the_marked_prefix() {
+        let mut b = NetlistBuilder::new("rw");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let mark = b.mark();
+        let baseline = b.try_finish().unwrap().dump();
+        // Grow past the mark (including a lazily-created constant)...
+        let c1 = b.const1();
+        let w = b.and2(y, c1);
+        b.output("w", w);
+        let _ = b.input("extra");
+        assert_ne!(b.try_finish().unwrap().dump(), baseline);
+        // ...then rewind: the builder is byte-identical to the snapshot.
+        b.rewind(mark);
+        assert_eq!(b.try_finish().unwrap().dump(), baseline);
+        // And ids handed out after the rewind match a fresh build.
+        let c1_again = b.const1();
+        assert_eq!(c1, c1_again);
     }
 }

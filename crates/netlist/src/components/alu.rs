@@ -125,7 +125,7 @@ pub fn alu(width: usize) -> Component {
         let arith = b.and2(n1, n2);
         b.and2(arith, op_q[0])
     };
-    let (addsub, _carry) = b.add_sub(&o_q, &t_q, is_arith_sub);
+    let addsub = b.add_sub_wrap(&o_q, &t_q, is_arith_sub);
 
     // Shifter: direction = op[0] (Shl=2 -> op0=0 means left; careful:
     // Shl code 2 = 0b010 -> op0=0; Shr code 3 = 0b011 -> op0=1).

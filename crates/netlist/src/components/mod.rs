@@ -21,7 +21,7 @@ mod ldst;
 mod mul;
 mod pc;
 mod regfile;
-mod socket;
+pub(crate) mod socket;
 mod stage;
 
 pub use alu::{alu, AluOp};

@@ -39,7 +39,7 @@ pub fn mul(width: usize) -> Component {
         // acc[row..] += pp (ripple, truncated — carry out of the top is
         // discarded like the high product half).
         let upper: Vec<_> = acc[row..].to_vec();
-        let (sum, _c) = b.ripple_add(&upper, &pp, zero);
+        let sum = b.ripple_add_wrap(&upper, &pp, zero);
         acc.splice(row.., sum);
     }
     debug_assert_eq!(acc.len(), width);

@@ -38,7 +38,7 @@ pub fn pc(width: usize) -> Component {
 
     // PC register with increment / branch mux.
     let (pc_q, pc_ff) = b.dff_word_feedback("pcreg", width);
-    let (inc, _) = b.increment(&pc_q);
+    let inc = b.increment_wrap(&pc_q);
     let take = b.and2(v, c_q);
     let next_seq = b.mux_word(take, &inc, &tg_q);
     let pc_next = b.mux_word(stall, &next_seq, &pc_q);

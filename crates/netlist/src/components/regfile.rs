@@ -53,7 +53,9 @@ pub fn register_file(width: usize, regs: usize, nin: usize, nout: usize) -> Comp
 
     // ---- storage core ----------------------------------------------------
     // Decoders per write port.
-    let decoders: Vec<Vec<_>> = waddr_q.iter().map(|a| b.decoder(a)).collect();
+    // Only `regs` decode lines exist — a truncated decoder leaves no dead
+    // match gates when `regs` is not a power of two (RF2 has 12).
+    let decoders: Vec<Vec<_>> = waddr_q.iter().map(|a| b.decoder_n(a, regs)).collect();
     let mut store_q = Vec::with_capacity(regs);
     let mut store_ff = Vec::with_capacity(regs);
     for r in 0..regs {

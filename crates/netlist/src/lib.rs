@@ -36,17 +36,25 @@
 //! assert_eq!(nl.primary_inputs().len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod components;
+pub mod elaborate;
 pub mod gate;
 pub mod library;
+pub mod lint;
 pub mod netlist;
 pub mod sim;
 pub mod stats;
 pub mod timing;
+pub mod verilog;
 
-pub use builder::NetlistBuilder;
+pub use builder::{BuildError, BuilderMark, NetlistBuilder};
+pub use elaborate::{elaborate, ElaborateError, IncrementalElaborator};
 pub use gate::{Gate, GateId, GateKind};
+pub use lint::{lint, LintDiagnostic, LintKind};
 pub use netlist::{Net, NetDriver, NetId, Netlist, NetlistError};
 pub use sim::Simulator;
 pub use stats::NetlistStats;
+pub use verilog::to_verilog;

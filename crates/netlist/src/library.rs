@@ -20,6 +20,18 @@ pub const DFF_CLK_TO_Q: f64 = 1.5;
 /// Setup time of a flip-flop, in normalised gate delays.
 pub const DFF_SETUP: f64 = 0.5;
 
+/// Incremental propagation delay a driving cell pays per fanout load
+/// beyond the first, in normalised gate delays.
+///
+/// The unit-delay numbers of [`gate_delay`] assume a fanout-of-one
+/// environment; heavily loaded nets (decoder roots, shared enables, bus
+/// fabric) slow their driver roughly linearly in CMOS, and this linear
+/// coefficient is the classic logical-effort first-order model of that.
+/// Used only by the *loaded* timing analysis
+/// ([`crate::timing::loaded_arrival_times`]); the table-fidelity
+/// [`crate::timing::analyze`] stays on pure unit delays.
+pub const FANOUT_DELAY_PER_LOAD: f64 = 0.15;
+
 /// Area of the given combinational gate, in NAND2 equivalents.
 pub fn gate_area(kind: GateKind) -> f64 {
     match kind {

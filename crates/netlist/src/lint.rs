@@ -1,0 +1,486 @@
+//! Structural lint: typed diagnostics over a gate-level netlist.
+//!
+//! [`Netlist::validate`] stops at the first invariant violation;
+//! the lint engine instead sweeps the whole graph and reports *every*
+//! finding, classified by [`LintKind`]. It also accepts netlists built
+//! outside the [`crate::NetlistBuilder`] guard rails (via
+//! [`Netlist::from_raw_parts`]), so frontends and tests can inspect
+//! deliberately-broken designs without tripping panics.
+//!
+//! The shipped component generators and the per-point elaborator
+//! ([`crate::elaborate()`]) are held to a zero-diagnostic bar in CI.
+
+use std::fmt;
+
+use crate::netlist::{NetDriver, NetId, Netlist};
+
+/// Classification of one lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// The combinational gate graph contains a cycle.
+    CombinationalLoop,
+    /// A net has no driver at all.
+    FloatingNet,
+    /// A primary output references a net that does not exist.
+    DanglingOutput,
+    /// Two structural drivers (gate outputs / flip-flop Qs) claim one net,
+    /// or a net's driver record disagrees with the claiming cell.
+    MultiDriver,
+    /// A feedback flip-flop's D input was never connected (the builder's
+    /// `PENDING_D` sentinel escaped).
+    UnpatchedFeedback,
+    /// A gate from which no primary output is reachable, even through
+    /// sequential elements — synthesis would sweep it away, so its area
+    /// and test figures are phantom.
+    DeadGate,
+}
+
+impl LintKind {
+    /// Stable short code used in reports and CI greps.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::CombinationalLoop => "comb-loop",
+            LintKind::FloatingNet => "floating-net",
+            LintKind::DanglingOutput => "dangling-output",
+            LintKind::MultiDriver => "multi-driver",
+            LintKind::UnpatchedFeedback => "unpatched-feedback",
+            LintKind::DeadGate => "dead-gate",
+        }
+    }
+
+    /// Every lint kind, in report order.
+    pub const ALL: [LintKind; 6] = [
+        LintKind::CombinationalLoop,
+        LintKind::FloatingNet,
+        LintKind::DanglingOutput,
+        LintKind::MultiDriver,
+        LintKind::UnpatchedFeedback,
+        LintKind::DeadGate,
+    ];
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintDiagnostic {
+    /// What class of problem this is.
+    pub kind: LintKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The net the finding anchors to, when one exists in the netlist.
+    pub net: Option<NetId>,
+}
+
+impl fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+fn net_label(nl: &Netlist, net: NetId) -> String {
+    if net.index() < nl.net_count() {
+        match nl.net(net).name() {
+            Some(name) => format!("{net} ({name})"),
+            None => net.to_string(),
+        }
+    } else {
+        net.to_string()
+    }
+}
+
+/// Runs every lint pass and returns all findings, grouped by pass in
+/// [`LintKind::ALL`] order and by index within a pass — the report is
+/// deterministic for a given netlist.
+pub fn lint(nl: &Netlist) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+    lint_loops(nl, &mut out);
+    lint_floating(nl, &mut out);
+    lint_dangling_outputs(nl, &mut out);
+    lint_multi_driver(nl, &mut out);
+    lint_unpatched_feedback(nl, &mut out);
+    lint_dead_gates(nl, &mut out);
+    out
+}
+
+fn lint_loops(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    let in_cycle = nl.gate_count() - nl.topo_order().len();
+    if in_cycle == 0 {
+        return;
+    }
+    let mut in_topo = vec![false; nl.gate_count()];
+    for g in nl.topo_order() {
+        in_topo[g.index()] = true;
+    }
+    let witness = nl
+        .gates()
+        .iter()
+        .enumerate()
+        .find(|(i, _)| !in_topo[*i])
+        .map(|(_, g)| g.output())
+        .expect("incomplete topo implies a cyclic gate");
+    out.push(LintDiagnostic {
+        kind: LintKind::CombinationalLoop,
+        message: format!(
+            "combinational loop: {in_cycle} gate(s) mutually dependent, e.g. through net {}",
+            net_label(nl, witness)
+        ),
+        net: Some(witness),
+    });
+}
+
+fn lint_floating(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    for (i, net) in nl.nets().iter().enumerate() {
+        if matches!(net.driver(), NetDriver::Floating) {
+            let id = NetId::from_index(i);
+            out.push(LintDiagnostic {
+                kind: LintKind::FloatingNet,
+                message: format!("net {} has no driver", net_label(nl, id)),
+                net: Some(id),
+            });
+        }
+    }
+}
+
+fn lint_dangling_outputs(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    for (name, net) in nl.primary_outputs() {
+        if net.index() >= nl.net_count() {
+            out.push(LintDiagnostic {
+                kind: LintKind::DanglingOutput,
+                message: format!("primary output {name} references nonexistent net {net}"),
+                net: None,
+            });
+        }
+    }
+}
+
+fn lint_multi_driver(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    // Structural claims: every gate claims its output net, every flip-flop
+    // claims its Q net. Exactly one claim per net, and the net's driver
+    // record must point back at the claimant.
+    let mut claims: Vec<Vec<String>> = vec![Vec::new(); nl.net_count()];
+    for (gi, g) in nl.gates().iter().enumerate() {
+        if g.output().index() < nl.net_count() {
+            claims[g.output().index()].push(format!("gate g{gi} ({})", g.kind()));
+        }
+    }
+    for (fi, ff) in nl.dffs().iter().enumerate() {
+        if ff.q().index() < nl.net_count() {
+            claims[ff.q().index()].push(format!("flip-flop ff{fi} ({})", ff.name()));
+        }
+    }
+    for (i, net) in nl.nets().iter().enumerate() {
+        let id = NetId::from_index(i);
+        let c = &claims[i];
+        if c.len() > 1 {
+            out.push(LintDiagnostic {
+                kind: LintKind::MultiDriver,
+                message: format!(
+                    "net {} is driven by {} cells: {}",
+                    net_label(nl, id),
+                    c.len(),
+                    c.join(", ")
+                ),
+                net: Some(id),
+            });
+            continue;
+        }
+        // A single structural claim must agree with the driver record;
+        // a claim on a PI/constant net is also a conflict.
+        let consistent = match net.driver() {
+            NetDriver::Gate(g) => {
+                c.len() == 1 && nl.gates()[g.index()].output() == id && {
+                    // the claim must be this very gate
+                    c[0].starts_with(&format!("gate g{}", g.index()))
+                }
+            }
+            NetDriver::DffQ(f) => {
+                c.len() == 1
+                    && nl.dffs()[f.index()].q() == id
+                    && c[0].starts_with(&format!("flip-flop ff{}", f.index()))
+            }
+            _ => c.is_empty(),
+        };
+        if !consistent && !c.is_empty() {
+            out.push(LintDiagnostic {
+                kind: LintKind::MultiDriver,
+                message: format!(
+                    "net {} driver record disagrees with claiming cell {}",
+                    net_label(nl, id),
+                    c[0]
+                ),
+                net: Some(id),
+            });
+        }
+    }
+}
+
+fn lint_unpatched_feedback(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    for (fi, ff) in nl.dffs().iter().enumerate() {
+        if ff.d().index() >= nl.net_count() {
+            out.push(LintDiagnostic {
+                kind: LintKind::UnpatchedFeedback,
+                message: format!(
+                    "flip-flop ff{fi} ({}) has an unconnected feedback D input",
+                    ff.name()
+                ),
+                net: None,
+            });
+        }
+    }
+}
+
+fn lint_dead_gates(nl: &Netlist, out: &mut Vec<LintDiagnostic>) {
+    // Backward reachability from the primary outputs, crossing flip-flops
+    // from Q to D: anything not reached observably never matters.
+    let mut live_net = vec![false; nl.net_count()];
+    let mut stack: Vec<NetId> = nl
+        .primary_outputs()
+        .iter()
+        .map(|(_, n)| *n)
+        .filter(|n| n.index() < nl.net_count())
+        .collect();
+    while let Some(net) = stack.pop() {
+        if live_net[net.index()] {
+            continue;
+        }
+        live_net[net.index()] = true;
+        match nl.net(net).driver() {
+            NetDriver::Gate(g) => {
+                for &inp in nl.gates()[g.index()].inputs() {
+                    if inp.index() < nl.net_count() && !live_net[inp.index()] {
+                        stack.push(inp);
+                    }
+                }
+            }
+            NetDriver::DffQ(f) => {
+                let d = nl.dffs()[f.index()].d();
+                if d.index() < nl.net_count() && !live_net[d.index()] {
+                    stack.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (gi, g) in nl.gates().iter().enumerate() {
+        let dead = g.output().index() >= nl.net_count() || !live_net[g.output().index()];
+        if dead {
+            out.push(LintDiagnostic {
+                kind: LintKind::DeadGate,
+                message: format!(
+                    "gate g{gi} ({}) cannot reach any primary output via {}",
+                    g.kind(),
+                    net_label(nl, g.output())
+                ),
+                net: Some(g.output()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::Gate;
+    use crate::netlist::{Dff, Net};
+    use crate::GateKind;
+
+    fn clean() -> Netlist {
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.input("a");
+        let c = b.input("b");
+        let q = b.dff("r", c);
+        let y = b.and2(a, q);
+        b.output("y", y);
+        b.finish()
+    }
+
+    fn kinds(diags: &[LintDiagnostic]) -> Vec<LintKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        assert_eq!(lint(&clean()), Vec::new());
+    }
+
+    #[test]
+    fn detects_floating_net() {
+        let (name, mut nets, gates, dffs, inputs, outputs) = clean().into_raw_parts();
+        nets.push(Net {
+            driver: NetDriver::Floating,
+            name: Some("orphan".into()),
+        });
+        let nl = Netlist::from_raw_parts(name, nets, gates, dffs, inputs, outputs);
+        let diags = lint(&nl);
+        assert!(kinds(&diags).contains(&LintKind::FloatingNet), "{diags:?}");
+        assert!(diags[0].message.contains("orphan"), "{diags:?}");
+    }
+
+    #[test]
+    fn detects_dangling_output() {
+        let (name, nets, gates, dffs, inputs, mut outputs) = clean().into_raw_parts();
+        outputs.push(("ghost".into(), NetId::from_index(999)));
+        let nl = Netlist::from_raw_parts(name, nets, gates, dffs, inputs, outputs);
+        let diags = lint(&nl);
+        assert!(
+            kinds(&diags).contains(&LintKind::DanglingOutput),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn detects_multi_driver() {
+        let (name, nets, mut gates, dffs, inputs, outputs) = clean().into_raw_parts();
+        // A second gate claiming the first gate's output net.
+        let victim = gates[0].output();
+        let ins = [gates[0].inputs()[0], gates[0].inputs()[1]];
+        gates.push(Gate::new(GateKind::Or, ins.to_vec(), victim));
+        let nl = Netlist::from_raw_parts(name, nets, gates, dffs, inputs, outputs);
+        let diags = lint(&nl);
+        assert!(kinds(&diags).contains(&LintKind::MultiDriver), "{diags:?}");
+    }
+
+    #[test]
+    fn detects_unpatched_feedback() {
+        let mut b = NetlistBuilder::new("pending");
+        let a = b.input("a");
+        let (q, _ff) = b.dff_feedback("stuck");
+        let y = b.and2(a, q);
+        b.output("y", y);
+        // Bypass finish(): assemble the broken netlist directly.
+        let nl = match b.try_finish() {
+            Err(crate::BuildError::UnpatchedFeedback { .. }) => {
+                // Reconstruct by raw parts: a dff whose D points nowhere.
+                let mut b2 = NetlistBuilder::new("donor");
+                let a2 = b2.input("a");
+                let q2 = b2.dff("stuck", a2);
+                let y2 = b2.and2(a2, q2);
+                b2.output("y", y2);
+                let (name, nets, gates, mut dffs, inputs, outputs) = b2.finish().into_raw_parts();
+                dffs[0] = Dff {
+                    d: NetId::from_index(u32::MAX as usize),
+                    q: dffs[0].q(),
+                    name: "stuck".into(),
+                };
+                Netlist::from_raw_parts(name, nets, gates, dffs, inputs, outputs)
+            }
+            other => panic!("expected UnpatchedFeedback, got {other:?}"),
+        };
+        let diags = lint(&nl);
+        assert!(
+            kinds(&diags).contains(&LintKind::UnpatchedFeedback),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.message.contains("stuck")));
+    }
+
+    #[test]
+    fn detects_combinational_loop() {
+        let (name, mut nets, mut gates, dffs, inputs, outputs) = clean().into_raw_parts();
+        // Two cross-coupled AND gates: g_a reads g_b's output and vice
+        // versa.
+        let na = NetId::from_index(nets.len());
+        nets.push(Net {
+            driver: NetDriver::Gate(crate::GateId::from_index(gates.len())),
+            name: None,
+        });
+        let nb = NetId::from_index(nets.len());
+        nets.push(Net {
+            driver: NetDriver::Gate(crate::GateId::from_index(gates.len() + 1)),
+            name: None,
+        });
+        let pi = inputs[0];
+        gates.push(Gate::new(GateKind::And, vec![pi, nb], na));
+        gates.push(Gate::new(GateKind::And, vec![pi, na], nb));
+        let mut outputs = outputs;
+        outputs.push(("looped".into(), na));
+        let nl = Netlist::from_raw_parts(name, nets, gates, dffs, inputs, outputs);
+        let diags = lint(&nl);
+        assert!(
+            kinds(&diags).contains(&LintKind::CombinationalLoop),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn detects_dead_gate() {
+        let mut b = NetlistBuilder::new("deadwood");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        let _unused = b.xor2(a, c); // no reader, no output
+        b.output("y", y);
+        let nl = b.finish();
+        let diags = lint(&nl);
+        assert_eq!(kinds(&diags), vec![LintKind::DeadGate], "{diags:?}");
+        assert!(diags[0].message.contains("xor"), "{diags:?}");
+    }
+
+    #[test]
+    fn every_shipped_generator_lints_clean() {
+        use crate::components;
+        let generators: Vec<(&str, Netlist)> = vec![
+            ("alu", components::alu(8).netlist),
+            ("cmp", components::cmp(8).netlist),
+            ("mul", components::mul(8).netlist),
+            ("regfile", components::register_file(8, 8, 1, 2).netlist),
+            ("ldst", components::load_store(8).netlist),
+            ("pc", components::pc(8).netlist),
+            ("immediate", components::immediate(8).netlist),
+            ("input_socket", components::input_socket(8, 4, 5).netlist),
+            ("output_socket", components::output_socket(8, 4, 6).netlist),
+            ("stage_control", components::stage_control().netlist),
+        ];
+        for (name, nl) in generators {
+            let diags = lint(&nl);
+            assert!(
+                diags.is_empty(),
+                "{name}: {}",
+                diags
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+    }
+
+    #[test]
+    fn elaborated_point_lints_clean() {
+        let nl = crate::elaborate(&tta_arch::Architecture::figure9()).unwrap();
+        let diags = lint(&nl);
+        assert!(
+            diags.is_empty(),
+            "{}",
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    #[test]
+    fn dead_gate_sees_through_flip_flops() {
+        // A gate feeding only a flip-flop whose Q reaches an output is
+        // live; one feeding a flip-flop that goes nowhere is dead.
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let q1 = b.dff("live", n1);
+        b.output("y", q1);
+        let n2 = b.not(a);
+        let _q2 = b.dff("limbo", n2);
+        let nl = b.finish();
+        let diags = lint(&nl);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, LintKind::DeadGate);
+        assert!(diags[0].message.contains("g1"), "{diags:?}");
+    }
+}

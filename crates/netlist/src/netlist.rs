@@ -168,6 +168,63 @@ pub struct Netlist {
 }
 
 impl Netlist {
+    /// Assembles a netlist directly from its parts, *without* enforcing
+    /// the builder's invariants.
+    ///
+    /// A topological order is computed on a best-effort basis (it is
+    /// incomplete when the gate graph has combinational cycles) and no
+    /// validation is performed — the result may be arbitrarily broken.
+    /// This is the entry point for the lint engine's negative tests and
+    /// for importing netlists from external frontends; run
+    /// [`crate::lint::lint`] or [`Self::validate`] on the result before
+    /// trusting it.
+    pub fn from_raw_parts(
+        name: impl Into<String>,
+        nets: Vec<Net>,
+        gates: Vec<Gate>,
+        dffs: Vec<Dff>,
+        inputs: Vec<NetId>,
+        outputs: Vec<(String, NetId)>,
+    ) -> Self {
+        let mut nl = Netlist {
+            name: name.into(),
+            nets,
+            gates,
+            dffs,
+            inputs,
+            outputs,
+            topo: Vec::new(),
+        };
+        let _complete = nl.compute_topo();
+        nl
+    }
+
+    /// Splits a netlist back into its raw parts (the inverse of
+    /// [`Self::from_raw_parts`], dropping the topological order).
+    ///
+    /// Useful for constructing deliberately-broken variants of a valid
+    /// netlist in lint tests.
+    #[allow(clippy::type_complexity)]
+    pub fn into_raw_parts(
+        self,
+    ) -> (
+        String,
+        Vec<Net>,
+        Vec<Gate>,
+        Vec<Dff>,
+        Vec<NetId>,
+        Vec<(String, NetId)>,
+    ) {
+        (
+            self.name,
+            self.nets,
+            self.gates,
+            self.dffs,
+            self.inputs,
+            self.outputs,
+        )
+    }
+
     /// The design name.
     pub fn name(&self) -> &str {
         &self.name

@@ -4,9 +4,20 @@
 //! candidate architecture's cycle time can be bounded; this module provides
 //! a classic longest-path analysis using the unit delays of
 //! [`crate::library`].
+//!
+//! Two analysis tiers coexist:
+//!
+//! * [`analyze`] — the original unit-delay longest path. The component
+//!   back-annotation flow depends on its exact arithmetic, so it is
+//!   frozen: table-fidelity sweeps stay bit-identical across releases.
+//! * [`sta`] / [`loaded_arrival_times`] — the netlist-fidelity tier.
+//!   Arrival times additionally charge each driving cell
+//!   [`library::FANOUT_DELAY_PER_LOAD`] per reader beyond the first
+//!   (from [`Netlist::fanout_table`]), and every endpoint (primary
+//!   output or flip-flop D) gets a slack against a candidate clock.
 
 use crate::library;
-use crate::netlist::{NetDriver, Netlist};
+use crate::netlist::{Fanout, NetDriver, NetId, Netlist};
 
 /// Result of a longest-path timing analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +93,201 @@ pub fn analyze(nl: &Netlist) -> TimingReport {
         worst_reg,
         depth: max_depth,
     }
+}
+
+/// What kind of timing endpoint a [`EndpointSlack`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// A primary output (arrival must fit inside the clock period).
+    PrimaryOutput,
+    /// A flip-flop D pin (arrival + setup must fit inside the clock).
+    FlipFlopD,
+}
+
+/// Slack of one timing endpoint against a candidate clock period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSlack {
+    /// Endpoint name: the output's port name or the flip-flop's instance
+    /// name.
+    pub name: String,
+    /// What the endpoint is.
+    pub kind: EndpointKind,
+    /// Loaded data arrival time at the endpoint (setup already included
+    /// for flip-flop endpoints).
+    pub required_arrival: f64,
+    /// `clock - required_arrival`; negative means a violation.
+    pub slack: f64,
+}
+
+/// Result of the fanout-aware static timing analysis ([`sta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// The candidate clock period the slacks are measured against.
+    pub clock: f64,
+    /// Loaded critical path — the minimum feasible clock period.
+    pub critical_path: f64,
+    /// Worst endpoint slack (negative when the clock is infeasible).
+    pub worst_slack: f64,
+    /// Number of endpoints with negative slack.
+    pub violations: usize,
+    /// Every endpoint, worst slack first (ties broken by name).
+    pub endpoints: Vec<EndpointSlack>,
+}
+
+/// Per-net arrival times charging fanout load on every driving cell.
+///
+/// Identical to [`arrival_times`] except that a net with `r` readers adds
+/// `FANOUT_DELAY_PER_LOAD * (r - 1)` to its driver's propagation delay —
+/// gate outputs and flip-flop Q pins both pay; primary inputs and
+/// constants are assumed externally buffered.
+pub fn loaded_arrival_times(nl: &Netlist, fanout: &Fanout) -> Vec<f64> {
+    let load = |net: NetId| -> f64 {
+        library::FANOUT_DELAY_PER_LOAD * fanout.reader_count(net).saturating_sub(1) as f64
+    };
+    let mut arrival = vec![0.0f64; nl.net_count()];
+    for (i, net) in nl.nets().iter().enumerate() {
+        if let NetDriver::DffQ(_) = net.driver() {
+            arrival[i] = library::DFF_CLK_TO_Q + load(NetId::from_index(i));
+        }
+    }
+    for &gid in nl.topo_order() {
+        let g = nl.gate(gid);
+        let worst_in = g
+            .inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0f64, f64::max);
+        let out = g.output();
+        arrival[out.index()] = worst_in + library::gate_delay(g.kind()) + load(out);
+    }
+    arrival
+}
+
+/// Runs the fanout-aware static timing analysis against a candidate
+/// `clock` period, reporting per-endpoint slack.
+///
+/// Pass the loaded critical path itself (from a previous run, or
+/// [`min_clock_period`]) to get a zero-worst-slack report.
+pub fn sta(nl: &Netlist, clock: f64) -> StaReport {
+    let fanout = nl.fanout_table();
+    let arrival = loaded_arrival_times(nl, &fanout);
+    let mut endpoints: Vec<EndpointSlack> = Vec::new();
+    for (name, net) in nl.primary_outputs() {
+        let t = arrival[net.index()];
+        endpoints.push(EndpointSlack {
+            name: name.clone(),
+            kind: EndpointKind::PrimaryOutput,
+            required_arrival: t,
+            slack: clock - t,
+        });
+    }
+    for ff in nl.dffs() {
+        let t = arrival[ff.d().index()] + library::DFF_SETUP;
+        endpoints.push(EndpointSlack {
+            name: ff.name().to_string(),
+            kind: EndpointKind::FlipFlopD,
+            required_arrival: t,
+            slack: clock - t,
+        });
+    }
+    endpoints.sort_by(|a, b| {
+        a.slack
+            .partial_cmp(&b.slack)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let critical_path = endpoints
+        .iter()
+        .map(|e| e.required_arrival)
+        .fold(0.0f64, f64::max);
+    let worst_slack = endpoints.first().map_or(clock, |e| e.slack);
+    let violations = endpoints.iter().filter(|e| e.slack < 0.0).count();
+    StaReport {
+        clock,
+        critical_path,
+        worst_slack,
+        violations,
+        endpoints,
+    }
+}
+
+/// The minimum feasible clock period under the loaded timing model: the
+/// loaded critical path over all endpoints.
+pub fn min_clock_period(nl: &Netlist) -> f64 {
+    let fanout = nl.fanout_table();
+    let arrival = loaded_arrival_times(nl, &fanout);
+    let po = nl
+        .primary_outputs()
+        .iter()
+        .map(|(_, n)| arrival[n.index()])
+        .fold(0.0f64, f64::max);
+    let reg = nl
+        .dffs()
+        .iter()
+        .map(|ff| arrival[ff.d().index()] + library::DFF_SETUP)
+        .fold(0.0f64, f64::max);
+    po.max(reg)
+}
+
+/// Fanout/load-distribution summary of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadDistribution {
+    /// Total number of nets.
+    pub nets: usize,
+    /// Total reader (load) count across all nets.
+    pub total_readers: usize,
+    /// Highest reader count on any single net.
+    pub max_fanout: usize,
+    /// Name (or id) of a net with the highest reader count.
+    pub max_net: String,
+    /// Histogram over reader counts: nets with 0, 1, 2–3, 4–7, 8–15 and
+    /// ≥16 readers respectively.
+    pub buckets: [usize; 6],
+}
+
+impl LoadDistribution {
+    /// Mean readers per net.
+    pub fn mean_fanout(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.total_readers as f64 / self.nets as f64
+        }
+    }
+}
+
+/// Computes the fanout/load distribution of a netlist.
+pub fn load_distribution(nl: &Netlist) -> LoadDistribution {
+    let fanout = nl.fanout_table();
+    let mut dist = LoadDistribution {
+        nets: nl.net_count(),
+        total_readers: 0,
+        max_fanout: 0,
+        max_net: String::new(),
+        buckets: [0; 6],
+    };
+    for i in 0..nl.net_count() {
+        let id = NetId::from_index(i);
+        let r = fanout.reader_count(id);
+        dist.total_readers += r;
+        if r > dist.max_fanout || dist.max_net.is_empty() {
+            dist.max_fanout = r;
+            dist.max_net = nl
+                .net(id)
+                .name()
+                .map_or_else(|| id.to_string(), str::to_string);
+        }
+        let bucket = match r {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            _ => 5,
+        };
+        dist.buckets[bucket] += 1;
+    }
+    dist
 }
 
 #[cfg(test)]

@@ -1,9 +1,30 @@
 //! Property-based tests: generated component netlists agree with their
-//! golden models on arbitrary inputs.
+//! golden models on arbitrary inputs, and the analysis passes (timing,
+//! fanout) agree with brute-force recomputation on arbitrary component
+//! netlists.
 
 use proptest::prelude::*;
 use tta_netlist::components::{self, AluOp, CmpOp};
+use tta_netlist::netlist::{NetId, Netlist};
 use tta_netlist::sim::OwnedSeqSim;
+use tta_netlist::timing;
+
+/// One shipped component generator per index — the pool the analysis
+/// properties draw arbitrary netlists from.
+fn component_netlist(pick: usize, wi: usize) -> Netlist {
+    // Power-of-two widths keep every generator in-domain (the ALU's
+    // shifter requires one).
+    let width = [4usize, 8, 16][wi];
+    match pick {
+        0 => components::alu(width).netlist,
+        1 => components::cmp(width).netlist,
+        2 => components::mul(width).netlist,
+        3 => components::pc(width.max(2)).netlist,
+        4 => components::load_store(width).netlist,
+        5 => components::immediate(width).netlist,
+        _ => components::register_file(width, 8, 1, 2).netlist,
+    }
+}
 
 fn run_alu(sim: &mut OwnedSeqSim, op: AluOp, o: u64, t: u64) -> u64 {
     sim.step_words(&[
@@ -73,6 +94,73 @@ proptest! {
         sim.step_words(&[]);
         sim.step_words(&[]);
         prop_assert_eq!(sim.output_words()["rdata0"], model[read_addr as usize]);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_along_topo_order(pick in 0usize..7, wi in 0usize..3) {
+        let nl = component_netlist(pick, wi);
+        let arrival = timing::arrival_times(&nl);
+        // Every gate's output arrives strictly after each of its inputs
+        // (all cell delays are positive), so walking the topo order the
+        // arrival profile is monotone along every path.
+        for &gid in nl.topo_order() {
+            let g = nl.gate(gid);
+            let out = arrival[g.output().index()];
+            for n in g.inputs() {
+                prop_assert!(
+                    out > arrival[n.index()],
+                    "gate {gid:?}: output arrival {out} not after input {}",
+                    arrival[n.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_matches_longest_gate_chain(pick in 0usize..7, wi in 0usize..3) {
+        let nl = component_netlist(pick, wi);
+        // Brute-force DP: a net's level is one more than the deepest
+        // net any gate driving it reads.
+        let mut level = vec![0u32; nl.net_count()];
+        for &gid in nl.topo_order() {
+            let g = nl.gate(gid);
+            let worst = g.inputs().iter().map(|n| level[n.index()]).max().unwrap_or(0);
+            level[g.output().index()] = worst + 1;
+        }
+        let deepest = level.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(timing::analyze(&nl).depth, deepest);
+    }
+
+    #[test]
+    fn fanout_table_agrees_with_brute_force_reader_scan(pick in 0usize..7, wi in 0usize..3) {
+        let nl = component_netlist(pick, wi);
+        let fanout = nl.fanout_table();
+        // Recount every net's readers the slow way: gate input pins,
+        // flip-flop D pins, plus one tap when the net is a primary
+        // output (however many output ports alias it).
+        let mut counts = vec![0usize; nl.net_count()];
+        for g in nl.gates() {
+            for n in g.inputs() {
+                counts[n.index()] += 1;
+            }
+        }
+        for ff in nl.dffs() {
+            counts[ff.d().index()] += 1;
+        }
+        let mut is_po = vec![false; nl.net_count()];
+        for (_, n) in nl.primary_outputs() {
+            is_po[n.index()] = true;
+        }
+        for (i, po) in is_po.iter().enumerate() {
+            counts[i] += usize::from(*po);
+        }
+        for (i, &expected) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                fanout.reader_count(NetId::from_index(i)),
+                expected,
+                "net {i}"
+            );
+        }
     }
 
     #[test]

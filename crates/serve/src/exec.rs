@@ -16,7 +16,7 @@ use std::io::Write;
 use tta_arch::template::TemplateSpace;
 use tta_core::cache::SweepCache;
 use tta_core::explore::{
-    CacheStatus, CancelToken, Exploration, ExploreResult, LiftMode, SweepProgress,
+    CacheStatus, CancelToken, Exploration, ExploreResult, FidelityMode, LiftMode, SweepProgress,
 };
 use tta_core::models::{InterconnectModel, ScanTestCostModel};
 use tta_core::report::TextTable;
@@ -322,6 +322,7 @@ impl PreparedJob {
             // interleaving.
             .cycle_source(spec.cycles)
             .eval_mode(spec.eval)
+            .fidelity(spec.fidelity)
             .parallel(spec.parallel);
         if spec.test_model == TestModel::Scan {
             e = e.test_cost_model(ScanTestCostModel::default());
@@ -425,6 +426,13 @@ pub fn render_explore(
                     test_model.label()
                 )?;
             }
+            if result.fidelity == FidelityMode::Netlist {
+                writeln!(
+                    out,
+                    "fidelity netlist: area/clock axes from per-point gate-level \
+                     elaboration (loaded STA), not the component tables"
+                )?;
+            }
             writeln!(
                 out,
                 "explored {} feasible points ({} infeasible) over [{}]; {} on the Pareto front",
@@ -475,6 +483,7 @@ pub fn render_explore(
             let doc = json::object([
                 ("command", json::string("explore")),
                 ("lift", json::string(result.lift.label())),
+                ("fidelity", json::string(result.fidelity.label())),
                 ("test_model", json::string(test_model.label())),
                 ("search", {
                     let mut fields = vec![
@@ -536,13 +545,14 @@ pub fn render_explore(
             // for an exhaustive one.
             writeln!(
                 out,
-                "# strategy={} budget={} seed={} space_points={} evaluations={} lift={} test_model={}",
+                "# strategy={} budget={} seed={} space_points={} evaluations={} lift={} fidelity={} test_model={}",
                 s.strategy,
                 s.budget.map_or("none".into(), |b| b.to_string()),
                 s.seed.map_or("none".into(), |v| v.to_string()),
                 s.space_len,
                 s.evaluations,
                 result.lift.label(),
+                result.fidelity.label(),
                 test_model.label(),
             )?;
             for b in result.workload_breakdown() {

@@ -8,7 +8,7 @@
 //! rejected so a typoed knob fails loudly instead of silently sweeping
 //! with defaults — the same philosophy as the CLI's flag parser.
 
-use tta_core::explore::{CycleSource, EvalMode, LiftMode};
+use tta_core::explore::{CycleSource, EvalMode, FidelityMode, LiftMode};
 
 use crate::json;
 use crate::jsonparse::Json;
@@ -188,6 +188,21 @@ fn eval_label(e: EvalMode) -> &'static str {
     }
 }
 
+/// Parses a fidelity name (`table`/`netlist`).
+///
+/// # Errors
+///
+/// A usage message naming the accepted values.
+pub fn fidelity_parse(s: &str) -> Result<FidelityMode, String> {
+    match s {
+        "table" => Ok(FidelityMode::Table),
+        "netlist" => Ok(FidelityMode::Netlist),
+        other => Err(format!(
+            "unknown fidelity {other:?} (expected table or netlist)"
+        )),
+    }
+}
+
 /// One sweep job, fully specified. [`Default`] is exactly the CLI's
 /// default `ttadse explore` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,6 +233,9 @@ pub struct JobSpec {
     pub cycles: CycleSource,
     /// Evaluation engine (`--eval`).
     pub eval: EvalMode,
+    /// Area/clock axis source (`--fidelity`): back-annotated component
+    /// tables, or per-point gate-level netlist elaboration.
+    pub fidelity: FidelityMode,
     /// Output rendering (`--format`).
     pub format: Format,
     /// Whether to sweep on worker threads (`--parallel`/`--serial`).
@@ -254,6 +272,7 @@ impl Default for JobSpec {
             test_model: TestModel::default(),
             cycles: CycleSource::default(),
             eval: EvalMode::default(),
+            fidelity: FidelityMode::default(),
             format: Format::default(),
             parallel: true,
             threads: None,
@@ -299,6 +318,7 @@ impl JobSpec {
             ("test_model", json::string(self.test_model.label())),
             ("cycles", json::string(cycles_label(self.cycles))),
             ("eval", json::string(eval_label(self.eval))),
+            ("fidelity", json::string(self.fidelity.label())),
             ("format", json::string(self.format.label())),
             ("parallel", json::boolean(self.parallel)),
             ("threads", opt_u64(self.threads.map(|t| t as u64))),
@@ -335,6 +355,7 @@ impl JobSpec {
             "test_model",
             "cycles",
             "eval",
+            "fidelity",
             "format",
             "parallel",
             "threads",
@@ -394,6 +415,8 @@ impl JobSpec {
             cycles: field_opt_string(&doc, "cycles")?
                 .map_or(Ok(defaults.cycles), |s| cycles_parse(&s))?,
             eval: field_opt_string(&doc, "eval")?.map_or(Ok(defaults.eval), |s| eval_parse(&s))?,
+            fidelity: field_opt_string(&doc, "fidelity")?
+                .map_or(Ok(defaults.fidelity), |s| fidelity_parse(&s))?,
             format: field_opt_string(&doc, "format")?
                 .map_or(Ok(defaults.format), |s| Format::parse(&s))?,
             parallel: field_opt_bool(&doc, "parallel")?.unwrap_or(defaults.parallel),
@@ -499,6 +522,7 @@ mod tests {
             test_model: TestModel::Scan,
             cycles: CycleSource::Simulate,
             eval: EvalMode::Scratch,
+            fidelity: FidelityMode::Netlist,
             format: Format::Csv,
             parallel: false,
             threads: Some(2),
@@ -525,6 +549,7 @@ mod tests {
         assert!(JobSpec::from_json("{\"budget\":0}").is_err());
         assert!(JobSpec::from_json("{\"budget\":1.5}").is_err());
         assert!(JobSpec::from_json("{\"strategy\":\"dfs\"}").is_err());
+        assert!(JobSpec::from_json("{\"fidelity\":\"rtl\"}").is_err());
         assert!(JobSpec::from_json("{\"fault\":\"segfault\"}").is_err());
         assert!(JobSpec::from_json("[1,2]").is_err());
         assert!(JobSpec::from_json("not json at all").is_err());
